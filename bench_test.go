@@ -1,0 +1,184 @@
+package tbnet
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each regenerating the artifact end to end (train → transfer →
+// prune → finalize → measure) at the micro scale, plus component benchmarks
+// for the hot paths. A full-scale recorded run lives in EXPERIMENTS.md;
+// regenerate it with `go run ./cmd/tbnet experiment all -scale full`.
+//
+// The artifact benchmarks report domain metrics via b.ReportMetric:
+// accuracy points, memory-reduction ratios, and modeled latency ratios — the
+// quantities whose *shape* the paper's results are judged by.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"tbnet/internal/experiments"
+	"tbnet/internal/tee"
+)
+
+func benchLab(seed uint64) *experiments.Lab {
+	return experiments.NewLab(experiments.Config{Scale: experiments.MicroScale(), Seed: seed})
+}
+
+// parsePct converts the report's "12.34%" cells back to numbers.
+func parsePct(s string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// parseRatio converts the report's "2.45x" cells back to numbers.
+func parseRatio(s string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// BenchmarkTable1 regenerates Table 1 (victim/TBNet/attack accuracy and the
+// protection gap) across the four architecture×dataset combinations.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(uint64(i + 1))
+		t := lab.Table1()
+		var gap float64
+		for _, r := range t.Rows {
+			gap += parsePct(r[5])
+		}
+		b.ReportMetric(gap/float64(len(t.Rows)), "gap-pts")
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2 (fine-tuning attack vs data availability).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(uint64(i + 1))
+		series := lab.Fig2()
+		// Metric: attacker accuracy at 100% data minus the TBNet reference
+		// (negative = attacker stays below TBNet, the paper's claim).
+		var last, ref float64
+		for _, s := range series {
+			pts := s.Points
+			if strings.HasPrefix(s.Name, "fine-tuned") {
+				last = pts[len(pts)-1][1]
+			} else if ref == 0 {
+				ref = pts[0][1]
+			}
+		}
+		b.ReportMetric(100*(last-ref), "atk-minus-tbnet-pts")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (best possible M_T alone vs TBNet).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(uint64(i + 1))
+		t := lab.Table2()
+		var drop float64
+		for _, r := range t.Rows {
+			drop += parsePct(r[3])
+		}
+		b.ReportMetric(drop/float64(len(t.Rows)), "mt-alone-drop-pts")
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (secure-memory usage baseline vs TBNet).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(uint64(i + 1))
+		t := lab.Fig3()
+		var ratio float64
+		for _, r := range t.Rows {
+			ratio += parseRatio(r[3])
+		}
+		b.ReportMetric(ratio/float64(len(t.Rows)), "mem-reduction-x")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (inference latency baseline vs TBNet).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(uint64(i + 1))
+		t := lab.Table3()
+		var ratio float64
+		for _, r := range t.Rows {
+			ratio += parseRatio(r[3])
+		}
+		b.ReportMetric(ratio/float64(len(t.Rows)), "latency-reduction-x")
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (BN weight distributions after transfer).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(uint64(i + 1))
+		mr, mt := lab.Fig4()
+		b.ReportMetric(mr.Mean()-mt.Mean(), "gammaR-minus-gammaT")
+	}
+}
+
+// BenchmarkAblation regenerates the prior-art strategy comparison.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := benchLab(uint64(i + 1))
+		t := lab.Ablation()
+		if len(t.Rows) != 5 {
+			b.Fatalf("ablation rows = %d", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkDeployedInference measures one single-image inference through the
+// finalized two-branch deployment (REE stages + enclave invocations), the
+// steady-state serving path.
+func BenchmarkDeployedInference(b *testing.B) {
+	lab := benchLab(1)
+	p := lab.Pipeline(experiments.Combo{Arch: "vgg", Dataset: "c10"})
+	device := tee.RaspberryPi3()
+	device.SecureMemBytes = 0
+	dep, err := Deploy(p.TB, device, []int{1, 3, 16, 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := NewTensor(1, 3, 16, 16)
+	NewRNG(7).FillNormal(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Infer(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVictimInference measures the plain single-model forward pass for
+// comparison with the deployed path.
+func BenchmarkVictimInference(b *testing.B) {
+	victim := BuildVGG(VGG18Config(10), NewRNG(3))
+	x := NewTensor(1, 3, 16, 16)
+	NewRNG(4).FillNormal(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim.Forward(x, false)
+	}
+}
+
+// BenchmarkTwoBranchTrainStep measures one joint forward+backward+update on
+// a batch — the knowledge-transfer inner loop.
+func BenchmarkTwoBranchTrainStep(b *testing.B) {
+	train, _ := GenerateDataset(SynthCIFAR10(32, 8, 5))
+	victim := BuildVGG(VGG18Config(10), NewRNG(6))
+	tb := NewTwoBranch(victim, 7)
+	cfg := DefaultTrainConfig(1)
+	cfg.BatchSize = 16
+	cfg.LR = 0.01
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainTwoBranch(tb, train, nil, cfg)
+	}
+}

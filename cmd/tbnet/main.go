@@ -1,0 +1,147 @@
+// Command tbnet drives the TBNet reproduction: it trains victims, generates
+// the two-branch substitution model, and regenerates every table and figure
+// of the paper's evaluation on the simulated TrustZone substrate.
+//
+// Usage:
+//
+//	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|ablation> [flags]
+//	tbnet pipeline [flags]     # run one train→transfer→prune→finalize flow
+//	tbnet info                 # print the simulated device model
+//
+// Flags:
+//
+//	-scale ci|full   experiment scale (default ci)
+//	-seed N          master seed (default 1)
+//	-arch vgg|resnet (pipeline only)
+//	-dataset c10|c100 (pipeline only)
+//	-v               verbose progress logging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tbnet/internal/experiments"
+	"tbnet/internal/report"
+	"tbnet/internal/tee"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scale := fs.String("scale", "ci", "experiment scale: ci or full")
+	seed := fs.Uint64("seed", 1, "master seed")
+	arch := fs.String("arch", "vgg", "architecture: vgg or resnet (pipeline)")
+	dataset := fs.String("dataset", "c10", "dataset: c10 or c100 (pipeline)")
+	verbose := fs.Bool("v", false, "verbose progress logging")
+
+	switch cmd {
+	case "experiment":
+		if len(os.Args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		which := os.Args[2]
+		if err := fs.Parse(os.Args[3:]); err != nil {
+			os.Exit(2)
+		}
+		lab := newLab(*scale, *seed, *verbose)
+		runExperiment(lab, which)
+	case "pipeline":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		lab := newLab(*scale, *seed, true)
+		p := lab.Pipeline(experiments.Combo{Arch: *arch, Dataset: *dataset})
+		fmt.Printf("victim accuracy: %s\n", report.Pct(p.VictimAcc))
+		fmt.Printf("TBNet accuracy:  %s\n", report.Pct(p.TBAcc))
+		fmt.Printf("pruning iterations applied: %d\n", p.PruneRes.Iterations)
+		for _, h := range p.PruneRes.History {
+			status := "kept"
+			if h.Reverted {
+				status = "reverted"
+			}
+			fmt.Printf("  iter %d: %d prunable channels, acc %s (%s)\n",
+				h.Iter, h.TotalChannels, report.Pct(h.Acc), status)
+		}
+	case "info":
+		d := tee.RaspberryPi3()
+		fmt.Printf("device: %s\n", d.Name)
+		fmt.Printf("  REE throughput:   %.2g FLOP/s\n", d.REEFlopsPerSec)
+		fmt.Printf("  TEE throughput:   %.2g FLOP/s\n", d.TEEFlopsPerSec)
+		fmt.Printf("  SMC latency:      %v\n", d.SMCLatency)
+		fmt.Printf("  transfer BW:      %.2g B/s\n", d.TransferBytesPerSec)
+		fmt.Printf("  secure memory:    %s\n", report.Bytes(d.SecureMemBytes))
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func newLab(scale string, seed uint64, verbose bool) *experiments.Lab {
+	cfg := experiments.Config{Seed: seed}
+	switch scale {
+	case "ci":
+		cfg.Scale = experiments.CIScale()
+	case "full":
+		cfg.Scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want ci or full)\n", scale)
+		os.Exit(2)
+	}
+	if verbose {
+		cfg.Log = os.Stderr
+	}
+	return experiments.NewLab(cfg)
+}
+
+func runExperiment(lab *experiments.Lab, which string) {
+	w := os.Stdout
+	switch which {
+	case "all":
+		lab.RunAll(w)
+	case "table1":
+		lab.Table1().Render(w)
+	case "table2":
+		lab.Table2().Render(w)
+	case "table3":
+		lab.Table3().Render(w)
+	case "fig2":
+		report.RenderSeries(w, "Fig. 2: attacker fine-tuning M_R of VGG18-S under varying data availability", lab.Fig2())
+	case "fig3":
+		lab.Fig3().Render(w)
+	case "fig4":
+		mr, mt := lab.Fig4()
+		fmt.Fprintln(w, "Fig. 4: BN weight distributions after knowledge transfer (VGG18-S/SynthC10)")
+		mr.Render(w, "M_R |gamma|", 40)
+		mt.Render(w, "M_T |gamma|", 40)
+		fmt.Fprintf(w, "mean |gamma|: M_R %.4f vs M_T %.4f\n", mr.Mean(), mt.Mean())
+	case "ablation":
+		lab.Ablation().Render(w)
+	case "ablation-ranking":
+		lab.AblationPruneRanking().Render(w)
+	case "ablation-rollback":
+		lab.AblationRollback().Render(w)
+	case "ablation-lambda":
+		lab.AblationLambda().Render(w)
+	case "ablation-quant":
+		lab.AblationQuant().Render(w)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|ablation|
+                    ablation-ranking|ablation-rollback|ablation-lambda|ablation-quant>
+                   [-scale ci|full] [-seed N] [-v]
+  tbnet pipeline [-arch vgg|resnet] [-dataset c10|c100] [-scale ci|full] [-seed N]
+  tbnet info`)
+}

@@ -1,0 +1,77 @@
+// Defense comparison: makes the paper's Sec. 2.3 prior-art discussion
+// executable — the same victim deployed under full-TEE execution,
+// DarkneTZ-style depth partitioning, ShadowNet-style outsourcing,
+// MirrorNet-style companion models, and TBNet, comparing secure-memory
+// footprint, REE parameter exposure, and modeled latency.
+//
+// Run with: go run ./examples/defense_compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tbnet"
+	"tbnet/internal/defense"
+	"tbnet/internal/profile"
+)
+
+func main() {
+	train, test := tbnet.GenerateDataset(tbnet.SynthCIFAR10(120, 60, 30))
+
+	victim := tbnet.BuildVGG(tbnet.VGG18Config(train.Classes), tbnet.NewRNG(31))
+	cfg := tbnet.DefaultTrainConfig(6)
+	cfg.LR = 0.03
+	cfg.BatchSize = 16
+	tbnet.TrainModel(victim, train, nil, cfg)
+
+	tb := tbnet.NewTwoBranch(victim, 32)
+	transfer := cfg
+	transfer.Lambda = 5e-4
+	tbnet.TrainTwoBranch(tb, train, test, transfer)
+	prune := tbnet.DefaultPruneConfig(0.25, 1)
+	prune.MaxIters = 4
+	prune.FineTune = transfer
+	prune.FineTune.Epochs = 1
+	prune.FineTune.LR = 0.01
+	res := tbnet.PruneTwoBranch(tb, train, test, prune)
+	tbnet.FinalizeRollback(tb, res)
+
+	device := tbnet.RaspberryPi3()
+	device.SecureMemBytes = 0
+	shape := []int{1, 3, 16, 16}
+	x := tbnet.NewTensor(shape...)
+	tbnet.NewRNG(33).FillNormal(x, 0, 1)
+
+	fmt.Printf("%-22s %12s %14s %6s %10s\n", "strategy", "secure KiB", "exposed KiB", "arch?", "latency s")
+	for _, s := range []defense.Strategy{
+		defense.FullTEE{},
+		defense.DarkneTZ{SplitAt: 4},
+		defense.ShadowNet{},
+		defense.MirrorNet{},
+	} {
+		p, err := s.Place(victim, device, shape)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Infer(x.Clone())
+		fmt.Printf("%-22s %12.2f %14.2f %6v %10.4f\n", s.Name(),
+			float64(p.SecureBytes)/1024, float64(p.ExposedParamBytes)/1024,
+			p.ExposedArch, p.Latency())
+	}
+
+	dep, err := tbnet.Deploy(tb, device, shape)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dep.Infer(x.Clone()); err != nil {
+		log.Fatal(err)
+	}
+	exposed := profile.Profile(tb.MR, shape).TotalParamBytes()
+	fmt.Printf("%-22s %12.2f %14.2f %6v %10.4f\n", "tbnet",
+		float64(dep.SecureBytes)/1024, float64(exposed)/1024,
+		false, dep.Latency())
+	fmt.Println("\nnote: tbnet exposes M_R's parameters, but M_R's architecture and")
+	fmt.Println("weights are deliberately useless standalone (see examples/attack_eval),")
+	fmt.Println("and rollback finalization makes M_R's architecture differ from M_T's.")
+}

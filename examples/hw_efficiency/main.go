@@ -1,0 +1,79 @@
+// Hardware efficiency: reproduces the paper's Sec. 4.3 comparison on one
+// configuration — secure-memory usage (Fig. 3) and inference latency
+// (Table 3) of TBNet against the baseline that executes the whole victim
+// inside the TEE, on the simulated Raspberry Pi 3 device model.
+//
+// Run with: go run ./examples/hw_efficiency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tbnet"
+	"tbnet/internal/defense"
+	"tbnet/internal/tee"
+)
+
+func main() {
+	train, test := tbnet.GenerateDataset(tbnet.SynthCIFAR10(160, 80, 20))
+
+	victim := tbnet.BuildVGG(tbnet.VGG18Config(train.Classes), tbnet.NewRNG(21))
+	cfg := tbnet.DefaultTrainConfig(6)
+	cfg.LR = 0.03
+	cfg.BatchSize = 16
+	tbnet.TrainModel(victim, train, nil, cfg)
+
+	tb := tbnet.NewTwoBranch(victim, 22)
+	transfer := cfg
+	transfer.Lambda = 5e-4
+	tbnet.TrainTwoBranch(tb, train, test, transfer)
+	prune := tbnet.DefaultPruneConfig(0.25, 1)
+	prune.MaxIters = 4
+	prune.FineTune = transfer
+	prune.FineTune.Epochs = 1
+	prune.FineTune.LR = 0.01
+	res := tbnet.PruneTwoBranch(tb, train, test, prune)
+	tbnet.FinalizeRollback(tb, res)
+
+	device := tbnet.RaspberryPi3()
+	device.SecureMemBytes = 0 // measurement mode: report, don't reject
+
+	// Baseline: the entire victim inside the TEE.
+	base, err := defense.FullTEE{}.Place(victim, device, []int{1, 3, 16, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := tbnet.Deploy(tb, device, []int{1, 3, 16, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("secure-memory usage (paper Fig. 3):")
+	fmt.Printf("  baseline (victim fully in TEE): %8.2f KiB\n", float64(base.SecureBytes)/1024)
+	fmt.Printf("  TBNet (only M_T in TEE):        %8.2f KiB\n", float64(dep.SecureBytes)/1024)
+	fmt.Printf("  reduction:                      %8.2fx\n",
+		float64(base.SecureBytes)/float64(dep.SecureBytes))
+
+	// Latency over a handful of single-image inferences (paper Table 3).
+	const images = 8
+	for i := 0; i < images; i++ {
+		batch := test.Batches(1, nil)[i]
+		base.Infer(batch.X.Clone())
+		if _, err := dep.Infer(batch.X); err != nil {
+			log.Fatal(err)
+		}
+	}
+	baseLat := base.Latency() / images
+	tbLat := dep.Latency() / images
+	fmt.Println("\nper-inference latency on the simulated RPi3 (paper Table 3):")
+	fmt.Printf("  baseline: %.4fs\n", baseLat)
+	fmt.Printf("  TBNet:    %.4fs  (%.2fx reduction)\n", tbLat, baseLat/tbLat)
+
+	m := dep.Enclave.Meter()
+	fmt.Println("\nTBNet cost breakdown per run:")
+	fmt.Printf("  REE compute:  %.3g FLOPs\n", m.Flops(tee.REE)/images)
+	fmt.Printf("  TEE compute:  %.3g FLOPs\n", m.Flops(tee.TEE)/images)
+	fmt.Printf("  world switches: %d, staged bytes: %d\n",
+		m.Switches()/images, m.TransferredBytes()/images)
+}

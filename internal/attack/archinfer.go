@@ -1,0 +1,69 @@
+package attack
+
+import (
+	"tbnet/internal/tee"
+	"tbnet/internal/zoo"
+)
+
+// Architecture-inference attack: the paper argues (Sec. 3.5) that without
+// the rollback finalization, an attacker can read M_T's architecture
+// straight off the REE, because the per-stage transfer payload sizes equal
+// M_T's layer widths. This file makes that argument executable.
+//
+// The attacker observes the one-way channel: every EvTransfer event's byte
+// count is visible in normal-world shared memory. Combined with the stolen
+// M_R (which reveals each stage's spatial dimensions), the payload sizes
+// yield per-stage channel counts. Before rollback those equal M_T's widths
+// exactly; after rollback M_R is one pruning iteration wider, so the guess
+// systematically overestimates the secure branch.
+
+// ArchGuess is the attacker's estimate of the secure branch's stage widths.
+type ArchGuess struct {
+	// Widths[i] is the guessed channel count of M_T's stage i output.
+	Widths []int
+}
+
+// InferArchitecture reconstructs the secure branch's presumed stage widths
+// from one inference's attacker-visible trace. view is the attacker's event
+// stream (tee.Trace.AttackerView), stolenMR the extracted unsecured branch,
+// and inShape the inference input shape (the attacker chooses the query, so
+// it knows the shape).
+func InferArchitecture(view []tee.Event, stolenMR *zoo.Model, inShape []int) ArchGuess {
+	shapes := stolenMR.StageShapes(inShape)
+	var transfers []int64
+	for _, e := range view {
+		if e.Kind == tee.EvTransfer {
+			transfers = append(transfers, e.Bytes)
+		}
+	}
+	// The first transfer is the raw input; per-stage feature maps follow.
+	var g ArchGuess
+	for i := 0; i < len(stolenMR.Stages) && i+1 < len(transfers); i++ {
+		h, w := shapes[i][2], shapes[i][3]
+		batch := inShape[0]
+		g.Widths = append(g.Widths, int(transfers[i+1]/4/int64(h*w*batch)))
+	}
+	return g
+}
+
+// HitRate compares a guess against the true secure branch, returning the
+// fraction of stages whose width the attacker got exactly right.
+func (g ArchGuess) HitRate(mt *zoo.Model) float64 {
+	if len(g.Widths) == 0 {
+		return 0
+	}
+	hits, total := 0, 0
+	for i, s := range mt.Stages {
+		if i >= len(g.Widths) {
+			break
+		}
+		total++
+		if g.Widths[i] == s.OutChannels() {
+			hits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,87 @@
+package attack
+
+import (
+	"testing"
+
+	"tbnet/internal/core"
+	"tbnet/internal/data"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+func task(classes, train, test int, seed uint64) (*data.Dataset, *data.Dataset) {
+	return data.Generate(data.SynthConfig{
+		Name: "task", Classes: classes, H: 16, W: 16,
+		Train: train, Test: test, Seed: seed,
+		NoiseStd: 0.3, MaxShift: 1, Components: 3,
+	})
+}
+
+func cfg(epochs int) core.TrainConfig {
+	c := core.DefaultTrainConfig(epochs)
+	c.BatchSize = 16
+	c.LR = 0.05
+	return c
+}
+
+func TestDirectUseOnUntrainedModelIsNearChance(t *testing.T) {
+	_, test := task(4, 32, 64, 1)
+	m := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(2))
+	acc := DirectUse(m, test, 16)
+	if acc > 0.6 {
+		t.Fatalf("untrained model accuracy %.2f suspiciously high", acc)
+	}
+}
+
+func TestDirectUseOnTrainedVictimIsHigh(t *testing.T) {
+	train, test := task(4, 96, 48, 3)
+	m := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(4))
+	core.TrainModel(m, train, nil, cfg(6))
+	acc := DirectUse(m, test, 16)
+	if acc < 0.5 {
+		t.Fatalf("trained victim accuracy %.2f too low for the attack comparison to mean anything", acc)
+	}
+}
+
+func TestFineTuneDoesNotMutateInput(t *testing.T) {
+	train, test := task(4, 48, 24, 5)
+	m := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(6))
+	w := m.Stages[0].(*zoo.ConvBlock).Conv.W.Value.Clone()
+	FineTune(m, train, test, FineTuneConfig{Fraction: 0.5, Train: cfg(1), SubsetSeed: 7})
+	got := m.Stages[0].(*zoo.ConvBlock).Conv.W.Value
+	for i := range w.Data() {
+		if got.Data()[i] != w.Data()[i] {
+			t.Fatal("FineTune mutated the stolen model")
+		}
+	}
+}
+
+func TestFineTuneImprovesWithMoreData(t *testing.T) {
+	train, test := task(4, 160, 64, 8)
+	m := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(9))
+	// Give the attacker an undertrained starting point so fine-tuning matters.
+	core.TrainModel(m, train.Subset(0.2, 1), nil, cfg(1))
+	low := FineTune(m, train, test, FineTuneConfig{Fraction: 0.05, Train: cfg(2), SubsetSeed: 10})
+	high := FineTune(m, train, test, FineTuneConfig{Fraction: 1.0, Train: cfg(2), SubsetSeed: 10})
+	if high < low-0.1 {
+		t.Fatalf("more data should not hurt: 5%% → %.2f, 100%% → %.2f", low, high)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	train, test := task(4, 64, 32, 11)
+	m := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(12))
+	fr := []float64{0.1, 0.5, 1.0}
+	curve := Curve(m, train, test, fr, cfg(1), 13)
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points, want 3", len(curve))
+	}
+	for i, pt := range curve {
+		if pt[0] != fr[i] {
+			t.Fatalf("fraction %v at %d, want %v", pt[0], i, fr[i])
+		}
+		if pt[1] < 0 || pt[1] > 1 {
+			t.Fatalf("accuracy %v out of range", pt[1])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tbnet/internal/profile"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// Enclave command space for the secure-branch trusted application.
+const (
+	// CmdInput stages the raw input into the TEE (xT₀ = x).
+	CmdInput = -1
+	// Commands ≥ 0 stage M_R's feature map after that stage index.
+	cmdStageBase = 0
+)
+
+// errOutOfOrder is returned when the REE violates the stage protocol.
+var errOutOfOrder = errors.New("core: enclave invoked out of protocol order")
+
+// secureProgram is the trusted application hosting the secure branch M_T.
+// It consumes the input and M_R's per-stage feature maps through the one-way
+// channel and releases only the final logits. Intermediate feature maps never
+// leave the enclave.
+type secureProgram struct {
+	mt    *zoo.Model
+	align [][]int
+	xT    *tensor.Tensor
+	stage int
+	costs profile.ModelCost
+	ready bool
+}
+
+// Invoke implements tee.Program.
+func (p *secureProgram) Invoke(ctx *tee.Context, cmd int, payload *tensor.Tensor) error {
+	if cmd == CmdInput {
+		p.xT = payload
+		p.stage = 0
+		p.ready = false
+		p.costs = profile.Profile(p.mt, payload.Shape())
+		return nil
+	}
+	i := cmd - cmdStageBase
+	if i != p.stage || i >= len(p.mt.Stages) || p.xT == nil {
+		return fmt.Errorf("%w: cmd %d at stage %d", errOutOfOrder, cmd, p.stage)
+	}
+	aT := p.mt.Stages[i].Forward(p.xT, false)
+	ctx.Meter.AddCompute(tee.TEE, p.costs.Stages[i].Flops)
+	ctx.Trace.Record(tee.Event{Kind: tee.EvTEECompute, Label: p.mt.Stages[i].Name(),
+		Bytes: int64(aT.Size()) * 4})
+	sel := payload
+	if p.align[i] != nil {
+		sel = gatherChannels(payload, p.align[i])
+	}
+	if !sel.SameShape(aT) {
+		return fmt.Errorf("core: transfer shape %v does not match secure branch %v at stage %d",
+			sel.Shape(), aT.Shape(), i)
+	}
+	aT.AddInPlace(sel)
+	p.xT = aT
+	p.stage++
+	p.ready = p.stage == len(p.mt.Stages)
+	return nil
+}
+
+// Result implements tee.Program: it releases the classification logits.
+func (p *secureProgram) Result(ctx *tee.Context) (*tensor.Tensor, error) {
+	if !p.ready {
+		return nil, fmt.Errorf("%w: result requested at stage %d", errOutOfOrder, p.stage)
+	}
+	out := p.mt.Head.Forward(p.xT, false)
+	ctx.Meter.AddCompute(tee.TEE, p.costs.Head.Flops)
+	ctx.Trace.Record(tee.Event{Kind: tee.EvTEECompute, Label: p.mt.Head.Name()})
+	return out, nil
+}
+
+// Deployment is a finalized TBNet model placed onto a simulated TrustZone
+// device: M_R executing in the REE, M_T inside an enclave.
+type Deployment struct {
+	Device  tee.DeviceModel
+	Enclave *tee.Enclave
+	mr      *zoo.Model
+	align   [][]int
+	// SecureBytes is the secure-memory reservation: M_T's parameters, its
+	// peak activation working set, and the shared-memory staging buffer.
+	SecureBytes int64
+}
+
+// Deploy places a finalized two-branch model onto a device. sampleShape is
+// the per-inference input shape (batch included) used to size the secure
+// working set. It fails if the enclave does not fit in secure memory.
+func Deploy(tb *TwoBranch, device tee.DeviceModel, sampleShape []int) (*Deployment, error) {
+	if !tb.Finalized {
+		return nil, errors.New("core: deploy requires a finalized model (run FinalizeRollback)")
+	}
+	mtCost := profile.Profile(tb.MT, sampleShape)
+	// Staging buffer: the largest single transfer (input or any M_R stage
+	// output after alignment is applied inside the enclave — the full
+	// payload is staged, so use M_R's stage output sizes).
+	mrCost := profile.Profile(tb.MR, sampleShape)
+	staging := mrCost.Stages[0].InBytes
+	for _, s := range mrCost.Stages {
+		if s.OutBytes > staging {
+			staging = s.OutBytes
+		}
+	}
+	secureBytes := mtCost.SecureFootprintBytes() + staging
+	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	if err := mem.Alloc(secureBytes); err != nil {
+		return nil, fmt.Errorf("core: secure branch does not fit: %w", err)
+	}
+	prog := &secureProgram{mt: tb.MT, align: tb.Align}
+	return &Deployment{
+		Device:      device,
+		Enclave:     tee.NewEnclave(prog, mem),
+		mr:          tb.MR,
+		align:       tb.Align,
+		SecureBytes: secureBytes,
+	}, nil
+}
+
+// Infer runs one batched inference through the deployed system and returns
+// the predicted labels. The REE computes M_R stage by stage, staging each
+// feature map into the enclave; the enclave accumulates M_T and releases the
+// logits to the caller (the model user).
+func (d *Deployment) Infer(x *tensor.Tensor) ([]int, error) {
+	meter := d.Enclave.Meter()
+	trace := d.Enclave.Trace()
+	mrCost := profile.Profile(d.mr, x.Shape())
+	if err := d.Enclave.Invoke(CmdInput, "input", x); err != nil {
+		return nil, err
+	}
+	aR := x
+	for i, s := range d.mr.Stages {
+		aR = s.Forward(aR, false)
+		meter.AddCompute(tee.REE, mrCost.Stages[i].Flops)
+		trace.Record(tee.Event{Kind: tee.EvREECompute, Label: s.Name(),
+			Bytes: int64(aR.Size()) * 4})
+		if err := d.Enclave.Invoke(cmdStageBase+i, s.Name(), aR); err != nil {
+			return nil, err
+		}
+	}
+	logits, err := d.Enclave.Result()
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, logits.Dim(0))
+	for i := range labels {
+		labels[i] = logits.ArgMaxRow(i)
+	}
+	return labels, nil
+}
+
+// Latency returns the accumulated virtual execution time in seconds.
+func (d *Deployment) Latency() float64 { return d.Enclave.Meter().Latency(d.Device) }
+
+// ExtractedMR returns what the paper's attacker obtains: a deep copy of the
+// unsecured branch, which is fully resident in normal-world memory.
+func (d *Deployment) ExtractedMR() *zoo.Model { return d.mr.Clone() }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"tbnet/internal/profile"
+	"tbnet/internal/tee"
+	"tbnet/internal/zoo"
+)
+
+// finalizedTB builds a small trained+pruned+finalized TBNet model for
+// deployment tests.
+func finalizedTB(t *testing.T, seed uint64) (*TwoBranch, *zoo.Model) {
+	t.Helper()
+	train, test := smallTask(4, 64, 32, seed)
+	victim := tinyVictimVGG(4, seed+1)
+	TrainModel(victim, train, nil, fastCfg(1))
+	tb := NewTwoBranch(victim, seed+2)
+	TrainTwoBranch(tb, train, test, fastCfg(2))
+	cfg := DefaultPruneConfig(1.0, 1)
+	cfg.MaxIters = 2
+	cfg.FineTune = fastCfg(1)
+	res := PruneTwoBranch(tb, train, test, cfg)
+	FinalizeRollback(tb, res)
+	return tb, victim
+}
+
+func TestDeployRequiresFinalization(t *testing.T) {
+	tb := NewTwoBranch(tinyVictimVGG(4, 30), 31)
+	if _, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16}); err == nil {
+		t.Fatal("deploying an unfinalized model must fail")
+	}
+}
+
+func TestDeployAndInferMatchesForward(t *testing.T) {
+	tb, _ := finalizedTB(t, 40)
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randX(5, 41)
+	labels, err := dep.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := tb.Forward(x, false)
+	for i, l := range labels {
+		if logits.ArgMaxRow(i) != l {
+			t.Fatalf("deployed inference diverges from the reference at %d", i)
+		}
+	}
+}
+
+func TestDeploymentOneWayChannel(t *testing.T) {
+	tb, _ := finalizedTB(t, 50)
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Infer(randX(2, 51)); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker's view of the trace contains REE computation and
+	// transfers, but no TEE computation and no result release.
+	view := dep.Enclave.Trace().AttackerView()
+	if len(view) == 0 {
+		t.Fatal("attacker should observe REE activity")
+	}
+	sawTransfer, sawREE := false, false
+	for _, e := range view {
+		switch e.Kind {
+		case tee.EvTEECompute, tee.EvResult:
+			t.Fatalf("one-way property violated: attacker saw %v", e.Kind)
+		case tee.EvTransfer:
+			sawTransfer = true
+		case tee.EvREECompute:
+			sawREE = true
+		}
+	}
+	if !sawTransfer || !sawREE {
+		t.Fatal("attacker view missing expected REE-side events")
+	}
+	// The full trace does include TEE computation (simulator accounting).
+	if dep.Enclave.Trace().Count(tee.EvTEECompute) == 0 {
+		t.Fatal("full trace should record TEE computation")
+	}
+}
+
+func TestDeploymentSecureBytesSmallerThanBaseline(t *testing.T) {
+	tb, victim := finalizedTB(t, 60)
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := profile.Profile(victim, []int{1, 3, 16, 16}).SecureFootprintBytes()
+	if dep.SecureBytes >= baseline {
+		t.Fatalf("TBNet secure footprint %d ≥ baseline %d", dep.SecureBytes, baseline)
+	}
+}
+
+func TestDeploymentMetersBothWorlds(t *testing.T) {
+	tb, _ := finalizedTB(t, 70)
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Infer(randX(1, 71)); err != nil {
+		t.Fatal(err)
+	}
+	m := dep.Enclave.Meter()
+	if m.Flops(tee.REE) <= 0 || m.Flops(tee.TEE) <= 0 {
+		t.Fatalf("meter did not record both worlds: %s", m.String())
+	}
+	// One switch per stage plus the input staging.
+	wantSwitches := len(tb.MR.Stages) + 1
+	if m.Switches() != wantSwitches {
+		t.Fatalf("switches = %d, want %d", m.Switches(), wantSwitches)
+	}
+	if dep.Latency() <= 0 {
+		t.Fatal("latency must be positive")
+	}
+}
+
+func TestDeployRejectsOversizedModel(t *testing.T) {
+	tb, _ := finalizedTB(t, 80)
+	small := tee.RaspberryPi3()
+	small.SecureMemBytes = 1024 // 1 KiB: nothing fits
+	if _, err := Deploy(tb, small, []int{1, 3, 16, 16}); err == nil {
+		t.Fatal("deployment must fail when secure memory is too small")
+	}
+}
+
+func TestEnclaveProtocolOrderEnforced(t *testing.T) {
+	tb, _ := finalizedTB(t, 90)
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requesting a result before any inference must fail.
+	if _, err := dep.Enclave.Result(); err == nil {
+		t.Fatal("result before protocol completion must fail")
+	}
+	// Staging stage 1 before stage 0 must fail.
+	if err := dep.Enclave.Invoke(CmdInput, "input", randX(1, 91)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.Enclave.Invoke(1, "skip-ahead", randX(1, 92)); err == nil {
+		t.Fatal("out-of-order stage must be rejected")
+	}
+}
+
+func TestExtractedMRIsACopy(t *testing.T) {
+	tb, _ := finalizedTB(t, 100)
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := dep.ExtractedMR()
+	stolen.Stages[0].(*zoo.ConvBlock).Conv.W.Value.Fill(0)
+	if tb.MR.Stages[0].(*zoo.ConvBlock).Conv.W.Value.AbsSum() == 0 {
+		t.Fatal("extraction must not alias the deployed branch")
+	}
+}

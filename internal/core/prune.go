@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tbnet/internal/data"
+	"tbnet/internal/zoo"
+)
+
+// Ranking selects the channel-importance signal used by the pruning loop.
+type Ranking int
+
+const (
+	// RankComposite uses BN_R + BN_T, the paper's composite weights (the
+	// addition mirrors the element-wise feature-map addition).
+	RankComposite Ranking = iota
+	// RankSecureOnly uses only M_T's BN weights — the ablation of the
+	// composite design choice.
+	RankSecureOnly
+)
+
+// String returns a short label.
+func (r Ranking) String() string {
+	if r == RankSecureOnly {
+		return "secure-only"
+	}
+	return "composite"
+}
+
+// PruneConfig controls the iterative two-branch pruning (paper Alg. 1).
+type PruneConfig struct {
+	// Ratio is p: the fraction of the total channel population removed per
+	// iteration (the paper uses 10%).
+	Ratio float64
+	// DropBudget is θ_drop: the maximum tolerated accuracy drop relative to
+	// the pre-pruning two-branch accuracy.
+	DropBudget float64
+	// MaxIters bounds the number of pruning iterations.
+	MaxIters int
+	// MinChannels is the per-group floor; a group is never pruned below it.
+	MinChannels int
+	// FineTune is the per-iteration recovery training configuration.
+	FineTune TrainConfig
+	// Rank selects the channel-importance signal (default: composite).
+	Rank Ranking
+}
+
+// DefaultPruneConfig mirrors the paper's settings (p = 10%) at CPU scale.
+func DefaultPruneConfig(dropBudget float64, fineTuneEpochs int) PruneConfig {
+	ft := DefaultTrainConfig(fineTuneEpochs)
+	ft.LR = 0.02 // recovery fine-tuning runs at a lower rate
+	return PruneConfig{
+		Ratio:       0.10,
+		DropBudget:  dropBudget,
+		MaxIters:    8,
+		MinChannels: 2,
+		FineTune:    ft,
+	}
+}
+
+// IterStats records one pruning iteration.
+type IterStats struct {
+	Iter          int
+	TotalChannels int // prunable channels remaining after the iteration
+	Acc           float64
+	Reverted      bool
+}
+
+// PruneResult is the outcome of the iterative pruning loop plus the state
+// rollback finalization needs.
+type PruneResult struct {
+	RefAcc     float64
+	FinalAcc   float64
+	Iterations int // successfully applied iterations
+	History    []IterStats
+
+	// prevSnapshot is the two-branch state before the last *applied*
+	// iteration; lastKeeps are that iteration's per-group keep lists
+	// (indices into prevSnapshot's channel space). Together they implement
+	// step 6's rollback.
+	prevSnapshot *TwoBranch
+	lastKeeps    map[zoo.GroupRef][]int
+}
+
+// compositeKeeps implements lines 2–11 of Alg. 1: per-channel composite
+// weights BN_R + BN_T pooled over every prunable group, a global threshold at
+// the p-th fraction of the sorted composite population, and per-group keep
+// lists of the channels above the threshold (with a per-group floor so no
+// layer collapses).
+func compositeKeeps(tb *TwoBranch, ratio float64, minChannels int, rank Ranking) map[zoo.GroupRef][]int {
+	groupsT := tb.MT.Groups()
+	groupsR := tb.MR.Groups()
+	if len(groupsT) != len(groupsR) {
+		panic("core: branch pruning groups diverged")
+	}
+	type chanW struct {
+		g    zoo.GroupRef
+		idx  int
+		comp float64
+	}
+	var all []chanW
+	for gi, g := range groupsT {
+		if groupsR[gi] != g {
+			panic(fmt.Sprintf("core: group mismatch %v vs %v", groupsR[gi], g))
+		}
+		gt := tb.MT.GroupGamma(g).Value.Data()
+		gr := tb.MR.GroupGamma(g).Value.Data()
+		if len(gt) != len(gr) {
+			panic("core: branch group widths diverged before rollback")
+		}
+		for i := range gt {
+			comp := abs64(gt[i])
+			if rank == RankComposite {
+				comp += abs64(gr[i])
+			}
+			all = append(all, chanW{g: g, idx: i, comp: comp})
+		}
+	}
+	sorted := make([]float64, len(all))
+	for i, c := range all {
+		sorted[i] = c.comp
+	}
+	sort.Float64s(sorted)
+	cut := int(float64(len(sorted)) * ratio)
+	if cut >= len(sorted) {
+		cut = len(sorted) - 1
+	}
+	threshold := sorted[cut]
+
+	keeps := make(map[zoo.GroupRef][]int)
+	perGroup := make(map[zoo.GroupRef][]chanW)
+	for _, c := range all {
+		perGroup[c.g] = append(perGroup[c.g], c)
+	}
+	for g, chans := range perGroup {
+		var keep []int
+		for _, c := range chans {
+			if c.comp > threshold {
+				keep = append(keep, c.idx)
+			}
+		}
+		if len(keep) < minChannels {
+			// Floor: take the top minChannels by composite weight.
+			sort.Slice(chans, func(i, j int) bool { return chans[i].comp > chans[j].comp })
+			keep = keep[:0]
+			for i := 0; i < minChannels && i < len(chans); i++ {
+				keep = append(keep, chans[i].idx)
+			}
+		}
+		sort.Ints(keep)
+		keeps[g] = keep
+	}
+	return keeps
+}
+
+func abs64(v float32) float64 {
+	if v < 0 {
+		return -float64(v)
+	}
+	return float64(v)
+}
+
+// prunesAnything reports whether any group would actually shrink.
+func prunesAnything(tb *TwoBranch, keeps map[zoo.GroupRef][]int) bool {
+	for g, keep := range keeps {
+		if len(keep) < tb.MT.GroupSize(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// totalPrunable returns the prunable channel population of the secure branch.
+func totalPrunable(m *zoo.Model) int {
+	n := 0
+	for _, g := range m.Groups() {
+		n += m.GroupSize(g)
+	}
+	return n
+}
+
+// PruneTwoBranch runs Alg. 1: iterations of composite-weight channel pruning
+// applied simultaneously to both branches, each followed by recovery
+// fine-tuning, until the accuracy drop exceeds the budget (that iteration is
+// reverted) or MaxIters is reached.
+func PruneTwoBranch(tb *TwoBranch, train, test *data.Dataset, cfg PruneConfig) *PruneResult {
+	if tb.Finalized {
+		panic("core: cannot prune a finalized TBNet model")
+	}
+	res := &PruneResult{
+		RefAcc:    EvaluateTwoBranch(tb, test, cfg.FineTune.BatchSize),
+		lastKeeps: nil,
+	}
+	res.FinalAcc = res.RefAcc
+	for it := 0; it < cfg.MaxIters; it++ {
+		snap := tb.Clone()
+		keeps := compositeKeeps(tb, cfg.Ratio, cfg.MinChannels, cfg.Rank)
+		if !prunesAnything(tb, keeps) {
+			break // floors reached everywhere; nothing left to prune
+		}
+		for g, keep := range keeps {
+			tb.MT.ApplyKeep(g, keep)
+			tb.MR.ApplyKeep(g, keep)
+		}
+		ftCfg := cfg.FineTune
+		ftCfg.Seed = cfg.FineTune.Seed + uint64(it) + 1
+		TrainTwoBranch(tb, train, test, ftCfg)
+		acc := EvaluateTwoBranch(tb, test, cfg.FineTune.BatchSize)
+		if res.RefAcc-acc > cfg.DropBudget {
+			// Over budget: revert this iteration and halt (Alg. 1's exit).
+			*tb = *snap
+			res.History = append(res.History, IterStats{
+				Iter: it, TotalChannels: totalPrunable(tb.MT), Acc: acc, Reverted: true,
+			})
+			break
+		}
+		res.prevSnapshot = snap
+		res.lastKeeps = keeps
+		res.Iterations++
+		res.FinalAcc = acc
+		res.History = append(res.History, IterStats{
+			Iter: it, TotalChannels: totalPrunable(tb.MT), Acc: acc,
+		})
+	}
+	return res
+}
+
+// FinalizeRollback performs step 6 of the paper: M_R (architecture and
+// weights) reverts to its state before the most recent applied pruning
+// iteration, creating the architectural divergence M_T ≠ M_R; the alignment
+// maps record, per transfer point, which of M_R's (now wider) channels the
+// enclave must extract before the element-wise addition.
+func FinalizeRollback(tb *TwoBranch, res *PruneResult) {
+	if tb.Finalized {
+		panic("core: model already finalized")
+	}
+	if res.prevSnapshot != nil {
+		tb.MR = res.prevSnapshot.MR
+		for g, keep := range res.lastKeeps {
+			if g.Kind != zoo.GroupOutput {
+				continue // internal groups do not change transfer widths
+			}
+			if len(keep) == tb.MR.Stages[g.Stage].OutChannels() {
+				continue // nothing was removed at this transfer point
+			}
+			tb.Align[g.Stage] = keep
+		}
+	}
+	tb.Finalized = true
+}

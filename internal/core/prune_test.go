@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"tbnet/internal/data"
+	"tbnet/internal/zoo"
+)
+
+func smallTask(classes, train, test int, seed uint64) (*data.Dataset, *data.Dataset) {
+	return data.Generate(data.SynthConfig{
+		Name: "task", Classes: classes, H: 16, W: 16,
+		Train: train, Test: test, Seed: seed,
+		NoiseStd: 0.3, MaxShift: 1, Components: 3,
+	})
+}
+
+func fastCfg(epochs int) TrainConfig {
+	cfg := DefaultTrainConfig(epochs)
+	cfg.BatchSize = 16
+	cfg.LR = 0.05
+	return cfg
+}
+
+func TestCompositeKeepsThreshold(t *testing.T) {
+	tb := NewTwoBranch(tinyVictimVGG(4, 1), 2)
+	// Craft gammas: in group 0, channels {0,1} tiny in both branches.
+	g := tb.MT.Groups()[0]
+	gt := tb.MT.GroupGamma(g).Value.Data()
+	gr := tb.MR.GroupGamma(g).Value.Data()
+	gt[0], gr[0] = 0.001, 0.001
+	gt[1], gr[1] = 0.002, 0.002
+	keeps := compositeKeeps(tb, 0.05, 2, RankComposite) // prune ~5% of 36 channels ≈ bottom 1-2
+	keep := keeps[g]
+	for _, c := range keep {
+		if c == 0 {
+			t.Fatal("channel 0 has the smallest composite weight and must be pruned")
+		}
+	}
+	// Other groups (all γ=1) must be untouched.
+	for _, og := range tb.MT.Groups()[1:] {
+		if len(keeps[og]) != tb.MT.GroupSize(og) {
+			t.Fatalf("group %v lost channels despite uniform gammas", og)
+		}
+	}
+}
+
+func TestCompositeKeepsFloor(t *testing.T) {
+	tb := NewTwoBranch(tinyVictimVGG(4, 3), 4)
+	// Make one whole group tiny: the floor must still keep MinChannels.
+	g := tb.MT.Groups()[0]
+	for i := range tb.MT.GroupGamma(g).Value.Data() {
+		tb.MT.GroupGamma(g).Value.Data()[i] = 1e-6
+		tb.MR.GroupGamma(g).Value.Data()[i] = 1e-6
+	}
+	keeps := compositeKeeps(tb, 0.5, 3, RankComposite)
+	if len(keeps[g]) != 3 {
+		t.Fatalf("floor violated: kept %d channels, want 3", len(keeps[g]))
+	}
+}
+
+func TestPruneTwoBranchShrinksBothBranches(t *testing.T) {
+	train, test := smallTask(4, 64, 32, 5)
+	victim := tinyVictimVGG(4, 6)
+	tb := NewTwoBranch(victim, 7)
+	TrainTwoBranch(tb, train, test, fastCfg(2))
+
+	before := totalPrunable(tb.MT)
+	cfg := DefaultPruneConfig(1.0 /* generous budget: always continue */, 1)
+	cfg.MaxIters = 2
+	cfg.FineTune = fastCfg(1)
+	res := PruneTwoBranch(tb, train, test, cfg)
+	if res.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2", res.Iterations)
+	}
+	after := totalPrunable(tb.MT)
+	if after >= before {
+		t.Fatalf("channels %d → %d: pruning did not shrink the model", before, after)
+	}
+	// Branch widths stay synchronized before rollback.
+	for gi, g := range tb.MT.Groups() {
+		if tb.MT.GroupSize(g) != tb.MR.GroupSize(tb.MR.Groups()[gi]) {
+			t.Fatal("branch group widths diverged during pruning")
+		}
+	}
+	// Forward still works at every batch size.
+	out := tb.Forward(randX(3, 8), false)
+	if out.Dim(1) != 4 {
+		t.Fatalf("post-prune logits shape %v", out.Shape())
+	}
+}
+
+func TestPruneRevertsWhenOverBudget(t *testing.T) {
+	train, test := smallTask(4, 64, 32, 9)
+	tb := NewTwoBranch(tinyVictimVGG(4, 10), 11)
+	TrainTwoBranch(tb, train, test, fastCfg(2))
+	before := tb.Clone()
+
+	// Impossible budget: any drop (even negative improvements are fine, so
+	// use a budget below -1 to force the revert path deterministically).
+	cfg := DefaultPruneConfig(-2, 1)
+	cfg.MaxIters = 1
+	cfg.FineTune = fastCfg(1)
+	res := PruneTwoBranch(tb, train, test, cfg)
+	if res.Iterations != 0 {
+		t.Fatalf("iterations = %d, want 0 (all reverted)", res.Iterations)
+	}
+	if len(res.History) != 1 || !res.History[0].Reverted {
+		t.Fatalf("history = %+v, want one reverted entry", res.History)
+	}
+	// The model must be byte-identical to the pre-pruning state.
+	a := before.MT.Stages[0].(*zoo.ConvBlock).Conv.W.Value.Data()
+	b := tb.MT.Stages[0].(*zoo.ConvBlock).Conv.W.Value.Data()
+	if len(a) != len(b) {
+		t.Fatal("revert did not restore the architecture")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("revert did not restore the weights")
+		}
+	}
+}
+
+func TestFinalizeRollbackCreatesArchitecturalDivergence(t *testing.T) {
+	train, test := smallTask(4, 64, 32, 12)
+	tb := NewTwoBranch(tinyVictimVGG(4, 13), 14)
+	TrainTwoBranch(tb, train, test, fastCfg(2))
+
+	cfg := DefaultPruneConfig(1.0, 1)
+	cfg.MaxIters = 2
+	cfg.FineTune = fastCfg(1)
+	res := PruneTwoBranch(tb, train, test, cfg)
+	if res.Iterations == 0 {
+		t.Skip("no pruning iterations applied; cannot test rollback")
+	}
+	FinalizeRollback(tb, res)
+	if !tb.Finalized {
+		t.Fatal("model not marked finalized")
+	}
+
+	// M_R must now be strictly wider than M_T in at least one group.
+	diverged := false
+	for gi, g := range tb.MT.Groups() {
+		rw := tb.MR.GroupSize(tb.MR.Groups()[gi])
+		tw := tb.MT.GroupSize(g)
+		if rw < tw {
+			t.Fatalf("M_R group %v narrower than M_T (%d < %d)", g, rw, tw)
+		}
+		if rw > tw {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("rollback produced no architectural divergence (M_R == M_T)")
+	}
+
+	// Alignment maps must make the shapes compatible: forward must work.
+	out := tb.Forward(randX(2, 15), false)
+	if out.Dim(1) != 4 {
+		t.Fatalf("finalized forward gave %v", out.Shape())
+	}
+
+	// Alignment widths match M_T's stage widths.
+	for i, a := range tb.Align {
+		if a == nil {
+			continue
+		}
+		if len(a) != tb.MT.Stages[i].OutChannels() {
+			t.Fatalf("align[%d] has %d entries, stage has %d channels",
+				i, len(a), tb.MT.Stages[i].OutChannels())
+		}
+		for _, ch := range a {
+			if ch < 0 || ch >= tb.MR.Stages[i].OutChannels() {
+				t.Fatalf("align[%d] index %d out of M_R's %d channels",
+					i, ch, tb.MR.Stages[i].OutChannels())
+			}
+		}
+	}
+}
+
+func TestFinalizedModelRejectsTraining(t *testing.T) {
+	tb := NewTwoBranch(tinyVictimVGG(4, 16), 17)
+	tb.Finalized = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on a finalized model must panic")
+		}
+	}()
+	tb.Backward(randX(1, 18).Reshape(1, -1))
+}
+
+func TestResNetPruneInternalOnly(t *testing.T) {
+	train, test := smallTask(4, 48, 24, 19)
+	victim := tinyVictimResNet(4, 20)
+	tb := NewTwoBranch(victim, 21)
+	TrainTwoBranch(tb, train, test, fastCfg(1))
+
+	// Record transfer widths (stage output channels) before pruning.
+	var widths []int
+	for _, s := range tb.MT.Stages {
+		widths = append(widths, s.OutChannels())
+	}
+	cfg := DefaultPruneConfig(1.0, 1)
+	cfg.MaxIters = 1
+	cfg.FineTune = fastCfg(1)
+	res := PruneTwoBranch(tb, train, test, cfg)
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+	// ResNet transfer widths must be unchanged (internal pruning only).
+	for i, s := range tb.MT.Stages {
+		if s.OutChannels() != widths[i] {
+			t.Fatalf("stage %d transfer width changed %d → %d", i, widths[i], s.OutChannels())
+		}
+	}
+	FinalizeRollback(tb, res)
+	for _, a := range tb.Align {
+		if a != nil {
+			t.Fatal("ResNet alignment must stay identity (transfer widths unchanged)")
+		}
+	}
+	out := tb.Forward(randX(2, 22), false)
+	if out.Dim(1) != 4 {
+		t.Fatalf("finalized ResNet forward gave %v", out.Shape())
+	}
+}

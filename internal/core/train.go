@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"tbnet/internal/data"
+	"tbnet/internal/nn"
+	"tbnet/internal/optim"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// TrainConfig carries the optimization hyperparameters. Defaults follow the
+// paper (Sec. 4): SGD lr 0.1, momentum 0.9, weight decay 1e-4, lr ×0.1 every
+// 100 epochs, sparsity λ = 1e-4; epoch counts are scaled down for CPU runs.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	LRStep      int // epochs between ×LRGamma decays (0 = constant)
+	LRGamma     float64
+	Momentum    float64
+	WeightDecay float64
+	Lambda      float64 // BN L1 sparsity strength (Eq. 1); 0 disables
+	Seed        uint64
+	Log         io.Writer // optional progress sink
+}
+
+// DefaultTrainConfig returns the paper's hyperparameters with an epoch budget
+// suited to the synthetic CPU-scale workloads.
+func DefaultTrainConfig(epochs int) TrainConfig {
+	return TrainConfig{
+		Epochs:      epochs,
+		BatchSize:   32,
+		LR:          0.1,
+		LRStep:      100,
+		LRGamma:     0.1,
+		Momentum:    0.9,
+		WeightDecay: 1e-4,
+		Lambda:      1e-4,
+		Seed:        1,
+	}
+}
+
+func (c TrainConfig) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format, args...)
+	}
+}
+
+// History records per-epoch training metrics.
+type History struct {
+	Loss []float64
+	Acc  []float64 // test accuracy per epoch (if a test set was provided)
+}
+
+// TrainModel trains a standalone staged model with cross-entropy (used for
+// the victim model, the attacker's fine-tuning, and the M_T-only ablation).
+// When cfg.Lambda > 0, the BN-γ L1 penalty is applied, enabling single-model
+// slimming-style training.
+func TrainModel(m *zoo.Model, train, test *data.Dataset, cfg TrainConfig) History {
+	opt := optim.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	sched := optim.StepLR{Base: cfg.LR, StepEpochs: cfg.LRStep, Gamma: cfg.LRGamma}
+	rng := tensor.NewRNG(cfg.Seed)
+	params := m.Params()
+	var hist History
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = sched.At(epoch)
+		var totalLoss float64
+		batches := train.Batches(cfg.BatchSize, rng.Perm(train.Len()))
+		for _, b := range batches {
+			logits := m.Forward(b.X, true)
+			loss, grad := nn.SoftmaxCrossEntropy(logits, b.Y)
+			totalLoss += loss * float64(len(b.Y))
+			optim.ZeroGrads(params)
+			m.Backward(grad)
+			if cfg.Lambda > 0 {
+				for _, g := range m.Groups() {
+					optim.AddL1Subgradient(m.GroupGamma(g), cfg.Lambda)
+				}
+			}
+			opt.Step(params)
+		}
+		hist.Loss = append(hist.Loss, totalLoss/float64(train.Len()))
+		if test != nil {
+			acc := EvaluateModel(m, test, cfg.BatchSize)
+			hist.Acc = append(hist.Acc, acc)
+			cfg.logf("epoch %d: loss %.4f acc %.4f\n", epoch, hist.Loss[epoch], acc)
+		}
+	}
+	return hist
+}
+
+// TrainTwoBranch performs the paper's step 2 (knowledge transfer): joint
+// optimization of both branches under Eq. 1 — cross-entropy on M_T's output
+// plus the L1 sparsity penalty on the BN weights of *both* branches.
+func TrainTwoBranch(tb *TwoBranch, train, test *data.Dataset, cfg TrainConfig) History {
+	if tb.Finalized {
+		panic("core: cannot train a finalized TBNet model")
+	}
+	opt := optim.NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	sched := optim.StepLR{Base: cfg.LR, StepEpochs: cfg.LRStep, Gamma: cfg.LRGamma}
+	rng := tensor.NewRNG(cfg.Seed)
+	params := tb.TrainableParams()
+	var hist History
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.LR = sched.At(epoch)
+		var totalLoss float64
+		batches := train.Batches(cfg.BatchSize, rng.Perm(train.Len()))
+		for _, b := range batches {
+			logits := tb.Forward(b.X, true)
+			loss, grad := nn.SoftmaxCrossEntropy(logits, b.Y)
+			totalLoss += loss * float64(len(b.Y))
+			optim.ZeroGrads(params)
+			tb.Backward(grad)
+			if cfg.Lambda > 0 {
+				for _, g := range tb.MT.Groups() {
+					optim.AddL1Subgradient(tb.MT.GroupGamma(g), cfg.Lambda)
+				}
+				for _, g := range tb.MR.Groups() {
+					optim.AddL1Subgradient(tb.MR.GroupGamma(g), cfg.Lambda)
+				}
+			}
+			opt.Step(params)
+		}
+		hist.Loss = append(hist.Loss, totalLoss/float64(train.Len()))
+		if test != nil {
+			acc := EvaluateTwoBranch(tb, test, cfg.BatchSize)
+			hist.Acc = append(hist.Acc, acc)
+			cfg.logf("epoch %d: loss %.4f acc %.4f\n", epoch, hist.Loss[epoch], acc)
+		}
+	}
+	return hist
+}
+
+// EvaluateModel returns a model's top-1 accuracy on a dataset.
+func EvaluateModel(m *zoo.Model, d *data.Dataset, batchSize int) float64 {
+	correct, total := 0, 0
+	for _, b := range d.Batches(batchSize, nil) {
+		logits := m.Forward(b.X, false)
+		for i, y := range b.Y {
+			if logits.ArgMaxRow(i) == y {
+				correct++
+			}
+		}
+		total += len(b.Y)
+	}
+	return float64(correct) / float64(total)
+}
+
+// EvaluateTwoBranch returns the two-branch model's top-1 accuracy (benign
+// user path: M_T's output).
+func EvaluateTwoBranch(tb *TwoBranch, d *data.Dataset, batchSize int) float64 {
+	correct, total := 0, 0
+	for _, b := range d.Batches(batchSize, nil) {
+		logits := tb.Forward(b.X, false)
+		for i, y := range b.Y {
+			if logits.ArgMaxRow(i) == y {
+				correct++
+			}
+		}
+		total += len(b.Y)
+	}
+	return float64(correct) / float64(total)
+}

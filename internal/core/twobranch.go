@@ -1,0 +1,189 @@
+// Package core implements TBNet itself: the two-branch substitution model
+// (paper Sec. 3), its joint "knowledge transfer" training with BN-sparsity
+// regularization (Eq. 1), the iterative two-branch pruning of Alg. 1, the
+// rollback finalization that differentiates M_R's architecture from M_T's,
+// and the deployment of the finalized model onto the simulated TrustZone
+// device (unsecured branch in the REE, secure branch in an enclave behind a
+// one-way channel).
+package core
+
+import (
+	"fmt"
+
+	"tbnet/internal/nn"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// TwoBranch is TBNet's substitution model. MR (unsecured branch) and MT
+// (secure branch) are architecturally parallel staged models: after every
+// stage, MR's feature map is transmitted (one-way) into the TEE and added
+// element-wise to MT's feature map, the sum becoming the input of MT's next
+// stage. The classification output is MT's head; MR's head is the victim's
+// (frozen) and exists only because the attacker steals MR as a standalone
+// network.
+//
+// Align holds, per stage, the indices of MR's output channels that correspond
+// to MT's (post-pruning) channels. A nil entry means identity. Before
+// rollback finalization the branches have equal widths and all entries are
+// nil; after rollback MR is one pruning iteration wider and Align carries the
+// channel-extraction maps the paper describes in step 6.
+type TwoBranch struct {
+	MR    *zoo.Model
+	MT    *zoo.Model
+	Align [][]int
+	// Finalized is set by rollback finalization; training is forbidden after.
+	Finalized bool
+
+	// lastTGrads holds backward scratch (per-stage gradient into MR outputs).
+	lastXT []*tensor.Tensor
+}
+
+// NewTwoBranch performs step 1 of the paper: the victim becomes the
+// unsecured branch M_R (for ResNet victims, its main branch without skip
+// connections), and a freshly initialized M_T with the victim's original
+// architecture becomes the secure branch.
+func NewTwoBranch(victim *zoo.Model, seed uint64) *TwoBranch {
+	rng := tensor.NewRNG(seed)
+	var mr *zoo.Model
+	if victim.Arch == "resnet" {
+		mr = zoo.StripSkips(victim)
+	} else {
+		mr = victim.Clone()
+	}
+	mr.Name = victim.Name + ".MR"
+	mt := freshLike(victim, rng)
+	mt.Name = victim.Name + ".MT"
+	if len(mr.Stages) != len(mt.Stages) {
+		panic("core: branch stage counts differ")
+	}
+	return &TwoBranch{MR: mr, MT: mt, Align: make([][]int, len(mr.Stages))}
+}
+
+// freshLike builds a model with victim's architecture but new random weights.
+func freshLike(victim *zoo.Model, rng *tensor.RNG) *zoo.Model {
+	out := victim.Clone()
+	out.Reinitialize(rng)
+	return out
+}
+
+// gatherChannels selects channels idx from x ([N,C,H,W] → [N,len(idx),H,W]).
+func gatherChannels(x *tensor.Tensor, idx []int) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	hw := h * w
+	out := tensor.New(n, len(idx), h, w)
+	for i := 0; i < n; i++ {
+		for j, ch := range idx {
+			if ch >= c {
+				panic(fmt.Sprintf("core: alignment index %d out of %d channels", ch, c))
+			}
+			copy(out.Data()[(i*len(idx)+j)*hw:(i*len(idx)+j+1)*hw],
+				x.Data()[(i*c+ch)*hw:(i*c+ch+1)*hw])
+		}
+	}
+	return out
+}
+
+// scatterChannels is the adjoint of gatherChannels: it places g's channels at
+// positions idx of a zero [N,outC,H,W] tensor.
+func scatterChannels(g *tensor.Tensor, idx []int, outC int) *tensor.Tensor {
+	n, c, h, w := g.Dim(0), g.Dim(1), g.Dim(2), g.Dim(3)
+	if c != len(idx) {
+		panic("core: scatter index count mismatch")
+	}
+	hw := h * w
+	out := tensor.New(n, outC, h, w)
+	for i := 0; i < n; i++ {
+		for j, ch := range idx {
+			copy(out.Data()[(i*outC+ch)*hw:(i*outC+ch+1)*hw],
+				g.Data()[(i*c+j)*hw:(i*c+j+1)*hw])
+		}
+	}
+	return out
+}
+
+// Forward runs the two-branch model: both branches stage-by-stage with the
+// REE→TEE feature-map addition, returning MT's logits.
+func (tb *TwoBranch) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	aR := x
+	xT := x
+	for i := range tb.MT.Stages {
+		aR = tb.MR.Stages[i].Forward(aR, train)
+		aT := tb.MT.Stages[i].Forward(xT, train)
+		sel := aR
+		if tb.Align[i] != nil {
+			sel = gatherChannels(aR, tb.Align[i])
+		}
+		xT = tensor.Add(aT, sel)
+	}
+	return tb.MT.Head.Forward(xT, train)
+}
+
+// Backward propagates the logit gradient through both branches, accumulating
+// parameter gradients. MR's head is excluded from the loss path (it is the
+// victim's frozen head), exactly as in the paper where the output comes from
+// M_T only.
+func (tb *TwoBranch) Backward(grad *tensor.Tensor) {
+	if tb.Finalized {
+		panic("core: Backward on a finalized TBNet model")
+	}
+	n := len(tb.MT.Stages)
+	g := tb.MT.Head.Backward(grad) // ∂L/∂xT_{n-1}
+	var hR *tensor.Tensor          // ∂L/∂aR_i flowing down MR's own chain
+	for i := n - 1; i >= 0; i-- {
+		// xT_i = aT_i + sel(aR_i): gradient splits to both branches.
+		gSel := g
+		if tb.Align[i] != nil {
+			gSel = scatterChannels(g, tb.Align[i], tb.MR.Stages[i].OutChannels())
+		} else {
+			gSel = gSel.Clone()
+		}
+		if hR != nil {
+			gSel.AddInPlace(hR)
+		}
+		hR = tb.MR.Stages[i].Backward(gSel)
+		g = tb.MT.Stages[i].Backward(g)
+	}
+}
+
+// TrainableParams returns the parameters updated during knowledge transfer:
+// all of MT plus MR's stages (MR's head stays frozen).
+func (tb *TwoBranch) TrainableParams() []*nn.Param {
+	var ps []*nn.Param
+	for _, s := range tb.MR.Stages {
+		ps = append(ps, s.Params()...)
+	}
+	return append(ps, tb.MT.Params()...)
+}
+
+// BranchGammas returns the |γ| values of every prunable BN channel of a
+// branch (used for the paper's Fig. 4 distribution analysis).
+func BranchGammas(m *zoo.Model) []float64 {
+	var out []float64
+	for _, g := range m.Groups() {
+		for _, v := range m.GroupGamma(g).Value.Data() {
+			a := float64(v)
+			if a < 0 {
+				a = -a
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the two-branch model (used for pruning snapshots).
+func (tb *TwoBranch) Clone() *TwoBranch {
+	align := make([][]int, len(tb.Align))
+	for i, a := range tb.Align {
+		if a != nil {
+			align[i] = append([]int(nil), a...)
+		}
+	}
+	return &TwoBranch{
+		MR:        tb.MR.Clone(),
+		MT:        tb.MT.Clone(),
+		Align:     align,
+		Finalized: tb.Finalized,
+	}
+}

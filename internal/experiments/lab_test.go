@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var sharedLab *Lab
+
+// microLab returns a process-wide shared lab so the expensive pipelines are
+// trained once and reused by every test (they only read from it).
+func microLab() *Lab {
+	if sharedLab == nil {
+		sharedLab = NewLab(Config{Scale: MicroScale(), Seed: 1})
+	}
+	return sharedLab
+}
+
+func TestPipelineMemoized(t *testing.T) {
+	l := microLab()
+	c := Combo{Arch: "vgg", Dataset: "c10"}
+	p1 := l.Pipeline(c)
+	p2 := l.Pipeline(c)
+	if p1 != p2 {
+		t.Fatal("pipeline must be memoized per combo")
+	}
+	if !p1.TB.Finalized {
+		t.Fatal("pipeline must deliver a finalized model")
+	}
+	if p1.PostTransfer.Finalized {
+		t.Fatal("post-transfer snapshot must predate finalization")
+	}
+}
+
+func TestPipelineResNet(t *testing.T) {
+	l := microLab()
+	p := l.Pipeline(Combo{Arch: "resnet", Dataset: "c10"})
+	if p.Victim.Arch != "resnet" {
+		t.Fatalf("arch = %s", p.Victim.Arch)
+	}
+	if p.TBAcc < 0 || p.TBAcc > 1 {
+		t.Fatalf("accuracy %v out of range", p.TBAcc)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	l := microLab()
+	tab := l.Table1()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("table 1 has %d rows, want 4", len(tab.Rows))
+	}
+	out := tab.String()
+	for _, want := range []string{"VGG18-S", "ResNet20-S", "SynthC10", "SynthC100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2SeriesCount(t *testing.T) {
+	l := microLab()
+	series := l.Fig2()
+	// Two datasets × (attack curve + TBNet reference line).
+	if len(series) != 4 {
+		t.Fatalf("fig 2 has %d series, want 4", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+	}
+}
+
+func TestTable2And3AndFig3(t *testing.T) {
+	l := microLab()
+	if rows := len(l.Table2().Rows); rows != 2 {
+		t.Fatalf("table 2 rows = %d, want 2", rows)
+	}
+	if rows := len(l.Table3().Rows); rows != 2 {
+		t.Fatalf("table 3 rows = %d, want 2", rows)
+	}
+	fig3 := l.Fig3()
+	if rows := len(fig3.Rows); rows != 4 {
+		t.Fatalf("fig 3 rows = %d, want 4", rows)
+	}
+	// TBNet's secure footprint must beat the baseline in every config.
+	for _, r := range fig3.Rows {
+		ratio := r[3]
+		if strings.HasPrefix(ratio, "0.") {
+			t.Fatalf("fig 3 reduction %s < 1x in row %v", ratio, r)
+		}
+	}
+}
+
+func TestFig4Histograms(t *testing.T) {
+	l := microLab()
+	mr, mt := l.Fig4()
+	if mr.N == 0 || mt.N == 0 {
+		t.Fatal("histograms must not be empty")
+	}
+	if mr.N != mt.N {
+		// Before rollback the branches have identical widths, so the gamma
+		// populations match.
+		t.Fatalf("gamma counts differ: %d vs %d", mr.N, mt.N)
+	}
+}
+
+func TestAblationIncludesAllStrategies(t *testing.T) {
+	l := microLab()
+	out := l.Ablation().String()
+	for _, want := range []string{"full-tee", "darknetz", "shadownet", "mirrornet", "tbnet"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllProducesAllArtifacts(t *testing.T) {
+	l := microLab()
+	var b strings.Builder
+	l.RunAll(&b)
+	out := b.String()
+	for _, want := range []string{"Table 1", "Fig. 2", "Table 2", "Fig. 3", "Table 3", "Fig. 4", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("RunAll output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"testing"
+
+	"tbnet/internal/tensor"
+)
+
+func benchInput(n, c, h, w int) *tensor.Tensor {
+	x := tensor.New(n, c, h, w)
+	tensor.NewRNG(1).FillNormal(x, 0, 1)
+	return x
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	conv := NewConv2D("c", 16, 32, 3, 1, 1, false, tensor.NewRNG(2))
+	x := benchInput(8, 16, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+}
+
+func BenchmarkConvBackward(b *testing.B) {
+	conv := NewConv2D("c", 16, 32, 3, 1, 1, false, tensor.NewRNG(3))
+	x := benchInput(8, 16, 16, 16)
+	out := conv.Forward(x, true)
+	g := tensor.New(out.Shape()...)
+	tensor.NewRNG(4).FillNormal(g, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Backward(g)
+	}
+}
+
+func BenchmarkBatchNormForward(b *testing.B) {
+	bn := NewBatchNorm2D("bn", 32)
+	x := benchInput(8, 32, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn.Forward(x, true)
+	}
+}
+
+func BenchmarkDenseForward(b *testing.B) {
+	d := NewDense("fc", 512, 100, tensor.NewRNG(5))
+	x := tensor.New(32, 512)
+	tensor.NewRNG(6).FillNormal(x, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Forward(x, false)
+	}
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tbnet/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs, implemented as
+// im2col + matmul. Weights are stored as a [OutC, InC*KH*KW] matrix. Bias is
+// optional (models that follow the convolution with batch normalization keep
+// it disabled, matching the paper's architectures).
+type Conv2D struct {
+	InC, OutC      int
+	KH, KW         int
+	Stride, Pad    int
+	W              *Param
+	B              *Param // nil when bias is disabled
+	name           string
+	lastInput      *tensor.Tensor
+	lastOH, lastOW int
+}
+
+// NewConv2D creates a convolution with He-normal initialized weights.
+func NewConv2D(name string, inC, outC, k, stride, pad int, bias bool, rng *tensor.RNG) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad, name: name}
+	w := tensor.New(outC, inC*k*k)
+	std := math.Sqrt(2.0 / float64(inC*k*k))
+	rng.FillNormal(w, 0, std)
+	c.W = newParam(name+".weight", w, true)
+	if bias {
+		c.B = newParam(name+".bias", tensor.New(outC), true)
+	}
+	return c
+}
+
+// Name returns the layer's diagnostic name.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params returns weight (and bias when present).
+func (c *Conv2D) Params() []*Param {
+	if c.B != nil {
+		return []*Param{c.W, c.B}
+	}
+	return []*Param{c.W}
+}
+
+// OutShape maps [N,C,H,W] to the convolution output shape.
+func (c *Conv2D) OutShape(in []int) []int {
+	oh := tensor.ConvOutDim(in[2], c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutDim(in[3], c.KW, c.Stride, c.Pad)
+	return []int{in[0], c.OutC, oh, ow}
+}
+
+// Forward computes the convolution for x of shape [N, InC, H, W].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s expects %d input channels, got %d", c.name, c.InC, x.Dim(1)))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutDim(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutDim(w, c.KW, c.Stride, c.Pad)
+	out := tensor.New(n, c.OutC, oh, ow)
+	colRows := c.InC * c.KH * c.KW
+	sampleIn := c.InC * h * w
+	sampleOut := c.OutC * oh * ow
+
+	parallelFor(n, func(i int) {
+		cols := make([]float32, colRows*oh*ow)
+		tensor.Im2Col(x.Data()[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, cols)
+		colT := tensor.FromData(cols, colRows, oh*ow)
+		dst := tensor.FromData(out.Data()[i*sampleOut:(i+1)*sampleOut], c.OutC, oh*ow)
+		tensor.MatMulInto(dst, c.W.Value, colT)
+	})
+	if c.B != nil {
+		bd := c.B.Value.Data()
+		od := out.Data()
+		hw := oh * ow
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < c.OutC; ch++ {
+				base := (i*c.OutC + ch) * hw
+				b := bd[ch]
+				for p := 0; p < hw; p++ {
+					od[base+p] += b
+				}
+			}
+		}
+	}
+	c.lastInput, c.lastOH, c.lastOW = x, oh, ow
+	return out
+}
+
+// Backward accumulates dW (and dB) and returns dX. It recomputes im2col per
+// sample rather than caching the column matrices, trading compute for memory.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastInput
+	if x == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.lastOH, c.lastOW
+	colRows := c.InC * c.KH * c.KW
+	sampleIn := c.InC * h * w
+	sampleOut := c.OutC * oh * ow
+	dx := tensor.New(n, c.InC, h, w)
+	wT := tensor.Transpose(c.W.Value) // [colRows, OutC]
+
+	var mu sync.Mutex
+	parallelFor(n, func(i int) {
+		cols := make([]float32, colRows*oh*ow)
+		tensor.Im2Col(x.Data()[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, cols)
+		colT := tensor.FromData(cols, colRows, oh*ow)
+		dy := tensor.FromData(grad.Data()[i*sampleOut:(i+1)*sampleOut], c.OutC, oh*ow)
+
+		// dW_i = dy @ cols^T
+		dwi := tensor.MatMul(dy, tensor.Transpose(colT))
+		// dcols = W^T @ dy ; dx_i = col2im(dcols)
+		dcols := tensor.MatMul(wT, dy)
+		tensor.Col2Im(dcols.Data(), c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, dx.Data()[i*sampleIn:(i+1)*sampleIn])
+
+		mu.Lock()
+		c.W.Grad.AddInPlace(dwi)
+		if c.B != nil {
+			bg := c.B.Grad.Data()
+			dyd := dy.Data()
+			hw := oh * ow
+			for ch := 0; ch < c.OutC; ch++ {
+				var s float32
+				for p := 0; p < hw; p++ {
+					s += dyd[ch*hw+p]
+				}
+				bg[ch] += s
+			}
+		}
+		mu.Unlock()
+	})
+	return dx
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tbnet/internal/tensor"
+)
+
+// Dense is a fully connected layer over [N, In] inputs.
+type Dense struct {
+	In, Out   int
+	W         *Param // [In, Out]
+	B         *Param // [Out]
+	name      string
+	lastInput *tensor.Tensor
+}
+
+// NewDense creates a dense layer with He-normal weights and zero bias.
+func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
+	w := tensor.New(in, out)
+	rng.FillNormal(w, 0, math.Sqrt(2.0/float64(in)))
+	return &Dense{
+		In: in, Out: out,
+		W:    newParam(name+".weight", w, true),
+		B:    newParam(name+".bias", tensor.New(out), true),
+		name: name,
+	}
+}
+
+// Name returns the layer's diagnostic name.
+func (d *Dense) Name() string { return d.name }
+
+// Params returns weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutShape maps [N, In] to [N, Out].
+func (d *Dense) OutShape(in []int) []int { return []int{in[0], d.Out} }
+
+// Forward computes x@W + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: %s expects [N,%d] input, got %v", d.name, d.In, x.Shape()))
+	}
+	d.lastInput = x
+	out := tensor.MatMul(x, d.W.Value)
+	od, bd := out.Data(), d.B.Value.Data()
+	n := x.Dim(0)
+	for i := 0; i < n; i++ {
+		row := od[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = xᵀ@dy, dB = Σdy and returns dx = dy@Wᵀ.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := d.lastInput
+	if x == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	dW := tensor.MatMul(tensor.Transpose(x), grad)
+	d.W.Grad.AddInPlace(dW)
+	bg, gd := d.B.Grad.Data(), grad.Data()
+	n := x.Dim(0)
+	for i := 0; i < n; i++ {
+		row := gd[i*d.Out : (i+1)*d.Out]
+		for j, v := range row {
+			bg[j] += v
+		}
+	}
+	return tensor.MatMul(grad, tensor.Transpose(d.W.Value))
+}
+
+// Flatten reshapes [N, C, H, W] to [N, C*H*W].
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name returns the layer's diagnostic name.
+func (f *Flatten) Name() string { return f.name }
+
+// Params returns nil: flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape maps [N, ...] to [N, prod(...)].
+func (f *Flatten) OutShape(in []int) []int {
+	n := 1
+	for _, d := range in[1:] {
+		n *= d
+	}
+	return []int{in[0], n}
+}
+
+// Forward reshapes the input (a view, no copy).
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}

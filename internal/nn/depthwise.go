@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"tbnet/internal/tensor"
+)
+
+// DepthwiseConv2D convolves each input channel with its own k×k filter,
+// preserving the channel count — the spatial half of a depthwise-separable
+// convolution (MobileNet-style). Weights are stored as a [C, k*k] matrix.
+type DepthwiseConv2D struct {
+	C           int
+	K           int
+	Stride, Pad int
+	W           *Param
+	name        string
+	lastInput   *tensor.Tensor
+	lastOH      int
+	lastOW      int
+}
+
+// NewDepthwiseConv2D creates a depthwise convolution with He-normal weights.
+func NewDepthwiseConv2D(name string, c, k, stride, pad int, rng *tensor.RNG) *DepthwiseConv2D {
+	w := tensor.New(c, k*k)
+	rng.FillNormal(w, 0, math.Sqrt(2.0/float64(k*k)))
+	return &DepthwiseConv2D{C: c, K: k, Stride: stride, Pad: pad,
+		W: newParam(name+".weight", w, true), name: name}
+}
+
+// Name returns the layer's diagnostic name.
+func (d *DepthwiseConv2D) Name() string { return d.name }
+
+// Params returns the filter bank.
+func (d *DepthwiseConv2D) Params() []*Param { return []*Param{d.W} }
+
+// OutShape maps [N,C,H,W] through the spatial window.
+func (d *DepthwiseConv2D) OutShape(in []int) []int {
+	return []int{in[0], in[1],
+		tensor.ConvOutDim(in[2], d.K, d.Stride, d.Pad),
+		tensor.ConvOutDim(in[3], d.K, d.Stride, d.Pad)}
+}
+
+// Forward applies each channel's filter to its plane.
+func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dim(1) != d.C {
+		panic(fmt.Sprintf("nn: %s expects %d channels, got %d", d.name, d.C, x.Dim(1)))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutDim(h, d.K, d.Stride, d.Pad)
+	ow := tensor.ConvOutDim(w, d.K, d.Stride, d.Pad)
+	out := tensor.New(n, d.C, oh, ow)
+	xd, od, wd := x.Data(), out.Data(), d.W.Value.Data()
+	kk := d.K * d.K
+	parallelFor(n, func(i int) {
+		for ch := 0; ch < d.C; ch++ {
+			plane := xd[(i*d.C+ch)*h*w : (i*d.C+ch+1)*h*w]
+			dst := od[(i*d.C+ch)*oh*ow : (i*d.C+ch+1)*oh*ow]
+			filt := wd[ch*kk : (ch+1)*kk]
+			di := 0
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float32
+					for ky := 0; ky < d.K; ky++ {
+						iy := oy*d.Stride + ky - d.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < d.K; kx++ {
+							ix := ox*d.Stride + kx - d.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += filt[ky*d.K+kx] * plane[iy*w+ix]
+						}
+					}
+					dst[di] = s
+					di++
+				}
+			}
+		}
+	})
+	d.lastInput, d.lastOH, d.lastOW = x, oh, ow
+	return out
+}
+
+// Backward accumulates filter gradients and returns the input gradient.
+func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := d.lastInput
+	if x == nil {
+		panic("nn: DepthwiseConv2D.Backward before Forward")
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := d.lastOH, d.lastOW
+	dx := tensor.New(n, d.C, h, w)
+	xd, gd, dd := x.Data(), grad.Data(), dx.Data()
+	wd, wg := d.W.Value.Data(), d.W.Grad.Data()
+	kk := d.K * d.K
+	// Serial over samples: filter gradients are shared across the batch.
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < d.C; ch++ {
+			plane := xd[(i*d.C+ch)*h*w : (i*d.C+ch+1)*h*w]
+			dplane := dd[(i*d.C+ch)*h*w : (i*d.C+ch+1)*h*w]
+			g := gd[(i*d.C+ch)*oh*ow : (i*d.C+ch+1)*oh*ow]
+			filt := wd[ch*kk : (ch+1)*kk]
+			fg := wg[ch*kk : (ch+1)*kk]
+			gi := 0
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := g[gi]
+					gi++
+					if gv == 0 {
+						continue
+					}
+					for ky := 0; ky < d.K; ky++ {
+						iy := oy*d.Stride + ky - d.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < d.K; kx++ {
+							ix := ox*d.Stride + kx - d.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							fg[ky*d.K+kx] += gv * plane[iy*w+ix]
+							dplane[iy*w+ix] += gv * filt[ky*d.K+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// CloneLayer returns a deep copy.
+func (d *DepthwiseConv2D) CloneLayer() Layer {
+	return &DepthwiseConv2D{C: d.C, K: d.K, Stride: d.Stride, Pad: d.Pad,
+		W: newParam(d.W.Name, d.W.Value.Clone(), d.W.Decay), name: d.name}
+}
+
+// PruneChannels keeps only the listed channels (the layer's input and output
+// channel sets are the same).
+func (d *DepthwiseConv2D) PruneChannels(keep []int) {
+	kk := d.K * d.K
+	nw := tensor.New(len(keep), kk)
+	for i, ch := range keep {
+		copy(nw.Data()[i*kk:(i+1)*kk], d.W.Value.Data()[ch*kk:(ch+1)*kk])
+	}
+	d.W = newParam(d.W.Name, nw, d.W.Decay)
+	d.C = len(keep)
+}
+
+// Reinit re-randomizes the filters.
+func (d *DepthwiseConv2D) Reinit(rng *tensor.RNG) {
+	rng.FillNormal(d.W.Value, 0, math.Sqrt(2.0/float64(d.K*d.K)))
+}

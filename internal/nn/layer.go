@@ -1,0 +1,128 @@
+// Package nn implements the neural-network layers used by the TBNet
+// reproduction: 2-D convolution, batch normalization, ReLU, pooling, dense
+// layers, and a softmax cross-entropy loss, each with a hand-written backward
+// pass (validated against numerical gradients in the tests). It also provides
+// the model-surgery primitives (channel pruning) that TBNet's iterative
+// two-branch pruning relies on.
+//
+// Tensors follow NCHW layout. Layers are stateful: Forward caches whatever the
+// subsequent Backward needs, so a layer instance must not be shared across
+// concurrent graphs.
+package nn
+
+import (
+	"runtime"
+	"sync"
+
+	"tbnet/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+	// Decay marks the parameter as subject to L2 weight decay. Batch-norm
+	// scales/offsets keep it false so the L1 sparsity penalty of Eq. 1 is the
+	// only regularizer acting on them.
+	Decay bool
+}
+
+func newParam(name string, v *tensor.Tensor, decay bool) *Param {
+	return &Param{Name: name, Value: v, Grad: tensor.New(v.Shape()...), Decay: decay}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable module. Forward computes the output for input x
+// (train toggles batch-statistics behaviour); Backward consumes the gradient
+// with respect to the last Forward output and returns the gradient with
+// respect to its input, accumulating parameter gradients along the way.
+type Layer interface {
+	Name() string
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+	// OutShape reports the output shape for a given input shape (excluding
+	// the batch dimension handling: shapes include N).
+	OutShape(in []int) []int
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+	label  string
+}
+
+// NewSequential builds a sequential container with a diagnostic label.
+func NewSequential(label string, layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers, label: label}
+}
+
+// Name returns the container label.
+func (s *Sequential) Name() string { return s.label }
+
+// Forward applies every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates grad through the layers in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutShape composes the layers' shape functions.
+func (s *Sequential) OutShape(in []int) []int {
+	for _, l := range s.Layers {
+		in = l.OutShape(in)
+	}
+	return in
+}
+
+// parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS goroutines. It is
+// used to parallelize per-sample convolution work.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,165 @@
+// Package profile computes the static cost model of a staged network:
+// parameter bytes, arithmetic (FLOPs), and activation footprints per stage.
+// The TEE deployment uses these figures for secure-memory accounting
+// (paper Fig. 3) and the device-time model uses the FLOP counts for the
+// latency comparison (paper Table 3).
+package profile
+
+import (
+	"tbnet/internal/nn"
+	"tbnet/internal/zoo"
+)
+
+// Cost is the static cost of one stage (or head) for a given input shape.
+type Cost struct {
+	Name       string
+	Flops      float64 // multiply-accumulate ×2, for one forward pass
+	ParamBytes int64   // float32 parameters
+	InBytes    int64   // input activation footprint
+	OutBytes   int64   // output activation footprint
+}
+
+// bytesOf returns the float32 byte size of a shape.
+func bytesOf(shape []int) int64 {
+	n := int64(4)
+	for _, d := range shape {
+		n *= int64(d)
+	}
+	return n
+}
+
+func paramBytes(ps []*nn.Param) int64 {
+	var n int64
+	for _, p := range ps {
+		n += int64(p.Value.Size()) * 4
+	}
+	return n
+}
+
+func convFlops(c *nn.Conv2D, in []int) float64 {
+	out := c.OutShape(in)
+	// 2 × (kernel volume) MACs per output element, over the batch.
+	return 2 * float64(c.InC*c.KH*c.KW) * float64(out[0]*out[1]*out[2]*out[3])
+}
+
+func elementFlops(shape []int, perElem float64) float64 {
+	n := 1.0
+	for _, d := range shape {
+		n *= float64(d)
+	}
+	return n * perElem
+}
+
+// StageCost computes the cost of one stage for the given input shape
+// (including batch dimension).
+func StageCost(s zoo.Stage, in []int) Cost {
+	c := Cost{Name: s.Name(), ParamBytes: paramBytes(s.Params()), InBytes: bytesOf(in)}
+	switch b := s.(type) {
+	case *zoo.ConvBlock:
+		convOut := b.Conv.OutShape(in)
+		c.Flops = convFlops(b.Conv, in) + elementFlops(convOut, 4) /* BN */ + elementFlops(convOut, 1) /* ReLU */
+		out := convOut
+		if b.Pool != nil {
+			c.Flops += elementFlops(convOut, 1)
+			out = b.Pool.OutShape(convOut)
+		}
+		c.OutBytes = bytesOf(out)
+	case *zoo.DWBlock:
+		mid := b.DW.OutShape(in)
+		out := b.PW.OutShape(mid)
+		// Depthwise: 2·k² MACs per output element; pointwise is a 1×1 conv.
+		c.Flops = 2*float64(b.DW.K*b.DW.K)*float64(mid[0]*mid[1]*mid[2]*mid[3]) +
+			elementFlops(mid, 5) + convFlops(b.PW, mid) + elementFlops(out, 5)
+		c.OutBytes = bytesOf(out)
+	case *zoo.ResBlock:
+		mid := b.Conv1.OutShape(in)
+		out := b.Conv2.OutShape(mid)
+		c.Flops = convFlops(b.Conv1, in) + elementFlops(mid, 5) +
+			convFlops(b.Conv2, mid) + elementFlops(out, 4)
+		if b.Down != nil {
+			c.Flops += convFlops(b.Down, in) + elementFlops(out, 4)
+		}
+		if b.WithSkip {
+			c.Flops += elementFlops(out, 1) // residual add
+		}
+		c.Flops += elementFlops(out, 1) // final ReLU
+		c.OutBytes = bytesOf(out)
+	default:
+		out := s.OutShape(in)
+		c.OutBytes = bytesOf(out)
+	}
+	return c
+}
+
+// HeadCost computes the classifier-head cost for the given feature shape.
+func HeadCost(h *zoo.Head, in []int) Cost {
+	out := h.OutShape(in)
+	return Cost{
+		Name:       h.Name(),
+		ParamBytes: paramBytes(h.Params()),
+		Flops:      elementFlops(in, 1) + 2*float64(h.FC.In)*float64(out[0]*out[1]),
+		InBytes:    bytesOf(in),
+		OutBytes:   bytesOf(out),
+	}
+}
+
+// ModelCost aggregates the per-stage costs of a model.
+type ModelCost struct {
+	Stages []Cost
+	Head   Cost
+}
+
+// Profile computes the full cost breakdown of a model for inputs of the
+// given shape (including batch dimension).
+func Profile(m *zoo.Model, in []int) ModelCost {
+	var mc ModelCost
+	cur := in
+	for _, s := range m.Stages {
+		mc.Stages = append(mc.Stages, StageCost(s, cur))
+		cur = s.OutShape(cur)
+	}
+	mc.Head = HeadCost(m.Head, cur)
+	return mc
+}
+
+// TotalFlops returns the forward-pass FLOPs.
+func (mc ModelCost) TotalFlops() float64 {
+	f := mc.Head.Flops
+	for _, s := range mc.Stages {
+		f += s.Flops
+	}
+	return f
+}
+
+// TotalParamBytes returns the parameter footprint.
+func (mc ModelCost) TotalParamBytes() int64 {
+	n := mc.Head.ParamBytes
+	for _, s := range mc.Stages {
+		n += s.ParamBytes
+	}
+	return n
+}
+
+// PeakActivationBytes returns the largest simultaneous input+output
+// activation footprint across stages — the working-set bound a layer-by-layer
+// executor needs.
+func (mc ModelCost) PeakActivationBytes() int64 {
+	var peak int64
+	consider := func(c Cost) {
+		if v := c.InBytes + c.OutBytes; v > peak {
+			peak = v
+		}
+	}
+	for _, s := range mc.Stages {
+		consider(s)
+	}
+	consider(mc.Head)
+	return peak
+}
+
+// SecureFootprintBytes is the secure-memory bound for executing this model
+// inside a TEE layer-by-layer: all parameters resident plus the peak
+// activation working set.
+func (mc ModelCost) SecureFootprintBytes() int64 {
+	return mc.TotalParamBytes() + mc.PeakActivationBytes()
+}

@@ -1,0 +1,212 @@
+// Package quant implements post-training int8 weight quantization for the
+// secure branch — one of the deployment optimizations the paper's Sec. 5.3
+// anticipates. Weights are quantized symmetrically per output channel
+// (scale = max|w| / 127); batch-norm parameters and biases stay float32
+// (they are a negligible fraction of the footprint). Quantization shrinks
+// the TEE-resident parameter bytes ~4× at a small accuracy cost, which the
+// ablation experiment quantifies.
+package quant
+
+import (
+	"fmt"
+
+	"tbnet/internal/nn"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// QuantizedConv is one convolution's int8 weights with per-output scales.
+type QuantizedConv struct {
+	OutC, Cols int // weight matrix dimensions [OutC, Cols]
+	Data       []int8
+	Scales     []float32
+	Bias       []float32 // nil when absent (kept float32)
+}
+
+// QuantizedDense is a dense layer's int8 weights with per-column scales.
+type QuantizedDense struct {
+	In, Out int
+	Data    []int8
+	Scales  []float32 // per output column
+	Bias    []float32
+}
+
+// QuantizedModel is a storage representation of a staged model with all
+// convolution and dense weights quantized; everything else (BN parameters,
+// architecture) is carried verbatim via a weight-stripped skeleton.
+type QuantizedModel struct {
+	// Skeleton is the original model with conv/dense weights zeroed; it
+	// carries the architecture, BN parameters, and running statistics.
+	Skeleton *zoo.Model
+	Convs    []QuantizedConv  // in stage traversal order
+	Denses   []QuantizedDense // the head (and any future dense layers)
+}
+
+// quantizeRows quantizes a [rows, cols] matrix with one scale per row.
+func quantizeRows(w *tensor.Tensor) ([]int8, []float32) {
+	rows, cols := w.Dim(0), w.Dim(1)
+	data := make([]int8, rows*cols)
+	scales := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := w.Data()[r*cols : (r+1)*cols]
+		var maxAbs float32
+		for _, v := range row {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		if scale == 0 {
+			scale = 1
+		}
+		scales[r] = scale
+		for i, v := range row {
+			q := v / scale
+			switch {
+			case q > 127:
+				q = 127
+			case q < -127:
+				q = -127
+			}
+			if q >= 0 {
+				data[r*cols+i] = int8(q + 0.5)
+			} else {
+				data[r*cols+i] = int8(q - 0.5)
+			}
+		}
+	}
+	return data, scales
+}
+
+// dequantizeRows reverses quantizeRows into dst.
+func dequantizeRows(data []int8, scales []float32, dst *tensor.Tensor) {
+	rows, cols := dst.Dim(0), dst.Dim(1)
+	for r := 0; r < rows; r++ {
+		s := scales[r]
+		for i := 0; i < cols; i++ {
+			dst.Data()[r*cols+i] = float32(data[r*cols+i]) * s
+		}
+	}
+}
+
+func quantizeConv(c *nn.Conv2D) QuantizedConv {
+	data, scales := quantizeRows(c.W.Value)
+	q := QuantizedConv{OutC: c.W.Value.Dim(0), Cols: c.W.Value.Dim(1), Data: data, Scales: scales}
+	if c.B != nil {
+		q.Bias = append([]float32(nil), c.B.Value.Data()...)
+	}
+	return q
+}
+
+// Quantize converts a model into its quantized storage form. The input model
+// is not modified.
+func Quantize(m *zoo.Model) *QuantizedModel {
+	qm := &QuantizedModel{Skeleton: m.Clone()}
+	for _, s := range qm.Skeleton.Stages {
+		switch b := s.(type) {
+		case *zoo.ConvBlock:
+			qm.Convs = append(qm.Convs, quantizeConv(b.Conv))
+			b.Conv.W.Value.Zero()
+		case *zoo.DWBlock:
+			dwData, dwScales := quantizeRows(b.DW.W.Value)
+			qm.Convs = append(qm.Convs, QuantizedConv{
+				OutC: b.DW.W.Value.Dim(0), Cols: b.DW.W.Value.Dim(1),
+				Data: dwData, Scales: dwScales,
+			}, quantizeConv(b.PW))
+			b.DW.W.Value.Zero()
+			b.PW.W.Value.Zero()
+		case *zoo.ResBlock:
+			qm.Convs = append(qm.Convs, quantizeConv(b.Conv1), quantizeConv(b.Conv2))
+			b.Conv1.W.Value.Zero()
+			b.Conv2.W.Value.Zero()
+			if b.Down != nil {
+				qm.Convs = append(qm.Convs, quantizeConv(b.Down))
+				b.Down.W.Value.Zero()
+			}
+		default:
+			panic(fmt.Sprintf("quant: unknown stage type %T", s))
+		}
+	}
+	fc := qm.Skeleton.Head.FC
+	// Dense weights are [In, Out]; quantize per output column by transposing.
+	wt := tensor.Transpose(fc.W.Value)
+	data, scales := quantizeRows(wt)
+	qm.Denses = append(qm.Denses, QuantizedDense{
+		In: fc.In, Out: fc.Out, Data: data, Scales: scales,
+		Bias: append([]float32(nil), fc.B.Value.Data()...),
+	})
+	fc.W.Value.Zero()
+	return qm
+}
+
+// Dequantize reconstructs a float32 model for execution.
+func (qm *QuantizedModel) Dequantize() *zoo.Model {
+	out := qm.Skeleton.Clone()
+	ci := 0
+	next := func() QuantizedConv { q := qm.Convs[ci]; ci++; return q }
+	restore := func(c *nn.Conv2D) {
+		q := next()
+		dequantizeRows(q.Data, q.Scales, c.W.Value)
+		if q.Bias != nil {
+			copy(c.B.Value.Data(), q.Bias)
+		}
+	}
+	for _, s := range out.Stages {
+		switch b := s.(type) {
+		case *zoo.ConvBlock:
+			restore(b.Conv)
+		case *zoo.DWBlock:
+			q := next()
+			dequantizeRows(q.Data, q.Scales, b.DW.W.Value)
+			restore(b.PW)
+		case *zoo.ResBlock:
+			restore(b.Conv1)
+			restore(b.Conv2)
+			if b.Down != nil {
+				restore(b.Down)
+			}
+		}
+	}
+	qd := qm.Denses[0]
+	wt := tensor.New(qd.Out, qd.In)
+	dequantizeRows(qd.Data, qd.Scales, wt)
+	w := tensor.Transpose(wt)
+	copy(out.Head.FC.W.Value.Data(), w.Data())
+	copy(out.Head.FC.B.Value.Data(), qd.Bias)
+	return out
+}
+
+// ParamBytes returns the quantized parameter footprint: int8 weights, float32
+// scales and biases, float32 BN parameters from the skeleton.
+func (qm *QuantizedModel) ParamBytes() int64 {
+	var n int64
+	for _, q := range qm.Convs {
+		n += int64(len(q.Data)) // int8 weights
+		n += int64(len(q.Scales)) * 4
+		n += int64(len(q.Bias)) * 4
+	}
+	for _, q := range qm.Denses {
+		n += int64(len(q.Data))
+		n += int64(len(q.Scales)) * 4
+		n += int64(len(q.Bias)) * 4
+	}
+	// BN parameters (γ, β, running stats) remain float32 in the skeleton.
+	for _, s := range qm.Skeleton.Stages {
+		switch b := s.(type) {
+		case *zoo.ConvBlock:
+			n += int64(b.BN.C) * 4 * 4
+		case *zoo.DWBlock:
+			n += int64(b.BN1.C)*4*4 + int64(b.BN2.C)*4*4
+		case *zoo.ResBlock:
+			n += int64(b.BN1.C)*4*4 + int64(b.BN2.C)*4*4
+			if b.DownBN != nil {
+				n += int64(b.DownBN.C) * 4 * 4
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+// Package report renders the reproduction's experimental artifacts — tables,
+// histograms, and series — as plain text, mirroring the tables and figures of
+// the paper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(t.Header)
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a [0,1] fraction as a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// Ratio formats a ratio like the paper's "2.45×".
+func Ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Bytes formats a byte count with a binary unit.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// Histogram is a fixed-bin histogram over float64 samples.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram bins values into bins equal-width buckets spanning the data.
+func NewHistogram(values []float64, bins int) *Histogram {
+	h := &Histogram{Counts: make([]int, bins)}
+	if len(values) == 0 {
+		return h
+	}
+	h.Lo, h.Hi = values[0], values[0]
+	for _, v := range values {
+		if v < h.Lo {
+			h.Lo = v
+		}
+		if v > h.Hi {
+			h.Hi = v
+		}
+	}
+	if h.Hi == h.Lo {
+		h.Hi = h.Lo + 1
+	}
+	for _, v := range values {
+		idx := int(float64(bins) * (v - h.Lo) / (h.Hi - h.Lo))
+		if idx >= bins {
+			idx = bins - 1
+		}
+		h.Counts[idx]++
+		h.N++
+	}
+	return h
+}
+
+// Mean returns the approximate mean from the raw extent midpoints (callers
+// that need exact means should compute them from the raw data).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	var s float64
+	for i, c := range h.Counts {
+		mid := h.Lo + (float64(i)+0.5)*width
+		s += mid * float64(c)
+	}
+	return s / float64(h.N)
+}
+
+// Render writes an ASCII bar chart, one line per bin.
+func (h *Histogram) Render(w io.Writer, label string, barWidth int) {
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	fmt.Fprintf(w, "%s (n=%d, range [%.4f, %.4f])\n", label, h.N, h.Lo, h.Hi)
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", int(math.Round(float64(barWidth)*float64(c)/float64(maxC))))
+		fmt.Fprintf(w, "  [%8.4f, %8.4f) %5d %s\n", h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, bar)
+	}
+}
+
+// Series is a named sequence of (x, y) points, used for figure data.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// RenderSeries writes one or more series as a combined x/y text table — the
+// data behind a paper figure.
+func RenderSeries(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "%s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(w, "  series %q:\n", s.Name)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "    x=%-8.4g y=%.4f\n", p[0], p[1])
+		}
+	}
+}

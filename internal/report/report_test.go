@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "long-header"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("yyyy", "2")
+	out := tb.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "long-header") {
+		t.Fatalf("render missing pieces:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: all data lines the same width.
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.9072); got != "90.72%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Ratio(2.4512); got != "2.45x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Bytes(2048); got != "2.00 KiB" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if got := Bytes(3 << 20); got != "3.00 MiB" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if got := Bytes(12); got != "12 B" {
+		t.Fatalf("Bytes = %q", got)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0, 0.1, 0.2, 0.9, 1.0}, 2)
+	if h.N != 5 {
+		t.Fatalf("n = %d", h.N)
+	}
+	if h.Counts[0] != 3 || h.Counts[1] != 2 {
+		t.Fatalf("counts = %v, want [3 2]", h.Counts)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{5, 5, 5}, 4)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("degenerate histogram lost samples: %v", h.Counts)
+	}
+	var b strings.Builder
+	h.Render(&b, "x", 20)
+	if !strings.Contains(b.String(), "n=3") {
+		t.Fatal("render missing sample count")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil, 3)
+	if h.N != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should be inert")
+	}
+}
+
+func TestHistogramMeanApprox(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	h := NewHistogram(vals, 50)
+	if m := h.Mean(); m < 2.5 || m > 3.5 {
+		t.Fatalf("approximate mean = %v, want ≈3", m)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var b strings.Builder
+	RenderSeries(&b, "fig", []Series{{Name: "a", Points: [][2]float64{{0.1, 0.5}}}})
+	out := b.String()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, `series "a"`) {
+		t.Fatalf("series render:\n%s", out)
+	}
+}

@@ -1,0 +1,430 @@
+// Package serial persists models and finalized two-branch deployments in a
+// compact little-endian binary format. A model vendor runs the TBNet pipeline
+// offline, saves the result, and ships the M_R file to the device's normal
+// world and the M_T file into the TEE's secure storage; this package is that
+// artifact format.
+package serial
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"tbnet/internal/core"
+	"tbnet/internal/nn"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+const (
+	magicModel     = 0x4d4e4254 // "TBNM"
+	magicTwoBranch = 0x324e4254 // "TBN2"
+	version        = 1
+
+	stageConvBlock = 1
+	stageResBlock  = 2
+	stageDWBlock   = 3
+)
+
+// ErrBadFormat is returned for corrupt or mismatched input.
+var ErrBadFormat = errors.New("serial: bad format")
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) u32(v uint32) {
+	if w.err != nil {
+		return
+	}
+	w.err = binary.Write(w.w, binary.LittleEndian, v)
+}
+
+func (w *writer) i32(v int) { w.u32(uint32(int32(v))) }
+
+func (w *writer) u8(v uint8) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(v)
+}
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.WriteString(s)
+}
+
+func (w *writer) floats(t *tensor.Tensor) {
+	w.u32(uint32(t.Size()))
+	if w.err != nil {
+		return
+	}
+	w.err = binary.Write(w.w, binary.LittleEndian, t.Data())
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	var v uint32
+	r.err = binary.Read(r.r, binary.LittleEndian, &v)
+	return v
+}
+
+func (r *reader) i32() int { return int(int32(r.u32())) }
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.r.ReadByte()
+	r.err = err
+	return b
+}
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		r.err = fmt.Errorf("%w: unreasonable string length %d", ErrBadFormat, n)
+		return ""
+	}
+	buf := make([]byte, n)
+	_, r.err = io.ReadFull(r.r, buf)
+	return string(buf)
+}
+
+// floatsInto reads a float vector and requires it to match dst's size.
+func (r *reader) floatsInto(dst *tensor.Tensor) {
+	n := int(r.u32())
+	if r.err != nil {
+		return
+	}
+	if n != dst.Size() {
+		r.err = fmt.Errorf("%w: tensor size %d, expected %d", ErrBadFormat, n, dst.Size())
+		return
+	}
+	r.err = binary.Read(r.r, binary.LittleEndian, dst.Data())
+}
+
+func (w *writer) conv(c *nn.Conv2D) {
+	w.i32(c.InC)
+	w.i32(c.OutC)
+	w.i32(c.KH)
+	w.i32(c.Stride)
+	w.i32(c.Pad)
+	w.bool(c.B != nil)
+	w.floats(c.W.Value)
+	if c.B != nil {
+		w.floats(c.B.Value)
+	}
+}
+
+func (r *reader) conv(name string) *nn.Conv2D {
+	inC, outC := r.i32(), r.i32()
+	k, stride, pad := r.i32(), r.i32(), r.i32()
+	hasBias := r.bool()
+	if r.err != nil {
+		return nil
+	}
+	if inC <= 0 || outC <= 0 || k <= 0 || inC > 1<<16 || outC > 1<<16 {
+		r.err = fmt.Errorf("%w: conv dims %dx%d k%d", ErrBadFormat, inC, outC, k)
+		return nil
+	}
+	c := nn.NewConv2D(name, inC, outC, k, stride, pad, hasBias, tensor.NewRNG(0))
+	r.floatsInto(c.W.Value)
+	if hasBias {
+		r.floatsInto(c.B.Value)
+	}
+	return c
+}
+
+func (w *writer) bn(b *nn.BatchNorm2D) {
+	w.i32(b.C)
+	w.floats(b.Gamma.Value)
+	w.floats(b.Beta.Value)
+	w.floats(b.RunMean)
+	w.floats(b.RunVar)
+}
+
+func (r *reader) bn(name string) *nn.BatchNorm2D {
+	c := r.i32()
+	if r.err != nil {
+		return nil
+	}
+	if c <= 0 || c > 1<<16 {
+		r.err = fmt.Errorf("%w: bn width %d", ErrBadFormat, c)
+		return nil
+	}
+	b := nn.NewBatchNorm2D(name, c)
+	r.floatsInto(b.Gamma.Value)
+	r.floatsInto(b.Beta.Value)
+	r.floatsInto(b.RunMean)
+	r.floatsInto(b.RunVar)
+	return b
+}
+
+// SaveModel writes a staged model.
+func SaveModel(out io.Writer, m *zoo.Model) error {
+	w := &writer{w: bufio.NewWriter(out)}
+	w.u32(magicModel)
+	w.u32(version)
+	saveModelBody(w, m)
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func saveModelBody(w *writer, m *zoo.Model) {
+	w.str(m.Name)
+	w.str(m.Arch)
+	w.i32(m.InC)
+	w.i32(m.Classes)
+	w.i32(len(m.Stages))
+	for _, s := range m.Stages {
+		switch b := s.(type) {
+		case *zoo.ConvBlock:
+			w.u8(stageConvBlock)
+			w.str(b.Name())
+			pool := 0
+			if b.Pool != nil {
+				pool = b.Pool.K
+			}
+			w.i32(pool)
+			w.bool(b.OutFixed)
+			w.conv(b.Conv)
+			w.bn(b.BN)
+		case *zoo.DWBlock:
+			w.u8(stageDWBlock)
+			w.str(b.Name())
+			w.i32(b.DW.C)
+			w.i32(b.DW.K)
+			w.i32(b.DW.Stride)
+			w.i32(b.DW.Pad)
+			w.floats(b.DW.W.Value)
+			w.bn(b.BN1)
+			w.conv(b.PW)
+			w.bn(b.BN2)
+		case *zoo.ResBlock:
+			w.u8(stageResBlock)
+			w.str(b.Name())
+			w.bool(b.WithSkip)
+			w.bool(b.Down != nil)
+			w.conv(b.Conv1)
+			w.bn(b.BN1)
+			w.conv(b.Conv2)
+			w.bn(b.BN2)
+			if b.Down != nil {
+				w.conv(b.Down)
+				w.bn(b.DownBN)
+			}
+		default:
+			w.err = fmt.Errorf("serial: unknown stage type %T", s)
+			return
+		}
+	}
+	// Head.
+	w.i32(m.Head.FC.In)
+	w.i32(m.Head.FC.Out)
+	w.floats(m.Head.FC.W.Value)
+	w.floats(m.Head.FC.B.Value)
+}
+
+// LoadModel reads a staged model.
+func LoadModel(in io.Reader) (*zoo.Model, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	if r.u32() != magicModel {
+		return nil, fmt.Errorf("%w: not a TBNet model file", ErrBadFormat)
+	}
+	if v := r.u32(); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	m := loadModelBody(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+func loadModelBody(r *reader) *zoo.Model {
+	m := &zoo.Model{}
+	m.Name = r.str()
+	m.Arch = r.str()
+	m.InC = r.i32()
+	m.Classes = r.i32()
+	n := r.i32()
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > 1024 {
+		r.err = fmt.Errorf("%w: stage count %d", ErrBadFormat, n)
+		return nil
+	}
+	rng := tensor.NewRNG(0)
+	for i := 0; i < n; i++ {
+		switch kind := r.u8(); kind {
+		case stageConvBlock:
+			name := r.str()
+			pool := r.i32()
+			outFixed := r.bool()
+			conv := r.conv(name + ".conv")
+			bn := r.bn(name + ".bn")
+			if r.err != nil {
+				return nil
+			}
+			blk := zoo.NewConvBlock(name, conv.InC, conv.OutC, conv.Stride, pool, rng)
+			blk.Conv, blk.BN, blk.OutFixed = conv, bn, outFixed
+			m.Stages = append(m.Stages, blk)
+		case stageDWBlock:
+			name := r.str()
+			c, k := r.i32(), r.i32()
+			stride, pad := r.i32(), r.i32()
+			if r.err != nil {
+				return nil
+			}
+			if c <= 0 || c > 1<<16 || k <= 0 || k > 15 {
+				r.err = fmt.Errorf("%w: depthwise dims c=%d k=%d", ErrBadFormat, c, k)
+				return nil
+			}
+			dw := nn.NewDepthwiseConv2D(name+".dw", c, k, stride, pad, rng)
+			r.floatsInto(dw.W.Value)
+			bn1 := r.bn(name + ".bn1")
+			pw := r.conv(name + ".pw")
+			bn2 := r.bn(name + ".bn2")
+			if r.err != nil {
+				return nil
+			}
+			blk := zoo.NewDWBlock(name, c, pw.OutC, stride, rng)
+			blk.DW, blk.BN1, blk.PW, blk.BN2 = dw, bn1, pw, bn2
+			m.Stages = append(m.Stages, blk)
+		case stageResBlock:
+			name := r.str()
+			withSkip := r.bool()
+			hasDown := r.bool()
+			conv1 := r.conv(name + ".conv1")
+			bn1 := r.bn(name + ".bn1")
+			conv2 := r.conv(name + ".conv2")
+			bn2 := r.bn(name + ".bn2")
+			var down *nn.Conv2D
+			var downBN *nn.BatchNorm2D
+			if hasDown {
+				down = r.conv(name + ".down")
+				downBN = r.bn(name + ".downbn")
+			}
+			if r.err != nil {
+				return nil
+			}
+			blk := zoo.NewResBlock(name, conv1.InC, conv2.OutC, conv1.Stride, withSkip, rng)
+			blk.Conv1, blk.BN1, blk.Conv2, blk.BN2 = conv1, bn1, conv2, bn2
+			blk.Down, blk.DownBN = down, downBN
+			m.Stages = append(m.Stages, blk)
+		default:
+			r.err = fmt.Errorf("%w: unknown stage kind %d", ErrBadFormat, kind)
+			return nil
+		}
+	}
+	in := r.i32()
+	out := r.i32()
+	if r.err != nil {
+		return nil
+	}
+	if in <= 0 || out <= 0 || in > 1<<20 || out > 1<<20 {
+		r.err = fmt.Errorf("%w: head dims %dx%d", ErrBadFormat, in, out)
+		return nil
+	}
+	m.Head = zoo.NewHead(m.Name+".head", in, out, rng)
+	r.floatsInto(m.Head.FC.W.Value)
+	r.floatsInto(m.Head.FC.B.Value)
+	return m
+}
+
+// SaveTwoBranch writes a (typically finalized) two-branch model.
+func SaveTwoBranch(out io.Writer, tb *core.TwoBranch) error {
+	w := &writer{w: bufio.NewWriter(out)}
+	w.u32(magicTwoBranch)
+	w.u32(version)
+	w.bool(tb.Finalized)
+	saveModelBody(w, tb.MR)
+	saveModelBody(w, tb.MT)
+	w.i32(len(tb.Align))
+	for _, a := range tb.Align {
+		if a == nil {
+			w.i32(-1)
+			continue
+		}
+		w.i32(len(a))
+		for _, ch := range a {
+			w.i32(ch)
+		}
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// LoadTwoBranch reads a two-branch model.
+func LoadTwoBranch(in io.Reader) (*core.TwoBranch, error) {
+	r := &reader{r: bufio.NewReader(in)}
+	if r.u32() != magicTwoBranch {
+		return nil, fmt.Errorf("%w: not a TBNet two-branch file", ErrBadFormat)
+	}
+	if v := r.u32(); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	finalized := r.bool()
+	mr := loadModelBody(r)
+	mt := loadModelBody(r)
+	n := r.i32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if mr == nil || mt == nil || n != len(mt.Stages) {
+		return nil, fmt.Errorf("%w: alignment count %d for %d stages", ErrBadFormat, n, len(mt.Stages))
+	}
+	align := make([][]int, n)
+	for i := 0; i < n; i++ {
+		k := r.i32()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if k < 0 {
+			continue
+		}
+		if k > 1<<16 {
+			return nil, fmt.Errorf("%w: alignment length %d", ErrBadFormat, k)
+		}
+		align[i] = make([]int, k)
+		for j := range align[i] {
+			align[i][j] = r.i32()
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return &core.TwoBranch{MR: mr, MT: mt, Align: align, Finalized: finalized}, nil
+}

@@ -1,0 +1,139 @@
+// Package tee is a software model of an ARM TrustZone device running an
+// OP-TEE-style trusted OS — the deployment substrate the paper evaluates on
+// (a Raspberry Pi 3B). Real secure-world hardware is not available in this
+// environment, so the package reproduces the three properties the evaluation
+// depends on:
+//
+//  1. Isolation and information flow: the secure world (TEE) is reachable
+//     only through a one-way REE→TEE channel; nothing computed inside the
+//     enclave is exposed to normal-world observers (enforced by the API
+//     surface and checked by the observation trace).
+//  2. Secure-memory scarcity: a capacity-limited accountant tracks the bytes
+//     a deployment pins inside the TEE (model parameters + peak activations),
+//     reproducing the paper's Fig. 3 memory comparison.
+//  3. Asymmetric execution cost: a calibrated device-time model charges
+//     compute in each world, SMC world switches, and shared-memory transfer,
+//     reproducing the paper's Table 3 latency comparison.
+package tee
+
+import (
+	"fmt"
+	"time"
+)
+
+// World identifies an execution world of the device.
+type World int
+
+const (
+	// REE is the rich execution environment (normal world).
+	REE World = iota
+	// TEE is the trusted execution environment (secure world).
+	TEE
+)
+
+// String returns the conventional name.
+func (w World) String() string {
+	if w == REE {
+		return "REE"
+	}
+	return "TEE"
+}
+
+// DeviceModel is the cost model for a simulated TrustZone device.
+type DeviceModel struct {
+	Name string
+	// REEFlopsPerSec is the effective normal-world arithmetic throughput.
+	REEFlopsPerSec float64
+	// TEEFlopsPerSec is the (lower) secure-world throughput: OP-TEE TAs run
+	// single-threaded, without NEON-optimized kernels, from secure SRAM/DRAM
+	// carve-outs with worse caching behaviour.
+	TEEFlopsPerSec float64
+	// SMCLatency is the cost of one world switch (SMC + monitor + scheduler).
+	SMCLatency time.Duration
+	// TransferBytesPerSec is the shared-memory staging bandwidth for
+	// REE→TEE parameter passing.
+	TransferBytesPerSec float64
+	// SecureMemBytes is the secure-memory capacity available to a TA.
+	SecureMemBytes int64
+	// PerInvokeOverhead is the fixed TA invocation overhead beyond the SMC
+	// itself (session lookup, parameter unmarshalling).
+	PerInvokeOverhead time.Duration
+}
+
+// RaspberryPi3 returns a cost model calibrated to the paper's testbed: a
+// Raspberry Pi 3 Model B (BCM2837, 4×Cortex-A53 @ 1.2 GHz, 1 GB RAM) running
+// OP-TEE. The REE runs multi-threaded NEON-vectorized kernels on all four
+// cores; an OP-TEE trusted application is single-core, compiled without NEON,
+// and runs from a secure-memory carve-out with poor cache behaviour — an
+// order-of-magnitude throughput asymmetry. Absolute figures are
+// order-of-magnitude estimates; the experiments depend on the REE/TEE ratio
+// and the relative cost of switches and transfers.
+func RaspberryPi3() DeviceModel {
+	return DeviceModel{
+		Name:                "raspberrypi3b-optee",
+		REEFlopsPerSec:      4.8e9, // 4 cores × NEON-assisted kernels
+		TEEFlopsPerSec:      0.6e9, // single-core scalar TA
+		SMCLatency:          25 * time.Microsecond,
+		TransferBytesPerSec: 350e6,
+		SecureMemBytes:      16 << 20, // 16 MiB TA memory budget
+		PerInvokeOverhead:   120 * time.Microsecond,
+	}
+}
+
+// Meter accumulates the virtual cost of one inference (or any workload) on a
+// device. It is deliberately decoupled from wall-clock time so experiments
+// are deterministic.
+type Meter struct {
+	reeFlops    float64
+	teeFlops    float64
+	switches    int
+	transferred int64
+}
+
+// AddCompute charges flops of arithmetic to a world.
+func (m *Meter) AddCompute(w World, flops float64) {
+	if w == REE {
+		m.reeFlops += flops
+	} else {
+		m.teeFlops += flops
+	}
+}
+
+// AddSwitch records one REE→TEE world switch (entry + return).
+func (m *Meter) AddSwitch() { m.switches++ }
+
+// AddTransfer records bytes staged through shared memory into the TEE.
+func (m *Meter) AddTransfer(bytes int64) { m.transferred += bytes }
+
+// Switches returns the number of world switches recorded.
+func (m *Meter) Switches() int { return m.switches }
+
+// TransferredBytes returns the total bytes staged into the TEE.
+func (m *Meter) TransferredBytes() int64 { return m.transferred }
+
+// Flops returns the accumulated arithmetic per world.
+func (m *Meter) Flops(w World) float64 {
+	if w == REE {
+		return m.reeFlops
+	}
+	return m.teeFlops
+}
+
+// Latency converts the accumulated costs into seconds under a device model.
+// REE and TEE compute are serialized, matching single-cluster TrustZone
+// scheduling where the secure world preempts the normal world.
+func (m *Meter) Latency(d DeviceModel) float64 {
+	s := m.reeFlops/d.REEFlopsPerSec + m.teeFlops/d.TEEFlopsPerSec
+	s += float64(m.switches) * (d.SMCLatency + d.PerInvokeOverhead).Seconds()
+	s += float64(m.transferred) / d.TransferBytesPerSec
+	return s
+}
+
+// Reset clears the meter.
+func (m *Meter) Reset() { *m = Meter{} }
+
+// String summarizes the meter.
+func (m *Meter) String() string {
+	return fmt.Sprintf("ree=%.3gF tee=%.3gF switches=%d xfer=%dB",
+		m.reeFlops, m.teeFlops, m.switches, m.transferred)
+}

@@ -1,0 +1,110 @@
+package tee
+
+import "sync"
+
+// EventKind classifies observation-trace events. The threat model (paper
+// Sec. 2.2) grants the attacker *everything* observable in the REE: model
+// parameters, computation, and data-transfer activity. Events inside the TEE
+// exist in the full trace (for simulator accounting and tests) but are
+// excluded from the attacker's view.
+type EventKind int
+
+const (
+	// EvREECompute is normal-world computation (layer execution in M_R).
+	EvREECompute EventKind = iota
+	// EvREEWeightAccess is a normal-world read of model parameters.
+	EvREEWeightAccess
+	// EvTransfer is a shared-memory staging of data from REE to TEE. The
+	// attacker sees the payload (it crosses normal-world memory).
+	EvTransfer
+	// EvSMC is a world switch into the secure monitor.
+	EvSMC
+	// EvTEECompute is secure-world computation — invisible to the attacker.
+	EvTEECompute
+	// EvResult is the final classification released to the model user.
+	EvResult
+)
+
+// String returns a short label.
+func (k EventKind) String() string {
+	switch k {
+	case EvREECompute:
+		return "ree-compute"
+	case EvREEWeightAccess:
+		return "ree-weights"
+	case EvTransfer:
+		return "transfer"
+	case EvSMC:
+		return "smc"
+	case EvTEECompute:
+		return "tee-compute"
+	case EvResult:
+		return "result"
+	}
+	return "unknown"
+}
+
+// Event is one observation-trace entry.
+type Event struct {
+	Kind  EventKind
+	Label string // layer or operation name
+	Bytes int64  // payload size where applicable
+}
+
+// Trace is a thread-safe observation log of a deployment's activity.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends an event.
+func (t *Trace) Record(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// All returns a copy of the full trace (simulator view).
+func (t *Trace) All() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// AttackerView returns only the events observable from the normal world:
+// REE computation and weight accesses, transfer payloads, and SMC timing.
+// Secure-world computation is filtered out — the TEE is a black box.
+func (t *Trace) AttackerView() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	for _, e := range t.events {
+		switch e.Kind {
+		case EvREECompute, EvREEWeightAccess, EvTransfer, EvSMC:
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns the number of events of kind k in the full trace.
+func (t *Trace) Count(k EventKind) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, e := range t.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears the trace.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.events = t.events[:0]
+	t.mu.Unlock()
+}

@@ -1,0 +1,38 @@
+package tensor
+
+import "testing"
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := NewRNG(1)
+	x, y := New(64, 64), New(64, 64)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(y, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	rng := NewRNG(2)
+	x, y := New(256, 256), New(256, 256)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(y, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := NewRNG(3)
+	src := make([]float32, 16*32*32)
+	for i := range src {
+		src[i] = float32(rng.Norm())
+	}
+	dst := make([]float32, 16*3*3*32*32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(src, 16, 32, 32, 3, 3, 1, 1, dst)
+	}
+}

@@ -1,0 +1,76 @@
+package tensor
+
+// Im2Col lowers one CHW image into a column matrix for convolution-as-matmul.
+// src holds C*H*W values; dst receives (C*kh*kw) x (oh*ow) values laid out
+// row-major, where oh/ow are the output spatial dimensions for the given
+// stride and zero padding. dst must have length C*kh*kw*oh*ow.
+func Im2Col(src []float32, c, h, w, kh, kw, stride, pad int, dst []float32) (oh, ow int) {
+	oh = (h+2*pad-kh)/stride + 1
+	ow = (w+2*pad-kw)/stride + 1
+	di := 0
+	for ch := 0; ch < c; ch++ {
+		plane := src[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := iy * w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							dst[di] = 0
+						} else {
+							dst[di] = plane[rowBase+ix]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+	return oh, ow
+}
+
+// Col2Im accumulates a column matrix back into a CHW image (the adjoint of
+// Im2Col), used for convolution input gradients. dst must hold C*H*W values
+// and is accumulated into (callers zero it first).
+func Col2Im(src []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	si := 0
+	for ch := 0; ch < c; ch++ {
+		plane := dst[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						si += ow
+						continue
+					}
+					rowBase := iy * w
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix >= 0 && ix < w {
+							plane[rowBase+ix] += src[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvOutDim returns the output spatial size for one dimension of a
+// convolution or pooling window.
+func ConvOutDim(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

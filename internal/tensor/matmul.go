@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of output rows per goroutine before
+// MatMul fans out. Small matrices stay single-threaded to avoid scheduling
+// overhead.
+const parallelThreshold = 8
+
+// MatMul returns a @ b for rank-2 tensors of shapes [m,k] and [k,n]. Large
+// products are split across GOMAXPROCS goroutines by output row.
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Dim(0), b.Dim(1))
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a @ b, reusing dst's storage. dst must have shape
+// [a.Dim(0), b.Dim(1)] and must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 operands")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v @ %v", a.shape, b.shape))
+	}
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulInto destination %v for product [%d,%d]", dst.shape, m, n))
+	}
+	ad, bd, cd := a.data, b.data, dst.data
+
+	rows := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ci := cd[i*n : (i+1)*n]
+			for x := range ci {
+				ci[x] = 0
+			}
+			ai := ad[i*k : (i+1)*k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := bd[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m/parallelThreshold {
+		workers = m / parallelThreshold
+	}
+	if workers <= 1 {
+		rows(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			rows(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose requires a rank-2 tensor")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
+			out.data[j*m+i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package tensor
+
+import "math"
+
+// RNG is a small, deterministic SplitMix64-based generator used for weight
+// initialization and synthetic data. It is intentionally independent of
+// math/rand so results are stable across Go releases.
+type RNG struct {
+	state uint64
+	// Gaussian spare value cache (Box-Muller produces pairs).
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next raw 64-bit value (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal sample via Box-Muller.
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// FillNormal fills t with N(mean, std) samples.
+func (r *RNG) FillNormal(t *Tensor, mean, std float64) {
+	for i := range t.data {
+		t.data[i] = float32(mean + std*r.Norm())
+	}
+}
+
+// FillUniform fills t with uniform samples in [lo, hi).
+func (r *RNG) FillUniform(t *Tensor, lo, hi float64) {
+	for i := range t.data {
+		t.data[i] = float32(lo + (hi-lo)*r.Float64())
+	}
+}

@@ -1,0 +1,150 @@
+package zoo
+
+import (
+	"tbnet/internal/nn"
+	"tbnet/internal/tensor"
+)
+
+// DWBlock is a MobileNet-style depthwise-separable stage: depthwise 3×3
+// (spatial) → BN → ReLU → pointwise 1×1 (channel mixing) → BN → ReLU. Its
+// prunable output group is the pointwise convolution's output channel set,
+// ranked by the trailing BN — the same surface TBNet's composite pruning
+// operates on for plain conv blocks.
+type DWBlock struct {
+	DW   *nn.DepthwiseConv2D
+	BN1  *nn.BatchNorm2D
+	Act1 *nn.ReLU
+	PW   *nn.Conv2D
+	BN2  *nn.BatchNorm2D
+	Act2 *nn.ReLU
+	name string
+}
+
+// NewDWBlock builds a depthwise-separable block; stride applies to the
+// depthwise (spatial) convolution.
+func NewDWBlock(name string, inC, outC, stride int, rng *tensor.RNG) *DWBlock {
+	return &DWBlock{
+		DW:   nn.NewDepthwiseConv2D(name+".dw", inC, 3, stride, 1, rng),
+		BN1:  nn.NewBatchNorm2D(name+".bn1", inC),
+		Act1: nn.NewReLU(name + ".relu1"),
+		PW:   nn.NewConv2D(name+".pw", inC, outC, 1, 1, 0, false, rng),
+		BN2:  nn.NewBatchNorm2D(name+".bn2", outC),
+		Act2: nn.NewReLU(name + ".relu2"),
+		name: name,
+	}
+}
+
+// Name returns the stage's diagnostic name.
+func (b *DWBlock) Name() string { return b.name }
+
+// Params returns all trainable parameters.
+func (b *DWBlock) Params() []*nn.Param {
+	ps := append(b.DW.Params(), b.BN1.Params()...)
+	ps = append(ps, b.PW.Params()...)
+	return append(ps, b.BN2.Params()...)
+}
+
+// OutShape composes the block's layers.
+func (b *DWBlock) OutShape(in []int) []int {
+	return b.PW.OutShape(b.DW.OutShape(in))
+}
+
+// Forward runs dw → bn → relu → pw → bn → relu.
+func (b *DWBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := b.Act1.Forward(b.BN1.Forward(b.DW.Forward(x, train), train), train)
+	return b.Act2.Forward(b.BN2.Forward(b.PW.Forward(y, train), train), train)
+}
+
+// Backward reverses Forward.
+func (b *DWBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := b.PW.Backward(b.BN2.Backward(b.Act2.Backward(grad)))
+	return b.DW.Backward(b.BN1.Backward(b.Act1.Backward(g)))
+}
+
+// OutChannels returns the pointwise conv's output width.
+func (b *DWBlock) OutChannels() int { return b.PW.OutC }
+
+// InChannels returns the depthwise width.
+func (b *DWBlock) InChannels() int { return b.DW.C }
+
+// OutPrunable is true: the pointwise outputs are freely prunable.
+func (b *DWBlock) OutPrunable() bool { return true }
+
+// OutGamma returns BN2's scale, ranking the output channels.
+func (b *DWBlock) OutGamma() *nn.Param { return b.BN2.Gamma }
+
+// PruneOut keeps only the listed output channels.
+func (b *DWBlock) PruneOut(keep []int) {
+	b.PW.PruneOutput(keep)
+	b.BN2.Prune(keep)
+}
+
+// PruneIn keeps only the listed input channels (depthwise filters, their BN,
+// and the pointwise input side).
+func (b *DWBlock) PruneIn(keep []int) {
+	b.DW.PruneChannels(keep)
+	b.BN1.Prune(keep)
+	b.PW.PruneInput(keep)
+}
+
+// CloneStage deep-copies the block.
+func (b *DWBlock) CloneStage() Stage {
+	return &DWBlock{
+		DW:   nn.CloneOf(b.DW).(*nn.DepthwiseConv2D),
+		BN1:  nn.CloneOf(b.BN1).(*nn.BatchNorm2D),
+		Act1: nn.NewReLU(b.name + ".relu1"),
+		PW:   nn.CloneOf(b.PW).(*nn.Conv2D),
+		BN2:  nn.CloneOf(b.BN2).(*nn.BatchNorm2D),
+		Act2: nn.NewReLU(b.name + ".relu2"),
+		name: b.name,
+	}
+}
+
+// MobileNetConfig describes a MobileNet-style network: a stem conv followed
+// by depthwise-separable blocks.
+type MobileNetConfig struct {
+	Name    string
+	Stem    int
+	Widths  []int // one DWBlock per entry
+	Strides []int // parallel to Widths
+	Classes int
+	InC     int
+}
+
+// MobileNetSConfig returns a small MobileNet for 16×16 inputs.
+func MobileNetSConfig(classes int) MobileNetConfig {
+	return MobileNetConfig{
+		Name:    "MobileNet-S",
+		Stem:    16,
+		Widths:  []int{24, 32, 32, 48, 48, 64},
+		Strides: []int{1, 2, 1, 2, 1, 2},
+		Classes: classes,
+		InC:     3,
+	}
+}
+
+// TinyMobileNetConfig is a 2-block network for fast unit tests.
+func TinyMobileNetConfig(classes int) MobileNetConfig {
+	return MobileNetConfig{
+		Name:    "TinyMobileNet",
+		Stem:    8,
+		Widths:  []int{12, 16},
+		Strides: []int{2, 2},
+		Classes: classes,
+		InC:     3,
+	}
+}
+
+// BuildMobileNet constructs the staged model.
+func BuildMobileNet(cfg MobileNetConfig, rng *tensor.RNG) *Model {
+	m := &Model{Name: cfg.Name, Arch: "mobilenet", InC: cfg.InC, Classes: cfg.Classes}
+	m.Stages = append(m.Stages, NewConvBlock(cfg.Name+".stem", cfg.InC, cfg.Stem, 1, 1, rng))
+	in := cfg.Stem
+	for i, w := range cfg.Widths {
+		m.Stages = append(m.Stages, NewDWBlock(
+			cfg.Name+".dw"+string(rune('0'+i)), in, w, cfg.Strides[i], rng))
+		in = w
+	}
+	m.Head = NewHead(cfg.Name+".head", in, cfg.Classes, rng)
+	return m
+}

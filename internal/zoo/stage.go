@@ -1,0 +1,299 @@
+// Package zoo builds the DNN architectures the paper evaluates — a VGG-style
+// plain convolutional network and ResNet-20 — as *staged* models. A stage is
+// the granularity at which TBNet transfers feature maps from the unsecured
+// branch (REE) into the secure branch (TEE), and the unit the pruning
+// machinery reasons about. Width scales are reduced relative to the paper so
+// the full pipeline (train → transfer → prune → attack) runs on CPU in CI
+// time; the architectural families and pruning surfaces are unchanged.
+package zoo
+
+import (
+	"fmt"
+
+	"tbnet/internal/nn"
+	"tbnet/internal/tensor"
+)
+
+// Stage is one feature-map-producing unit of a staged model. After each
+// stage, TBNet's two-branch model transfers the REE feature map into the TEE.
+type Stage interface {
+	nn.Layer
+	// OutChannels is the stage's current output channel count.
+	OutChannels() int
+	// InChannels is the stage's current input channel count.
+	InChannels() int
+	// OutPrunable reports whether the stage's output channels may be pruned
+	// (false when identity skip connections tie the channel dimension).
+	OutPrunable() bool
+	// OutGamma returns the BN scale vector ranking the stage's output
+	// channels (nil if the stage output has no batch norm).
+	OutGamma() *nn.Param
+	// PruneOut keeps only the listed output channels.
+	PruneOut(keep []int)
+	// PruneIn keeps only the listed input channels.
+	PruneIn(keep []int)
+	// CloneStage deep-copies the stage.
+	CloneStage() Stage
+}
+
+// ConvBlock is Conv → BN → ReLU with an optional trailing max pool: the
+// building unit of the VGG-style models and the ResNet stem.
+type ConvBlock struct {
+	Conv *nn.Conv2D
+	BN   *nn.BatchNorm2D
+	Act  *nn.ReLU
+	Pool *nn.MaxPool2D // nil when the block does not downsample
+	// OutFixed pins the output channels (set on the ResNet stem, whose width
+	// is tied to the identity skips of the first residual stage).
+	OutFixed bool
+	name     string
+}
+
+// NewConvBlock builds a conv block; pool > 1 appends a max pool of that size.
+func NewConvBlock(name string, inC, outC, stride, pool int, rng *tensor.RNG) *ConvBlock {
+	b := &ConvBlock{
+		Conv: nn.NewConv2D(name+".conv", inC, outC, 3, stride, 1, false, rng),
+		BN:   nn.NewBatchNorm2D(name+".bn", outC),
+		Act:  nn.NewReLU(name + ".relu"),
+		name: name,
+	}
+	if pool > 1 {
+		b.Pool = nn.NewMaxPool2D(name+".pool", pool)
+	}
+	return b
+}
+
+// Name returns the stage's diagnostic name.
+func (b *ConvBlock) Name() string { return b.name }
+
+// Params returns conv + BN parameters.
+func (b *ConvBlock) Params() []*nn.Param {
+	return append(b.Conv.Params(), b.BN.Params()...)
+}
+
+// OutShape composes the block's layers.
+func (b *ConvBlock) OutShape(in []int) []int {
+	s := b.BN.OutShape(b.Conv.OutShape(in))
+	if b.Pool != nil {
+		s = b.Pool.OutShape(s)
+	}
+	return s
+}
+
+// Forward runs conv → bn → relu (→ pool).
+func (b *ConvBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := b.Act.Forward(b.BN.Forward(b.Conv.Forward(x, train), train), train)
+	if b.Pool != nil {
+		y = b.Pool.Forward(y, train)
+	}
+	return y
+}
+
+// Backward reverses Forward.
+func (b *ConvBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.Pool != nil {
+		grad = b.Pool.Backward(grad)
+	}
+	return b.Conv.Backward(b.BN.Backward(b.Act.Backward(grad)))
+}
+
+// OutChannels returns the conv's output width.
+func (b *ConvBlock) OutChannels() int { return b.Conv.OutC }
+
+// InChannels returns the conv's input width.
+func (b *ConvBlock) InChannels() int { return b.Conv.InC }
+
+// OutPrunable reports whether output pruning is allowed.
+func (b *ConvBlock) OutPrunable() bool { return !b.OutFixed }
+
+// OutGamma returns the BN scale ranking the output channels.
+func (b *ConvBlock) OutGamma() *nn.Param { return b.BN.Gamma }
+
+// PruneOut keeps only the listed output channels.
+func (b *ConvBlock) PruneOut(keep []int) {
+	b.Conv.PruneOutput(keep)
+	b.BN.Prune(keep)
+}
+
+// PruneIn keeps only the listed input channels.
+func (b *ConvBlock) PruneIn(keep []int) { b.Conv.PruneInput(keep) }
+
+// CloneStage deep-copies the block.
+func (b *ConvBlock) CloneStage() Stage {
+	out := &ConvBlock{
+		Conv:     nn.CloneOf(b.Conv).(*nn.Conv2D),
+		BN:       nn.CloneOf(b.BN).(*nn.BatchNorm2D),
+		Act:      nn.NewReLU(b.name + ".relu"),
+		OutFixed: b.OutFixed,
+		name:     b.name,
+	}
+	if b.Pool != nil {
+		out.Pool = nn.NewMaxPool2D(b.name+".pool", b.Pool.K)
+	}
+	return out
+}
+
+// ResBlock is a ResNet basic block: two 3×3 convolutions with an identity or
+// 1×1-projection skip. WithSkip=false yields the plain "main branch" variant
+// the paper uses to initialize M_R for ResNet victims (Sec. 4, "M_R is
+// initialized from the main branch (excluding skip connections)").
+type ResBlock struct {
+	Conv1 *nn.Conv2D
+	BN1   *nn.BatchNorm2D
+	Act1  *nn.ReLU
+	Conv2 *nn.Conv2D
+	BN2   *nn.BatchNorm2D
+	Act2  *nn.ReLU
+	// Projection path for downsampling blocks; nil means identity skip.
+	Down   *nn.Conv2D
+	DownBN *nn.BatchNorm2D
+	// WithSkip disables the skip entirely (plain-chain M_R variant).
+	WithSkip bool
+	name     string
+
+	lastSkip *tensor.Tensor // cached skip output for backward
+	lastIn   *tensor.Tensor
+}
+
+// NewResBlock builds a basic block. stride 2 creates a projection skip.
+func NewResBlock(name string, inC, outC, stride int, withSkip bool, rng *tensor.RNG) *ResBlock {
+	b := &ResBlock{
+		Conv1:    nn.NewConv2D(name+".conv1", inC, outC, 3, stride, 1, false, rng),
+		BN1:      nn.NewBatchNorm2D(name+".bn1", outC),
+		Act1:     nn.NewReLU(name + ".relu1"),
+		Conv2:    nn.NewConv2D(name+".conv2", outC, outC, 3, 1, 1, false, rng),
+		BN2:      nn.NewBatchNorm2D(name+".bn2", outC),
+		Act2:     nn.NewReLU(name + ".relu2"),
+		WithSkip: withSkip,
+		name:     name,
+	}
+	if withSkip && (stride != 1 || inC != outC) {
+		b.Down = nn.NewConv2D(name+".down", inC, outC, 1, stride, 0, false, rng)
+		b.DownBN = nn.NewBatchNorm2D(name+".downbn", outC)
+	}
+	return b
+}
+
+// Name returns the stage's diagnostic name.
+func (b *ResBlock) Name() string { return b.name }
+
+// Params returns all trainable parameters of the block.
+func (b *ResBlock) Params() []*nn.Param {
+	ps := append(b.Conv1.Params(), b.BN1.Params()...)
+	ps = append(ps, b.Conv2.Params()...)
+	ps = append(ps, b.BN2.Params()...)
+	if b.Down != nil {
+		ps = append(ps, b.Down.Params()...)
+		ps = append(ps, b.DownBN.Params()...)
+	}
+	return ps
+}
+
+// OutShape composes the main path.
+func (b *ResBlock) OutShape(in []int) []int {
+	return b.Conv2.OutShape(b.Conv1.OutShape(in))
+}
+
+// Forward runs the main path and (optionally) adds the skip.
+func (b *ResBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b.lastIn = x
+	y := b.BN2.Forward(b.Conv2.Forward(b.Act1.Forward(b.BN1.Forward(b.Conv1.Forward(x, train), train), train), train), train)
+	if b.WithSkip {
+		skip := x
+		if b.Down != nil {
+			skip = b.DownBN.Forward(b.Down.Forward(x, train), train)
+		}
+		b.lastSkip = skip
+		y = y.Clone()
+		y.AddInPlace(skip)
+	}
+	return b.Act2.Forward(y, train)
+}
+
+// Backward reverses Forward, splitting the gradient between the main path
+// and the skip.
+func (b *ResBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := b.Act2.Backward(grad)
+	dxMain := b.Conv1.Backward(b.BN1.Backward(b.Act1.Backward(b.Conv2.Backward(b.BN2.Backward(g)))))
+	if !b.WithSkip {
+		return dxMain
+	}
+	var dxSkip *tensor.Tensor
+	if b.Down != nil {
+		dxSkip = b.Down.Backward(b.DownBN.Backward(g))
+	} else {
+		dxSkip = g
+	}
+	dxMain.AddInPlace(dxSkip)
+	return dxMain
+}
+
+// OutChannels returns the block's output width.
+func (b *ResBlock) OutChannels() int { return b.Conv2.OutC }
+
+// InChannels returns the block's input width.
+func (b *ResBlock) InChannels() int { return b.Conv1.InC }
+
+// OutPrunable is false: identity skips tie block outputs across the stage,
+// so only the internal (between conv1 and conv2) channels are prunable.
+func (b *ResBlock) OutPrunable() bool { return false }
+
+// OutGamma returns BN2's scale (informational; output pruning is disabled).
+func (b *ResBlock) OutGamma() *nn.Param { return b.BN2.Gamma }
+
+// InternalGamma returns BN1's scale, which ranks the prunable internal
+// channels.
+func (b *ResBlock) InternalGamma() *nn.Param { return b.BN1.Gamma }
+
+// InternalChannels returns the internal width.
+func (b *ResBlock) InternalChannels() int { return b.Conv1.OutC }
+
+// PruneInternal keeps only the listed internal channels (conv1 outputs /
+// conv2 inputs).
+func (b *ResBlock) PruneInternal(keep []int) {
+	b.Conv1.PruneOutput(keep)
+	b.BN1.Prune(keep)
+	b.Conv2.PruneInput(keep)
+}
+
+// PruneOut panics: block outputs are not prunable.
+func (b *ResBlock) PruneOut(keep []int) {
+	panic(fmt.Sprintf("zoo: %s output channels are tied by skip connections", b.name))
+}
+
+// PruneIn keeps only the listed input channels on both paths.
+func (b *ResBlock) PruneIn(keep []int) {
+	b.Conv1.PruneInput(keep)
+	if b.Down != nil {
+		b.Down.PruneInput(keep)
+	}
+}
+
+// CloneStage deep-copies the block.
+func (b *ResBlock) CloneStage() Stage {
+	out := &ResBlock{
+		Conv1:    nn.CloneOf(b.Conv1).(*nn.Conv2D),
+		BN1:      nn.CloneOf(b.BN1).(*nn.BatchNorm2D),
+		Act1:     nn.NewReLU(b.name + ".relu1"),
+		Conv2:    nn.CloneOf(b.Conv2).(*nn.Conv2D),
+		BN2:      nn.CloneOf(b.BN2).(*nn.BatchNorm2D),
+		Act2:     nn.NewReLU(b.name + ".relu2"),
+		WithSkip: b.WithSkip,
+		name:     b.name,
+	}
+	if b.Down != nil {
+		out.Down = nn.CloneOf(b.Down).(*nn.Conv2D)
+		out.DownBN = nn.CloneOf(b.DownBN).(*nn.BatchNorm2D)
+	}
+	return out
+}
+
+// StripSkip returns a copy of the block with the skip connection removed —
+// the transformation that derives the plain-chain M_R from a ResNet victim.
+func (b *ResBlock) StripSkip() *ResBlock {
+	out := b.CloneStage().(*ResBlock)
+	out.WithSkip = false
+	out.Down = nil
+	out.DownBN = nil
+	return out
+}

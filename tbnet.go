@@ -1,0 +1,189 @@
+// Package tbnet is the public API of the TBNet reproduction — a neural
+// architectural defense framework that protects DNN models deployed on edge
+// devices with a Trusted Execution Environment (DAC 2024).
+//
+// TBNet replaces a well-trained victim model with a two-branch substitution:
+// the unsecured branch M_R runs in the rich execution environment (REE) and
+// the secure branch M_T runs inside the TEE, connected by one-way
+// (REE→TEE) feature-map transfers. Knowledge transfer, iterative two-branch
+// pruning, and rollback finalization yield a deployment whose REE-resident
+// part is useless to steal, while the TEE part is small and fast.
+//
+// The typical flow:
+//
+//	victim := tbnet.BuildVGG(tbnet.VGG18Config(10), tbnet.NewRNG(1))
+//	tbnet.TrainModel(victim, train, test, tbnet.DefaultTrainConfig(20))
+//
+//	tb := tbnet.NewTwoBranch(victim, 2)                  // step 1
+//	tbnet.TrainTwoBranch(tb, train, test, transferCfg)   // step 2
+//	res := tbnet.PruneTwoBranch(tb, train, test, prCfg)  // steps 3–5
+//	tbnet.FinalizeRollback(tb, res)                      // step 6
+//
+//	dep, err := tbnet.Deploy(tb, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
+//	labels, err := dep.Infer(x)
+//
+// Everything underneath — the tensor/NN/optimizer stack, the synthetic
+// CIFAR-like datasets, the TrustZone device model, the attacks, and the
+// experiment harness that regenerates the paper's tables and figures — lives
+// in the internal packages and is re-exported here where a downstream user
+// needs it.
+package tbnet
+
+import (
+	"io"
+
+	"tbnet/internal/attack"
+	"tbnet/internal/core"
+	"tbnet/internal/data"
+	"tbnet/internal/serial"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// Re-exported model and training types.
+type (
+	// Model is a staged CNN (the victim, or one TBNet branch).
+	Model = zoo.Model
+	// VGGConfig configures a VGG-style plain network.
+	VGGConfig = zoo.VGGConfig
+	// ResNetConfig configures a CIFAR-style ResNet.
+	ResNetConfig = zoo.ResNetConfig
+	// TwoBranch is TBNet's two-branch substitution model.
+	TwoBranch = core.TwoBranch
+	// TrainConfig carries optimization hyperparameters.
+	TrainConfig = core.TrainConfig
+	// PruneConfig controls the iterative two-branch pruning (Alg. 1).
+	PruneConfig = core.PruneConfig
+	// PruneResult is the pruning outcome, consumed by FinalizeRollback.
+	PruneResult = core.PruneResult
+	// Deployment is a finalized model placed on a simulated device.
+	Deployment = core.Deployment
+	// Dataset is an in-memory labeled image set.
+	Dataset = data.Dataset
+	// SynthConfig controls the procedural dataset generator.
+	SynthConfig = data.SynthConfig
+	// DeviceModel is the TrustZone device cost model.
+	DeviceModel = tee.DeviceModel
+	// RNG is the deterministic random generator used throughout.
+	RNG = tensor.RNG
+	// Tensor is the dense float32 tensor type.
+	Tensor = tensor.Tensor
+	// FineTuneConfig configures the fine-tuning attack.
+	FineTuneConfig = attack.FineTuneConfig
+)
+
+// NewRNG returns a deterministic generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// NewTensor returns a zero-filled tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// VGG18Config returns the reproduction's VGG-style configuration.
+func VGG18Config(classes int) VGGConfig { return zoo.VGG18Config(classes) }
+
+// ResNet20Config returns the reproduction's ResNet-20 configuration.
+func ResNet20Config(classes int) ResNetConfig { return zoo.ResNet20Config(classes) }
+
+// BuildVGG constructs a VGG-style staged model.
+func BuildVGG(cfg VGGConfig, rng *RNG) *Model { return zoo.BuildVGG(cfg, rng) }
+
+// BuildResNet constructs a ResNet staged model (withSkip=false builds the
+// plain-chain variant).
+func BuildResNet(cfg ResNetConfig, withSkip bool, rng *RNG) *Model {
+	return zoo.BuildResNet(cfg, withSkip, rng)
+}
+
+// MobileNetConfig configures a MobileNet-style depthwise-separable network.
+type MobileNetConfig = zoo.MobileNetConfig
+
+// MobileNetSConfig returns the small MobileNet configuration.
+func MobileNetSConfig(classes int) MobileNetConfig { return zoo.MobileNetSConfig(classes) }
+
+// BuildMobileNet constructs a MobileNet-style staged model.
+func BuildMobileNet(cfg MobileNetConfig, rng *RNG) *Model { return zoo.BuildMobileNet(cfg, rng) }
+
+// SynthCIFAR10 returns the 10-class synthetic dataset configuration.
+func SynthCIFAR10(train, test int, seed uint64) SynthConfig {
+	return data.SynthCIFAR10(train, test, seed)
+}
+
+// SynthCIFAR100 returns the 100-class synthetic dataset configuration.
+func SynthCIFAR100(train, test int, seed uint64) SynthConfig {
+	return data.SynthCIFAR100(train, test, seed)
+}
+
+// GenerateDataset builds train and test splits from a SynthConfig.
+func GenerateDataset(cfg SynthConfig) (train, test *Dataset) { return data.Generate(cfg) }
+
+// DefaultTrainConfig returns the paper's hyperparameters (SGD 0.1/0.9/1e-4,
+// λ=1e-4, lr ×0.1 every 100 epochs) for the given epoch budget.
+func DefaultTrainConfig(epochs int) TrainConfig { return core.DefaultTrainConfig(epochs) }
+
+// TrainModel trains a standalone model with cross-entropy.
+func TrainModel(m *Model, train, test *Dataset, cfg TrainConfig) core.History {
+	return core.TrainModel(m, train, test, cfg)
+}
+
+// EvaluateModel returns a model's top-1 test accuracy.
+func EvaluateModel(m *Model, d *Dataset, batchSize int) float64 {
+	return core.EvaluateModel(m, d, batchSize)
+}
+
+// NewTwoBranch performs TBNet step 1: victim → unsecured branch M_R, fresh
+// secure branch M_T with the victim's architecture.
+func NewTwoBranch(victim *Model, seed uint64) *TwoBranch { return core.NewTwoBranch(victim, seed) }
+
+// TrainTwoBranch performs step 2 (knowledge transfer under Eq. 1).
+func TrainTwoBranch(tb *TwoBranch, train, test *Dataset, cfg TrainConfig) core.History {
+	return core.TrainTwoBranch(tb, train, test, cfg)
+}
+
+// EvaluateTwoBranch returns the benign-user accuracy (M_T's output).
+func EvaluateTwoBranch(tb *TwoBranch, d *Dataset, batchSize int) float64 {
+	return core.EvaluateTwoBranch(tb, d, batchSize)
+}
+
+// DefaultPruneConfig returns Alg. 1's settings (p=10%) for a drop budget.
+func DefaultPruneConfig(dropBudget float64, fineTuneEpochs int) PruneConfig {
+	return core.DefaultPruneConfig(dropBudget, fineTuneEpochs)
+}
+
+// PruneTwoBranch performs steps 3–5 (iterative two-branch pruning).
+func PruneTwoBranch(tb *TwoBranch, train, test *Dataset, cfg PruneConfig) *PruneResult {
+	return core.PruneTwoBranch(tb, train, test, cfg)
+}
+
+// FinalizeRollback performs step 6 (architectural divergence via rollback).
+func FinalizeRollback(tb *TwoBranch, res *PruneResult) { core.FinalizeRollback(tb, res) }
+
+// RaspberryPi3 returns the cost model of the paper's testbed.
+func RaspberryPi3() DeviceModel { return tee.RaspberryPi3() }
+
+// Deploy places a finalized model onto a simulated device.
+func Deploy(tb *TwoBranch, device DeviceModel, sampleShape []int) (*Deployment, error) {
+	return core.Deploy(tb, device, sampleShape)
+}
+
+// AttackDirectUse evaluates a stolen M_R as a standalone classifier.
+func AttackDirectUse(stolen *Model, test *Dataset, batchSize int) float64 {
+	return attack.DirectUse(stolen, test, batchSize)
+}
+
+// AttackFineTune retrains a copy of the stolen branch on a data fraction and
+// returns its test accuracy.
+func AttackFineTune(stolen *Model, train, test *Dataset, cfg FineTuneConfig) float64 {
+	return attack.FineTune(stolen, train, test, cfg)
+}
+
+// SaveModel writes a model in the binary deployment format.
+func SaveModel(w io.Writer, m *Model) error { return serial.SaveModel(w, m) }
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return serial.LoadModel(r) }
+
+// SaveTwoBranch writes a (typically finalized) two-branch model.
+func SaveTwoBranch(w io.Writer, tb *TwoBranch) error { return serial.SaveTwoBranch(w, tb) }
+
+// LoadTwoBranch reads a two-branch model written by SaveTwoBranch.
+func LoadTwoBranch(r io.Reader) (*TwoBranch, error) { return serial.LoadTwoBranch(r) }
