@@ -23,6 +23,15 @@ func benchLab(seed uint64) *experiments.Lab {
 	return experiments.NewLab(experiments.Config{Scale: experiments.MicroScale(), Seed: seed})
 }
 
+// skipInShort keeps the artifact-regeneration benchmarks out of CI's
+// short-mode bench smoke run: each iteration trains full micro pipelines,
+// which is too heavy for a per-commit gate.
+func skipInShort(b *testing.B) {
+	if testing.Short() {
+		b.Skip("artifact benchmark skipped in short mode")
+	}
+}
+
 // parsePct converts the report's "12.34%" cells back to numbers.
 func parsePct(s string) float64 {
 	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
@@ -44,6 +53,7 @@ func parseRatio(s string) float64 {
 // BenchmarkTable1 regenerates Table 1 (victim/TBNet/attack accuracy and the
 // protection gap) across the four architecture×dataset combinations.
 func BenchmarkTable1(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		lab := benchLab(uint64(i + 1))
 		t := lab.Table1()
@@ -57,6 +67,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFig2 regenerates Fig. 2 (fine-tuning attack vs data availability).
 func BenchmarkFig2(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		lab := benchLab(uint64(i + 1))
 		series := lab.Fig2()
@@ -77,6 +88,7 @@ func BenchmarkFig2(b *testing.B) {
 
 // BenchmarkTable2 regenerates Table 2 (best possible M_T alone vs TBNet).
 func BenchmarkTable2(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		lab := benchLab(uint64(i + 1))
 		t := lab.Table2()
@@ -90,6 +102,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkFig3 regenerates Fig. 3 (secure-memory usage baseline vs TBNet).
 func BenchmarkFig3(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		lab := benchLab(uint64(i + 1))
 		t := lab.Fig3()
@@ -103,6 +116,7 @@ func BenchmarkFig3(b *testing.B) {
 
 // BenchmarkTable3 regenerates Table 3 (inference latency baseline vs TBNet).
 func BenchmarkTable3(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		lab := benchLab(uint64(i + 1))
 		t := lab.Table3()
@@ -116,6 +130,7 @@ func BenchmarkTable3(b *testing.B) {
 
 // BenchmarkFig4 regenerates Fig. 4 (BN weight distributions after transfer).
 func BenchmarkFig4(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		lab := benchLab(uint64(i + 1))
 		mr, mt := lab.Fig4()
@@ -125,6 +140,7 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkAblation regenerates the prior-art strategy comparison.
 func BenchmarkAblation(b *testing.B) {
+	skipInShort(b)
 	for i := 0; i < b.N; i++ {
 		lab := benchLab(uint64(i + 1))
 		t := lab.Ablation()
@@ -138,6 +154,7 @@ func BenchmarkAblation(b *testing.B) {
 // finalized two-branch deployment (REE stages + enclave invocations), the
 // steady-state serving path.
 func BenchmarkDeployedInference(b *testing.B) {
+	skipInShort(b)
 	lab := benchLab(1)
 	p := lab.Pipeline(experiments.Combo{Arch: "vgg", Dataset: "c10"})
 	device := tee.RaspberryPi3()
@@ -171,6 +188,7 @@ func BenchmarkVictimInference(b *testing.B) {
 // BenchmarkTwoBranchTrainStep measures one joint forward+backward+update on
 // a batch — the knowledge-transfer inner loop.
 func BenchmarkTwoBranchTrainStep(b *testing.B) {
+	skipInShort(b)
 	train, _ := GenerateDataset(SynthCIFAR10(32, 8, 5))
 	victim := BuildVGG(VGG18Config(10), NewRNG(6))
 	tb := NewTwoBranch(victim, 7)

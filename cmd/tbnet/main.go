@@ -1,147 +1,424 @@
 // Command tbnet drives the TBNet reproduction: it trains victims, generates
-// the two-branch substitution model, and regenerates every table and figure
-// of the paper's evaluation on the simulated TrustZone substrate.
+// the two-branch substitution model, serves it concurrently on the simulated
+// TrustZone substrate, and regenerates every table and figure of the paper's
+// evaluation.
 //
 // Usage:
 //
-//	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|ablation> [flags]
-//	tbnet pipeline [flags]     # run one train→transfer→prune→finalize flow
-//	tbnet info                 # print the simulated device model
+//	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|ablation|...> [flags]
+//	tbnet pipeline [flags]    # one train→transfer→prune→finalize flow
+//	tbnet serve [flags]       # deploy and serve a synthetic request load
+//	tbnet info                # print the simulated device model
 //
-// Flags:
+// Common flags:
 //
-//	-scale ci|full   experiment scale (default ci)
-//	-seed N          master seed (default 1)
-//	-arch vgg|resnet (pipeline only)
-//	-dataset c10|c100 (pipeline only)
-//	-v               verbose progress logging
+//	-scale micro|ci|full  workload scale (default ci)
+//	-seed N               master seed (default 1)
+//	-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet
+//	-dataset c10|c100
+//	-json                 machine-readable output (experiment, serve)
+//	-v                    verbose progress logging
+//
+// Serve flags:
+//
+//	-workers N    replicated enclave sessions (default 4)
+//	-batch N      micro-batch flush size (default 8)
+//	-delay D      micro-batch flush delay (default 2ms)
+//	-requests N   synthetic requests to serve (default 64)
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sync"
+	"time"
 
+	"tbnet"
 	"tbnet/internal/experiments"
 	"tbnet/internal/report"
 	"tbnet/internal/tee"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	scale := fs.String("scale", "ci", "experiment scale: ci or full")
-	seed := fs.Uint64("seed", 1, "master seed")
-	arch := fs.String("arch", "vgg", "architecture: vgg or resnet (pipeline)")
-	dataset := fs.String("dataset", "c10", "dataset: c10 or c100 (pipeline)")
-	verbose := fs.Bool("v", false, "verbose progress logging")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	switch cmd {
+// run dispatches one CLI invocation; it is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	switch cmd := args[0]; cmd {
 	case "experiment":
-		if len(os.Args) < 3 {
-			usage()
-			os.Exit(2)
-		}
-		which := os.Args[2]
-		if err := fs.Parse(os.Args[3:]); err != nil {
-			os.Exit(2)
-		}
-		lab := newLab(*scale, *seed, *verbose)
-		runExperiment(lab, which)
+		return runExperimentCmd(args[1:], stdout, stderr)
 	case "pipeline":
-		if err := fs.Parse(os.Args[2:]); err != nil {
-			os.Exit(2)
-		}
-		lab := newLab(*scale, *seed, true)
-		p := lab.Pipeline(experiments.Combo{Arch: *arch, Dataset: *dataset})
-		fmt.Printf("victim accuracy: %s\n", report.Pct(p.VictimAcc))
-		fmt.Printf("TBNet accuracy:  %s\n", report.Pct(p.TBAcc))
-		fmt.Printf("pruning iterations applied: %d\n", p.PruneRes.Iterations)
-		for _, h := range p.PruneRes.History {
-			status := "kept"
-			if h.Reverted {
-				status = "reverted"
-			}
-			fmt.Printf("  iter %d: %d prunable channels, acc %s (%s)\n",
-				h.Iter, h.TotalChannels, report.Pct(h.Acc), status)
-		}
+		return runPipelineCmd(args[1:], stdout, stderr)
+	case "serve":
+		return runServeCmd(args[1:], stdout, stderr)
 	case "info":
-		d := tee.RaspberryPi3()
-		fmt.Printf("device: %s\n", d.Name)
-		fmt.Printf("  REE throughput:   %.2g FLOP/s\n", d.REEFlopsPerSec)
-		fmt.Printf("  TEE throughput:   %.2g FLOP/s\n", d.TEEFlopsPerSec)
-		fmt.Printf("  SMC latency:      %v\n", d.SMCLatency)
-		fmt.Printf("  transfer BW:      %.2g B/s\n", d.TransferBytesPerSec)
-		fmt.Printf("  secure memory:    %s\n", report.Bytes(d.SecureMemBytes))
+		return runInfoCmd(stdout)
 	default:
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown command %q\n", cmd)
+		usage(stderr)
+		return 2
 	}
 }
 
-func newLab(scale string, seed uint64, verbose bool) *experiments.Lab {
-	cfg := experiments.Config{Seed: seed}
-	switch scale {
+// commonFlags carries the flags shared by the workload commands.
+type commonFlags struct {
+	scale   string
+	seed    uint64
+	arch    string
+	dataset string
+	jsonOut bool
+	verbose bool
+}
+
+func addCommonFlags(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.scale, "scale", "ci", "workload scale: micro, ci, or full")
+	fs.Uint64Var(&c.seed, "seed", 1, "master seed")
+	fs.StringVar(&c.arch, "arch", "vgg", "architecture: vgg, resnet, mobilenet, tiny-vgg, tiny-resnet")
+	fs.StringVar(&c.dataset, "dataset", "c10", "dataset: c10 or c100")
+	fs.BoolVar(&c.jsonOut, "json", false, "machine-readable JSON output")
+	fs.BoolVar(&c.verbose, "v", false, "verbose progress logging")
+	return c
+}
+
+// pipelineOptions maps the CLI flags onto the functional-options surface.
+func (c *commonFlags) pipelineOptions(stderr io.Writer) ([]tbnet.PipelineOption, error) {
+	opts := []tbnet.PipelineOption{
+		tbnet.WithArch(c.arch),
+		tbnet.WithDataset(c.dataset),
+		tbnet.WithSeed(c.seed),
+	}
+	switch c.scale {
+	case "micro":
+		opts = append(opts,
+			tbnet.WithDatasetSize(60, 30),
+			tbnet.WithEpochs(2, 2, 1),
+			tbnet.WithPruning(1.0, 1),
+			tbnet.WithHyperparams(0.05, 5e-4),
+		)
+	case "ci":
+		// pipeline defaults are the CI scale
+	case "full":
+		opts = append(opts,
+			tbnet.WithDatasetSize(240, 160),
+			tbnet.WithEpochs(14, 14, 2),
+			tbnet.WithPruning(0.12, 5),
+		)
+	default:
+		return nil, fmt.Errorf("unknown scale %q (want micro, ci, or full)", c.scale)
+	}
+	if c.verbose {
+		opts = append(opts, tbnet.WithLogger(stderr))
+	}
+	return opts, nil
+}
+
+func runPipelineCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pipeline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := addCommonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opts, err := c.pipelineOptions(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	p, err := tbnet.NewPipeline(opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if c.jsonOut {
+		enc := json.NewEncoder(stdout)
+		if err := enc.Encode(struct {
+			Arch       string  `json:"arch"`
+			Dataset    string  `json:"dataset"`
+			VictimAcc  float64 `json:"victim_acc"`
+			TBAcc      float64 `json:"tbnet_acc"`
+			PruneIters int     `json:"prune_iterations"`
+		}{c.arch, c.dataset, res.VictimAcc, res.TBAcc, res.PruneRes.Iterations}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "victim accuracy: %s\n", report.Pct(res.VictimAcc))
+	fmt.Fprintf(stdout, "TBNet accuracy:  %s\n", report.Pct(res.TBAcc))
+	fmt.Fprintf(stdout, "pruning iterations applied: %d\n", res.PruneRes.Iterations)
+	for _, h := range res.PruneRes.History {
+		status := "kept"
+		if h.Reverted {
+			status = "reverted"
+		}
+		fmt.Fprintf(stdout, "  iter %d: %d prunable channels, acc %s (%s)\n",
+			h.Iter, h.TotalChannels, report.Pct(h.Acc), status)
+	}
+	return 0
+}
+
+func runServeCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := addCommonFlags(fs)
+	workers := fs.Int("workers", 4, "replicated enclave sessions")
+	batch := fs.Int("batch", 8, "micro-batch flush size")
+	delay := fs.Duration("delay", 2*time.Millisecond, "micro-batch flush delay")
+	requests := fs.Int("requests", 64, "synthetic requests to serve")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 || *batch < 1 || *delay <= 0 || *requests < 1 {
+		fmt.Fprintf(stderr,
+			"invalid serve flags: workers %d, batch %d, delay %v, requests %d\n",
+			*workers, *batch, *delay, *requests)
+		return 2
+	}
+	opts, err := c.pipelineOptions(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	p, err := tbnet.NewPipeline(opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "building %s/%s pipeline at %s scale...\n", c.arch, c.dataset, c.scale)
+	res, err := p.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	dep, err := tbnet.Deploy(res.TB, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	srv, err := tbnet.Serve(dep,
+		tbnet.WithWorkers(*workers),
+		tbnet.WithMaxBatch(*batch),
+		tbnet.WithMaxDelay(*delay),
+	)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer srv.Close()
+
+	// Closed-loop synthetic clients drawn from the test split.
+	test := res.Test
+	singles := test.Batches(1, nil)
+	sample := func(i int) *tbnet.Tensor { return singles[i%len(singles)].X }
+	fmt.Fprintf(stderr, "serving %d requests over %d workers (batch ≤%d, delay %v)...\n",
+		*requests, *workers, *batch, *delay)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	correct, failed := 0, 0
+	clients := 4 * (*workers)
+	work := make(chan int)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				label, err := srv.Infer(context.Background(), sample(i))
+				mu.Lock()
+				if err != nil {
+					failed++
+				} else if label == test.Y[i%test.Len()] {
+					correct++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	st := srv.Stats()
+
+	if c.jsonOut {
+		if err := json.NewEncoder(stdout).Encode(struct {
+			Requests          int64   `json:"requests"`
+			Errors            int64   `json:"errors"`
+			Correct           int     `json:"correct"`
+			Batches           int64   `json:"batches"`
+			MeanBatch         float64 `json:"mean_batch"`
+			LargestBatch      int     `json:"largest_batch"`
+			Workers           int     `json:"workers"`
+			P50LatencySec     float64 `json:"p50_latency_sec"`
+			P99LatencySec     float64 `json:"p99_latency_sec"`
+			ModeledThroughput float64 `json:"modeled_throughput_rps"`
+			WallSeconds       float64 `json:"wall_seconds"`
+		}{st.Requests, st.Errors, correct, st.Batches, st.MeanBatch, st.LargestBatch,
+			st.Workers, st.P50Latency, st.P99Latency, st.ModeledThroughput,
+			st.WallSeconds}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "served %d requests (%d failed), accuracy %s\n",
+		st.Requests, failed, report.Pct(float64(correct)/float64(*requests)))
+	fmt.Fprintf(stdout, "  workers:            %d\n", st.Workers)
+	fmt.Fprintf(stdout, "  batches:            %d (mean %.2f, largest %d)\n",
+		st.Batches, st.MeanBatch, st.LargestBatch)
+	fmt.Fprintf(stdout, "  modeled latency:    p50 %.4fs  p99 %.4fs\n", st.P50Latency, st.P99Latency)
+	fmt.Fprintf(stdout, "  modeled throughput: %.1f req/s on the simulated device\n",
+		st.ModeledThroughput)
+	fmt.Fprintf(stdout, "  wall time:          %.2fs\n", st.WallSeconds)
+	return 0
+}
+
+func runExperimentCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := addCommonFlags(fs)
+	if len(args) < 1 || args[0] == "-h" || args[0] == "-help" {
+		usage(stderr)
+		return 2
+	}
+	which := args[0]
+	if !knownExperiment(which) {
+		fmt.Fprintf(stderr, "unknown experiment %q\n", which)
+		return 2
+	}
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	cfg := experiments.Config{Seed: c.seed}
+	switch c.scale {
+	case "micro":
+		cfg.Scale = experiments.MicroScale()
 	case "ci":
 		cfg.Scale = experiments.CIScale()
 	case "full":
 		cfg.Scale = experiments.FullScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want ci or full)\n", scale)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown scale %q (want micro, ci, or full)\n", c.scale)
+		return 2
 	}
-	if verbose {
-		cfg.Log = os.Stderr
+	if c.verbose {
+		cfg.Log = stderr
 	}
-	return experiments.NewLab(cfg)
+	return renderExperiment(experiments.NewLab(cfg), which, c.jsonOut, stdout, stderr)
 }
 
-func runExperiment(lab *experiments.Lab, which string) {
-	w := os.Stdout
+func knownExperiment(which string) bool {
+	switch which {
+	case "all", "table1", "table2", "table3", "fig2", "fig3", "fig4",
+		"ablation", "ablation-ranking", "ablation-rollback", "ablation-lambda",
+		"ablation-quant":
+		return true
+	}
+	return false
+}
+
+func renderExperiment(lab *experiments.Lab, which string, jsonOut bool, w, stderr io.Writer) int {
+	render := func(t *report.Table) int {
+		if jsonOut {
+			if err := t.RenderJSON(w); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			return 0
+		}
+		t.Render(w)
+		return 0
+	}
 	switch which {
 	case "all":
+		if jsonOut {
+			fmt.Fprintln(stderr, "-json is per-artifact; run each experiment separately")
+			return 2
+		}
 		lab.RunAll(w)
 	case "table1":
-		lab.Table1().Render(w)
+		return render(lab.Table1())
 	case "table2":
-		lab.Table2().Render(w)
+		return render(lab.Table2())
 	case "table3":
-		lab.Table3().Render(w)
+		return render(lab.Table3())
 	case "fig2":
-		report.RenderSeries(w, "Fig. 2: attacker fine-tuning M_R of VGG18-S under varying data availability", lab.Fig2())
+		title := "Fig. 2: attacker fine-tuning M_R of VGG18-S under varying data availability"
+		if jsonOut {
+			if err := report.RenderSeriesJSON(w, title, lab.Fig2()); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			return 0
+		}
+		report.RenderSeries(w, title, lab.Fig2())
 	case "fig3":
-		lab.Fig3().Render(w)
+		return render(lab.Fig3())
 	case "fig4":
 		mr, mt := lab.Fig4()
+		if jsonOut {
+			if err := mr.RenderJSON(w, "M_R |gamma|"); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			if err := mt.RenderJSON(w, "M_T |gamma|"); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			return 0
+		}
 		fmt.Fprintln(w, "Fig. 4: BN weight distributions after knowledge transfer (VGG18-S/SynthC10)")
 		mr.Render(w, "M_R |gamma|", 40)
 		mt.Render(w, "M_T |gamma|", 40)
 		fmt.Fprintf(w, "mean |gamma|: M_R %.4f vs M_T %.4f\n", mr.Mean(), mt.Mean())
 	case "ablation":
-		lab.Ablation().Render(w)
+		return render(lab.Ablation())
 	case "ablation-ranking":
-		lab.AblationPruneRanking().Render(w)
+		return render(lab.AblationPruneRanking())
 	case "ablation-rollback":
-		lab.AblationRollback().Render(w)
+		return render(lab.AblationRollback())
 	case "ablation-lambda":
-		lab.AblationLambda().Render(w)
+		return render(lab.AblationLambda())
 	case "ablation-quant":
-		lab.AblationQuant().Render(w)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
-		os.Exit(2)
+		return render(lab.AblationQuant())
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+func runInfoCmd(w io.Writer) int {
+	d := tee.RaspberryPi3()
+	fmt.Fprintf(w, "device: %s\n", d.Name)
+	fmt.Fprintf(w, "  REE throughput:   %.2g FLOP/s\n", d.REEFlopsPerSec)
+	fmt.Fprintf(w, "  TEE throughput:   %.2g FLOP/s\n", d.TEEFlopsPerSec)
+	fmt.Fprintf(w, "  SMC latency:      %v\n", d.SMCLatency)
+	fmt.Fprintf(w, "  transfer BW:      %.2g B/s\n", d.TransferBytesPerSec)
+	fmt.Fprintf(w, "  secure memory:    %s\n", report.Bytes(d.SecureMemBytes))
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
   tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|ablation|
                     ablation-ranking|ablation-rollback|ablation-lambda|ablation-quant>
-                   [-scale ci|full] [-seed N] [-v]
-  tbnet pipeline [-arch vgg|resnet] [-dataset c10|c100] [-scale ci|full] [-seed N]
+                   [-scale micro|ci|full] [-seed N] [-json] [-v]
+  tbnet pipeline [-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet]
+                 [-dataset c10|c100] [-scale micro|ci|full] [-seed N] [-json] [-v]
+  tbnet serve    [-workers N] [-batch N] [-delay D] [-requests N]
+                 [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
   tbnet info`)
 }

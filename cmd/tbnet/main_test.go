@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestNoArgsPrintsUsage(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr missing usage: %q", stderr)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, stderr := runCLI(t, "frobnicate")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown command") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestInfoCommand(t *testing.T) {
+	code, stdout, _ := runCLI(t, "info")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, want := range []string{"raspberrypi3b-optee", "REE throughput", "secure memory"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("info output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestExperimentValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing name", []string{"experiment"}},
+		{"unknown name", []string{"experiment", "table9"}},
+		{"bad scale", []string{"experiment", "table1", "-scale", "galactic"}},
+		{"bad flag", []string{"experiment", "table1", "-bogus"}},
+		{"json all", []string{"experiment", "all", "-json"}},
+	}
+	for _, c := range cases {
+		code, _, _ := runCLI(t, c.args...)
+		if code != 2 {
+			t.Fatalf("%s: exit = %d, want 2", c.name, code)
+		}
+	}
+}
+
+func TestPipelineFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"pipeline", "-arch", "transformer"},
+		{"pipeline", "-dataset", "imagenet"},
+		{"pipeline", "-scale", "galactic"},
+		{"pipeline", "-bogus"},
+	}
+	for _, args := range cases {
+		code, _, _ := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("%v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"serve", "-workers", "0"},
+		{"serve", "-batch", "-1"},
+		{"serve", "-requests", "0"},
+		{"serve", "-delay", "-5ms"},
+		{"serve", "-delay", "0"},
+		{"serve", "-scale", "galactic"},
+		{"serve", "-arch", "transformer"},
+		{"serve", "-bogus"},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("%v: exit = %d, want 2 (stderr %q)", args, code, stderr)
+		}
+	}
+}
+
+// TestServeCommandEndToEnd runs the serve command on the tiny architecture at
+// micro scale — the full train→deploy→serve loop — and checks the JSON
+// summary shape. Gated behind -short because it trains a (small) pipeline.
+func TestServeCommandEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping pipeline-backed serve run in short mode")
+	}
+	code, stdout, stderr := runCLI(t,
+		"serve", "-arch", "tiny-vgg", "-scale", "micro",
+		"-workers", "2", "-batch", "4", "-requests", "24", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var st struct {
+		Requests          int64   `json:"requests"`
+		Errors            int64   `json:"errors"`
+		MeanBatch         float64 `json:"mean_batch"`
+		Workers           int     `json:"workers"`
+		ModeledThroughput float64 `json:"modeled_throughput_rps"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &st); err != nil {
+		t.Fatalf("serve -json output not parseable: %v\n%s", err, stdout)
+	}
+	if st.Requests != 24 || st.Errors != 0 {
+		t.Fatalf("served %d requests with %d errors, want 24/0", st.Requests, st.Errors)
+	}
+	if st.Workers != 2 || st.ModeledThroughput <= 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+// TestPipelineCommandJSON runs the smallest full pipeline and checks the
+// machine-readable summary. Gated behind -short.
+func TestPipelineCommandJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping pipeline run in short mode")
+	}
+	code, stdout, stderr := runCLI(t,
+		"pipeline", "-arch", "tiny-vgg", "-scale", "micro", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var res struct {
+		Arch      string  `json:"arch"`
+		VictimAcc float64 `json:"victim_acc"`
+		TBAcc     float64 `json:"tbnet_acc"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("pipeline -json output not parseable: %v\n%s", err, stdout)
+	}
+	if res.Arch != "tiny-vgg" {
+		t.Fatalf("arch = %q", res.Arch)
+	}
+	if res.VictimAcc < 0 || res.VictimAcc > 1 || res.TBAcc < 0 || res.TBAcc > 1 {
+		t.Fatalf("accuracies out of range: %+v", res)
+	}
+}

@@ -1,0 +1,32 @@
+package tbnet
+
+import (
+	"errors"
+
+	"tbnet/internal/core"
+	"tbnet/internal/serve"
+)
+
+// Sentinel errors of the public API. Match them with errors.Is; every error
+// returned by the package wraps one of these (or carries call-site context
+// around it) rather than panicking on bad input.
+var (
+	// ErrShape reports an input tensor or sample shape that is incompatible
+	// with the model or deployment it was given to.
+	ErrShape = core.ErrShape
+
+	// ErrNotFinalized reports an operation (Deploy, Serve) on a two-branch
+	// model that has not been finalized with rollback (step 6).
+	ErrNotFinalized = core.ErrNotFinalized
+
+	// ErrSecureMemory reports a deployment whose secure branch does not fit
+	// in the device's secure-memory budget.
+	ErrSecureMemory = core.ErrSecureMemory
+
+	// ErrServerClosed reports an inference issued to a closed Server.
+	ErrServerClosed = serve.ErrClosed
+
+	// ErrBadOption reports an invalid value passed to a functional option of
+	// NewPipeline or Serve.
+	ErrBadOption = errors.New("tbnet: invalid option")
+)

@@ -1,58 +1,55 @@
 // Attack evaluation: reproduces the paper's security analysis on one
 // configuration — the attacker extracts the unsecured branch M_R from the REE
 // and (a) uses it directly, (b) fine-tunes it with increasing fractions of
-// the training data (the paper's Fig. 2 scenario).
+// the training data (the paper's Fig. 2 scenario). The protected model comes
+// out of the option-based pipeline builder.
 //
 // Run with: go run ./examples/attack_eval
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"tbnet"
 )
 
 func main() {
-	train, test := tbnet.GenerateDataset(tbnet.SynthCIFAR10(160, 80, 7))
+	p, err := tbnet.NewPipeline(
+		tbnet.WithArch("vgg"),
+		tbnet.WithDataset("c10"),
+		tbnet.WithSeed(7),
+		tbnet.WithDatasetSize(160, 80),
+		tbnet.WithEpochs(8, 6, 1),
+		tbnet.WithPruning(0.20, 4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim %.2f%% | TBNet (benign user) %.2f%%\n",
+		100*res.VictimAcc, 100*res.TBAcc)
 
-	victim := tbnet.BuildVGG(tbnet.VGG18Config(train.Classes), tbnet.NewRNG(8))
-	cfg := tbnet.DefaultTrainConfig(8)
-	cfg.LR = 0.03
-	cfg.BatchSize = 16
-	tbnet.TrainModel(victim, train, nil, cfg)
-
-	tb := tbnet.NewTwoBranch(victim, 9)
-	transfer := cfg
-	transfer.Epochs = 6
-	transfer.Lambda = 5e-4
-	tbnet.TrainTwoBranch(tb, train, test, transfer)
-	prune := tbnet.DefaultPruneConfig(0.20, 1)
-	prune.MaxIters = 4
-	prune.FineTune = transfer
-	prune.FineTune.Epochs = 1
-	prune.FineTune.LR = 0.01
-	res := tbnet.PruneTwoBranch(tb, train, test, prune)
-	tbnet.FinalizeRollback(tb, res)
-
-	tbAcc := tbnet.EvaluateTwoBranch(tb, test, 16)
-	victimAcc := tbnet.EvaluateModel(victim, test, 16)
-	fmt.Printf("victim %.2f%% | TBNet (benign user) %.2f%%\n", 100*victimAcc, 100*tbAcc)
-
-	stolen := tb.MR.Clone()
-	direct := tbnet.AttackDirectUse(stolen, test, 16)
+	stolen := res.TB.MR.Clone()
+	direct := tbnet.AttackDirectUse(stolen, res.Test, 16)
 	fmt.Printf("direct use of stolen M_R: %.2f%%\n", 100*direct)
 
 	fmt.Println("fine-tuning the stolen M_R (attacker's data availability sweep):")
-	ft := cfg
-	ft.Epochs = 3
+	ft := tbnet.DefaultTrainConfig(3)
+	ft.LR = 0.03
+	ft.BatchSize = 16
 	for _, fraction := range []float64{0.1, 0.25, 0.5, 1.0} {
-		acc := tbnet.AttackFineTune(stolen, train, test, tbnet.FineTuneConfig{
+		acc := tbnet.AttackFineTune(stolen, res.Train, res.Test, tbnet.FineTuneConfig{
 			Fraction:   fraction,
 			Train:      ft,
 			SubsetSeed: 10,
 		})
 		marker := ""
-		if acc < tbAcc {
+		if acc < res.TBAcc {
 			marker = "  (below TBNet)"
 		}
 		fmt.Printf("  %5.0f%% of training data → %.2f%%%s\n", 100*fraction, 100*acc, marker)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,25 +18,21 @@ import (
 )
 
 func main() {
-	train, test := tbnet.GenerateDataset(tbnet.SynthCIFAR10(120, 60, 30))
-
-	victim := tbnet.BuildVGG(tbnet.VGG18Config(train.Classes), tbnet.NewRNG(31))
-	cfg := tbnet.DefaultTrainConfig(6)
-	cfg.LR = 0.03
-	cfg.BatchSize = 16
-	tbnet.TrainModel(victim, train, nil, cfg)
-
-	tb := tbnet.NewTwoBranch(victim, 32)
-	transfer := cfg
-	transfer.Lambda = 5e-4
-	tbnet.TrainTwoBranch(tb, train, test, transfer)
-	prune := tbnet.DefaultPruneConfig(0.25, 1)
-	prune.MaxIters = 4
-	prune.FineTune = transfer
-	prune.FineTune.Epochs = 1
-	prune.FineTune.LR = 0.01
-	res := tbnet.PruneTwoBranch(tb, train, test, prune)
-	tbnet.FinalizeRollback(tb, res)
+	p, err := tbnet.NewPipeline(
+		tbnet.WithArch("vgg"),
+		tbnet.WithDataset("c10"),
+		tbnet.WithSeed(30),
+		tbnet.WithDatasetSize(120, 60),
+		tbnet.WithEpochs(6, 6, 1),
+		tbnet.WithPruning(0.25, 4),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	device := tbnet.RaspberryPi3()
 	device.SecureMemBytes = 0
@@ -50,24 +47,24 @@ func main() {
 		defense.ShadowNet{},
 		defense.MirrorNet{},
 	} {
-		p, err := s.Place(victim, device, shape)
+		pl, err := s.Place(res.Victim, device, shape)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p.Infer(x.Clone())
+		pl.Infer(x.Clone())
 		fmt.Printf("%-22s %12.2f %14.2f %6v %10.4f\n", s.Name(),
-			float64(p.SecureBytes)/1024, float64(p.ExposedParamBytes)/1024,
-			p.ExposedArch, p.Latency())
+			float64(pl.SecureBytes)/1024, float64(pl.ExposedParamBytes)/1024,
+			pl.ExposedArch, pl.Latency())
 	}
 
-	dep, err := tbnet.Deploy(tb, device, shape)
+	dep, err := tbnet.Deploy(res.TB, device, shape)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if _, err := dep.Infer(x.Clone()); err != nil {
 		log.Fatal(err)
 	}
-	exposed := profile.Profile(tb.MR, shape).TotalParamBytes()
+	exposed := profile.Profile(res.TB.MR, shape).TotalParamBytes()
 	fmt.Printf("%-22s %12.2f %14.2f %6v %10.4f\n", "tbnet",
 		float64(dep.SecureBytes)/1024, float64(exposed)/1024,
 		false, dep.Latency())

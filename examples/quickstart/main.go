@@ -1,79 +1,94 @@
-// Quickstart: the full TBNet flow on a small VGG victim — train the victim,
-// build the two-branch substitution, transfer knowledge, prune, finalize with
-// rollback, deploy to the simulated TrustZone device, and run inference.
+// Quickstart: the full TBNet flow through the option-based API — run the
+// train→transfer→prune→finalize pipeline, deploy to the simulated TrustZone
+// device, and serve concurrent inference through the batching server.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"sync"
 
 	"tbnet"
 )
 
 func main() {
-	// A 10-class synthetic CIFAR-like task (offline stand-in for CIFAR-10).
-	train, test := tbnet.GenerateDataset(tbnet.SynthCIFAR10(160, 80, 1))
+	ctx := context.Background()
 
-	// Step 0: the model vendor's well-trained victim.
-	victim := tbnet.BuildVGG(tbnet.VGG18Config(train.Classes), tbnet.NewRNG(2))
-	cfg := tbnet.DefaultTrainConfig(8)
-	cfg.LR = 0.03
-	cfg.BatchSize = 16
-	tbnet.TrainModel(victim, train, nil, cfg)
-	victimAcc := tbnet.EvaluateModel(victim, test, 16)
-	fmt.Printf("victim accuracy: %.2f%%\n", 100*victimAcc)
-
-	// Step 1: two-branch initialization (victim → M_R, fresh M_T).
-	tb := tbnet.NewTwoBranch(victim, 3)
-
-	// Step 2: knowledge transfer with BN-sparsity regularization (Eq. 1).
-	transfer := tbnet.DefaultTrainConfig(6)
-	transfer.LR = 0.03
-	transfer.BatchSize = 16
-	transfer.Lambda = 5e-4
-	tbnet.TrainTwoBranch(tb, train, test, transfer)
-
-	// Steps 3–5: iterative two-branch pruning (Alg. 1).
-	prune := tbnet.DefaultPruneConfig(0.20, 1)
-	prune.MaxIters = 4
-	prune.FineTune = transfer
-	prune.FineTune.Epochs = 1
-	prune.FineTune.LR = 0.01
-	res := tbnet.PruneTwoBranch(tb, train, test, prune)
-	fmt.Printf("pruning: %d iterations applied (ref %.2f%% → %.2f%%)\n",
-		res.Iterations, 100*res.RefAcc, 100*res.FinalAcc)
-
-	// Step 6: rollback finalization (M_R ≠ M_T).
-	tbnet.FinalizeRollback(tb, res)
-	tbAcc := tbnet.EvaluateTwoBranch(tb, test, 16)
-	fmt.Printf("TBNet accuracy:  %.2f%%\n", 100*tbAcc)
+	// Steps 0–6 in one builder: train the victim, build the two-branch
+	// substitution, transfer knowledge, prune, finalize with rollback.
+	p, err := tbnet.NewPipeline(
+		tbnet.WithArch("vgg"),
+		tbnet.WithDataset("c10"),
+		tbnet.WithSeed(1),
+		tbnet.WithDatasetSize(160, 80),
+		tbnet.WithEpochs(8, 6, 1),
+		tbnet.WithPruning(0.20, 4),
+		tbnet.WithProgress(func(phase tbnet.Phase, epoch int) {
+			if epoch < 0 {
+				fmt.Fprintf(os.Stderr, "phase %s done\n", phase)
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("victim accuracy: %.2f%%\n", 100*res.VictimAcc)
+	fmt.Printf("TBNet accuracy:  %.2f%% (%d pruning iterations)\n",
+		100*res.TBAcc, res.PruneRes.Iterations)
 
 	// Deploy: M_R in the REE, M_T inside the enclave, one-way channel.
-	dep, err := tbnet.Deploy(tb, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
+	dep, err := tbnet.Deploy(res.TB, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("secure memory reserved: %.2f KiB\n", float64(dep.SecureBytes)/1024)
 
-	// Classify a few test images through the deployed system.
-	batch := test.Batches(4, nil)[0]
-	labels, err := dep.Infer(batch.X)
+	// Serve: a pool of replicated enclave sessions with micro-batching.
+	srv, err := tbnet.Serve(dep, tbnet.WithWorkers(4), tbnet.WithMaxBatch(8))
 	if err != nil {
 		log.Fatal(err)
 	}
-	correct := 0
-	for i, l := range labels {
-		if l == batch.Y[i] {
-			correct++
-		}
+	defer srv.Close()
+
+	// Classify the test split through the server, many requests in flight.
+	test := res.Test
+	singles := test.Batches(1, nil)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	correct, failed := 0, 0
+	for i := 0; i < test.Len(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label, err := srv.Infer(ctx, singles[i].X)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed++
+			} else if label == test.Y[i] {
+				correct++
+			}
+		}(i)
 	}
-	fmt.Printf("deployed inference: %d/%d correct, modeled latency %.4fs\n",
-		correct, len(labels), dep.Latency())
+	wg.Wait()
+	if failed > 0 {
+		log.Fatalf("%d requests failed", failed)
+	}
+	st := srv.Stats()
+	fmt.Printf("served %d requests: %d/%d correct\n", st.Requests, correct, test.Len())
+	fmt.Printf("  mean batch %.2f, modeled p50 %.4fs p99 %.4fs, %.0f req/s modeled\n",
+		st.MeanBatch, st.P50Latency, st.P99Latency, st.ModeledThroughput)
 
 	// What the attacker gets: M_R alone, with the stale victim head.
 	atk := tbnet.AttackDirectUse(dep.ExtractedMR(), test, 16)
 	fmt.Printf("attacker's direct-use accuracy from stolen M_R: %.2f%% (gap %.2f pts)\n",
-		100*atk, 100*(tbAcc-atk))
+		100*atk, 100*(res.TBAcc-atk))
 }

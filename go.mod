@@ -1,0 +1,3 @@
+module tbnet
+
+go 1.22

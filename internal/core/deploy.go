@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"tbnet/internal/profile"
 	"tbnet/internal/tee"
@@ -34,12 +35,19 @@ type secureProgram struct {
 	ready bool
 }
 
+// reset clears all per-inference state so the program can serve a fresh call
+// regardless of how (or whether) the previous protocol run completed.
+func (p *secureProgram) reset() {
+	p.xT = nil
+	p.stage = 0
+	p.ready = false
+}
+
 // Invoke implements tee.Program.
 func (p *secureProgram) Invoke(ctx *tee.Context, cmd int, payload *tensor.Tensor) error {
 	if cmd == CmdInput {
+		p.reset()
 		p.xT = payload
-		p.stage = 0
-		p.ready = false
 		p.costs = profile.Profile(p.mt, payload.Shape())
 		return nil
 	}
@@ -56,8 +64,8 @@ func (p *secureProgram) Invoke(ctx *tee.Context, cmd int, payload *tensor.Tensor
 		sel = gatherChannels(payload, p.align[i])
 	}
 	if !sel.SameShape(aT) {
-		return fmt.Errorf("core: transfer shape %v does not match secure branch %v at stage %d",
-			sel.Shape(), aT.Shape(), i)
+		return fmt.Errorf("core: transfer shape %v does not match secure branch %v at stage %d: %w",
+			sel.Shape(), aT.Shape(), i, ErrShape)
 	}
 	aT.AddInPlace(sel)
 	p.xT = aT
@@ -79,22 +87,62 @@ func (p *secureProgram) Result(ctx *tee.Context) (*tensor.Tensor, error) {
 
 // Deployment is a finalized TBNet model placed onto a simulated TrustZone
 // device: M_R executing in the REE, M_T inside an enclave.
+//
+// A Deployment is one enclave session: calls are serialized internally, so
+// Infer is safe for concurrent use but runs one inference at a time. For
+// parallel serving, replicate the session per worker (see Replicate and the
+// serve package).
 type Deployment struct {
 	Device  tee.DeviceModel
 	Enclave *tee.Enclave
 	mr      *zoo.Model
+	prog    *secureProgram
 	align   [][]int
+	// sampleShape is the [N,C,H,W] shape the secure working set was sized
+	// for; inputs must match it in all but the batch dimension, which may
+	// not exceed it.
+	sampleShape []int
 	// SecureBytes is the secure-memory reservation: M_T's parameters, its
 	// peak activation working set, and the shared-memory staging buffer.
 	SecureBytes int64
+
+	// mu serializes the enclave protocol: the staged command sequence keeps
+	// mutable per-call state inside the program, so one session can run only
+	// one inference at a time.
+	mu sync.Mutex
 }
 
 // Deploy places a finalized two-branch model onto a device. sampleShape is
 // the per-inference input shape (batch included) used to size the secure
-// working set. It fails if the enclave does not fit in secure memory.
+// working set; Infer rejects batches larger than sampleShape[0]. It fails
+// with ErrNotFinalized for unfinalized models, ErrShape for an unusable
+// sample shape, and ErrSecureMemory if the enclave does not fit.
 func Deploy(tb *TwoBranch, device tee.DeviceModel, sampleShape []int) (*Deployment, error) {
+	return deployWith(tb, device, sampleShape, nil)
+}
+
+// deployWith is Deploy with an optional shared secure-memory accountant; a
+// nil mem gets a fresh per-session budget of device.SecureMemBytes.
+func deployWith(tb *TwoBranch, device tee.DeviceModel, sampleShape []int, mem *tee.SecureMemory) (*Deployment, error) {
+	if tb == nil || tb.MR == nil || tb.MT == nil {
+		return nil, fmt.Errorf("core: deploy of a nil two-branch model: %w", ErrShape)
+	}
 	if !tb.Finalized {
-		return nil, errors.New("core: deploy requires a finalized model (run FinalizeRollback)")
+		return nil, fmt.Errorf("core: deploy requires a finalized model (run FinalizeRollback): %w",
+			ErrNotFinalized)
+	}
+	if len(sampleShape) != 4 {
+		return nil, fmt.Errorf("core: sample shape %v is not [N,C,H,W]: %w", sampleShape, ErrShape)
+	}
+	for _, d := range sampleShape {
+		if d < 1 {
+			return nil, fmt.Errorf("core: sample shape %v has non-positive dims: %w",
+				sampleShape, ErrShape)
+		}
+	}
+	if want := tb.MR.Stages[0].InChannels(); sampleShape[1] != want {
+		return nil, fmt.Errorf("core: sample shape %v has %d channels, model expects %d: %w",
+			sampleShape, sampleShape[1], want, ErrShape)
 	}
 	mtCost := profile.Profile(tb.MT, sampleShape)
 	// Staging buffer: the largest single transfer (input or any M_R stage
@@ -108,25 +156,107 @@ func Deploy(tb *TwoBranch, device tee.DeviceModel, sampleShape []int) (*Deployme
 		}
 	}
 	secureBytes := mtCost.SecureFootprintBytes() + staging
-	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	if mem == nil {
+		mem = tee.NewSecureMemory(device.SecureMemBytes)
+	}
 	if err := mem.Alloc(secureBytes); err != nil {
-		return nil, fmt.Errorf("core: secure branch does not fit: %w", err)
+		return nil, fmt.Errorf("core: secure branch does not fit: %v: %w", err, ErrSecureMemory)
 	}
 	prog := &secureProgram{mt: tb.MT, align: tb.Align}
 	return &Deployment{
 		Device:      device,
 		Enclave:     tee.NewEnclave(prog, mem),
 		mr:          tb.MR,
+		prog:        prog,
 		align:       tb.Align,
+		sampleShape: append([]int(nil), sampleShape...),
 		SecureBytes: secureBytes,
 	}, nil
+}
+
+// Replicate creates an independent enclave session for the same finalized
+// model, sized for batches of up to batch samples (batch < 1 keeps the
+// original sizing). Both branches are deep-copied, so the replica shares no
+// mutable state with the original — concurrent Infer calls on different
+// replicas never contend. The replica reserves a fresh per-session
+// secure-memory budget; to account several replicas against one device, use
+// ReplicateInto.
+func (d *Deployment) Replicate(batch int) (*Deployment, error) {
+	return d.ReplicateInto(batch, nil)
+}
+
+// ReplicateInto is Replicate drawing the replica's secure-memory reservation
+// from the shared accountant mem (nil means a fresh per-session budget).
+// The serving layer replicates every worker into one accountant sized to the
+// device, so a pool can never collectively overcommit the modeled secure
+// memory.
+func (d *Deployment) ReplicateInto(batch int, mem *tee.SecureMemory) (*Deployment, error) {
+	shape := append([]int(nil), d.sampleShape...)
+	if batch >= 1 {
+		shape[0] = batch
+	}
+	align := make([][]int, len(d.align))
+	for i, a := range d.align {
+		if a != nil {
+			align[i] = append([]int(nil), a...)
+		}
+	}
+	tb := &TwoBranch{
+		MR:        d.mr.Clone(),
+		MT:        d.prog.mt.Clone(),
+		Align:     align,
+		Finalized: true,
+	}
+	return deployWith(tb, d.Device, shape, mem)
+}
+
+// SampleShape returns the [N,C,H,W] shape the deployment was sized for.
+func (d *Deployment) SampleShape() []int { return append([]int(nil), d.sampleShape...) }
+
+// checkInput validates an inference input against the deployed sizing.
+func (d *Deployment) checkInput(x *tensor.Tensor) error {
+	if x == nil {
+		return fmt.Errorf("core: nil input: %w", ErrShape)
+	}
+	if x.Rank() != 4 {
+		return fmt.Errorf("core: input rank %d, want [N,C,H,W]: %w", x.Rank(), ErrShape)
+	}
+	for i := 1; i < 4; i++ {
+		if x.Dim(i) != d.sampleShape[i] {
+			return fmt.Errorf("core: input shape %v does not match deployed sample shape %v: %w",
+				x.Shape(), d.sampleShape, ErrShape)
+		}
+	}
+	if n := x.Dim(0); n < 1 || n > d.sampleShape[0] {
+		return fmt.Errorf("core: batch %d outside deployed capacity [1,%d]: %w",
+			n, d.sampleShape[0], ErrShape)
+	}
+	return nil
 }
 
 // Infer runs one batched inference through the deployed system and returns
 // the predicted labels. The REE computes M_R stage by stage, staging each
 // feature map into the enclave; the enclave accumulates M_T and releases the
 // logits to the caller (the model user).
-func (d *Deployment) Infer(x *tensor.Tensor) ([]int, error) {
+//
+// Each call starts a fresh enclave protocol run (the per-call stage state is
+// reset by the input command), and calls are serialized on the session, so
+// Infer is safe for concurrent use from multiple goroutines.
+func (d *Deployment) Infer(x *tensor.Tensor) (labels []int, err error) {
+	if err := d.checkInput(x); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Shape mismatches that slip past the upfront check (for example an
+	// input whose spatial size collapses inside a deeper stage) surface as
+	// panics in the tensor kernels; convert them to the public sentinel so
+	// a serving layer never dies on a bad request.
+	defer func() {
+		if r := recover(); r != nil {
+			labels, err = nil, fmt.Errorf("core: inference failed: %v: %w", r, ErrShape)
+		}
+	}()
 	meter := d.Enclave.Meter()
 	trace := d.Enclave.Trace()
 	mrCost := profile.Profile(d.mr, x.Shape())
@@ -147,7 +277,7 @@ func (d *Deployment) Infer(x *tensor.Tensor) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	labels := make([]int, logits.Dim(0))
+	labels = make([]int, logits.Dim(0))
 	for i := range labels {
 		labels[i] = logits.ArgMaxRow(i)
 	}
@@ -155,7 +285,11 @@ func (d *Deployment) Infer(x *tensor.Tensor) ([]int, error) {
 }
 
 // Latency returns the accumulated virtual execution time in seconds.
-func (d *Deployment) Latency() float64 { return d.Enclave.Meter().Latency(d.Device) }
+func (d *Deployment) Latency() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Enclave.Meter().Latency(d.Device)
+}
 
 // ExtractedMR returns what the paper's attacker obtains: a deep copy of the
 // unsecured branch, which is fully resident in normal-world memory.

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
+	"sync"
 	"testing"
 
 	"tbnet/internal/profile"
 	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
 	"tbnet/internal/zoo"
 )
 
@@ -34,7 +37,7 @@ func TestDeployRequiresFinalization(t *testing.T) {
 
 func TestDeployAndInferMatchesForward(t *testing.T) {
 	tb, _ := finalizedTB(t, 40)
-	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{5, 3, 16, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +56,7 @@ func TestDeployAndInferMatchesForward(t *testing.T) {
 
 func TestDeploymentOneWayChannel(t *testing.T) {
 	tb, _ := finalizedTB(t, 50)
-	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{2, 3, 16, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,6 +149,151 @@ func TestEnclaveProtocolOrderEnforced(t *testing.T) {
 	}
 	if err := dep.Enclave.Invoke(1, "skip-ahead", randX(1, 92)); err == nil {
 		t.Fatal("out-of-order stage must be rejected")
+	}
+}
+
+func TestDeploySentinelErrors(t *testing.T) {
+	tb, _ := finalizedTB(t, 110)
+	if _, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16}); !errors.Is(err, ErrShape) {
+		t.Fatalf("rank-3 sample shape: err = %v, want ErrShape", err)
+	}
+	if _, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 5, 16, 16}); !errors.Is(err, ErrShape) {
+		t.Fatalf("wrong channels: err = %v, want ErrShape", err)
+	}
+	unfin := NewTwoBranch(tinyVictimVGG(4, 111), 112)
+	if _, err := Deploy(unfin, tee.RaspberryPi3(), []int{1, 3, 16, 16}); !errors.Is(err, ErrNotFinalized) {
+		t.Fatalf("unfinalized: err = %v, want ErrNotFinalized", err)
+	}
+	small := tee.RaspberryPi3()
+	small.SecureMemBytes = 1024
+	if _, err := Deploy(tb, small, []int{1, 3, 16, 16}); !errors.Is(err, ErrSecureMemory) {
+		t.Fatalf("oversized: err = %v, want ErrSecureMemory", err)
+	}
+
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{2, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Infer(randX(3, 113)); !errors.Is(err, ErrShape) {
+		t.Fatalf("over-capacity batch: err = %v, want ErrShape", err)
+	}
+	if _, err := dep.Infer(tensor.New(1, 3, 8, 8)); !errors.Is(err, ErrShape) {
+		t.Fatalf("wrong spatial size: err = %v, want ErrShape", err)
+	}
+	if _, err := dep.Infer(nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("nil input: err = %v, want ErrShape", err)
+	}
+}
+
+// TestInferResetsPerCall is the reentrancy regression at the session level:
+// repeated and interrupted protocol runs must not leak stage state between
+// calls.
+func TestInferResetsPerCall(t *testing.T) {
+	tb, _ := finalizedTB(t, 120)
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randX(1, 121)
+	first, err := dep.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave the enclave mid-protocol, then run a normal inference: the
+	// fresh input command must reset the stale stage counter.
+	if err := dep.Enclave.Invoke(CmdInput, "input", x.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := dep.Infer(x)
+		if err != nil {
+			t.Fatalf("call %d after interrupted protocol: %v", i, err)
+		}
+		if again[0] != first[0] {
+			t.Fatalf("call %d: label %d != first call's %d", i, again[0], first[0])
+		}
+	}
+}
+
+// TestConcurrentInferOneDeployment runs parallel Infer calls against a single
+// session under -race: the session serializes them and every caller sees the
+// sequential result.
+func TestConcurrentInferOneDeployment(t *testing.T) {
+	tb, _ := finalizedTB(t, 130)
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	xs := make([]*tensor.Tensor, callers)
+	want := make([]int, callers)
+	for i := range xs {
+		xs[i] = randX(1, 131+uint64(i))
+		labels, err := dep.Infer(xs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = labels[0]
+	}
+	var wg sync.WaitGroup
+	got := make([]int, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			labels, err := dep.Infer(xs[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = labels[0]
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("caller %d: concurrent label %d != sequential %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplicateIsIndependent(t *testing.T) {
+	tb, _ := finalizedTB(t, 140)
+	dep, err := Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dep.Replicate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.SampleShape(); got[0] != 4 {
+		t.Fatalf("replica batch capacity = %d, want 4", got[0])
+	}
+	x := randX(1, 141)
+	want, err := dep.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[0] != got[0] {
+		t.Fatalf("replica label %d != original %d", got[0], want[0])
+	}
+	// Mutating the replica's extracted branch must not touch the original,
+	// and the replica's meter is its own.
+	rep.mr.Stages[0].(*zoo.ConvBlock).Conv.W.Value.Fill(0)
+	if tb.MR.Stages[0].(*zoo.ConvBlock).Conv.W.Value.AbsSum() == 0 {
+		t.Fatal("replica aliases the original model")
+	}
+	if rep.Enclave.Meter() == dep.Enclave.Meter() {
+		t.Fatal("replica shares the original meter")
 	}
 }
 

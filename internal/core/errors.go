@@ -1,0 +1,21 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the deployment surface. The public tbnet package
+// re-exports these so downstream callers can branch with errors.Is without
+// depending on internal packages.
+var (
+	// ErrShape reports an input tensor whose shape is incompatible with the
+	// deployed model (wrong rank, channel count, spatial size, or a batch
+	// larger than the deployment was sized for).
+	ErrShape = errors.New("input shape mismatch")
+
+	// ErrNotFinalized reports an operation that requires rollback
+	// finalization (step 6) to have run first.
+	ErrNotFinalized = errors.New("model not finalized")
+
+	// ErrSecureMemory reports a deployment that does not fit in the device's
+	// secure-memory budget.
+	ErrSecureMemory = errors.New("secure memory exceeded")
+)

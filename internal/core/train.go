@@ -25,6 +25,10 @@ type TrainConfig struct {
 	Lambda      float64 // BN L1 sparsity strength (Eq. 1); 0 disables
 	Seed        uint64
 	Log         io.Writer // optional progress sink
+	// OnEpoch, when set, is invoked after every completed epoch with the
+	// epoch index and its mean training loss (the pipeline builder wires
+	// progress callbacks through it).
+	OnEpoch func(epoch int, loss float64)
 }
 
 // DefaultTrainConfig returns the paper's hyperparameters with an epoch budget
@@ -88,6 +92,9 @@ func TrainModel(m *zoo.Model, train, test *data.Dataset, cfg TrainConfig) Histor
 			hist.Acc = append(hist.Acc, acc)
 			cfg.logf("epoch %d: loss %.4f acc %.4f\n", epoch, hist.Loss[epoch], acc)
 		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, hist.Loss[epoch])
+		}
 	}
 	return hist
 }
@@ -129,6 +136,9 @@ func TrainTwoBranch(tb *TwoBranch, train, test *data.Dataset, cfg TrainConfig) H
 			acc := EvaluateTwoBranch(tb, test, cfg.BatchSize)
 			hist.Acc = append(hist.Acc, acc)
 			cfg.logf("epoch %d: loss %.4f acc %.4f\n", epoch, hist.Loss[epoch], acc)
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, hist.Loss[epoch])
 		}
 	}
 	return hist

@@ -6,6 +6,7 @@ import (
 )
 
 func TestAblationPruneRankingRows(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	tab := l.AblationPruneRanking()
 	if len(tab.Rows) != 2 {
@@ -18,6 +19,7 @@ func TestAblationPruneRankingRows(t *testing.T) {
 }
 
 func TestAblationRollbackShowsDivergence(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	tab := l.AblationRollback()
 	if len(tab.Rows) != 2 {
@@ -35,6 +37,7 @@ func TestAblationRollbackShowsDivergence(t *testing.T) {
 }
 
 func TestAblationQuantShrinksFootprint(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	tab := l.AblationQuant()
 	if len(tab.Rows) != 2 {
@@ -50,6 +53,7 @@ func TestAblationQuantShrinksFootprint(t *testing.T) {
 }
 
 func TestAblationLambdaMonotoneSparsity(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	tab := l.AblationLambda()
 	if len(tab.Rows) != 4 {

@@ -7,6 +7,17 @@ import (
 
 var sharedLab *Lab
 
+// skipShort keeps the pipeline-training tests out of CI's race-mode smoke
+// run: under the race detector the memoized micro pipelines exceed the
+// default per-package test timeout. The full (non-race) CI step still runs
+// them.
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiments pipelines skipped in short mode")
+	}
+}
+
 // microLab returns a process-wide shared lab so the expensive pipelines are
 // trained once and reused by every test (they only read from it).
 func microLab() *Lab {
@@ -17,6 +28,7 @@ func microLab() *Lab {
 }
 
 func TestPipelineMemoized(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	c := Combo{Arch: "vgg", Dataset: "c10"}
 	p1 := l.Pipeline(c)
@@ -33,6 +45,7 @@ func TestPipelineMemoized(t *testing.T) {
 }
 
 func TestPipelineResNet(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	p := l.Pipeline(Combo{Arch: "resnet", Dataset: "c10"})
 	if p.Victim.Arch != "resnet" {
@@ -44,6 +57,7 @@ func TestPipelineResNet(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	tab := l.Table1()
 	if len(tab.Rows) != 4 {
@@ -58,6 +72,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFig2SeriesCount(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	series := l.Fig2()
 	// Two datasets × (attack curve + TBNet reference line).
@@ -72,6 +87,7 @@ func TestFig2SeriesCount(t *testing.T) {
 }
 
 func TestTable2And3AndFig3(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	if rows := len(l.Table2().Rows); rows != 2 {
 		t.Fatalf("table 2 rows = %d, want 2", rows)
@@ -93,6 +109,7 @@ func TestTable2And3AndFig3(t *testing.T) {
 }
 
 func TestFig4Histograms(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	mr, mt := l.Fig4()
 	if mr.N == 0 || mt.N == 0 {
@@ -106,6 +123,7 @@ func TestFig4Histograms(t *testing.T) {
 }
 
 func TestAblationIncludesAllStrategies(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	out := l.Ablation().String()
 	for _, want := range []string{"full-tee", "darknetz", "shadownet", "mirrornet", "tbnet"} {
@@ -116,6 +134,7 @@ func TestAblationIncludesAllStrategies(t *testing.T) {
 }
 
 func TestRunAllProducesAllArtifacts(t *testing.T) {
+	skipShort(t)
 	l := microLab()
 	var b strings.Builder
 	l.RunAll(&b)

@@ -1,0 +1,481 @@
+// Package serve is TBNet's concurrent serving layer: it turns one deployed
+// two-branch model into a pool of replicated enclave sessions behind a
+// micro-batching request queue.
+//
+// The TEE substrate makes single-request serving expensive — every inference
+// pays per-stage world switches and shared-memory staging — and one enclave
+// session is inherently serial (the staged REE→TEE protocol keeps per-call
+// state inside the trusted application). The server addresses both at once:
+//
+//   - Replication: each worker owns a full session replica (deep-copied
+//     branches, its own enclave, meter, and trace), so inferences run in
+//     parallel without sharing mutable model state. All replicas reserve
+//     their secure memory from one device-sized budget, so the pool never
+//     overcommits the modeled hardware.
+//   - Micro-batching: single-sample requests are coalesced into one staged
+//     protocol run of up to MaxBatch samples (flushed early after MaxDelay),
+//     amortizing the fixed SMC and staging overhead across the batch.
+//
+// Latency accounting stays on the device cost model, so throughput and
+// percentile figures are deterministic properties of the modeled hardware,
+// not of the host the simulation runs on.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tbnet/internal/core"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+)
+
+// ErrClosed is returned by Infer and InferBatch after Close.
+var ErrClosed = errors.New("server closed")
+
+// ErrConfig reports an invalid server configuration or option value.
+var ErrConfig = errors.New("invalid server configuration")
+
+// Config sizes the serving layer. The zero value of any field selects its
+// default.
+type Config struct {
+	// Workers is the number of replicated enclave sessions (default 2).
+	Workers int
+	// MaxBatch is the micro-batch flush size (default 8). Each worker's
+	// replica is deployed with this batch capacity, so secure memory is
+	// accounted for the batched working set.
+	MaxBatch int
+	// MaxDelay is how long an incomplete batch waits for more requests
+	// before flushing (default 2ms of wall time).
+	MaxDelay time.Duration
+	// QueueDepth bounds the number of waiting requests before Infer blocks
+	// (default Workers*MaxBatch*4).
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = c.Workers * c.MaxBatch * 4
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("%w: workers %d < 1", ErrConfig, c.Workers)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("%w: max batch %d < 1", ErrConfig, c.MaxBatch)
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("%w: negative max delay %v", ErrConfig, c.MaxDelay)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("%w: queue depth %d < 1", ErrConfig, c.QueueDepth)
+	}
+	return nil
+}
+
+// request is one enqueued sample awaiting a batched protocol run.
+type request struct {
+	x    *tensor.Tensor // [1,C,H,W]
+	resp chan response  // buffered(1): workers never block on it
+}
+
+type response struct {
+	label int
+	err   error
+}
+
+// Server owns the replica pool and the batching queue.
+type Server struct {
+	cfg         Config
+	sampleShape []int // [1,C,H,W] of a single request
+
+	queue   chan *request
+	batches chan []*request
+	done    chan struct{}
+
+	mu        sync.Mutex // guards closed + inflight admission
+	closed    bool
+	inflight  sync.WaitGroup
+	closeOnce sync.Once
+	drained   chan struct{} // closed once shutdown fully drains
+
+	dispatcherDone chan struct{}
+	workersDone    sync.WaitGroup
+
+	stats statsAgg
+}
+
+// New builds a server from a deployed model. The deployment itself is only
+// used as the replication template; the server never runs inference through
+// it, so the caller keeps exclusive use of the original session.
+func New(dep *core.Deployment, cfg Config) (*Server, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("%w: nil deployment", ErrConfig)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	shape := dep.SampleShape()
+	shape[0] = 1
+	s := &Server{
+		cfg:            cfg,
+		sampleShape:    shape,
+		queue:          make(chan *request, cfg.QueueDepth),
+		batches:        make(chan []*request),
+		done:           make(chan struct{}),
+		drained:        make(chan struct{}),
+		dispatcherDone: make(chan struct{}),
+	}
+	s.stats.start = time.Now()
+	s.stats.workerBusy = make([]float64, cfg.Workers)
+	// All replicas draw from one accountant sized to the device, so the
+	// pool as a whole cannot overcommit the modeled secure memory.
+	pool := tee.NewSecureMemory(dep.Device.SecureMemBytes)
+	for i := 0; i < cfg.Workers; i++ {
+		rep, err := dep.ReplicateInto(cfg.MaxBatch, pool)
+		if err != nil {
+			return nil, fmt.Errorf("serve: replicating session %d of %d: %w", i+1, cfg.Workers, err)
+		}
+		s.workersDone.Add(1)
+		go s.worker(i, rep)
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// dispatch coalesces queued requests into batches: a batch flushes as soon as
+// it reaches MaxBatch, or MaxDelay after its first request arrived.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	defer close(s.batches)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*request{first}
+		timer.Reset(s.cfg.MaxDelay)
+	fill:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		s.batches <- batch
+	}
+}
+
+// worker runs batches through its private session replica.
+func (s *Server) worker(id int, rep *core.Deployment) {
+	defer s.workersDone.Done()
+	for batch := range s.batches {
+		s.runBatch(id, rep, batch)
+	}
+}
+
+func (s *Server) runBatch(id int, rep *core.Deployment, batch []*request) {
+	x := concat(batch)
+	before := rep.Latency()
+	labels, err := rep.Infer(x)
+	lat := rep.Latency() - before
+	if err == nil && len(labels) != len(batch) {
+		err = fmt.Errorf("serve: %d labels for %d requests", len(labels), len(batch))
+	}
+	for i, r := range batch {
+		if err != nil {
+			r.resp <- response{err: err}
+			continue
+		}
+		r.resp <- response{label: labels[i]}
+	}
+	s.stats.record(id, len(batch), lat, err)
+}
+
+// concat stacks the per-request [1,C,H,W] samples into one [k,C,H,W] batch.
+func concat(batch []*request) *tensor.Tensor {
+	shape := append([]int(nil), batch[0].x.Shape()...)
+	shape[0] = len(batch)
+	out := tensor.New(shape...)
+	per := batch[0].x.Size()
+	for i, r := range batch {
+		copy(out.Data()[i*per:(i+1)*per], r.x.Data())
+	}
+	return out
+}
+
+// checkSample validates one request input: [C,H,W] or [1,C,H,W] matching the
+// deployed sample shape.
+func (s *Server) checkSample(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x == nil {
+		return nil, fmt.Errorf("serve: nil input: %w", core.ErrShape)
+	}
+	want := s.sampleShape
+	switch x.Rank() {
+	case 3:
+		if x.Dim(0) != want[1] || x.Dim(1) != want[2] || x.Dim(2) != want[3] {
+			return nil, fmt.Errorf("serve: input shape %v does not match served shape %v: %w",
+				x.Shape(), want[1:], core.ErrShape)
+		}
+		return x.Reshape(1, want[1], want[2], want[3]), nil
+	case 4:
+		if x.Dim(0) != 1 || x.Dim(1) != want[1] || x.Dim(2) != want[2] || x.Dim(3) != want[3] {
+			return nil, fmt.Errorf("serve: input shape %v is not a single sample of %v: %w",
+				x.Shape(), want, core.ErrShape)
+		}
+		return x, nil
+	default:
+		return nil, fmt.Errorf("serve: input rank %d, want [C,H,W] or [1,C,H,W]: %w",
+			x.Rank(), core.ErrShape)
+	}
+}
+
+// enqueue admits one request into the queue, honouring cancellation and
+// shutdown. It must be balanced with exactly one receive from req.resp by a
+// worker (the response channel is buffered so an abandoned caller never
+// blocks the worker).
+func (s *Server) enqueue(ctx context.Context, req *request) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	select {
+	case s.queue <- req:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Infer classifies one sample ([C,H,W] or [1,C,H,W]) and returns its label.
+// It blocks until a batched protocol run completes, the context is
+// cancelled, or the server closes. The caller must not mutate x until Infer
+// returns.
+func (s *Server) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
+	sample, err := s.checkSample(x)
+	if err != nil {
+		return 0, err
+	}
+	req := &request{x: sample, resp: make(chan response, 1)}
+	if err := s.enqueue(ctx, req); err != nil {
+		return 0, err
+	}
+	select {
+	case r := <-req.resp:
+		return r.label, r.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// InferBatch classifies xs (each [C,H,W] or [1,C,H,W]) and returns one label
+// per sample, in order. Samples are enqueued individually, so the serving
+// layer is free to coalesce them with other callers' traffic; the first
+// error encountered is returned after all samples resolve.
+func (s *Server) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	reqs := make([]*request, len(xs))
+	for i, x := range xs {
+		sample, err := s.checkSample(x)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+		reqs[i] = &request{x: sample, resp: make(chan response, 1)}
+	}
+	labels := make([]int, len(xs))
+	var firstErr error
+	pending := make([]bool, len(xs))
+	for i, req := range reqs {
+		if err := s.enqueue(ctx, req); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sample %d: %w", i, err)
+			}
+			continue
+		}
+		pending[i] = true
+	}
+	for i, req := range reqs {
+		if !pending[i] {
+			continue
+		}
+		select {
+		case r := <-req.resp:
+			if r.err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("sample %d: %w", i, r.err)
+			}
+			labels[i] = r.label
+		case <-ctx.Done():
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return labels, nil
+}
+
+// Close stops admission, drains queued requests through the workers, and
+// waits for them to finish. It is idempotent and safe for concurrent use:
+// every caller blocks until the drain completes. Infer calls issued after
+// Close fail with ErrClosed.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.done)      // wake enqueuers blocked on a full queue
+		s.inflight.Wait()  // no sends in flight anymore
+		close(s.queue)     // dispatcher flushes what was admitted, then exits
+		<-s.dispatcherDone // batches channel is closed
+		s.workersDone.Wait()
+		close(s.drained)
+	})
+	<-s.drained
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the serving layer's behaviour. All
+// latency and throughput figures come from the device cost model (modeled
+// seconds on the simulated TrustZone hardware), not from host wall time,
+// except WallSeconds which reports the host-side observation window.
+type Stats struct {
+	// Requests is the number of samples served successfully.
+	Requests int64
+	// Errors is the number of samples whose protocol run failed.
+	Errors int64
+	// Batches is the number of staged protocol runs.
+	Batches int64
+	// MeanBatch is Requests/Batches — the realized amortization factor.
+	MeanBatch float64
+	// LargestBatch is the biggest batch coalesced so far.
+	LargestBatch int
+	// QueueDepth is the number of requests waiting right now.
+	QueueDepth int
+	// Workers is the replica pool size.
+	Workers int
+	// P50Latency and P99Latency are modeled per-request device latencies in
+	// seconds (a request's latency is its batch's staged protocol run).
+	P50Latency float64
+	P99Latency float64
+	// ModeledThroughput is requests per modeled device-second, using the
+	// busiest replica as the critical path (replicas run in parallel).
+	ModeledThroughput float64
+	// WallSeconds is the host time since the server started.
+	WallSeconds float64
+}
+
+// statsAgg accumulates serving statistics.
+type statsAgg struct {
+	mu           sync.Mutex
+	start        time.Time
+	requests     int64
+	errors       int64
+	batches      int64
+	largestBatch int
+	workerBusy   []float64 // modeled seconds per worker
+	// latencies is a bounded ring of per-request modeled latencies used for
+	// the percentile estimates.
+	latencies [8192]float64
+	latCount  int64
+}
+
+func (a *statsAgg) record(worker, batchSize int, lat float64, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.batches++
+	if err != nil {
+		a.errors += int64(batchSize)
+		return
+	}
+	a.requests += int64(batchSize)
+	if batchSize > a.largestBatch {
+		a.largestBatch = batchSize
+	}
+	a.workerBusy[worker] += lat
+	for i := 0; i < batchSize; i++ {
+		a.latencies[a.latCount%int64(len(a.latencies))] = lat
+		a.latCount++
+	}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	a := &s.stats
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := Stats{
+		Requests:     a.requests,
+		Errors:       a.errors,
+		Batches:      a.batches,
+		LargestBatch: a.largestBatch,
+		QueueDepth:   len(s.queue),
+		Workers:      s.cfg.Workers,
+		WallSeconds:  time.Since(a.start).Seconds(),
+	}
+	if a.batches > 0 {
+		out.MeanBatch = float64(a.requests) / float64(a.batches)
+	}
+	n := int(a.latCount)
+	if n > len(a.latencies) {
+		n = len(a.latencies)
+	}
+	if n > 0 {
+		sorted := make([]float64, n)
+		copy(sorted, a.latencies[:n])
+		sort.Float64s(sorted)
+		out.P50Latency = sorted[n/2]
+		out.P99Latency = sorted[(n*99)/100]
+	}
+	var critical float64
+	for _, b := range a.workerBusy {
+		if b > critical {
+			critical = b
+		}
+	}
+	if critical > 0 {
+		out.ModeledThroughput = float64(a.requests) / critical
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package tbnet
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"tbnet/internal/core"
+	"tbnet/internal/data"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// Phase identifies one stage of the TBNet pipeline for progress reporting.
+type Phase string
+
+// The pipeline's phases, in execution order. PhasePrune covers the whole
+// iterative prune/fine-tune/evaluate loop of Alg. 1.
+const (
+	PhaseVictim   Phase = "victim"
+	PhaseTransfer Phase = "transfer"
+	PhasePrune    Phase = "prune"
+	PhaseFinalize Phase = "finalize"
+)
+
+// PipelineOption configures a Pipeline. Options validate eagerly: NewPipeline
+// returns the first option error, wrapped around ErrBadOption.
+type PipelineOption func(*Pipeline) error
+
+// Pipeline is the composable builder over TBNet's six-step flow: train the
+// victim, build the two-branch substitution, transfer knowledge, prune
+// iteratively, and finalize with rollback. Construct with NewPipeline, then
+// call Run.
+type Pipeline struct {
+	arch     string
+	dataset  string
+	seed     uint64
+	log      io.Writer
+	progress func(Phase, int)
+
+	trainN, testN  int
+	classes        int // 0: dataset default
+	victimEpochs   int
+	transferEpochs int
+	fineTuneEpochs int
+	pruneIters     int
+	dropBudget     float64
+	batchSize      int
+	lr             float64
+	lambda         float64
+}
+
+// WithArch selects the victim architecture: "vgg", "resnet", "mobilenet",
+// or the CI-scale "tiny-vgg" / "tiny-resnet" variants (default "vgg").
+func WithArch(arch string) PipelineOption {
+	return func(p *Pipeline) error {
+		switch arch {
+		case "vgg", "resnet", "mobilenet", "tiny-vgg", "tiny-resnet":
+			p.arch = arch
+			return nil
+		default:
+			return fmt.Errorf("%w: unknown architecture %q", ErrBadOption, arch)
+		}
+	}
+}
+
+// WithDataset selects the synthetic task: "c10" (CIFAR-10-like) or "c100"
+// (CIFAR-100-like; default "c10").
+func WithDataset(name string) PipelineOption {
+	return func(p *Pipeline) error {
+		switch name {
+		case "c10", "c100":
+			p.dataset = name
+			return nil
+		default:
+			return fmt.Errorf("%w: unknown dataset %q (want c10 or c100)", ErrBadOption, name)
+		}
+	}
+}
+
+// WithSeed sets the master seed; every random decision in the pipeline
+// derives deterministically from it (default 1).
+func WithSeed(seed uint64) PipelineOption {
+	return func(p *Pipeline) error {
+		p.seed = seed
+		return nil
+	}
+}
+
+// WithLogger directs per-epoch textual progress to w.
+func WithLogger(w io.Writer) PipelineOption {
+	return func(p *Pipeline) error {
+		p.log = w
+		return nil
+	}
+}
+
+// WithProgress installs a callback invoked as the pipeline advances: once
+// per completed epoch of the victim, transfer, and pruning fine-tune loops
+// (epoch is the zero-based index within the phase), and once with epoch -1
+// when a phase completes.
+func WithProgress(fn func(phase Phase, epoch int)) PipelineOption {
+	return func(p *Pipeline) error {
+		if fn == nil {
+			return fmt.Errorf("%w: nil progress callback", ErrBadOption)
+		}
+		p.progress = fn
+		return nil
+	}
+}
+
+// WithDatasetSize sets the synthetic train/test sample counts (default
+// 120/60).
+func WithDatasetSize(train, test int) PipelineOption {
+	return func(p *Pipeline) error {
+		if train < 1 || test < 1 {
+			return fmt.Errorf("%w: dataset size %d/%d must be positive", ErrBadOption, train, test)
+		}
+		p.trainN, p.testN = train, test
+		return nil
+	}
+}
+
+// WithClasses overrides the task's class count (default: 10 for c10, 12 for
+// the CPU-scale c100 stand-in).
+func WithClasses(n int) PipelineOption {
+	return func(p *Pipeline) error {
+		if n < 2 {
+			return fmt.Errorf("%w: class count %d < 2", ErrBadOption, n)
+		}
+		p.classes = n
+		return nil
+	}
+}
+
+// WithEpochs sets the victim-training, knowledge-transfer, and per-iteration
+// pruning fine-tune epoch budgets (default 8/10/1).
+func WithEpochs(victim, transfer, fineTune int) PipelineOption {
+	return func(p *Pipeline) error {
+		if victim < 0 || transfer < 1 || fineTune < 0 {
+			return fmt.Errorf("%w: epoch budgets %d/%d/%d", ErrBadOption, victim, transfer, fineTune)
+		}
+		p.victimEpochs, p.transferEpochs, p.fineTuneEpochs = victim, transfer, fineTune
+		return nil
+	}
+}
+
+// WithPruning sets the tolerated accuracy drop θ_drop and the maximum
+// pruning iterations (default 0.20 / 4).
+func WithPruning(dropBudget float64, maxIters int) PipelineOption {
+	return func(p *Pipeline) error {
+		if dropBudget < 0 || maxIters < 0 {
+			return fmt.Errorf("%w: pruning budget %g / iters %d", ErrBadOption, dropBudget, maxIters)
+		}
+		p.dropBudget, p.pruneIters = dropBudget, maxIters
+		return nil
+	}
+}
+
+// WithHyperparams sets the learning rate and the BN sparsity strength λ of
+// Eq. 1 (default 0.03 / 5e-4).
+func WithHyperparams(lr, lambda float64) PipelineOption {
+	return func(p *Pipeline) error {
+		if lr <= 0 || lambda < 0 {
+			return fmt.Errorf("%w: lr %g / lambda %g", ErrBadOption, lr, lambda)
+		}
+		p.lr, p.lambda = lr, lambda
+		return nil
+	}
+}
+
+// WithBatchSize sets the training batch size (default 16).
+func WithBatchSize(n int) PipelineOption {
+	return func(p *Pipeline) error {
+		if n < 1 {
+			return fmt.Errorf("%w: batch size %d < 1", ErrBadOption, n)
+		}
+		p.batchSize = n
+		return nil
+	}
+}
+
+// NewPipeline builds a pipeline from CPU-scale defaults (a VGG victim on the
+// 10-class synthetic task, CI-sized budgets) modified by opts. It fails fast
+// on the first invalid option.
+func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
+	p := &Pipeline{
+		arch:           "vgg",
+		dataset:        "c10",
+		seed:           1,
+		trainN:         120,
+		testN:          60,
+		victimEpochs:   8,
+		transferEpochs: 10,
+		fineTuneEpochs: 1,
+		pruneIters:     4,
+		dropBudget:     0.20,
+		batchSize:      16,
+		lr:             0.03,
+		lambda:         5e-4,
+	}
+	for _, opt := range opts {
+		if err := opt(p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// PipelineResult is the outcome of one pipeline run. TB is finalized and
+// ready for Deploy.
+type PipelineResult struct {
+	Train, Test *Dataset
+	Victim      *Model
+	VictimAcc   float64
+	TB          *TwoBranch
+	TBAcc       float64
+	PruneRes    *PruneResult
+}
+
+func (p *Pipeline) logf(format string, args ...any) {
+	if p.log != nil {
+		fmt.Fprintf(p.log, format, args...)
+	}
+}
+
+func (p *Pipeline) emit(phase Phase, epoch int) {
+	if p.progress != nil {
+		p.progress(phase, epoch)
+	}
+}
+
+func (p *Pipeline) datasets() (train, test *Dataset) {
+	var cfg data.SynthConfig
+	if p.dataset == "c100" {
+		cfg = data.SynthCIFAR100(p.trainN, p.testN, p.seed+100)
+		cfg.Classes = 12 // CPU-scale stand-in for the 100-class task
+	} else {
+		cfg = data.SynthCIFAR10(p.trainN, p.testN, p.seed+10)
+	}
+	if p.classes > 0 {
+		cfg.Classes = p.classes
+	}
+	return data.Generate(cfg)
+}
+
+func (p *Pipeline) buildVictim(classes int) *Model {
+	rng := tensor.NewRNG(p.seed + 1)
+	switch p.arch {
+	case "resnet":
+		return zoo.BuildResNet(zoo.ResNet20Config(classes), true, rng)
+	case "tiny-resnet":
+		return zoo.BuildResNet(zoo.TinyResNetConfig(classes), true, rng)
+	case "mobilenet":
+		return zoo.BuildMobileNet(zoo.MobileNetSConfig(classes), rng)
+	case "tiny-vgg":
+		return zoo.BuildVGG(zoo.TinyVGGConfig(classes), rng)
+	default:
+		return zoo.BuildVGG(zoo.VGG18Config(classes), rng)
+	}
+}
+
+func (p *Pipeline) trainCfg(phase Phase, epochs int, lambda float64, seed uint64) TrainConfig {
+	cfg := core.DefaultTrainConfig(epochs)
+	cfg.BatchSize = p.batchSize
+	cfg.LR = p.lr
+	cfg.Lambda = lambda
+	cfg.Seed = seed
+	cfg.Log = p.log
+	if p.progress != nil {
+		cfg.OnEpoch = func(epoch int, _ float64) { p.emit(phase, epoch) }
+	}
+	return cfg
+}
+
+// Run executes the six-step flow and returns a finalized result. It checks
+// ctx between phases; a cancelled context aborts with ctx.Err().
+func (p *Pipeline) Run(ctx context.Context) (*PipelineResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	train, test := p.datasets()
+	res := &PipelineResult{Train: train, Test: test}
+
+	p.logf("[pipeline %s/%s] training victim (%d epochs)\n", p.arch, p.dataset, p.victimEpochs)
+	res.Victim = p.buildVictim(train.Classes)
+	core.TrainModel(res.Victim, train, nil, p.trainCfg(PhaseVictim, p.victimEpochs, 0, p.seed+2))
+	res.VictimAcc = core.EvaluateModel(res.Victim, test, p.batchSize)
+	p.emit(PhaseVictim, -1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	p.logf("[pipeline %s/%s] knowledge transfer (%d epochs)\n", p.arch, p.dataset, p.transferEpochs)
+	res.TB = core.NewTwoBranch(res.Victim, p.seed+3)
+	core.TrainTwoBranch(res.TB, train, test,
+		p.trainCfg(PhaseTransfer, p.transferEpochs, p.lambda, p.seed+4))
+	p.emit(PhaseTransfer, -1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	p.logf("[pipeline %s/%s] iterative two-branch pruning (≤%d iters)\n",
+		p.arch, p.dataset, p.pruneIters)
+	pc := core.DefaultPruneConfig(p.dropBudget, p.fineTuneEpochs)
+	pc.MaxIters = p.pruneIters
+	pc.FineTune = p.trainCfg(PhasePrune, p.fineTuneEpochs, p.lambda, p.seed+5)
+	pc.FineTune.LR = p.lr / 4
+	res.PruneRes = core.PruneTwoBranch(res.TB, train, test, pc)
+	p.emit(PhasePrune, -1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	core.FinalizeRollback(res.TB, res.PruneRes)
+	res.TBAcc = core.EvaluateTwoBranch(res.TB, test, p.batchSize)
+	p.emit(PhaseFinalize, -1)
+	p.logf("[pipeline %s/%s] victim %.4f → TBNet %.4f (%d pruning iterations)\n",
+		p.arch, p.dataset, res.VictimAcc, res.TBAcc, res.PruneRes.Iterations)
+	return res, nil
+}

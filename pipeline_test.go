@@ -1,0 +1,169 @@
+package tbnet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPipelineOptionValidation(t *testing.T) {
+	bad := []PipelineOption{
+		WithArch("transformer"),
+		WithDataset("imagenet"),
+		WithDatasetSize(0, 10),
+		WithClasses(1),
+		WithEpochs(-1, 1, 1),
+		WithEpochs(1, 0, 1),
+		WithPruning(-0.1, 4),
+		WithHyperparams(0, 1e-4),
+		WithBatchSize(0),
+		WithProgress(nil),
+	}
+	for i, opt := range bad {
+		if _, err := NewPipeline(opt); !errors.Is(err, ErrBadOption) {
+			t.Fatalf("option %d: err = %v, want ErrBadOption", i, err)
+		}
+	}
+	if _, err := NewPipeline(); err != nil {
+		t.Fatalf("defaults must be valid: %v", err)
+	}
+}
+
+func TestPipelineRunAndServe(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[Phase]int{}
+	p, err := NewPipeline(
+		WithArch("tiny-vgg"),
+		WithDataset("c10"),
+		WithSeed(7),
+		WithDatasetSize(48, 24),
+		WithEpochs(1, 1, 1),
+		WithPruning(1.0, 1),
+		WithProgress(func(ph Phase, epoch int) {
+			mu.Lock()
+			seen[ph]++
+			mu.Unlock()
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TB.Finalized {
+		t.Fatal("pipeline result is not finalized")
+	}
+	if res.VictimAcc < 0 || res.VictimAcc > 1 || res.TBAcc < 0 || res.TBAcc > 1 {
+		t.Fatalf("accuracies out of range: %v, %v", res.VictimAcc, res.TBAcc)
+	}
+	for _, ph := range []Phase{PhaseVictim, PhaseTransfer, PhasePrune, PhaseFinalize} {
+		if seen[ph] == 0 {
+			t.Fatalf("no progress events for phase %s (saw %v)", ph, seen)
+		}
+	}
+
+	// The finalized result deploys and serves through the facade.
+	dep, err := Deploy(res.TB, RaspberryPi3(), []int{6, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(dep, WithWorkers(2), WithMaxBatch(4), WithMaxDelay(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	batch := res.Test.Batches(6, nil)[0]
+	want, err := dep.Infer(batch.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]*Tensor, 0, len(want))
+	for _, single := range res.Test.Batches(1, nil)[:len(want)] {
+		xs = append(xs, single.X)
+	}
+	got, err := srv.InferBatch(context.Background(), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("served label %d != deployment label %d at %d", got[i], want[i], i)
+		}
+	}
+	if st := srv.Stats(); st.Requests != int64(len(xs)) {
+		t.Fatalf("stats requests = %d, want %d", st.Requests, len(xs))
+	}
+}
+
+func TestPipelineHonoursContext(t *testing.T) {
+	p, err := NewPipeline(
+		WithArch("tiny-vgg"),
+		WithDatasetSize(32, 16),
+		WithEpochs(1, 1, 0),
+		WithPruning(1.0, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run err = %v, want context.Canceled", err)
+	}
+}
+
+func TestServeOptionValidation(t *testing.T) {
+	if _, err := Serve(nil); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("nil deployment: err = %v, want ErrBadOption", err)
+	}
+	p, err := NewPipeline(WithArch("tiny-vgg"), WithDatasetSize(32, 16),
+		WithEpochs(0, 1, 0), WithPruning(1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Deploy(res.TB, RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, opt := range []ServeOption{
+		WithWorkers(0), WithMaxBatch(0), WithMaxDelay(0), WithMaxDelay(-time.Second),
+		WithQueueDepth(0),
+	} {
+		if _, err := Serve(dep, opt); !errors.Is(err, ErrBadOption) {
+			t.Fatalf("option %d: err = %v, want ErrBadOption", i, err)
+		}
+	}
+	srv, err := Serve(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := srv.Infer(context.Background(), NewTensor(1, 3, 16, 16)); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("closed server err = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestDeploySentinelsThroughFacade(t *testing.T) {
+	victim := BuildVGG(VGG18Config(4), NewRNG(1))
+	tb := NewTwoBranch(victim, 2)
+	if _, err := Deploy(tb, RaspberryPi3(), []int{1, 3, 16, 16}); !errors.Is(err, ErrNotFinalized) {
+		t.Fatalf("unfinalized deploy err = %v, want ErrNotFinalized", err)
+	}
+	tb.Finalized = true
+	if _, err := Deploy(tb, RaspberryPi3(), []int{1, 3}); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad shape deploy err = %v, want ErrShape", err)
+	}
+	small := RaspberryPi3()
+	small.SecureMemBytes = 1
+	if _, err := Deploy(tb, small, []int{1, 3, 16, 16}); !errors.Is(err, ErrSecureMemory) {
+		t.Fatalf("oversized deploy err = %v, want ErrSecureMemory", err)
+	}
+}

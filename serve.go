@@ -1,0 +1,97 @@
+package tbnet
+
+import (
+	"fmt"
+	"time"
+
+	"tbnet/internal/serve"
+)
+
+// Server is the concurrent serving layer over a deployed model: a pool of
+// replicated enclave sessions behind a micro-batching request queue. Create
+// one with Serve; see the serve package documentation for the execution
+// model.
+type Server = serve.Server
+
+// ServerStats is a point-in-time snapshot of a Server's behaviour —
+// throughput, realized batch sizes, queue depth, and p50/p99 modeled device
+// latency.
+type ServerStats = serve.Stats
+
+// ServeOption configures a Server.
+type ServeOption func(*serve.Config) error
+
+// WithWorkers sets the number of replicated enclave sessions serving in
+// parallel (default 2). Each worker owns deep copies of both branches and
+// its own enclave, meter, and trace; all workers draw their secure-memory
+// reservations from one device-sized budget, so an over-wide pool fails
+// with ErrSecureMemory instead of overcommitting the modeled hardware.
+func WithWorkers(n int) ServeOption {
+	return func(c *serve.Config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: workers %d < 1", ErrBadOption, n)
+		}
+		c.Workers = n
+		return nil
+	}
+}
+
+// WithMaxBatch sets the micro-batch flush size (default 8). Every worker
+// replica reserves secure memory for this batch capacity against the shared
+// device budget, so Serve fails with ErrSecureMemory if the pool's batched
+// working set does not fit the device.
+func WithMaxBatch(n int) ServeOption {
+	return func(c *serve.Config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: max batch %d < 1", ErrBadOption, n)
+		}
+		c.MaxBatch = n
+		return nil
+	}
+}
+
+// WithMaxDelay sets how long an incomplete batch waits for more traffic
+// before flushing (default 2ms). d must be positive; pass a tiny duration
+// (e.g. time.Microsecond) for near-immediate flushing.
+func WithMaxDelay(d time.Duration) ServeOption {
+	return func(c *serve.Config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: max delay %v must be positive", ErrBadOption, d)
+		}
+		c.MaxDelay = d
+		return nil
+	}
+}
+
+// WithQueueDepth bounds the number of requests waiting in the server's queue
+// before Infer blocks (default Workers*MaxBatch*4).
+func WithQueueDepth(n int) ServeOption {
+	return func(c *serve.Config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: queue depth %d < 1", ErrBadOption, n)
+		}
+		c.QueueDepth = n
+		return nil
+	}
+}
+
+// Serve starts a concurrent serving layer over a deployed model. The
+// deployment is used as the replication template only — the server builds
+// one independent session per worker — so the caller keeps exclusive use of
+// dep's own session. Stop the server with Server.Close.
+//
+//	srv, err := tbnet.Serve(dep, tbnet.WithWorkers(4), tbnet.WithMaxBatch(8))
+//	...
+//	label, err := srv.Infer(ctx, x)
+func Serve(dep *Deployment, opts ...ServeOption) (*Server, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("%w: nil deployment", ErrBadOption)
+	}
+	var cfg serve.Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return serve.New(dep, cfg)
+}

@@ -9,24 +9,40 @@
 // pruning, and rollback finalization yield a deployment whose REE-resident
 // part is useless to steal, while the TEE part is small and fast.
 //
-// The typical flow:
+// The API is error-first and option-based. The six-step TBNet flow (train
+// victim → two-branch substitution → knowledge transfer → iterative pruning
+// → rollback finalization) is driven by the pipeline builder:
 //
-//	victim := tbnet.BuildVGG(tbnet.VGG18Config(10), tbnet.NewRNG(1))
-//	tbnet.TrainModel(victim, train, test, tbnet.DefaultTrainConfig(20))
+//	p, err := tbnet.NewPipeline(
+//		tbnet.WithArch("vgg"),
+//		tbnet.WithDataset("c10"),
+//		tbnet.WithSeed(1),
+//	)
+//	res, err := p.Run(ctx)        // res.TB is finalized
 //
-//	tb := tbnet.NewTwoBranch(victim, 2)                  // step 1
-//	tbnet.TrainTwoBranch(tb, train, test, transferCfg)   // step 2
-//	res := tbnet.PruneTwoBranch(tb, train, test, prCfg)  // steps 3–5
-//	tbnet.FinalizeRollback(tb, res)                      // step 6
+// A finalized model deploys onto a simulated TrustZone device and is served
+// concurrently by a pool of replicated enclave sessions with micro-batching:
 //
-//	dep, err := tbnet.Deploy(tb, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
-//	labels, err := dep.Infer(x)
+//	dep, err := tbnet.Deploy(res.TB, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
+//	srv, err := tbnet.Serve(dep, tbnet.WithWorkers(4), tbnet.WithMaxBatch(8))
+//	defer srv.Close()
 //
-// Everything underneath — the tensor/NN/optimizer stack, the synthetic
-// CIFAR-like datasets, the TrustZone device model, the attacks, and the
-// experiment harness that regenerates the paper's tables and figures — lives
-// in the internal packages and is re-exported here where a downstream user
-// needs it.
+//	label, err := srv.Infer(ctx, x)       // single sample, coalesced
+//	labels, err := srv.InferBatch(ctx, xs)
+//	stats := srv.Stats()                  // throughput, batch sizes, p50/p99
+//
+// Bad input surfaces as wrapped sentinel errors (ErrShape, ErrNotFinalized,
+// ErrSecureMemory, ErrServerClosed, ErrBadOption) that callers match with
+// errors.Is — public entry points do not panic.
+//
+// The step-level functions below (TrainModel, NewTwoBranch, TrainTwoBranch,
+// PruneTwoBranch, FinalizeRollback, ...) remain available as the advanced
+// surface the pipeline builder composes; use them when a workflow needs to
+// intercept the flow between steps. Everything underneath — the
+// tensor/NN/optimizer stack, the synthetic CIFAR-like datasets, the
+// TrustZone device model, the attacks, and the experiment harness that
+// regenerates the paper's tables and figures — lives in the internal
+// packages and is re-exported here where a downstream user needs it.
 package tbnet
 
 import (

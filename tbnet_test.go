@@ -47,7 +47,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("accuracies out of range: %v, %v", vAcc, tbAcc)
 	}
 
-	dep, err := Deploy(tb, RaspberryPi3(), []int{1, 3, 16, 16})
+	dep, err := Deploy(tb, RaspberryPi3(), []int{4, 3, 16, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
