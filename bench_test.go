@@ -157,8 +157,7 @@ func BenchmarkDeployedInference(b *testing.B) {
 	skipInShort(b)
 	lab := benchLab(1)
 	p := lab.Pipeline(experiments.Combo{Arch: "vgg", Dataset: "c10"})
-	device := tee.RaspberryPi3()
-	device.SecureMemBytes = 0
+	device := tee.Unbounded(tee.RaspberryPi3())
 	dep, err := Deploy(p.TB, device, []int{1, 3, 16, 16})
 	if err != nil {
 		b.Fatal(err)

@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|ablation|...> [flags]
+//	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|ablation|...> [flags]
 //	tbnet pipeline [flags]    # one train→transfer→prune→finalize flow
 //	tbnet serve [flags]       # deploy and serve a synthetic request load
-//	tbnet info                # print the simulated device model
+//	tbnet info                # print the registered hardware backends
 //
 // Common flags:
 //
@@ -16,7 +16,8 @@
 //	-seed N               master seed (default 1)
 //	-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet
 //	-dataset c10|c100
-//	-json                 machine-readable output (experiment, serve)
+//	-device NAME          hardware backend (default rpi3; see `tbnet info`)
+//	-json                 machine-readable output (experiment, pipeline, serve)
 //	-v                    verbose progress logging
 //
 // Serve flags:
@@ -40,7 +41,6 @@ import (
 	"tbnet"
 	"tbnet/internal/experiments"
 	"tbnet/internal/report"
-	"tbnet/internal/tee"
 )
 
 func main() {
@@ -75,6 +75,7 @@ type commonFlags struct {
 	seed    uint64
 	arch    string
 	dataset string
+	device  string
 	jsonOut bool
 	verbose bool
 }
@@ -85,9 +86,15 @@ func addCommonFlags(fs *flag.FlagSet) *commonFlags {
 	fs.Uint64Var(&c.seed, "seed", 1, "master seed")
 	fs.StringVar(&c.arch, "arch", "vgg", "architecture: vgg, resnet, mobilenet, tiny-vgg, tiny-resnet")
 	fs.StringVar(&c.dataset, "dataset", "c10", "dataset: c10 or c100")
+	fs.StringVar(&c.device, "device", "rpi3", "hardware backend (see `tbnet info` for the registry)")
 	fs.BoolVar(&c.jsonOut, "json", false, "machine-readable JSON output")
 	fs.BoolVar(&c.verbose, "v", false, "verbose progress logging")
 	return c
+}
+
+// resolveDevice looks the -device flag up in the registry.
+func (c *commonFlags) resolveDevice() (tbnet.Device, error) {
+	return tbnet.DeviceByName(c.device)
 }
 
 // pipelineOptions maps the CLI flags onto the functional-options surface.
@@ -134,6 +141,11 @@ func runPipelineCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	device, err := c.resolveDevice()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 	p, err := tbnet.NewPipeline(opts...)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -144,15 +156,32 @@ func runPipelineCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	// Deploy the finalized model on the selected backend and meter one
+	// single-image inference, so the pipeline summary carries the modeled
+	// hardware story alongside the accuracy one.
+	dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	sample := res.Test.Batches(1, []int{0})[0].X
+	if _, err := dep.Infer(sample); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	if c.jsonOut {
 		enc := json.NewEncoder(stdout)
 		if err := enc.Encode(struct {
-			Arch       string  `json:"arch"`
-			Dataset    string  `json:"dataset"`
-			VictimAcc  float64 `json:"victim_acc"`
-			TBAcc      float64 `json:"tbnet_acc"`
-			PruneIters int     `json:"prune_iterations"`
-		}{c.arch, c.dataset, res.VictimAcc, res.TBAcc, res.PruneRes.Iterations}); err != nil {
+			Arch        string  `json:"arch"`
+			Dataset     string  `json:"dataset"`
+			Device      string  `json:"device"`
+			VictimAcc   float64 `json:"victim_acc"`
+			TBAcc       float64 `json:"tbnet_acc"`
+			PruneIters  int     `json:"prune_iterations"`
+			SecureBytes int64   `json:"peak_secure_bytes"`
+			LatencySec  float64 `json:"latency_sec"`
+		}{c.arch, c.dataset, device.Name(), res.VictimAcc, res.TBAcc,
+			res.PruneRes.Iterations, dep.SecureBytes, dep.Latency()}); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
@@ -161,6 +190,8 @@ func runPipelineCmd(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "victim accuracy: %s\n", report.Pct(res.VictimAcc))
 	fmt.Fprintf(stdout, "TBNet accuracy:  %s\n", report.Pct(res.TBAcc))
 	fmt.Fprintf(stdout, "pruning iterations applied: %d\n", res.PruneRes.Iterations)
+	fmt.Fprintf(stdout, "deployed on %s: %s secure memory, %.6fs modeled single-image latency\n",
+		device.Name(), report.Bytes(dep.SecureBytes), dep.Latency())
 	for _, h := range res.PruneRes.History {
 		status := "kept"
 		if h.Reverted {
@@ -194,6 +225,11 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	device, err := c.resolveDevice()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 	p, err := tbnet.NewPipeline(opts...)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -205,7 +241,7 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	dep, err := tbnet.Deploy(res.TB, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
+	dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -257,6 +293,8 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 
 	if c.jsonOut {
 		if err := json.NewEncoder(stdout).Encode(struct {
+			Device            string  `json:"device"`
+			PeakSecureBytes   int64   `json:"peak_secure_bytes"`
 			Requests          int64   `json:"requests"`
 			Errors            int64   `json:"errors"`
 			Correct           int     `json:"correct"`
@@ -268,9 +306,9 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 			P99LatencySec     float64 `json:"p99_latency_sec"`
 			ModeledThroughput float64 `json:"modeled_throughput_rps"`
 			WallSeconds       float64 `json:"wall_seconds"`
-		}{st.Requests, st.Errors, correct, st.Batches, st.MeanBatch, st.LargestBatch,
-			st.Workers, st.P50Latency, st.P99Latency, st.ModeledThroughput,
-			st.WallSeconds}); err != nil {
+		}{st.Device, st.PeakSecureBytes, st.Requests, st.Errors, correct, st.Batches,
+			st.MeanBatch, st.LargestBatch, st.Workers, st.P50Latency, st.P99Latency,
+			st.ModeledThroughput, st.WallSeconds}); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
@@ -278,6 +316,8 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "served %d requests (%d failed), accuracy %s\n",
 		st.Requests, failed, report.Pct(float64(correct)/float64(*requests)))
+	fmt.Fprintf(stdout, "  device:             %s (peak secure memory %s)\n",
+		st.Device, report.Bytes(st.PeakSecureBytes))
 	fmt.Fprintf(stdout, "  workers:            %d\n", st.Workers)
 	fmt.Fprintf(stdout, "  batches:            %d (mean %.2f, largest %d)\n",
 		st.Batches, st.MeanBatch, st.LargestBatch)
@@ -304,7 +344,12 @@ func runExperimentCmd(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
-	cfg := experiments.Config{Seed: c.seed}
+	device, err := c.resolveDevice()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	cfg := experiments.Config{Seed: c.seed, Device: device}
 	switch c.scale {
 	case "micro":
 		cfg.Scale = experiments.MicroScale()
@@ -324,7 +369,7 @@ func runExperimentCmd(args []string, stdout, stderr io.Writer) int {
 
 func knownExperiment(which string) bool {
 	switch which {
-	case "all", "table1", "table2", "table3", "fig2", "fig3", "fig4",
+	case "all", "table1", "table2", "table3", "fig2", "fig3", "fig4", "hw",
 		"ablation", "ablation-ranking", "ablation-rollback", "ablation-lambda",
 		"ablation-quant":
 		return true
@@ -369,6 +414,8 @@ func renderExperiment(lab *experiments.Lab, which string, jsonOut bool, w, stder
 		report.RenderSeries(w, title, lab.Fig2())
 	case "fig3":
 		return render(lab.Fig3())
+	case "hw":
+		return render(lab.TableHW())
 	case "fig4":
 		mr, mt := lab.Fig4()
 		if jsonOut {
@@ -401,24 +448,30 @@ func renderExperiment(lab *experiments.Lab, which string, jsonOut bool, w, stder
 }
 
 func runInfoCmd(w io.Writer) int {
-	d := tee.RaspberryPi3()
-	fmt.Fprintf(w, "device: %s\n", d.Name)
-	fmt.Fprintf(w, "  REE throughput:   %.2g FLOP/s\n", d.REEFlopsPerSec)
-	fmt.Fprintf(w, "  TEE throughput:   %.2g FLOP/s\n", d.TEEFlopsPerSec)
-	fmt.Fprintf(w, "  SMC latency:      %v\n", d.SMCLatency)
-	fmt.Fprintf(w, "  transfer BW:      %.2g B/s\n", d.TransferBytesPerSec)
-	fmt.Fprintf(w, "  secure memory:    %s\n", report.Bytes(d.SecureMemBytes))
+	for _, d := range tbnet.Devices() {
+		fmt.Fprintf(w, "device: %s\n", d.Name())
+		if cm, ok := d.(interface{ Describe() string }); ok {
+			fmt.Fprintf(w, "  hardware:         %s\n", cm.Describe())
+		}
+		fmt.Fprintf(w, "  REE throughput:   %.2g FLOP/s\n", d.REEFlopsPerSec())
+		fmt.Fprintf(w, "  TEE throughput:   %.2g FLOP/s\n", d.TEEFlopsPerSec())
+		fmt.Fprintf(w, "  switch cost:      %.0fµs\n", d.SwitchSeconds()*1e6)
+		fmt.Fprintf(w, "  transfer BW:      %.2g B/s\n", d.TransferBytesPerSec())
+		fmt.Fprintf(w, "  secure memory:    %s\n", report.Bytes(d.SecureMemBytes()))
+	}
 	return 0
 }
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|ablation|
+  tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|ablation|
                     ablation-ranking|ablation-rollback|ablation-lambda|ablation-quant>
-                   [-scale micro|ci|full] [-seed N] [-json] [-v]
+                   [-scale micro|ci|full] [-seed N] [-device NAME] [-json] [-v]
   tbnet pipeline [-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet]
-                 [-dataset c10|c100] [-scale micro|ci|full] [-seed N] [-json] [-v]
+                 [-dataset c10|c100] [-scale micro|ci|full] [-seed N]
+                 [-device NAME] [-json] [-v]
   tbnet serve    [-workers N] [-batch N] [-delay D] [-requests N]
-                 [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
-  tbnet info`)
+                 [-arch ...] [-dataset ...] [-scale ...] [-seed N]
+                 [-device NAME] [-json] [-v]
+  tbnet info     # list the registered hardware backends`)
 }

@@ -39,9 +39,28 @@ func TestInfoCommand(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, want := range []string{"raspberrypi3b-optee", "REE throughput", "secure memory"} {
+	for _, want := range []string{"rpi3", "sgx-desktop", "sev-server", "jetson-tz",
+		"REE throughput", "secure memory"} {
 		if !strings.Contains(stdout, want) {
 			t.Fatalf("info output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestUnknownDeviceRejected: every workload command validates -device against
+// the registry and teaches the caller the known names.
+func TestUnknownDeviceRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"pipeline", "-device", "abacus"},
+		{"serve", "-device", "abacus"},
+		{"experiment", "table3", "-device", "abacus"},
+	} {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("%v: exit = %d, want 2", args, code)
+		}
+		if !strings.Contains(stderr, "rpi3") {
+			t.Fatalf("%v: stderr %q does not list registered devices", args, stderr)
 		}
 	}
 }
@@ -107,12 +126,14 @@ func TestServeCommandEndToEnd(t *testing.T) {
 		t.Skip("skipping pipeline-backed serve run in short mode")
 	}
 	code, stdout, stderr := runCLI(t,
-		"serve", "-arch", "tiny-vgg", "-scale", "micro",
+		"serve", "-arch", "tiny-vgg", "-scale", "micro", "-device", "jetson-tz",
 		"-workers", "2", "-batch", "4", "-requests", "24", "-json")
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
 	}
 	var st struct {
+		Device            string  `json:"device"`
+		PeakSecureBytes   int64   `json:"peak_secure_bytes"`
 		Requests          int64   `json:"requests"`
 		Errors            int64   `json:"errors"`
 		MeanBatch         float64 `json:"mean_batch"`
@@ -128,6 +149,43 @@ func TestServeCommandEndToEnd(t *testing.T) {
 	if st.Workers != 2 || st.ModeledThroughput <= 0 {
 		t.Fatalf("stats wrong: %+v", st)
 	}
+	if st.Device != "jetson-tz" || st.PeakSecureBytes <= 0 {
+		t.Fatalf("device attribution wrong: %+v", st)
+	}
+}
+
+// TestServeCLIDeviceChangesModeledNumbers is the CLI acceptance check: the
+// same pipeline served on two backends yields machine-distinguishable JSON
+// with different modeled latency. Batch and workers are pinned to 1 so the
+// modeled figures do not depend on wall-clock batching. Gated behind -short.
+func TestServeCLIDeviceChangesModeledNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping pipeline-backed serve runs in short mode")
+	}
+	p50 := map[string]float64{}
+	for _, device := range []string{"rpi3", "sgx-desktop"} {
+		code, stdout, stderr := runCLI(t,
+			"serve", "-arch", "tiny-vgg", "-scale", "micro", "-device", device,
+			"-workers", "1", "-batch", "1", "-requests", "8", "-json")
+		if code != 0 {
+			t.Fatalf("%s: exit = %d, stderr:\n%s", device, code, stderr)
+		}
+		var st struct {
+			Device        string  `json:"device"`
+			P50LatencySec float64 `json:"p50_latency_sec"`
+		}
+		if err := json.Unmarshal([]byte(stdout), &st); err != nil {
+			t.Fatalf("%s: %v\n%s", device, err, stdout)
+		}
+		if st.Device != device {
+			t.Fatalf("json device = %q, want %q", st.Device, device)
+		}
+		p50[device] = st.P50LatencySec
+	}
+	if p50["rpi3"] == p50["sgx-desktop"] {
+		t.Fatalf("both devices report p50 %v — cost models not threaded through the CLI",
+			p50["rpi3"])
+	}
 }
 
 // TestPipelineCommandJSON runs the smallest full pipeline and checks the
@@ -142,9 +200,12 @@ func TestPipelineCommandJSON(t *testing.T) {
 		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
 	}
 	var res struct {
-		Arch      string  `json:"arch"`
-		VictimAcc float64 `json:"victim_acc"`
-		TBAcc     float64 `json:"tbnet_acc"`
+		Arch        string  `json:"arch"`
+		Device      string  `json:"device"`
+		VictimAcc   float64 `json:"victim_acc"`
+		TBAcc       float64 `json:"tbnet_acc"`
+		SecureBytes int64   `json:"peak_secure_bytes"`
+		LatencySec  float64 `json:"latency_sec"`
 	}
 	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
 		t.Fatalf("pipeline -json output not parseable: %v\n%s", err, stdout)
@@ -154,5 +215,8 @@ func TestPipelineCommandJSON(t *testing.T) {
 	}
 	if res.VictimAcc < 0 || res.VictimAcc > 1 || res.TBAcc < 0 || res.TBAcc > 1 {
 		t.Fatalf("accuracies out of range: %+v", res)
+	}
+	if res.Device != "rpi3" || res.SecureBytes <= 0 || res.LatencySec <= 0 {
+		t.Fatalf("device attribution wrong: %+v", res)
 	}
 }

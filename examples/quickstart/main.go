@@ -44,12 +44,20 @@ func main() {
 	fmt.Printf("TBNet accuracy:  %.2f%% (%d pruning iterations)\n",
 		100*res.TBAcc, res.PruneRes.Iterations)
 
-	// Deploy: M_R in the REE, M_T inside the enclave, one-way channel.
-	dep, err := tbnet.Deploy(res.TB, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
+	// Deploy: M_R in the REE, M_T inside the enclave, one-way channel. The
+	// hardware backend comes from the named device registry — swap "rpi3"
+	// for "sgx-desktop", "sev-server", or "jetson-tz" (or a backend you
+	// registered with tbnet.RegisterDevice) to re-price the deployment.
+	device, err := tbnet.DeviceByName("rpi3")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("secure memory reserved: %.2f KiB\n", float64(dep.SecureBytes)/1024)
+	dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed on %s: %.2f KiB secure memory reserved\n",
+		device.Name(), float64(dep.SecureBytes)/1024)
 
 	// Serve: a pool of replicated enclave sessions with micro-batching.
 	srv, err := tbnet.Serve(dep, tbnet.WithWorkers(4), tbnet.WithMaxBatch(8))
@@ -83,9 +91,11 @@ func main() {
 		log.Fatalf("%d requests failed", failed)
 	}
 	st := srv.Stats()
-	fmt.Printf("served %d requests: %d/%d correct\n", st.Requests, correct, test.Len())
-	fmt.Printf("  mean batch %.2f, modeled p50 %.4fs p99 %.4fs, %.0f req/s modeled\n",
-		st.MeanBatch, st.P50Latency, st.P99Latency, st.ModeledThroughput)
+	fmt.Printf("served %d requests on %s: %d/%d correct\n",
+		st.Requests, st.Device, correct, test.Len())
+	fmt.Printf("  mean batch %.2f, modeled p50 %.4fs p99 %.4fs, %.0f req/s modeled, peak secure %.2f KiB\n",
+		st.MeanBatch, st.P50Latency, st.P99Latency, st.ModeledThroughput,
+		float64(st.PeakSecureBytes)/1024)
 
 	// What the attacker gets: M_R alone, with the stale victim head.
 	atk := tbnet.AttackDirectUse(dep.ExtractedMR(), test, 16)

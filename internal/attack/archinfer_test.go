@@ -13,8 +13,7 @@ import (
 // attacker-visible trace.
 func deployAndTrace(t *testing.T, tb *core.TwoBranch) []tee.Event {
 	t.Helper()
-	device := tee.RaspberryPi3()
-	device.SecureMemBytes = 0
+	device := tee.Unbounded(tee.RaspberryPi3())
 	dep, err := core.Deploy(tb, device, []int{1, 3, 16, 16})
 	if err != nil {
 		t.Fatal(err)

@@ -93,7 +93,7 @@ func (p *secureProgram) Result(ctx *tee.Context) (*tensor.Tensor, error) {
 // parallel serving, replicate the session per worker (see Replicate and the
 // serve package).
 type Deployment struct {
-	Device  tee.DeviceModel
+	Device  tee.Device
 	Enclave *tee.Enclave
 	mr      *zoo.Model
 	prog    *secureProgram
@@ -117,13 +117,16 @@ type Deployment struct {
 // working set; Infer rejects batches larger than sampleShape[0]. It fails
 // with ErrNotFinalized for unfinalized models, ErrShape for an unusable
 // sample shape, and ErrSecureMemory if the enclave does not fit.
-func Deploy(tb *TwoBranch, device tee.DeviceModel, sampleShape []int) (*Deployment, error) {
+func Deploy(tb *TwoBranch, device tee.Device, sampleShape []int) (*Deployment, error) {
 	return deployWith(tb, device, sampleShape, nil)
 }
 
 // deployWith is Deploy with an optional shared secure-memory accountant; a
-// nil mem gets a fresh per-session budget of device.SecureMemBytes.
-func deployWith(tb *TwoBranch, device tee.DeviceModel, sampleShape []int, mem *tee.SecureMemory) (*Deployment, error) {
+// nil mem gets a fresh per-session budget of device.SecureMemBytes().
+func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.SecureMemory) (*Deployment, error) {
+	if device == nil {
+		return nil, fmt.Errorf("core: deploy onto a nil device: %w", ErrShape)
+	}
 	if tb == nil || tb.MR == nil || tb.MT == nil {
 		return nil, fmt.Errorf("core: deploy of a nil two-branch model: %w", ErrShape)
 	}
@@ -157,15 +160,19 @@ func deployWith(tb *TwoBranch, device tee.DeviceModel, sampleShape []int, mem *t
 	}
 	secureBytes := mtCost.SecureFootprintBytes() + staging
 	if mem == nil {
-		mem = tee.NewSecureMemory(device.SecureMemBytes)
+		mem = tee.NewSecureMemory(device.SecureMemBytes())
 	}
 	if err := mem.Alloc(secureBytes); err != nil {
 		return nil, fmt.Errorf("core: secure branch does not fit: %v: %w", err, ErrSecureMemory)
 	}
 	prog := &secureProgram{mt: tb.MT, align: tb.Align}
+	enclave := tee.NewEnclave(prog, mem)
+	// Memory-pressure-sensitive backends (SGX EPC paging) price latency off
+	// the session's secure working set.
+	enclave.Meter().SetSecureFootprint(secureBytes)
 	return &Deployment{
 		Device:      device,
-		Enclave:     tee.NewEnclave(prog, mem),
+		Enclave:     enclave,
 		mr:          tb.MR,
 		prog:        prog,
 		align:       tb.Align,

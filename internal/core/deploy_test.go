@@ -126,8 +126,7 @@ func TestDeploymentMetersBothWorlds(t *testing.T) {
 
 func TestDeployRejectsOversizedModel(t *testing.T) {
 	tb, _ := finalizedTB(t, 80)
-	small := tee.RaspberryPi3()
-	small.SecureMemBytes = 1024 // 1 KiB: nothing fits
+	small := tee.WithSecureMem(tee.RaspberryPi3(), 1024) // 1 KiB: nothing fits
 	if _, err := Deploy(tb, small, []int{1, 3, 16, 16}); err == nil {
 		t.Fatal("deployment must fail when secure memory is too small")
 	}
@@ -164,8 +163,7 @@ func TestDeploySentinelErrors(t *testing.T) {
 	if _, err := Deploy(unfin, tee.RaspberryPi3(), []int{1, 3, 16, 16}); !errors.Is(err, ErrNotFinalized) {
 		t.Fatalf("unfinalized: err = %v, want ErrNotFinalized", err)
 	}
-	small := tee.RaspberryPi3()
-	small.SecureMemBytes = 1024
+	small := tee.WithSecureMem(tee.RaspberryPi3(), 1024)
 	if _, err := Deploy(tb, small, []int{1, 3, 16, 16}); !errors.Is(err, ErrSecureMemory) {
 		t.Fatalf("oversized: err = %v, want ErrSecureMemory", err)
 	}

@@ -25,7 +25,7 @@ import (
 // Placement is a victim model deployed on a device under some strategy.
 type Placement struct {
 	Strategy string
-	Device   tee.DeviceModel
+	Device   tee.Device
 	// SecureBytes is the secure-memory reservation.
 	SecureBytes int64
 	// ExposedParamBytes counts victim parameters resident in REE plaintext
@@ -51,7 +51,15 @@ func (p *Placement) Meter() *tee.Meter { return p.meter }
 // Strategy places a victim model onto a device.
 type Strategy interface {
 	Name() string
-	Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error)
+	Place(victim *zoo.Model, device tee.Device, sampleShape []int) (*Placement, error)
+}
+
+// meterFor returns a fresh meter carrying the placement's secure working
+// set, so memory-pressure-sensitive backends (SGX EPC paging) price it.
+func meterFor(secure int64) *tee.Meter {
+	m := &tee.Meter{}
+	m.SetSecureFootprint(secure)
+	return m
 }
 
 func argmaxLabels(logits *tensor.Tensor) []int {
@@ -70,10 +78,10 @@ type FullTEE struct{}
 func (FullTEE) Name() string { return "full-tee" }
 
 // Place implements Strategy.
-func (FullTEE) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error) {
+func (FullTEE) Place(victim *zoo.Model, device tee.Device, sampleShape []int) (*Placement, error) {
 	cost := profile.Profile(victim, sampleShape)
 	secure := cost.SecureFootprintBytes() + cost.Stages[0].InBytes // + input staging
-	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	mem := tee.NewSecureMemory(device.SecureMemBytes())
 	if err := mem.Alloc(secure); err != nil {
 		return nil, fmt.Errorf("defense: full-TEE placement: %w", err)
 	}
@@ -89,7 +97,7 @@ func (FullTEE) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []in
 			meter.AddCompute(tee.TEE, c.TotalFlops())
 			return argmaxLabels(m.Forward(x, false))
 		},
-		meter: &tee.Meter{},
+		meter: meterFor(secure),
 	}, nil
 }
 
@@ -106,7 +114,7 @@ type DarkneTZ struct {
 func (d DarkneTZ) Name() string { return fmt.Sprintf("darknetz-split%d", d.SplitAt) }
 
 // Place implements Strategy.
-func (d DarkneTZ) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error) {
+func (d DarkneTZ) Place(victim *zoo.Model, device tee.Device, sampleShape []int) (*Placement, error) {
 	if d.SplitAt < 0 || d.SplitAt > len(victim.Stages) {
 		return nil, fmt.Errorf("defense: split %d out of range (%d stages)", d.SplitAt, len(victim.Stages))
 	}
@@ -135,7 +143,7 @@ func (d DarkneTZ) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape [
 		staging = cost.Stages[d.SplitAt-1].OutBytes
 	}
 	secure := secureParams + peakTEE + staging
-	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	mem := tee.NewSecureMemory(device.SecureMemBytes())
 	if err := mem.Alloc(secure); err != nil {
 		return nil, fmt.Errorf("defense: darknetz placement: %w", err)
 	}
@@ -170,7 +178,7 @@ func (d DarkneTZ) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape [
 			meter.AddCompute(tee.TEE, c.Head.Flops)
 			return argmaxLabels(m.Head.Forward(cur, false))
 		},
-		meter: &tee.Meter{},
+		meter: meterFor(secure),
 	}, nil
 }
 
@@ -184,7 +192,7 @@ type ShadowNet struct{}
 func (ShadowNet) Name() string { return "shadownet" }
 
 // Place implements Strategy.
-func (ShadowNet) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error) {
+func (ShadowNet) Place(victim *zoo.Model, device tee.Device, sampleShape []int) (*Placement, error) {
 	cost := profile.Profile(victim, sampleShape)
 	// Enclave holds restore parameters (≈ one scale/permutation per channel,
 	// small) plus the largest stage activation for the restore step.
@@ -197,7 +205,7 @@ func (ShadowNet) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []
 		restoreParams += s.OutBytes / 64 // per-channel restore metadata
 	}
 	secure := restoreParams + peak + cost.Head.ParamBytes
-	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	mem := tee.NewSecureMemory(device.SecureMemBytes())
 	if err := mem.Alloc(secure); err != nil {
 		return nil, fmt.Errorf("defense: shadownet placement: %w", err)
 	}
@@ -223,7 +231,7 @@ func (ShadowNet) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []
 			meter.AddCompute(tee.TEE, c.Head.Flops) // private classifier head
 			return argmaxLabels(m.Head.Forward(cur, false))
 		},
-		meter: &tee.Meter{},
+		meter: meterFor(secure),
 	}, nil
 }
 
@@ -237,7 +245,7 @@ type MirrorNet struct{}
 func (MirrorNet) Name() string { return "mirrornet" }
 
 // Place implements Strategy.
-func (MirrorNet) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []int) (*Placement, error) {
+func (MirrorNet) Place(victim *zoo.Model, device tee.Device, sampleShape []int) (*Placement, error) {
 	cost := profile.Profile(victim, sampleShape)
 	// Enclave: companion branch ≈ 25% of backbone params + head + staging.
 	var staging int64
@@ -248,7 +256,7 @@ func (MirrorNet) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []
 	}
 	companion := cost.TotalParamBytes()/4 + cost.Head.ParamBytes
 	secure := companion + cost.PeakActivationBytes()/2 + staging
-	mem := tee.NewSecureMemory(device.SecureMemBytes)
+	mem := tee.NewSecureMemory(device.SecureMemBytes())
 	if err := mem.Alloc(secure); err != nil {
 		return nil, fmt.Errorf("defense: mirrornet placement: %w", err)
 	}
@@ -273,6 +281,6 @@ func (MirrorNet) Place(victim *zoo.Model, device tee.DeviceModel, sampleShape []
 			meter.AddCompute(tee.TEE, c.Head.Flops)
 			return argmaxLabels(m.Head.Forward(cur, false))
 		},
-		meter: &tee.Meter{},
+		meter: meterFor(secure),
 	}, nil
 }

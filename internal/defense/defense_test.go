@@ -135,8 +135,7 @@ func TestMirrorNetExposesEverything(t *testing.T) {
 
 func TestPlacementFailsOnTinySecureMemory(t *testing.T) {
 	v := victim(12)
-	d := tee.RaspberryPi3()
-	d.SecureMemBytes = 512
+	d := tee.WithSecureMem(tee.RaspberryPi3(), 512)
 	if _, err := (FullTEE{}).Place(v, d, shape); err == nil {
 		t.Fatal("full-TEE must fail in 512 bytes of secure memory")
 	}

@@ -8,7 +8,6 @@ import (
 	"tbnet/internal/profile"
 	"tbnet/internal/quant"
 	"tbnet/internal/report"
-	"tbnet/internal/tee"
 	"tbnet/internal/tensor"
 )
 
@@ -82,9 +81,7 @@ func (l *Lab) AblationRollback() *report.Table {
 // model: the attacker reads per-stage transfer sizes from the one-way channel
 // and guesses M_T's layer widths.
 func (l *Lab) archInferHitRate(tb *core.TwoBranch) float64 {
-	device := tee.RaspberryPi3()
-	device.SecureMemBytes = 0
-	dep, err := core.Deploy(tb, device, sampleShape())
+	dep, err := core.Deploy(tb, l.measureDevice(), sampleShape())
 	if err != nil {
 		panic(err)
 	}

@@ -96,45 +96,46 @@ func (l *Lab) Fig3() *report.Table {
 	}
 	for _, c := range AllCombos() {
 		p := l.Pipeline(c)
-		base, err := defense.FullTEE{}.Place(p.Victim, unboundedDevice(), sampleShape())
+		base, err := defense.FullTEE{}.Place(p.Victim, l.measureDevice(), sampleShape())
 		if err != nil {
 			panic(err)
 		}
-		dep, err := core.Deploy(p.TB, unboundedDevice(), sampleShape())
+		dep, err := core.Deploy(p.TB, l.measureDevice(), sampleShape())
 		if err != nil {
 			panic(err)
+		}
+		if dep.SecureBytes > t.PeakSecureBytes {
+			t.PeakSecureBytes = dep.SecureBytes
 		}
 		t.AddRow(c.String(), report.Bytes(base.SecureBytes), report.Bytes(dep.SecureBytes),
 			report.Ratio(float64(base.SecureBytes)/float64(dep.SecureBytes)))
 	}
+	t.Device = l.device().Name()
 	return t
 }
 
-// unboundedDevice is the RPi3 model with the secure-memory capacity check
-// lifted, so measurement never fails while still reporting footprints.
-func unboundedDevice() tee.DeviceModel {
-	d := tee.RaspberryPi3()
-	d.SecureMemBytes = 0
-	return d
-}
-
 // Table3 reproduces Table 3: per-inference latency of the baseline vs TBNet
-// on the simulated Raspberry Pi 3, for the SynthC10 models.
+// on the configured hardware backend, for the SynthC10 models.
 func (l *Lab) Table3() *report.Table {
 	t := &report.Table{
-		Title:  "Table 3: inference latency (s) on the simulated RPi3 (SynthC10)",
+		Title: fmt.Sprintf("Table 3: inference latency (s) on the simulated %s (SynthC10)",
+			l.device().Name()),
 		Header: []string{"DNN", "Baseline", "TBNet", "Reduction"},
+		Device: l.device().Name(),
 	}
 	const images = 4
 	for _, arch := range []string{"vgg", "resnet"} {
 		p := l.Pipeline(Combo{Arch: arch, Dataset: "c10"})
-		base, err := defense.FullTEE{}.Place(p.Victim, unboundedDevice(), sampleShape())
+		base, err := defense.FullTEE{}.Place(p.Victim, l.measureDevice(), sampleShape())
 		if err != nil {
 			panic(err)
 		}
-		dep, err := core.Deploy(p.TB, unboundedDevice(), sampleShape())
+		dep, err := core.Deploy(p.TB, l.measureDevice(), sampleShape())
 		if err != nil {
 			panic(err)
+		}
+		if dep.SecureBytes > t.PeakSecureBytes {
+			t.PeakSecureBytes = dep.SecureBytes
 		}
 		rng := tensor.NewRNG(l.cfg.Seed + 60)
 		for i := 0; i < images; i++ {
@@ -175,6 +176,7 @@ func (l *Lab) Ablation() *report.Table {
 	t := &report.Table{
 		Title:  "Ablation: deployment strategies on the VGG18-S/SynthC10 victim",
 		Header: []string{"Strategy", "Secure Mem", "Exposed Params", "Arch Exposed", "Latency (s)"},
+		Device: l.device().Name(),
 	}
 	p := l.Pipeline(Combo{Arch: "vgg", Dataset: "c10"})
 	strategies := []defense.Strategy{
@@ -187,7 +189,7 @@ func (l *Lab) Ablation() *report.Table {
 	x := tensor.New(sampleShape()...)
 	rng.FillNormal(x, 0, 1)
 	for _, s := range strategies {
-		pl, err := s.Place(p.Victim, unboundedDevice(), sampleShape())
+		pl, err := s.Place(p.Victim, l.measureDevice(), sampleShape())
 		if err != nil {
 			panic(err)
 		}
@@ -196,7 +198,7 @@ func (l *Lab) Ablation() *report.Table {
 			fmt.Sprintf("%v", pl.ExposedArch), fmt.Sprintf("%.4f", pl.Latency()))
 	}
 	// TBNet row: exposure is M_R's parameters; architecture of M_T hidden.
-	dep, err := core.Deploy(p.TB, unboundedDevice(), sampleShape())
+	dep, err := core.Deploy(p.TB, l.measureDevice(), sampleShape())
 	if err != nil {
 		panic(err)
 	}
@@ -206,6 +208,57 @@ func (l *Lab) Ablation() *report.Table {
 	mrBytes := profile.Profile(p.TB.MR, sampleShape()).TotalParamBytes()
 	t.AddRow("tbnet", report.Bytes(dep.SecureBytes), report.Bytes(mrBytes),
 		"false (M_T hidden, M_R ≠ M_T)", fmt.Sprintf("%.4f", dep.Latency()))
+	t.PeakSecureBytes = dep.SecureBytes
+	return t
+}
+
+// TableHW extends the paper's hardware-efficiency story across every
+// registered backend: the same finalized VGG/SynthC10 model deployed on each
+// device, comparing the full-TEE baseline against TBNet under each backend's
+// own cost semantics (serialized TrustZone worlds, SGX EPC paging, SEV VM
+// exits, heterogeneous overlap). Latency is measured in each backend's
+// measurement mode so footprints that exceed a device's secure memory are
+// reported in the Fits column instead of aborting the table.
+func (l *Lab) TableHW() *report.Table {
+	t := &report.Table{
+		Title: "HW table: baseline vs TBNet per registered device (VGG18-S/SynthC10)",
+		Header: []string{"Device", "Secure Mem", "TBNet Mem", "Fits",
+			"Baseline (s)", "TBNet (s)", "Reduction"},
+		Device: "all",
+	}
+	const images = 4
+	p := l.Pipeline(Combo{Arch: "vgg", Dataset: "c10"})
+	for _, dev := range tee.Devices() {
+		base, err := defense.FullTEE{}.Place(p.Victim, tee.Unbounded(dev), sampleShape())
+		if err != nil {
+			panic(err)
+		}
+		dep, err := core.Deploy(p.TB, tee.Unbounded(dev), sampleShape())
+		if err != nil {
+			panic(err)
+		}
+		if dep.SecureBytes > t.PeakSecureBytes {
+			t.PeakSecureBytes = dep.SecureBytes
+		}
+		rng := tensor.NewRNG(l.cfg.Seed + 61)
+		for i := 0; i < images; i++ {
+			x := tensor.New(sampleShape()...)
+			rng.FillNormal(x, 0, 1)
+			base.Infer(x.Clone())
+			if _, err := dep.Infer(x); err != nil {
+				panic(err)
+			}
+		}
+		fits := "yes"
+		if cap := dev.SecureMemBytes(); cap > 0 && dep.SecureBytes > cap {
+			fits = "no"
+		}
+		baseLat := base.Latency() / images
+		tbLat := dep.Latency() / images
+		t.AddRow(dev.Name(), report.Bytes(dev.SecureMemBytes()), report.Bytes(dep.SecureBytes),
+			fits, fmt.Sprintf("%.6f", baseLat), fmt.Sprintf("%.6f", tbLat),
+			report.Ratio(baseLat/tbLat))
+	}
 	return t
 }
 
@@ -227,6 +280,8 @@ func (l *Lab) RunAll(w io.Writer) {
 	mt.Render(w, "M_T |gamma|", 40)
 	fmt.Fprintf(w, "mean |gamma|: M_R %.4f vs M_T %.4f\n\n", mr.Mean(), mt.Mean())
 	l.Ablation().Render(w)
+	fmt.Fprintln(w)
+	l.TableHW().Render(w)
 	fmt.Fprintln(w)
 	l.AblationPruneRanking().Render(w)
 	fmt.Fprintln(w)

@@ -16,6 +16,7 @@ import (
 
 	"tbnet/internal/core"
 	"tbnet/internal/data"
+	"tbnet/internal/tee"
 	"tbnet/internal/tensor"
 	"tbnet/internal/zoo"
 )
@@ -117,7 +118,10 @@ func FullScale() Scale {
 type Config struct {
 	Scale Scale
 	Seed  uint64
-	Log   io.Writer // optional progress log
+	// Device is the hardware backend the latency and memory artifacts are
+	// modeled on; nil selects the paper's testbed (the registered "rpi3").
+	Device tee.Device
+	Log    io.Writer // optional progress log
 }
 
 // Combo identifies one evaluated (architecture, dataset) pair.
@@ -172,6 +176,19 @@ type Lab struct {
 func NewLab(cfg Config) *Lab {
 	return &Lab{cfg: cfg, cache: make(map[Combo]*Pipeline)}
 }
+
+// device returns the configured hardware backend (default: the paper's rpi3).
+func (l *Lab) device() tee.Device {
+	if l.cfg.Device != nil {
+		return l.cfg.Device
+	}
+	return tee.RaspberryPi3()
+}
+
+// measureDevice is the configured backend in measurement mode: identical cost
+// semantics, unlimited secure memory, so footprints are reported instead of
+// rejected.
+func (l *Lab) measureDevice() tee.Device { return tee.Unbounded(l.device()) }
 
 func (l *Lab) logf(format string, args ...any) {
 	if l.cfg.Log != nil {

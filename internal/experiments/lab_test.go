@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"tbnet/internal/tee"
 )
 
 var sharedLab *Lab
@@ -139,9 +141,54 @@ func TestRunAllProducesAllArtifacts(t *testing.T) {
 	var b strings.Builder
 	l.RunAll(&b)
 	out := b.String()
-	for _, want := range []string{"Table 1", "Fig. 2", "Table 2", "Fig. 3", "Table 3", "Fig. 4", "Ablation"} {
+	for _, want := range []string{"Table 1", "Fig. 2", "Table 2", "Fig. 3", "Table 3", "Fig. 4",
+		"Ablation", "HW table"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("RunAll output missing %q", want)
 		}
+	}
+}
+
+// TestTableHWCoversRegistry: the hardware table has one row per registered
+// device, and the backends price the same model differently.
+func TestTableHWCoversRegistry(t *testing.T) {
+	skipShort(t)
+	l := microLab()
+	hw := l.TableHW()
+	devs := tee.Devices()
+	if len(hw.Rows) != len(devs) {
+		t.Fatalf("hw rows = %d, want one per registered device (%d)", len(hw.Rows), len(devs))
+	}
+	lat := map[string]bool{}
+	for i, r := range hw.Rows {
+		if r[0] != devs[i].Name() {
+			t.Fatalf("row %d device %q, want %q", i, r[0], devs[i].Name())
+		}
+		if lat[r[5]] {
+			t.Fatalf("duplicate TBNet latency %q across devices", r[5])
+		}
+		lat[r[5]] = true
+	}
+	if hw.Device != "all" || hw.PeakSecureBytes <= 0 {
+		t.Fatalf("hw table attribution wrong: device=%q peak=%d", hw.Device, hw.PeakSecureBytes)
+	}
+}
+
+// TestLabHonoursConfiguredDevice: a lab configured for a different backend
+// prices Table 3 differently than the rpi3 default — the whole point of the
+// Device axis.
+func TestLabHonoursConfiguredDevice(t *testing.T) {
+	skipShort(t)
+	base := microLab()
+	jl := NewLab(Config{Scale: MicroScale(), Seed: 1, Device: tee.JetsonTZ()})
+	// Reuse the trained pipelines so only the device changes.
+	jl.cache = base.cache
+	jt := jl.Table3()
+	rt := base.Table3()
+	if jt.Device != "jetson-tz" || rt.Device != "rpi3" {
+		t.Fatalf("table device attribution: %q vs %q", jt.Device, rt.Device)
+	}
+	if jt.Rows[0][2] == rt.Rows[0][2] {
+		t.Fatalf("jetson-tz and rpi3 price TBNet identically: %q", jt.Rows[0][2])
 	}
 }

@@ -9,14 +9,18 @@ import (
 // object so experiment outputs can be tracked as BENCH_*.json files across
 // PRs.
 
-// RenderJSON writes the table as a JSON object {title, header, rows}.
+// RenderJSON writes the table as a JSON object {title, header, rows} plus,
+// when set, the device name and peak secure-memory bytes the artifact was
+// modeled with.
 func (t *Table) RenderJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(struct {
-		Title  string     `json:"title"`
-		Header []string   `json:"header"`
-		Rows   [][]string `json:"rows"`
-	}{t.Title, t.Header, t.Rows})
+		Title           string     `json:"title"`
+		Device          string     `json:"device,omitempty"`
+		PeakSecureBytes int64      `json:"peak_secure_bytes,omitempty"`
+		Header          []string   `json:"header"`
+		Rows            [][]string `json:"rows"`
+	}{t.Title, t.Device, t.PeakSecureBytes, t.Header, t.Rows})
 }
 
 // RenderSeriesJSON writes named point series as one JSON object.

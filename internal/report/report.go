@@ -15,6 +15,14 @@ type Table struct {
 	Title  string
 	Header []string
 	Rows   [][]string
+	// Device names the hardware backend a device-dependent artifact was
+	// modeled on ("all" for cross-device tables); empty for artifacts that do
+	// not depend on the device. Carried into the JSON rendering so runs on
+	// different backends are machine-distinguishable.
+	Device string
+	// PeakSecureBytes is the largest TBNet secure-memory reservation behind
+	// the artifact, in bytes (0 when not applicable).
+	PeakSecureBytes int64
 }
 
 // AddRow appends a row.

@@ -6,54 +6,64 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tbnet/internal/tee"
 )
 
 // BenchmarkServerThroughput drives the serving layer with a closed-loop
 // concurrent client population and reports machine-readable domain metrics:
 // modeled device throughput (req/modeled-sec), realized micro-batch size,
-// and modeled p99 latency. `tbnet experiment ... -json` and these benchmark
-// metrics are the perf trajectory future PRs track.
+// and modeled p99 latency — per registered hardware backend, so the bench
+// trajectory tracks every cost model, not just the paper's testbed.
+// `tbnet experiment ... -json` and these benchmark metrics are the perf
+// trajectory future PRs track.
 func BenchmarkServerThroughput(b *testing.B) {
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			dep := testDeployment(b, 1)
-			srv, err := New(dep, Config{
-				Workers:  workers,
-				MaxBatch: 8,
-				MaxDelay: time.Millisecond,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer srv.Close()
-			xs := randSamples(16, 2)
-			clients := 4 * workers
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			work := make(chan int)
-			for c := 0; c < clients; c++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					// Keep draining work after an error so the producer
-					// never blocks on the unbuffered channel.
-					for i := range work {
-						if _, err := srv.Infer(context.Background(), xs[i%len(xs)]); err != nil {
-							b.Error(err)
+	for _, devName := range []string{"rpi3", "sgx-desktop", "jetson-tz"} {
+		device, err := tee.ByName(devName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("device=%s/workers=%d", devName, workers), func(b *testing.B) {
+				dep := testDeploymentOn(b, 1, device)
+				srv, err := New(dep, Config{
+					Workers:  workers,
+					MaxBatch: 8,
+					MaxDelay: time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				xs := randSamples(16, 2)
+				clients := 4 * workers
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				work := make(chan int)
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						// Keep draining work after an error so the producer
+						// never blocks on the unbuffered channel.
+						for i := range work {
+							if _, err := srv.Infer(context.Background(), xs[i%len(xs)]); err != nil {
+								b.Error(err)
+							}
 						}
-					}
-				}()
-			}
-			for i := 0; i < b.N; i++ {
-				work <- i
-			}
-			close(work)
-			wg.Wait()
-			b.StopTimer()
-			st := srv.Stats()
-			b.ReportMetric(st.ModeledThroughput, "modeled-req/s")
-			b.ReportMetric(st.MeanBatch, "mean-batch")
-			b.ReportMetric(st.P99Latency*1e3, "modeled-p99-ms")
-		})
+					}()
+				}
+				for i := 0; i < b.N; i++ {
+					work <- i
+				}
+				close(work)
+				wg.Wait()
+				b.StopTimer()
+				st := srv.Stats()
+				b.ReportMetric(st.ModeledThroughput, "modeled-req/s")
+				b.ReportMetric(st.MeanBatch, "mean-batch")
+				b.ReportMetric(st.P99Latency*1e3, "modeled-p99-ms")
+			})
+		}
 	}
 }

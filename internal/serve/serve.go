@@ -104,6 +104,8 @@ type response struct {
 type Server struct {
 	cfg         Config
 	sampleShape []int // [1,C,H,W] of a single request
+	device      tee.Device
+	pool        *tee.SecureMemory // shared secure-memory budget of the pool
 
 	queue   chan *request
 	batches chan []*request
@@ -147,9 +149,10 @@ func New(dep *core.Deployment, cfg Config) (*Server, error) {
 	s.stats.workerBusy = make([]float64, cfg.Workers)
 	// All replicas draw from one accountant sized to the device, so the
 	// pool as a whole cannot overcommit the modeled secure memory.
-	pool := tee.NewSecureMemory(dep.Device.SecureMemBytes)
+	s.device = dep.Device
+	s.pool = tee.NewSecureMemory(dep.Device.SecureMemBytes())
 	for i := 0; i < cfg.Workers; i++ {
-		rep, err := dep.ReplicateInto(cfg.MaxBatch, pool)
+		rep, err := dep.ReplicateInto(cfg.MaxBatch, s.pool)
 		if err != nil {
 			return nil, fmt.Errorf("serve: replicating session %d of %d: %w", i+1, cfg.Workers, err)
 		}
@@ -381,6 +384,11 @@ func (s *Server) Close() error {
 // seconds on the simulated TrustZone hardware), not from host wall time,
 // except WallSeconds which reports the host-side observation window.
 type Stats struct {
+	// Device is the name of the hardware backend the pool is modeled on.
+	Device string
+	// PeakSecureBytes is the pool's secure-memory high-water mark: the most
+	// bytes the replicas collectively held against the device budget.
+	PeakSecureBytes int64
 	// Requests is the number of samples served successfully.
 	Requests int64
 	// Errors is the number of samples whose protocol run failed.
@@ -446,13 +454,15 @@ func (s *Server) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	out := Stats{
-		Requests:     a.requests,
-		Errors:       a.errors,
-		Batches:      a.batches,
-		LargestBatch: a.largestBatch,
-		QueueDepth:   len(s.queue),
-		Workers:      s.cfg.Workers,
-		WallSeconds:  time.Since(a.start).Seconds(),
+		Device:          s.device.Name(),
+		PeakSecureBytes: s.pool.Peak(),
+		Requests:        a.requests,
+		Errors:          a.errors,
+		Batches:         a.batches,
+		LargestBatch:    a.largestBatch,
+		QueueDepth:      len(s.queue),
+		Workers:         s.cfg.Workers,
+		WallSeconds:     time.Since(a.start).Seconds(),
 	}
 	if a.batches > 0 {
 		out.MeanBatch = float64(a.requests) / float64(a.batches)

@@ -18,11 +18,16 @@ import (
 // only on the staged protocol, so a randomly initialized finalized model
 // keeps these tests fast.
 func testDeployment(t testing.TB, seed uint64) *core.Deployment {
+	return testDeploymentOn(t, seed, tee.RaspberryPi3())
+}
+
+// testDeploymentOn is testDeployment on an explicit hardware backend.
+func testDeploymentOn(t testing.TB, seed uint64, device tee.Device) *core.Deployment {
 	t.Helper()
 	victim := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(seed))
 	tb := core.NewTwoBranch(victim, seed+1)
 	tb.Finalized = true
-	dep, err := core.Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	dep, err := core.Deploy(tb, device, []int{1, 3, 16, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,13 +294,12 @@ func TestServerReplicasRespectSecureMemory(t *testing.T) {
 	victim := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(80))
 	tb := core.NewTwoBranch(victim, 81)
 	tb.Finalized = true
-	device := tee.RaspberryPi3()
-	dep, err := core.Deploy(tb, device, []int{1, 3, 16, 16})
+	dep, err := core.Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Shrink the device until one sample fits but a 64-sample batch cannot.
-	device.SecureMemBytes = dep.SecureBytes * 4
+	device := tee.WithSecureMem(tee.RaspberryPi3(), dep.SecureBytes*4)
 	dep, err = core.Deploy(tb, device, []int{1, 3, 16, 16})
 	if err != nil {
 		t.Fatal(err)
@@ -312,13 +316,12 @@ func TestServerPoolSecureMemoryIsAggregate(t *testing.T) {
 	victim := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(90))
 	tb := core.NewTwoBranch(victim, 91)
 	tb.Finalized = true
-	device := tee.RaspberryPi3()
-	probe, err := core.Deploy(tb, device, []int{1, 3, 16, 16})
+	probe, err := core.Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Budget for two single-sample replicas, with headroom but not a third.
-	device.SecureMemBytes = probe.SecureBytes*2 + probe.SecureBytes/2
+	device := tee.WithSecureMem(tee.RaspberryPi3(), probe.SecureBytes*2+probe.SecureBytes/2)
 	dep, err := core.Deploy(tb, device, []int{1, 3, 16, 16})
 	if err != nil {
 		t.Fatal(err)

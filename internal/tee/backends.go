@@ -1,0 +1,206 @@
+package tee
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Built-in hardware backends. Absolute figures are order-of-magnitude
+// estimates calibrated the same way as the paper's testbed model; the
+// experiments depend on each backend's REE/TEE ratio, the relative cost of
+// switches and transfers, and — the axis this file varies — how the two
+// worlds overlap in time.
+
+// RaspberryPi3 returns the cost model of the paper's testbed: a Raspberry Pi
+// 3 Model B (BCM2837, 4×Cortex-A53 @ 1.2 GHz, 1 GB RAM) running OP-TEE. The
+// REE runs multi-threaded NEON-vectorized kernels on all four cores; an
+// OP-TEE trusted application is single-core, compiled without NEON, and runs
+// from a secure-memory carve-out with poor cache behaviour — an
+// order-of-magnitude throughput asymmetry. Both worlds share the one cluster
+// (the secure world preempts the normal world), so compute is serialized:
+// CostModel's semantics, unchanged from the seed model.
+func RaspberryPi3() Device {
+	return CostModel{
+		DeviceName:     "rpi3",
+		Hardware:       "Raspberry Pi 3B + OP-TEE (TrustZone, serialized worlds)",
+		REEFlops:       4.8e9,                  // 4 cores × NEON-assisted kernels
+		TEEFlops:       0.6e9,                  // single-core scalar TA
+		SwitchLatency:  145 * time.Microsecond, // SMC + monitor + TA invocation
+		TransferRate:   350e6,
+		SecureCapacity: 16 << 20, // 16 MiB TA memory budget
+	}
+}
+
+// SGXDevice is a desktop-class Intel-SGX-style backend. The enclave runs on
+// its own core at near-native speed, so REE and TEE compute overlap
+// (max() instead of a sum), and enclave transitions are cheap — but the
+// protected-page cache (EPC) is small: once the secure working set outgrows
+// EPCBytes, every enclave entry re-faults the overflow through encrypted
+// paging at PagingRate.
+type SGXDevice struct {
+	CostModel
+	// EPCBytes is the effective enclave page cache available to the TA.
+	EPCBytes int64
+	// PagingRate is the EPC eviction/reload bandwidth (bytes/s).
+	PagingRate float64
+}
+
+// Latency implements Device: parallel worlds plus the EPC paging penalty.
+func (d SGXDevice) Latency(m *Meter) float64 {
+	s := math.Max(m.reeFlops/d.REEFlops, m.teeFlops/d.TEEFlops)
+	s += float64(m.switches) * d.SwitchLatency.Seconds()
+	s += float64(m.transferred) / d.TransferRate
+	if over := m.secureFootprint - d.EPCBytes; over > 0 {
+		// Each enclave entry touches the whole working set again; the bytes
+		// beyond the EPC page in through the encrypted swap path.
+		s += float64(m.switches) * float64(over) / d.PagingRate
+	}
+	return s
+}
+
+// SGXDesktop returns the "sgx-desktop" backend: an 8-core desktop with a
+// 128 MiB effective EPC. Plenty of nominal secure memory (enclaves may
+// overcommit the EPC), but exceeding the EPC budget costs dearly per entry.
+func SGXDesktop() Device {
+	return SGXDevice{
+		CostModel: CostModel{
+			DeviceName:     "sgx-desktop",
+			Hardware:       "8-core desktop + SGX enclave (parallel worlds, EPC paging)",
+			REEFlops:       2.4e11,               // 8 cores × AVX2 kernels
+			TEEFlops:       1.6e11,               // enclave: near-native minus MEE overhead
+			SwitchLatency:  8 * time.Microsecond, // EENTER/EEXIT + ocall dispatch
+			TransferRate:   8e9,
+			SecureCapacity: 512 << 20, // enclave heap limit (overcommits EPC)
+		},
+		EPCBytes:   128 << 20,
+		PagingRate: 1.5e9,
+	}
+}
+
+// SEVServer returns the "sev-server" backend: an AMD-SEV-style confidential
+// VM on a many-core server. The whole guest is the secure world, so secure
+// memory is effectively the VM's RAM and TEE compute runs at near-native
+// rates — but every boundary crossing is a VM exit through the hypervisor,
+// orders of magnitude costlier than an SMC. Worlds are serialized
+// (CostModel's semantics): the vCPU that services the protocol is either in
+// the guest or in the host.
+func SEVServer() Device {
+	return CostModel{
+		DeviceName:     "sev-server",
+		Hardware:       "64-core server + SEV confidential VM (serialized, heavy exits)",
+		REEFlops:       1.8e12,
+		TEEFlops:       1.5e12,                 // encrypted-memory overhead only
+		SwitchLatency:  600 * time.Microsecond, // VM exit + VMM scheduling
+		TransferRate:   12e9,                   // bounce buffers through shared pages
+		SecureCapacity: 8 << 30,
+	}
+}
+
+// JetsonDevice is a heterogeneous-SoC backend: a GPU-class REE next to a
+// CPU-class TrustZone TEE. The two engines are physically distinct, so REE
+// and TEE compute overlap via max(); switches and staging still serialize on
+// the interconnect.
+type JetsonDevice struct {
+	CostModel
+}
+
+// Latency implements Device: overlapped worlds, serialized switch/transfer.
+func (d JetsonDevice) Latency(m *Meter) float64 {
+	s := math.Max(m.reeFlops/d.REEFlops, m.teeFlops/d.TEEFlops)
+	s += float64(m.switches) * d.SwitchLatency.Seconds()
+	s += float64(m.transferred) / d.TransferRate
+	return s
+}
+
+// JetsonTZ returns the "jetson-tz" backend: an edge SoC whose REE rate is
+// GPU-class while the TEE remains a single TrustZone CPU core — the widest
+// REE/TEE asymmetry of the built-ins, which is exactly the regime where
+// TBNet's tiny M_T pays off.
+func JetsonTZ() Device {
+	return JetsonDevice{CostModel: CostModel{
+		DeviceName:     "jetson-tz",
+		Hardware:       "Jetson-class SoC: GPU REE + TrustZone CPU TEE (overlapped)",
+		REEFlops:       6e11,  // embedded GPU
+		TEEFlops:       1.2e9, // single Cortex-A CPU core TA
+		SwitchLatency:  40 * time.Microsecond,
+		TransferRate:   2e9,
+		SecureCapacity: 64 << 20,
+	}}
+}
+
+// Registry of named devices. Built-ins are registered at package init;
+// user-defined cost models join through Register.
+
+// ErrDuplicateDevice reports a Register call with an already-taken name.
+var ErrDuplicateDevice = errors.New("tee: device name already registered")
+
+// ErrUnknownDevice reports a ByName lookup that matched no registered device.
+var ErrUnknownDevice = errors.New("tee: unknown device")
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Device
+}{byName: make(map[string]Device)}
+
+func init() {
+	for _, d := range []Device{RaspberryPi3(), SGXDesktop(), SEVServer(), JetsonTZ()} {
+		if err := Register(d); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Register adds a device cost model under its Name, making it addressable by
+// ByName and included in Devices (and therefore in every cross-device
+// artifact, which divides by its rates — so the rates must be positive).
+// A name already taken fails with ErrDuplicateDevice; a nil device, an empty
+// name, or non-positive FLOPS/transfer rates fail with a plain error.
+func Register(d Device) error {
+	if d == nil || d.Name() == "" {
+		return fmt.Errorf("tee: register: device must be non-nil with a non-empty name")
+	}
+	if d.REEFlopsPerSec() <= 0 || d.TEEFlopsPerSec() <= 0 || d.TransferBytesPerSec() <= 0 {
+		return fmt.Errorf("tee: register %q: FLOPS and transfer rates must be positive "+
+			"(got REE %g, TEE %g, transfer %g)", d.Name(),
+			d.REEFlopsPerSec(), d.TEEFlopsPerSec(), d.TransferBytesPerSec())
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.byName[d.Name()]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateDevice, d.Name())
+	}
+	registry.byName[d.Name()] = d
+	return nil
+}
+
+// ByName returns the registered device with the given name, or an error
+// wrapping ErrUnknownDevice that lists the known names.
+func ByName(name string) (Device, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	if d, ok := registry.byName[name]; ok {
+		return d, nil
+	}
+	names := make([]string, 0, len(registry.byName))
+	for n := range registry.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownDevice, name, names)
+}
+
+// Devices returns every registered device, sorted by name.
+func Devices() []Device {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Device, 0, len(registry.byName))
+	for _, d := range registry.byName {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

@@ -1,8 +1,8 @@
-// Package tee is a software model of an ARM TrustZone device running an
-// OP-TEE-style trusted OS — the deployment substrate the paper evaluates on
-// (a Raspberry Pi 3B). Real secure-world hardware is not available in this
-// environment, so the package reproduces the three properties the evaluation
-// depends on:
+// Package tee is a software model of a TEE-equipped device — the deployment
+// substrate the paper evaluates on (a Raspberry Pi 3B running OP-TEE), opened
+// up to other hardware backends through the Device interface. Real secure
+// hardware is not available in this environment, so the package reproduces
+// the three properties the evaluation depends on:
 //
 //  1. Isolation and information flow: the secure world (TEE) is reachable
 //     only through a one-way REE→TEE channel; nothing computed inside the
@@ -12,8 +12,15 @@
 //     a deployment pins inside the TEE (model parameters + peak activations),
 //     reproducing the paper's Fig. 3 memory comparison.
 //  3. Asymmetric execution cost: a calibrated device-time model charges
-//     compute in each world, SMC world switches, and shared-memory transfer,
+//     compute in each world, world switches, and shared-memory transfer,
 //     reproducing the paper's Table 3 latency comparison.
+//
+// Property 3 is where hardware backends differ: TrustZone serializes the two
+// worlds on one cluster, SGX runs the enclave on its own core but pages once
+// the secure working set outgrows the EPC, SEV pays heavyweight VM exits, and
+// a heterogeneous SoC overlaps a GPU-class REE with a CPU-class TEE. Each
+// backend owns those semantics through its Latency hook; the built-in cost
+// models live in backends.go alongside the named registry.
 package tee
 
 import (
@@ -39,46 +46,113 @@ func (w World) String() string {
 	return "TEE"
 }
 
-// DeviceModel is the cost model for a simulated TrustZone device.
-type DeviceModel struct {
-	Name string
+// Device is the cost model of a hardware backend: the identity, capacity, and
+// rate parameters a deployment sizes itself against, plus the Latency hook
+// that converts a Meter's accumulated costs into modeled seconds. Latency is
+// the interesting degree of freedom — each backend owns its own REE/TEE
+// overlap semantics (serialized worlds, parallel worlds, paging penalties)
+// rather than inheriting a hardwired formula.
+//
+// Implementations must be usable by value from multiple goroutines; the
+// serving layer shares one Device across its replica pool.
+type Device interface {
+	// Name is the registry identity (e.g. "rpi3", "sgx-desktop").
+	Name() string
+	// SecureMemBytes is the secure-memory capacity available to a trusted
+	// application. 0 means unlimited (measurement mode).
+	SecureMemBytes() int64
 	// REEFlopsPerSec is the effective normal-world arithmetic throughput.
-	REEFlopsPerSec float64
-	// TEEFlopsPerSec is the (lower) secure-world throughput: OP-TEE TAs run
-	// single-threaded, without NEON-optimized kernels, from secure SRAM/DRAM
-	// carve-outs with worse caching behaviour.
-	TEEFlopsPerSec float64
-	// SMCLatency is the cost of one world switch (SMC + monitor + scheduler).
-	SMCLatency time.Duration
+	REEFlopsPerSec() float64
+	// TEEFlopsPerSec is the secure-world arithmetic throughput.
+	TEEFlopsPerSec() float64
+	// SwitchSeconds is the cost of one world switch, including the fixed
+	// invocation overhead (session lookup, parameter unmarshalling).
+	SwitchSeconds() float64
 	// TransferBytesPerSec is the shared-memory staging bandwidth for
 	// REE→TEE parameter passing.
-	TransferBytesPerSec float64
-	// SecureMemBytes is the secure-memory capacity available to a TA.
-	SecureMemBytes int64
-	// PerInvokeOverhead is the fixed TA invocation overhead beyond the SMC
-	// itself (session lookup, parameter unmarshalling).
-	PerInvokeOverhead time.Duration
+	TransferBytesPerSec() float64
+	// Latency converts a meter's accumulated costs into modeled seconds
+	// under this backend's overlap semantics.
+	Latency(m *Meter) float64
 }
 
-// RaspberryPi3 returns a cost model calibrated to the paper's testbed: a
-// Raspberry Pi 3 Model B (BCM2837, 4×Cortex-A53 @ 1.2 GHz, 1 GB RAM) running
-// OP-TEE. The REE runs multi-threaded NEON-vectorized kernels on all four
-// cores; an OP-TEE trusted application is single-core, compiled without NEON,
-// and runs from a secure-memory carve-out with poor cache behaviour — an
-// order-of-magnitude throughput asymmetry. Absolute figures are
-// order-of-magnitude estimates; the experiments depend on the REE/TEE ratio
-// and the relative cost of switches and transfers.
-func RaspberryPi3() DeviceModel {
-	return DeviceModel{
-		Name:                "raspberrypi3b-optee",
-		REEFlopsPerSec:      4.8e9, // 4 cores × NEON-assisted kernels
-		TEEFlopsPerSec:      0.6e9, // single-core scalar TA
-		SMCLatency:          25 * time.Microsecond,
-		TransferBytesPerSec: 350e6,
-		SecureMemBytes:      16 << 20, // 16 MiB TA memory budget
-		PerInvokeOverhead:   120 * time.Microsecond,
-	}
+// CostModel is a concrete serialized-worlds Device: REE and TEE compute are
+// charged back to back, matching single-cluster TrustZone scheduling where
+// the secure world preempts the normal world. It is the parameter block the
+// built-in backends are assembled from; embed it and override Latency to
+// define a backend with different overlap semantics, then register it with
+// Register (or tbnet.RegisterDevice) to make it addressable by name.
+type CostModel struct {
+	// DeviceName is the registry identity.
+	DeviceName string
+	// Hardware describes the modeled hardware for human-facing output.
+	Hardware string
+	// REEFlops is the effective normal-world arithmetic throughput (FLOP/s).
+	REEFlops float64
+	// TEEFlops is the secure-world throughput (FLOP/s).
+	TEEFlops float64
+	// SwitchLatency is the cost of one world switch including the fixed
+	// invocation overhead.
+	SwitchLatency time.Duration
+	// TransferRate is the shared-memory staging bandwidth (bytes/s).
+	TransferRate float64
+	// SecureCapacity is the secure-memory capacity (bytes; 0 = unlimited).
+	SecureCapacity int64
 }
+
+// Name implements Device.
+func (c CostModel) Name() string { return c.DeviceName }
+
+// Describe returns the human-facing hardware description.
+func (c CostModel) Describe() string { return c.Hardware }
+
+// SecureMemBytes implements Device.
+func (c CostModel) SecureMemBytes() int64 { return c.SecureCapacity }
+
+// REEFlopsPerSec implements Device.
+func (c CostModel) REEFlopsPerSec() float64 { return c.REEFlops }
+
+// TEEFlopsPerSec implements Device.
+func (c CostModel) TEEFlopsPerSec() float64 { return c.TEEFlops }
+
+// SwitchSeconds implements Device.
+func (c CostModel) SwitchSeconds() float64 { return c.SwitchLatency.Seconds() }
+
+// TransferBytesPerSec implements Device.
+func (c CostModel) TransferBytesPerSec() float64 { return c.TransferRate }
+
+// Latency implements Device with fully serialized worlds: compute in both
+// worlds, world switches, and staging all add up.
+func (c CostModel) Latency(m *Meter) float64 {
+	s := m.reeFlops/c.REEFlops + m.teeFlops/c.TEEFlops
+	s += float64(m.switches) * c.SwitchLatency.Seconds()
+	s += float64(m.transferred) / c.TransferRate
+	return s
+}
+
+// withSecureMem overrides a device's secure-memory capacity, delegating every
+// other parameter — including the Latency semantics — to the wrapped backend.
+type withSecureMem struct {
+	Device
+	capacity int64
+}
+
+// SecureMemBytes returns the overridden capacity; every other method —
+// including Name, so stats and reports stay attributable — is promoted from
+// the wrapped backend.
+func (d withSecureMem) SecureMemBytes() int64 { return d.capacity }
+
+// WithSecureMem returns d with its secure-memory capacity replaced by
+// capacity bytes (0 = unlimited), leaving all cost semantics untouched.
+// Experiments use it to shrink a backend until a deployment no longer fits,
+// or to lift the capacity check for pure measurement.
+func WithSecureMem(d Device, capacity int64) Device {
+	return withSecureMem{Device: d, capacity: capacity}
+}
+
+// Unbounded returns d in measurement mode: identical costs, unlimited secure
+// memory, so footprints are reported instead of rejected.
+func Unbounded(d Device) Device { return WithSecureMem(d, 0) }
 
 // Meter accumulates the virtual cost of one inference (or any workload) on a
 // device. It is deliberately decoupled from wall-clock time so experiments
@@ -88,6 +162,9 @@ type Meter struct {
 	teeFlops    float64
 	switches    int
 	transferred int64
+	// secureFootprint is the deployment's secure working set; backends whose
+	// cost depends on secure-memory pressure (SGX EPC paging) read it.
+	secureFootprint int64
 }
 
 // AddCompute charges flops of arithmetic to a world.
@@ -105,6 +182,15 @@ func (m *Meter) AddSwitch() { m.switches++ }
 // AddTransfer records bytes staged through shared memory into the TEE.
 func (m *Meter) AddTransfer(bytes int64) { m.transferred += bytes }
 
+// SetSecureFootprint records the secure working set of the deployment this
+// meter accounts for. It is sizing state, not an accumulated cost: Deploy
+// sets it once per session, and memory-pressure-sensitive backends read it
+// back through SecureFootprint.
+func (m *Meter) SetSecureFootprint(bytes int64) { m.secureFootprint = bytes }
+
+// SecureFootprint returns the recorded secure working set in bytes.
+func (m *Meter) SecureFootprint() int64 { return m.secureFootprint }
+
 // Switches returns the number of world switches recorded.
 func (m *Meter) Switches() int { return m.switches }
 
@@ -119,18 +205,17 @@ func (m *Meter) Flops(w World) float64 {
 	return m.teeFlops
 }
 
-// Latency converts the accumulated costs into seconds under a device model.
-// REE and TEE compute are serialized, matching single-cluster TrustZone
-// scheduling where the secure world preempts the normal world.
-func (m *Meter) Latency(d DeviceModel) float64 {
-	s := m.reeFlops/d.REEFlopsPerSec + m.teeFlops/d.TEEFlopsPerSec
-	s += float64(m.switches) * (d.SMCLatency + d.PerInvokeOverhead).Seconds()
-	s += float64(m.transferred) / d.TransferBytesPerSec
-	return s
-}
+// Latency converts the accumulated costs into seconds under a device's cost
+// model — a convenience for d.Latency(m), which owns the backend's REE/TEE
+// overlap semantics.
+func (m *Meter) Latency(d Device) float64 { return d.Latency(m) }
 
-// Reset clears the meter.
-func (m *Meter) Reset() { *m = Meter{} }
+// Reset clears the accumulated costs, keeping the secure footprint (sizing
+// state owned by the deployment, not a per-run cost).
+func (m *Meter) Reset() {
+	fp := m.secureFootprint
+	*m = Meter{secureFootprint: fp}
+}
 
 // String summarizes the meter.
 func (m *Meter) String() string {

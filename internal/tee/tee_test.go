@@ -85,15 +85,12 @@ func TestSecureMemoryPeakInvariant(t *testing.T) {
 }
 
 func TestMeterLatencyComposition(t *testing.T) {
-	d := DeviceModel{
-		REEFlopsPerSec:      1e9,
-		TEEFlopsPerSec:      5e8,
-		SMCLatency:          1e-3 * 1e9, // 1ms in ns
-		TransferBytesPerSec: 1e6,
+	// Zero switch cost keeps the check hand-computable.
+	d := CostModel{
+		REEFlops:     1e9,
+		TEEFlops:     5e8,
+		TransferRate: 1e6,
 	}
-	// Use exact values for a hand-computable check.
-	d.SMCLatency = 0
-	d.PerInvokeOverhead = 0
 	var m Meter
 	m.AddCompute(REE, 2e9) // 2s
 	m.AddCompute(TEE, 1e9) // 2s
@@ -212,12 +209,14 @@ func TestEnclaveResultPath(t *testing.T) {
 	}
 }
 
-func TestRaspberryPi3ModelSanity(t *testing.T) {
-	d := RaspberryPi3()
-	if d.TEEFlopsPerSec >= d.REEFlopsPerSec {
-		t.Fatal("TEE must be slower than REE in the calibrated model")
-	}
-	if d.SecureMemBytes <= 0 || d.TransferBytesPerSec <= 0 {
-		t.Fatal("device model has unset fields")
+func TestBuiltinDeviceSanity(t *testing.T) {
+	for _, d := range Devices() {
+		if d.TEEFlopsPerSec() >= d.REEFlopsPerSec() {
+			t.Errorf("%s: TEE must be slower than REE in the calibrated models", d.Name())
+		}
+		if d.SecureMemBytes() <= 0 || d.TransferBytesPerSec() <= 0 ||
+			d.SwitchSeconds() <= 0 {
+			t.Errorf("%s: device model has unset fields", d.Name())
+		}
 	}
 }

@@ -161,8 +161,10 @@ func TestDeploySentinelsThroughFacade(t *testing.T) {
 	if _, err := Deploy(tb, RaspberryPi3(), []int{1, 3}); !errors.Is(err, ErrShape) {
 		t.Fatalf("bad shape deploy err = %v, want ErrShape", err)
 	}
-	small := RaspberryPi3()
-	small.SecureMemBytes = 1
+	// A custom cost model (the RegisterDevice embedding pattern) with a
+	// 1-byte budget: nothing fits.
+	small := CostModel{DeviceName: "tiny", REEFlops: 1e9, TEEFlops: 1e9,
+		TransferRate: 1e9, SecureCapacity: 1}
 	if _, err := Deploy(tb, small, []int{1, 3, 16, 16}); !errors.Is(err, ErrSecureMemory) {
 		t.Fatalf("oversized deploy err = %v, want ErrSecureMemory", err)
 	}

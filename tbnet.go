@@ -20,16 +20,24 @@
 //	)
 //	res, err := p.Run(ctx)        // res.TB is finalized
 //
-// A finalized model deploys onto a simulated TrustZone device and is served
+// A finalized model deploys onto a simulated hardware backend — the API's
+// third pillar, a Device cost model from the named registry — and is served
 // concurrently by a pool of replicated enclave sessions with micro-batching:
 //
-//	dep, err := tbnet.Deploy(res.TB, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
+//	device, err := tbnet.DeviceByName("rpi3") // or sgx-desktop, sev-server, jetson-tz
+//	dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
 //	srv, err := tbnet.Serve(dep, tbnet.WithWorkers(4), tbnet.WithMaxBatch(8))
 //	defer srv.Close()
 //
 //	label, err := srv.Infer(ctx, x)       // single sample, coalesced
 //	labels, err := srv.InferBatch(ctx, xs)
-//	stats := srv.Stats()                  // throughput, batch sizes, p50/p99
+//	stats := srv.Stats()                  // device, throughput, batch sizes, p50/p99
+//
+// Each backend owns its own REE/TEE overlap semantics through the
+// Device.Latency hook (the paper's rpi3 serializes the worlds; sgx-desktop
+// runs them in parallel but pays EPC paging; jetson-tz overlaps a GPU-class
+// REE with a CPU-class TEE). Custom cost models embed CostModel and join the
+// registry with RegisterDevice.
 //
 // Bad input surfaces as wrapped sentinel errors (ErrShape, ErrNotFinalized,
 // ErrSecureMemory, ErrServerClosed, ErrBadOption) that callers match with
@@ -46,6 +54,7 @@
 package tbnet
 
 import (
+	"fmt"
 	"io"
 
 	"tbnet/internal/attack"
@@ -79,14 +88,42 @@ type (
 	Dataset = data.Dataset
 	// SynthConfig controls the procedural dataset generator.
 	SynthConfig = data.SynthConfig
-	// DeviceModel is the TrustZone device cost model.
-	DeviceModel = tee.DeviceModel
+	// Device is the hardware-backend cost model a deployment is priced on:
+	// identity, secure-memory capacity, per-world FLOPS rates, switch and
+	// transfer costs, plus the Latency hook each backend implements with its
+	// own REE/TEE overlap semantics. Built-ins are addressable by name
+	// through DeviceByName; user-defined cost models join via RegisterDevice.
+	Device = tee.Device
+	// CostModel is a concrete serialized-worlds Device — the parameter block
+	// custom backends embed (overriding Latency for different overlap
+	// semantics) before registering themselves with RegisterDevice.
+	CostModel = tee.CostModel
+	// DeviceModel is the pre-registry name for the device cost model.
+	//
+	// Deprecated: use Device. DeviceModel survives as an alias so call sites
+	// written against the PR 1 surface keep compiling.
+	DeviceModel = tee.Device
+	// Meter accumulates the per-world compute, world-switch, and transfer
+	// costs of a workload; a Device's Latency hook converts it to modeled
+	// seconds. Custom backends read it through Flops/Switches/
+	// TransferredBytes/SecureFootprint.
+	Meter = tee.Meter
+	// World identifies an execution world of a device (REE or TEE).
+	World = tee.World
 	// RNG is the deterministic random generator used throughout.
 	RNG = tensor.RNG
 	// Tensor is the dense float32 tensor type.
 	Tensor = tensor.Tensor
 	// FineTuneConfig configures the fine-tuning attack.
 	FineTuneConfig = attack.FineTuneConfig
+)
+
+// Execution worlds of a device, for reading a Meter's per-world costs.
+const (
+	// REE is the rich execution environment (normal world).
+	REE = tee.REE
+	// TEE is the trusted execution environment (secure world).
+	TEE = tee.TEE
 )
 
 // NewRNG returns a deterministic generator seeded with seed.
@@ -173,11 +210,47 @@ func PruneTwoBranch(tb *TwoBranch, train, test *Dataset, cfg PruneConfig) *Prune
 // FinalizeRollback performs step 6 (architectural divergence via rollback).
 func FinalizeRollback(tb *TwoBranch, res *PruneResult) { core.FinalizeRollback(tb, res) }
 
-// RaspberryPi3 returns the cost model of the paper's testbed.
-func RaspberryPi3() DeviceModel { return tee.RaspberryPi3() }
+// Devices returns every registered hardware backend, sorted by name. The
+// built-ins are "rpi3" (the paper's testbed: TrustZone with serialized
+// worlds), "sgx-desktop" (parallel worlds with an EPC paging penalty),
+// "sev-server" (confidential-VM: large secure memory, heavyweight exits),
+// and "jetson-tz" (GPU-class REE overlapping a CPU-class TEE).
+func Devices() []Device { return tee.Devices() }
+
+// DeviceByName returns the registered backend with the given name. Unknown
+// names fail with an error wrapping ErrBadOption that lists the registered
+// names.
+func DeviceByName(name string) (Device, error) {
+	d, err := tee.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrBadOption, err)
+	}
+	return d, nil
+}
+
+// RegisterDevice adds a user-defined device cost model under its Name, making
+// it addressable by DeviceByName and included in Devices (and therefore in
+// the cross-device experiment artifacts). Duplicate or empty names, and
+// non-positive FLOPS or transfer rates, fail with an error wrapping
+// ErrBadOption.
+func RegisterDevice(d Device) error {
+	if err := tee.Register(d); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadOption, err)
+	}
+	return nil
+}
+
+// Unbounded returns d in measurement mode: identical cost semantics with the
+// secure-memory capacity check lifted, so deployments report their footprint
+// instead of failing with ErrSecureMemory.
+func Unbounded(d Device) Device { return tee.Unbounded(d) }
+
+// RaspberryPi3 returns the cost model of the paper's testbed — the registered
+// "rpi3" backend.
+func RaspberryPi3() Device { return tee.RaspberryPi3() }
 
 // Deploy places a finalized model onto a simulated device.
-func Deploy(tb *TwoBranch, device DeviceModel, sampleShape []int) (*Deployment, error) {
+func Deploy(tb *TwoBranch, device Device, sampleShape []int) (*Deployment, error) {
 	return core.Deploy(tb, device, sampleShape)
 }
 
