@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|ablation|...> [flags]
+//	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|fleet|ablation|...> [flags]
 //	tbnet pipeline [flags]    # one train→transfer→prune→finalize flow
 //	tbnet serve [flags]       # deploy and serve a synthetic request load
+//	tbnet fleet [flags]       # serve across a mixed device fleet with routed traffic
 //	tbnet info                # print the registered hardware backends
 //
 // Common flags:
@@ -17,7 +18,7 @@
 //	-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet
 //	-dataset c10|c100
 //	-device NAME          hardware backend (default rpi3; see `tbnet info`)
-//	-json                 machine-readable output (experiment, pipeline, serve)
+//	-json                 machine-readable output (experiment, pipeline, serve, fleet)
 //	-v                    verbose progress logging
 //
 // Serve flags:
@@ -26,15 +27,30 @@
 //	-batch N      micro-batch flush size (default 8)
 //	-delay D      micro-batch flush delay (default 2ms)
 //	-requests N   synthetic requests to serve (default 64)
+//
+// Fleet flags:
+//
+//	-devices LIST     attached devices as name:workers pairs
+//	                  (default rpi3:2,sgx-desktop:2,jetson-tz:2)
+//	-policy NAME      round-robin | least-loaded | cost-aware (default cost-aware)
+//	-requests N       synthetic requests to offer (default 64)
+//	-rate R           open-loop arrival rate in req/s (default 200)
+//	-poisson          exponential (Poisson-process) interarrival times
+//	-deadline D       per-request deadline; overdue requests are shed (default none)
+//	-max-inflight N   fleet-wide in-flight cap (default capacity-weighted)
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -60,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runPipelineCmd(args[1:], stdout, stderr)
 	case "serve":
 		return runServeCmd(args[1:], stdout, stderr)
+	case "fleet":
+		return runFleetCmd(args[1:], stdout, stderr)
 	case "info":
 		return runInfoCmd(stdout)
 	default:
@@ -292,23 +310,12 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 	st := srv.Stats()
 
 	if c.jsonOut {
+		// The stats struct's own JSON tags are the stable artifact names;
+		// the CLI only adds its client-side accuracy count.
 		if err := json.NewEncoder(stdout).Encode(struct {
-			Device            string  `json:"device"`
-			PeakSecureBytes   int64   `json:"peak_secure_bytes"`
-			Requests          int64   `json:"requests"`
-			Errors            int64   `json:"errors"`
-			Correct           int     `json:"correct"`
-			Batches           int64   `json:"batches"`
-			MeanBatch         float64 `json:"mean_batch"`
-			LargestBatch      int     `json:"largest_batch"`
-			Workers           int     `json:"workers"`
-			P50LatencySec     float64 `json:"p50_latency_sec"`
-			P99LatencySec     float64 `json:"p99_latency_sec"`
-			ModeledThroughput float64 `json:"modeled_throughput_rps"`
-			WallSeconds       float64 `json:"wall_seconds"`
-		}{st.Device, st.PeakSecureBytes, st.Requests, st.Errors, correct, st.Batches,
-			st.MeanBatch, st.LargestBatch, st.Workers, st.P50Latency, st.P99Latency,
-			st.ModeledThroughput, st.WallSeconds}); err != nil {
+			tbnet.ServerStats
+			Correct int `json:"correct"`
+		}{st, correct}); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
@@ -325,6 +332,180 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "  modeled throughput: %.1f req/s on the simulated device\n",
 		st.ModeledThroughput)
 	fmt.Fprintf(stdout, "  wall time:          %.2fs\n", st.WallSeconds)
+	return 0
+}
+
+// parseFleetDevices parses a name:workers list like
+// "rpi3:2,sgx-desktop:4,jetson-tz:2" into WithDevice options. A bare name
+// gets the default pool width of 2. Names and widths are validated here,
+// before the (potentially minutes-long) pipeline trains, so a typo fails
+// fast with the usual flag-error exit.
+func parseFleetDevices(list string) ([]tbnet.FleetOption, error) {
+	var opts []tbnet.FleetOption
+	for _, spec := range strings.Split(list, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, workers := spec, 2
+		if at := strings.LastIndex(spec, ":"); at >= 0 {
+			n, err := strconv.Atoi(spec[at+1:])
+			if err != nil {
+				return nil, fmt.Errorf("device spec %q: workers %q is not a number", spec, spec[at+1:])
+			}
+			name, workers = spec[:at], n
+		}
+		if _, err := tbnet.DeviceByName(name); err != nil {
+			return nil, fmt.Errorf("device spec %q: %w", spec, err)
+		}
+		if workers < 1 {
+			return nil, fmt.Errorf("device spec %q: workers %d < 1", spec, workers)
+		}
+		opts = append(opts, tbnet.WithDevice(name, workers))
+	}
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("empty device list")
+	}
+	return opts, nil
+}
+
+// fleetPolicy maps the -policy flag onto the built-in routing policies.
+func fleetPolicy(name string) (tbnet.RoutingPolicy, error) {
+	switch name {
+	case "round-robin":
+		return tbnet.RoundRobin(), nil
+	case "least-loaded":
+		return tbnet.LeastLoaded(), nil
+	case "cost-aware":
+		return tbnet.CostAware(), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want round-robin, least-loaded, or cost-aware)", name)
+}
+
+func runFleetCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := addCommonFlags(fs)
+	devices := fs.String("devices", "rpi3:2,sgx-desktop:2,jetson-tz:2",
+		"attached devices as name:workers pairs")
+	policyName := fs.String("policy", "cost-aware", "routing policy: round-robin, least-loaded, cost-aware")
+	requests := fs.Int("requests", 64, "synthetic requests to offer")
+	rate := fs.Float64("rate", 200, "open-loop arrival rate (req/s)")
+	poisson := fs.Bool("poisson", false, "exponential (Poisson-process) interarrival times")
+	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = none); overdue requests are shed")
+	maxInFlight := fs.Int("max-inflight", 0, "fleet-wide in-flight cap (0 = capacity-weighted default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *requests < 1 || *rate <= 0 || *deadline < 0 || *maxInFlight < 0 {
+		fmt.Fprintf(stderr, "invalid fleet flags: requests %d, rate %g, deadline %v, max-inflight %d\n",
+			*requests, *rate, *deadline, *maxInFlight)
+		return 2
+	}
+	fleetOpts, err := parseFleetDevices(*devices)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	policy, err := fleetPolicy(*policyName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fleetOpts = append(fleetOpts, tbnet.WithPolicy(policy))
+	if *deadline > 0 {
+		fleetOpts = append(fleetOpts, tbnet.WithDeadline(*deadline))
+	}
+	if *maxInFlight > 0 {
+		fleetOpts = append(fleetOpts, tbnet.WithMaxInFlight(*maxInFlight))
+	}
+	opts, err := c.pipelineOptions(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	device, err := c.resolveDevice()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	p, err := tbnet.NewPipeline(opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "building %s/%s pipeline at %s scale...\n", c.arch, c.dataset, c.scale)
+	res, err := p.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	f, err := tbnet.NewFleet(dep, fleetOpts...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer f.Close()
+
+	// Open-loop synthetic load: requests arrive on their own clock — fixed
+	// intervals of 1/rate, or exponential interarrivals for a Poisson process
+	// — whether or not earlier ones have finished, so overload is reachable
+	// and shedding observable (unlike a closed loop, which self-throttles).
+	test := res.Test
+	singles := test.Batches(1, nil)
+	rng := rand.New(rand.NewSource(int64(c.seed)))
+	mean := 1 / *rate
+	fmt.Fprintf(stderr, "offering %d requests at %.0f req/s (%s arrivals) under %q routing...\n",
+		*requests, *rate, map[bool]string{true: "poisson", false: "uniform"}[*poisson], *policyName)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	correct, shed, failed := 0, 0, 0
+	next := time.Now()
+	for i := 0; i < *requests; i++ {
+		step := mean
+		if *poisson {
+			step = mean * rng.ExpFloat64()
+		}
+		next = next.Add(time.Duration(step * float64(time.Second)))
+		time.Sleep(time.Until(next))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label, err := f.Infer(context.Background(), singles[i%len(singles)].X)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				if label == test.Y[i%test.Len()] {
+					correct++
+				}
+			case errors.Is(err, tbnet.ErrOverloaded):
+				shed++
+			default:
+				failed++
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := f.Stats()
+
+	if c.jsonOut {
+		if err := report.RenderFleetStatsJSON(stdout, st); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	report.FleetTable(st).Render(stdout)
+	fmt.Fprintf(stdout, "offered %d requests: %d served (%d correct), %d shed, %d failed\n",
+		*requests, st.Requests, correct, shed, failed)
+	fmt.Fprintf(stdout, "fleet secure footprint: %s across %d devices\n",
+		report.Bytes(st.PeakSecureBytes), st.Devices)
 	return 0
 }
 
@@ -370,8 +551,8 @@ func runExperimentCmd(args []string, stdout, stderr io.Writer) int {
 func knownExperiment(which string) bool {
 	switch which {
 	case "all", "table1", "table2", "table3", "fig2", "fig3", "fig4", "hw",
-		"ablation", "ablation-ranking", "ablation-rollback", "ablation-lambda",
-		"ablation-quant":
+		"fleet", "ablation", "ablation-ranking", "ablation-rollback",
+		"ablation-lambda", "ablation-quant":
 		return true
 	}
 	return false
@@ -416,6 +597,8 @@ func renderExperiment(lab *experiments.Lab, which string, jsonOut bool, w, stder
 		return render(lab.Fig3())
 	case "hw":
 		return render(lab.TableHW())
+	case "fleet":
+		return render(lab.TableFleet())
 	case "fig4":
 		mr, mt := lab.Fig4()
 		if jsonOut {
@@ -464,7 +647,7 @@ func runInfoCmd(w io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|ablation|
+  tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|fleet|ablation|
                     ablation-ranking|ablation-rollback|ablation-lambda|ablation-quant>
                    [-scale micro|ci|full] [-seed N] [-device NAME] [-json] [-v]
   tbnet pipeline [-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet]
@@ -473,5 +656,8 @@ func usage(w io.Writer) {
   tbnet serve    [-workers N] [-batch N] [-delay D] [-requests N]
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N]
                  [-device NAME] [-json] [-v]
+  tbnet fleet    [-devices NAME:W,NAME:W,...] [-policy round-robin|least-loaded|cost-aware]
+                 [-requests N] [-rate R] [-poisson] [-deadline D] [-max-inflight N]
+                 [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
   tbnet info     # list the registered hardware backends`)
 }

@@ -53,6 +53,7 @@ func TestUnknownDeviceRejected(t *testing.T) {
 	for _, args := range [][]string{
 		{"pipeline", "-device", "abacus"},
 		{"serve", "-device", "abacus"},
+		{"fleet", "-device", "abacus"},
 		{"experiment", "table3", "-device", "abacus"},
 	} {
 		code, _, stderr := runCLI(t, args...)
@@ -115,6 +116,69 @@ func TestServeFlagValidation(t *testing.T) {
 		if code != 2 {
 			t.Fatalf("%v: exit = %d, want 2 (stderr %q)", args, code, stderr)
 		}
+	}
+}
+
+func TestFleetFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"fleet", "-requests", "0"},
+		{"fleet", "-rate", "0"},
+		{"fleet", "-rate", "-3"},
+		{"fleet", "-deadline", "-1ms"},
+		{"fleet", "-max-inflight", "-1"},
+		{"fleet", "-devices", ""},
+		{"fleet", "-devices", "rpi3:two"},
+		{"fleet", "-devices", "abacus:2"},
+		{"fleet", "-devices", "rpi3:0"},
+		{"fleet", "-policy", "darts"},
+		{"fleet", "-scale", "galactic"},
+		{"fleet", "-bogus"},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("%v: exit = %d, want 2 (stderr %q)", args, code, stderr)
+		}
+	}
+}
+
+// TestFleetCommandEndToEnd runs the fleet command on the tiny architecture
+// at micro scale — train → deploy → route an open-loop Poisson load across a
+// mixed fleet — and checks the JSON artifact shape (the BENCH_fleet.json CI
+// trajectory). Gated behind -short because it trains a (small) pipeline.
+func TestFleetCommandEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping pipeline-backed fleet run in short mode")
+	}
+	code, stdout, stderr := runCLI(t,
+		"fleet", "-arch", "tiny-vgg", "-scale", "micro",
+		"-devices", "rpi3:1,sgx-desktop:2,jetson-tz:1", "-policy", "cost-aware",
+		"-requests", "32", "-rate", "2000", "-poisson", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var st struct {
+		Policy           string  `json:"policy"`
+		Devices          int     `json:"devices"`
+		Requests         int64   `json:"requests"`
+		Shed             int64   `json:"shed"`
+		RoutingDecisions int64   `json:"routing_decisions"`
+		P99Micros        float64 `json:"p99_micros"`
+		PerDevice        []struct {
+			Name string `json:"name"`
+		} `json:"per_device"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &st); err != nil {
+		t.Fatalf("fleet -json output not parseable: %v\n%s", err, stdout)
+	}
+	if st.Policy != "cost-aware" || st.Devices != 3 || len(st.PerDevice) != 3 {
+		t.Fatalf("fleet attribution wrong: %+v", st)
+	}
+	if st.Requests+st.Shed < 32 || st.RoutingDecisions < st.Requests {
+		t.Fatalf("request accounting wrong: %+v", st)
+	}
+	if st.P99Micros <= 0 {
+		t.Fatalf("p99 = %g, want > 0", st.P99Micros)
 	}
 }
 

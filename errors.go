@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"tbnet/internal/core"
+	"tbnet/internal/fleet"
 	"tbnet/internal/serve"
 )
 
@@ -23,8 +24,14 @@ var (
 	// in the device's secure-memory budget.
 	ErrSecureMemory = core.ErrSecureMemory
 
-	// ErrServerClosed reports an inference issued to a closed Server.
+	// ErrServerClosed reports an inference issued to a closed Server or
+	// Fleet.
 	ErrServerClosed = serve.ErrClosed
+
+	// ErrOverloaded reports a fleet request shed by admission control: the
+	// fleet-wide in-flight cap was reached, or the per-request deadline
+	// expired before a device answered.
+	ErrOverloaded = fleet.ErrOverloaded
 
 	// ErrBadOption reports an invalid value passed to a functional option of
 	// NewPipeline or Serve.

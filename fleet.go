@@ -1,0 +1,144 @@
+package tbnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tbnet/internal/fleet"
+	"tbnet/internal/tee"
+)
+
+// Fleet serves one finalized model across a heterogeneous set of TEE devices
+// — one replicated serving pool per attached backend — routing every request
+// through a pluggable policy, with admission control that sheds excess load
+// instead of queueing it unboundedly. Create one with NewFleet; see the
+// fleet package documentation for the execution model.
+type Fleet = fleet.Fleet
+
+// FleetStats is an aggregated point-in-time snapshot of a Fleet: fleet-wide
+// throughput and p50/p95/p99 modeled latency (merged across devices), shed
+// and routing-decision counters, and the per-device breakdown.
+type FleetStats = fleet.Stats
+
+// FleetDeviceStats is one device's slice of a FleetStats snapshot.
+type FleetDeviceStats = fleet.DeviceStats
+
+// RoutingPolicy routes each fleet request to one attached device, picking
+// from a live per-node load snapshot. Use the built-ins below or implement
+// the interface for custom routing.
+type RoutingPolicy = fleet.Policy
+
+// NodeLoad is the per-device snapshot a RoutingPolicy picks from.
+type NodeLoad = fleet.Load
+
+// RoundRobin returns the baseline routing policy: requests cycle through the
+// attached devices in order, regardless of load or device speed.
+func RoundRobin() RoutingPolicy { return fleet.RoundRobin() }
+
+// LeastLoaded returns the load-balancing policy: each request goes to the
+// device with the fewest queued + in-flight requests.
+func LeastLoaded() RoutingPolicy { return fleet.LeastLoaded() }
+
+// CostAware returns the device-cost-aware policy: devices are scored by
+// their modeled single-sample latency scaled by current backlog, so fast
+// backends absorb traffic and slow edge boards only see requests once the
+// fast ones are saturated.
+func CostAware() RoutingPolicy { return fleet.CostAware() }
+
+// FleetOption configures a Fleet.
+type FleetOption func(*fleet.Config) error
+
+// WithDevice attaches a registered hardware backend to the fleet with a
+// replica pool of the given width. Repeat it to build a mixed fleet
+// (attaching the same device name twice creates two distinct nodes, reported
+// as "name" and "name#2"). Unknown names fail with ErrBadOption.
+func WithDevice(name string, workers int) FleetOption {
+	return func(c *fleet.Config) error {
+		d, err := tee.ByName(name)
+		if err != nil {
+			return fmt.Errorf("%w: %w", ErrBadOption, err)
+		}
+		if workers < 1 {
+			return fmt.Errorf("%w: device %q workers %d < 1", ErrBadOption, name, workers)
+		}
+		c.Nodes = append(c.Nodes, fleet.NodeConfig{Device: d, Workers: workers})
+		return nil
+	}
+}
+
+// WithPolicy sets the routing policy (default RoundRobin()).
+func WithPolicy(p RoutingPolicy) FleetOption {
+	return func(c *fleet.Config) error {
+		if p == nil {
+			return fmt.Errorf("%w: nil routing policy", ErrBadOption)
+		}
+		c.Policy = p
+		return nil
+	}
+}
+
+// WithDeadline bounds each request's end-to-end time in the fleet, queueing
+// included: a request not answered within d is shed with ErrOverloaded
+// instead of queueing past its deadline.
+func WithDeadline(d time.Duration) FleetOption {
+	return func(c *fleet.Config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: deadline %v must be positive", ErrBadOption, d)
+		}
+		c.Deadline = d
+		return nil
+	}
+}
+
+// WithMaxInFlight caps the fleet-wide number of admitted, unanswered
+// requests; admission beyond the cap sheds with ErrOverloaded. The default
+// is capacity-weighted: four full batch waves per replica across the fleet.
+func WithMaxInFlight(n int) FleetOption {
+	return func(c *fleet.Config) error {
+		if n < 1 {
+			return fmt.Errorf("%w: max in-flight %d < 1", ErrBadOption, n)
+		}
+		c.MaxInFlight = n
+		return nil
+	}
+}
+
+// NewFleet starts a heterogeneous serving fleet over a deployed model. The
+// deployment is the replication template only — every attached device gets
+// its own replica pool — so the caller keeps exclusive use of dep's session.
+// With no WithDevice option the fleet serves on the template's own device
+// with a pool of 2. Stop the fleet with Fleet.Close.
+//
+//	f, err := tbnet.NewFleet(dep,
+//	    tbnet.WithDevice("rpi3", 2),
+//	    tbnet.WithDevice("sgx-desktop", 4),
+//	    tbnet.WithDevice("jetson-tz", 2),
+//	    tbnet.WithPolicy(tbnet.CostAware()),
+//	    tbnet.WithDeadline(50*time.Millisecond),
+//	)
+//	...
+//	label, err := f.Infer(ctx, x)
+//	st := f.Stats() // per-device + fleet-wide throughput, p50/p95/p99, shed
+func NewFleet(dep *Deployment, opts ...FleetOption) (*Fleet, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("%w: nil deployment", ErrBadOption)
+	}
+	var cfg fleet.Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.Nodes) == 0 {
+		cfg.Nodes = []fleet.NodeConfig{{Device: dep.Device, Workers: 2}}
+	}
+	f, err := fleet.New(dep, cfg)
+	if err != nil {
+		if errors.Is(err, fleet.ErrConfig) {
+			return nil, fmt.Errorf("%w: %w", ErrBadOption, err)
+		}
+		return nil, err
+	}
+	return f, nil
+}

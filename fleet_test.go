@@ -1,0 +1,121 @@
+package tbnet
+
+// Facade tests for the fleet surface: option plumbing, error sentinels, and
+// one routed end-to-end round trip. Fleet behaviour itself is covered in
+// internal/fleet; these tests use a randomly initialized finalized model so
+// they stay fast enough for the -race CI pass.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tbnet/internal/zoo"
+)
+
+// tinyDeployment builds a deployed untrained tiny model through the facade.
+func tinyDeployment(t *testing.T) *Deployment {
+	t.Helper()
+	victim := zoo.BuildVGG(zoo.TinyVGGConfig(4), NewRNG(1))
+	tb := NewTwoBranch(victim, 2)
+	tb.Finalized = true
+	dep, err := Deploy(tb, RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestNewFleetRoutesAcrossDevices(t *testing.T) {
+	dep := tinyDeployment(t)
+	f, err := NewFleet(dep,
+		WithDevice("rpi3", 1),
+		WithDevice("sgx-desktop", 2),
+		WithDevice("jetson-tz", 1),
+		WithPolicy(CostAware()),
+		WithDeadline(5*time.Second),
+		WithMaxInFlight(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x := NewTensor(1, 3, 16, 16)
+	NewRNG(3).FillNormal(x, 0, 1)
+	want, err := dep.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Infer(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want[0] {
+		t.Fatalf("fleet label %d != template label %d", got, want[0])
+	}
+	st := f.Stats()
+	if st.Policy != "cost-aware" || st.Devices != 3 || st.Requests != 1 {
+		t.Fatalf("fleet stats wrong: %+v", st)
+	}
+}
+
+func TestNewFleetDefaultsToTemplateDevice(t *testing.T) {
+	dep := tinyDeployment(t)
+	f, err := NewFleet(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st := f.Stats()
+	if st.Devices != 1 || st.PerDevice[0].Name != "rpi3" {
+		t.Fatalf("default fleet = %+v, want single rpi3 node", st.PerDevice)
+	}
+}
+
+func TestNewFleetOptionValidation(t *testing.T) {
+	dep := tinyDeployment(t)
+	cases := []struct {
+		name string
+		opt  FleetOption
+	}{
+		{"unknown device", WithDevice("abacus", 1)},
+		{"zero workers", WithDevice("rpi3", 0)},
+		{"nil policy", WithPolicy(nil)},
+		{"zero deadline", WithDeadline(0)},
+		{"zero max in-flight", WithMaxInFlight(0)},
+	}
+	for _, c := range cases {
+		if _, err := NewFleet(dep, c.opt); !errors.Is(err, ErrBadOption) {
+			t.Fatalf("%s: err = %v, want ErrBadOption", c.name, err)
+		}
+	}
+	if _, err := NewFleet(nil); !errors.Is(err, ErrBadOption) {
+		t.Fatalf("nil deployment: err = %v, want ErrBadOption", err)
+	}
+}
+
+// TestFleetShedsThroughFacade: the ErrOverloaded sentinel is matchable on
+// the public surface.
+func TestFleetShedsThroughFacade(t *testing.T) {
+	dep := tinyDeployment(t)
+	f, err := NewFleet(dep, WithDevice("rpi3", 1), WithDeadline(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x := NewTensor(1, 3, 16, 16)
+	NewRNG(4).FillNormal(x, 0, 1)
+	// One lone request sits in an incomplete batch until the default 2ms
+	// flush window closes — past the 1ms fleet deadline — and must be shed.
+	// Retry a few times in case the host schedules the flush first.
+	for i := 0; i < 50; i++ {
+		_, err = f.Infer(context.Background(), x)
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+}

@@ -198,6 +198,14 @@ func (d *Deployment) Replicate(batch int) (*Deployment, error) {
 // device, so a pool can never collectively overcommit the modeled secure
 // memory.
 func (d *Deployment) ReplicateInto(batch int, mem *tee.SecureMemory) (*Deployment, error) {
+	return d.ReplicateOn(d.Device, batch, mem)
+}
+
+// ReplicateOn is ReplicateInto targeting a different hardware backend: the
+// same finalized model, deep-copied, priced and sized against device instead
+// of the original's. The fleet layer uses it to fan one deployment template
+// out across a heterogeneous set of attached devices.
+func (d *Deployment) ReplicateOn(device tee.Device, batch int, mem *tee.SecureMemory) (*Deployment, error) {
 	shape := append([]int(nil), d.sampleShape...)
 	if batch >= 1 {
 		shape[0] = batch
@@ -214,7 +222,7 @@ func (d *Deployment) ReplicateInto(batch int, mem *tee.SecureMemory) (*Deploymen
 		Align:     align,
 		Finalized: true,
 	}
-	return deployWith(tb, d.Device, shape, mem)
+	return deployWith(tb, device, shape, mem)
 }
 
 // SampleShape returns the [N,C,H,W] shape the deployment was sized for.

@@ -283,6 +283,8 @@ func (l *Lab) RunAll(w io.Writer) {
 	fmt.Fprintln(w)
 	l.TableHW().Render(w)
 	fmt.Fprintln(w)
+	l.TableFleet().Render(w)
+	fmt.Fprintln(w)
 	l.AblationPruneRanking().Render(w)
 	fmt.Fprintln(w)
 	l.AblationRollback().Render(w)

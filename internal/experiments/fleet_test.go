@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFleetPolicyChangesTail is the fleet acceptance criterion: on the mixed
+// rpi3 + sgx-desktop + jetson-tz fleet serving the same finalized model,
+// cost-aware routing must achieve strictly lower modeled p99 than
+// round-robin, because it keeps the slow edge board out of the hot path.
+func TestFleetPolicyChangesTail(t *testing.T) {
+	skipShort(t)
+	l := microLab()
+	results := l.FleetComparison()
+	byPolicy := make(map[string]FleetPolicyResult, len(results))
+	for _, r := range results {
+		byPolicy[r.Policy] = r
+	}
+	rr, ok := byPolicy["round-robin"]
+	if !ok {
+		t.Fatal("round-robin missing from comparison")
+	}
+	ca, ok := byPolicy["cost-aware"]
+	if !ok {
+		t.Fatal("cost-aware missing from comparison")
+	}
+	for _, r := range results {
+		if r.Stats.Requests == 0 || r.Stats.Errors > 0 {
+			t.Fatalf("%s: requests %d, errors %d", r.Policy, r.Stats.Requests, r.Stats.Errors)
+		}
+		if r.Stats.P99Micros <= 0 {
+			t.Fatalf("%s: p99 = %g", r.Policy, r.Stats.P99Micros)
+		}
+	}
+	if ca.Stats.P99Micros >= rr.Stats.P99Micros {
+		t.Fatalf("cost-aware p99 %.0fµs not strictly below round-robin %.0fµs",
+			ca.Stats.P99Micros, rr.Stats.P99Micros)
+	}
+	// The mechanism: round-robin sends a third of the traffic to the edge
+	// board; cost-aware keeps it (nearly) idle.
+	share := func(r FleetPolicyResult) float64 {
+		for _, d := range r.Stats.PerDevice {
+			if d.Name == "rpi3" {
+				return float64(d.Routed) / float64(r.Stats.RoutingDecisions)
+			}
+		}
+		return 0
+	}
+	if rrShare, caShare := share(rr), share(ca); caShare >= rrShare {
+		t.Fatalf("cost-aware rpi3 share %.2f not below round-robin %.2f", caShare, rrShare)
+	}
+}
+
+func TestTableFleetShape(t *testing.T) {
+	skipShort(t)
+	l := microLab()
+	tab := l.TableFleet()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("fleet table rows = %d, want 3 policies", len(tab.Rows))
+	}
+	if tab.Device != "fleet" || tab.PeakSecureBytes <= 0 {
+		t.Fatalf("fleet table attribution wrong: device %q, peak %d", tab.Device, tab.PeakSecureBytes)
+	}
+	seen := map[string]bool{}
+	for _, row := range tab.Rows {
+		seen[row[0]] = true
+	}
+	for _, p := range []string{"round-robin", "least-loaded", "cost-aware"} {
+		if !seen[p] {
+			t.Fatalf("fleet table missing policy %q: %v", p, tab.Rows)
+		}
+	}
+}

@@ -142,7 +142,7 @@ func TestRunAllProducesAllArtifacts(t *testing.T) {
 	l.RunAll(&b)
 	out := b.String()
 	for _, want := range []string{"Table 1", "Fig. 2", "Table 2", "Fig. 3", "Table 3", "Fig. 4",
-		"Ablation", "HW table"} {
+		"Ablation", "HW table", "Fleet: routing policies"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("RunAll output missing %q", want)
 		}

@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkFleetThroughput drives a mixed rpi3 + sgx-desktop + jetson-tz
+// fleet with a closed-loop client population and sweeps the routing policy,
+// reporting modeled aggregate throughput, fleet-wide modeled p99, and the
+// shed count — the cross-policy perf trajectory next to the per-device
+// BenchmarkServerThroughput.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, mk := range []func() Policy{RoundRobin, LeastLoaded, CostAware} {
+		policy := mk()
+		b.Run("policy="+policy.Name(), func(b *testing.B) {
+			dep := testDeployment(b, 1)
+			f, err := New(dep, Config{
+				Nodes:    mixedNodes(b, 2),
+				Policy:   policy,
+				MaxBatch: 8,
+				MaxDelay: time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			xs := randSamples(16, 2)
+			const clients = 8
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			work := make(chan int)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range work {
+						if _, err := f.Infer(context.Background(), xs[i%len(xs)]); err != nil {
+							b.Error(err)
+						}
+					}
+				}()
+			}
+			for i := 0; i < b.N; i++ {
+				work <- i
+			}
+			close(work)
+			wg.Wait()
+			b.StopTimer()
+			st := f.Stats()
+			b.ReportMetric(st.ModeledThroughput, "modeled-req/s")
+			b.ReportMetric(st.P99Micros, "modeled-p99-us")
+			b.ReportMetric(float64(st.Shed), "shed")
+		})
+	}
+}

@@ -1,0 +1,421 @@
+// Package fleet is TBNet's heterogeneous multi-device serving layer: one
+// finalized model fanned out across a set of attached TEE devices, each
+// backed by its own serve.Server pool, with traffic routed between them by a
+// pluggable policy.
+//
+// A production deployment of the paper's system does not serve from one
+// device: it owns a mix of edge boards (rpi3-class TrustZone), desktop
+// enclaves (SGX), and confidential VMs whose latency and secure-memory
+// profiles differ by orders of magnitude. On such a fleet the routing policy
+// — not just per-device batching — determines end-to-end tail latency, so
+// the policy is the pluggable degree of freedom here (see Policy and the
+// RoundRobin / LeastLoaded / CostAware built-ins).
+//
+// The fleet also owns admission control: a capacity-weighted in-flight cap
+// and a per-request deadline. Load beyond either is shed immediately with a
+// wrapped ErrOverloaded instead of queueing unboundedly — under sustained
+// overload a bounded queue with fast failure beats an unbounded one whose
+// every request eventually misses its deadline.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbnet/internal/core"
+	"tbnet/internal/serve"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+)
+
+// ErrOverloaded is returned by Infer and InferBatch when admission control
+// sheds the request: the fleet-wide in-flight cap is reached, or the
+// per-request deadline expired before a device answered.
+var ErrOverloaded = errors.New("fleet overloaded")
+
+// ErrConfig reports an invalid fleet configuration.
+var ErrConfig = errors.New("invalid fleet configuration")
+
+// NodeConfig attaches one device to the fleet.
+type NodeConfig struct {
+	// Device is the hardware backend this node serves on.
+	Device tee.Device
+	// Workers is the node's replica pool width (default 2).
+	Workers int
+}
+
+// Config sizes the fleet. The zero value of any field selects its default.
+type Config struct {
+	// Nodes are the attached devices; at least one is required.
+	Nodes []NodeConfig
+	// Policy routes each request to a node (default RoundRobin()).
+	Policy Policy
+	// Deadline bounds each request's end-to-end time in the fleet, queueing
+	// included; a request not answered within it is shed with ErrOverloaded.
+	// 0 means no deadline.
+	Deadline time.Duration
+	// MaxInFlight caps the fleet-wide number of admitted, unanswered
+	// requests; admission beyond it sheds with ErrOverloaded. 0 selects the
+	// capacity-weighted default 4 × Σ(workers × MaxBatch) — four full batch
+	// waves per replica — and a negative value disables the cap.
+	MaxInFlight int
+	// MaxBatch is every node's micro-batch flush size (default 8).
+	MaxBatch int
+	// MaxDelay is every node's micro-batch flush delay (default 2ms).
+	MaxDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = RoundRobin()
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	nodes := make([]NodeConfig, len(c.Nodes))
+	copy(nodes, c.Nodes)
+	for i := range nodes {
+		if nodes[i].Workers == 0 {
+			nodes[i].Workers = 2
+		}
+	}
+	c.Nodes = nodes
+	if c.MaxInFlight == 0 {
+		for _, n := range c.Nodes {
+			c.MaxInFlight += 4 * n.Workers * c.MaxBatch
+		}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("%w: no devices attached", ErrConfig)
+	}
+	for i, n := range c.Nodes {
+		if n.Device == nil {
+			return fmt.Errorf("%w: node %d has a nil device", ErrConfig, i)
+		}
+		if n.Workers < 1 {
+			return fmt.Errorf("%w: node %d (%s) workers %d < 1", ErrConfig, i, n.Device.Name(), n.Workers)
+		}
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("%w: negative deadline %v", ErrConfig, c.Deadline)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("%w: max batch %d < 1", ErrConfig, c.MaxBatch)
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("%w: negative max delay %v", ErrConfig, c.MaxDelay)
+	}
+	return nil
+}
+
+// node is one attached device: its server pool and fleet-side load counters.
+type node struct {
+	name      string
+	device    tee.Device
+	workers   int
+	srv       *serve.Server
+	sampleLat float64 // modeled single-sample seconds, probed at construction
+
+	routed atomic.Int64 // routing decisions sent here
+	shed   atomic.Int64 // deadline sheds attributed to this node
+}
+
+// Fleet serves one finalized model across a heterogeneous set of devices,
+// routing each request through the configured policy. Create one with New;
+// it is safe for concurrent use.
+type Fleet struct {
+	cfg   Config
+	nodes []*node
+
+	inflight  atomic.Int64
+	shedTotal atomic.Int64
+	closed    atomic.Bool
+	closeOnce sync.Once
+	drained   chan struct{}
+	start     time.Time
+}
+
+// New builds a fleet from a deployed template: the template's finalized model
+// is replicated onto every attached device (the caller keeps exclusive use of
+// the template's own session). Each node's modeled single-sample latency is
+// probed once here, so cost-aware routing needs no warm-up traffic.
+func New(dep *core.Deployment, cfg Config) (*Fleet, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("%w: nil deployment", ErrConfig)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: cfg, drained: make(chan struct{}), start: time.Now()}
+	shape := dep.SampleShape()
+	shape[0] = 1
+	seen := make(map[string]int)
+	for i, nc := range cfg.Nodes {
+		name := nc.Device.Name()
+		seen[name]++
+		if k := seen[name]; k > 1 {
+			name = fmt.Sprintf("%s#%d", name, k)
+		}
+		template, err := dep.ReplicateOn(nc.Device, 1, nil)
+		if err != nil {
+			f.closeNodes()
+			return nil, fmt.Errorf("fleet: deploying onto node %d (%s): %w", i, name, err)
+		}
+		probe := tensor.New(shape...)
+		if _, err := template.Infer(probe); err != nil {
+			f.closeNodes()
+			return nil, fmt.Errorf("fleet: probing node %d (%s): %w", i, name, err)
+		}
+		srv, err := serve.New(template, serve.Config{
+			Workers:  nc.Workers,
+			MaxBatch: cfg.MaxBatch,
+			MaxDelay: cfg.MaxDelay,
+		})
+		if err != nil {
+			f.closeNodes()
+			return nil, fmt.Errorf("fleet: starting node %d (%s): %w", i, name, err)
+		}
+		f.nodes = append(f.nodes, &node{
+			name:      name,
+			device:    nc.Device,
+			workers:   nc.Workers,
+			srv:       srv,
+			sampleLat: template.Latency(),
+		})
+	}
+	return f, nil
+}
+
+// closeNodes tears down the servers started so far (construction failure).
+func (f *Fleet) closeNodes() {
+	for _, n := range f.nodes {
+		n.srv.Close()
+	}
+}
+
+// route consults the policy with a live load snapshot and returns the chosen
+// node. An out-of-range pick is folded back into range, so a buggy policy
+// degrades to a skewed distribution rather than a panic.
+func (f *Fleet) route() *node {
+	loads := make([]Load, len(f.nodes))
+	for i, n := range f.nodes {
+		// The server probes overlap — InFlight counts queued + in-service —
+		// so split them: policies sum the two fields without double-counting
+		// queued requests.
+		queued := n.srv.QueueDepth()
+		serving := int(n.srv.InFlight()) - queued
+		if serving < 0 {
+			serving = 0
+		}
+		loads[i] = Load{
+			Name:          n.name,
+			Workers:       n.workers,
+			QueueDepth:    queued,
+			InFlight:      serving,
+			SampleLatency: n.sampleLat,
+		}
+	}
+	idx := f.cfg.Policy.Pick(loads)
+	if idx < 0 || idx >= len(f.nodes) {
+		idx = ((idx % len(f.nodes)) + len(f.nodes)) % len(f.nodes)
+	}
+	n := f.nodes[idx]
+	n.routed.Add(1)
+	return n
+}
+
+// admit applies fleet-wide admission control; the returned release func must
+// be called once when the request resolves. A false admission was shed, and
+// inflight reports the load observed at the shed decision.
+func (f *Fleet) admit() (release func(), inflight int64, ok bool) {
+	n := f.inflight.Add(1)
+	if max := int64(f.cfg.MaxInFlight); max > 0 && n > max {
+		f.inflight.Add(-1)
+		f.shedTotal.Add(1)
+		return nil, n - 1, false
+	}
+	return func() { f.inflight.Add(-1) }, n, true
+}
+
+// Infer routes one sample ([C,H,W] or [1,C,H,W]) to a device chosen by the
+// policy and returns its label. Requests beyond the in-flight cap, or not
+// answered within the configured deadline, are shed with a wrapped
+// ErrOverloaded; after Close it fails with serve.ErrClosed. The caller must
+// not mutate x until Infer returns.
+func (f *Fleet) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
+	if f.closed.Load() {
+		return 0, serve.ErrClosed
+	}
+	release, inflight, ok := f.admit()
+	if !ok {
+		return 0, fmt.Errorf("fleet: %d requests in flight (cap %d): %w",
+			inflight, f.cfg.MaxInFlight, ErrOverloaded)
+	}
+	defer release()
+	n := f.route()
+	reqCtx := ctx
+	if f.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(ctx, f.cfg.Deadline)
+		defer cancel()
+	}
+	label, err := n.srv.Infer(reqCtx, x)
+	if err != nil && f.cfg.Deadline > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		// The fleet's own deadline expired (not the caller's context): that
+		// is load shedding, not a caller error.
+		n.shed.Add(1)
+		f.shedTotal.Add(1)
+		return 0, fmt.Errorf("fleet: deadline %v exceeded on %s: %w", f.cfg.Deadline, n.name, ErrOverloaded)
+	}
+	return label, err
+}
+
+// InferBatch classifies xs and returns one label per sample, in order. Every
+// sample is routed independently — the policy may spread one caller's batch
+// across the whole fleet — and the first error is returned after all samples
+// resolve, wrapped with the failing sample's index.
+func (f *Fleet) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	labels := make([]int, len(xs))
+	errs := make([]error, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i int, x *tensor.Tensor) {
+			defer wg.Done()
+			labels[i], errs[i] = f.Infer(ctx, x)
+		}(i, x)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+	}
+	return labels, nil
+}
+
+// Close stops admission and shuts every node's server down, draining their
+// queues. It is idempotent and safe for concurrent use; Infer calls issued
+// after Close fail with serve.ErrClosed.
+func (f *Fleet) Close() error {
+	f.closeOnce.Do(func() {
+		f.closed.Store(true)
+		var wg sync.WaitGroup
+		for _, n := range f.nodes {
+			wg.Add(1)
+			go func(n *node) {
+				defer wg.Done()
+				n.srv.Close()
+			}(n)
+		}
+		wg.Wait()
+		close(f.drained)
+	})
+	<-f.drained
+	return nil
+}
+
+// DeviceStats is one node's slice of the fleet statistics.
+type DeviceStats struct {
+	// Name is the node's identity ("rpi3", or "rpi3#2" for a second node of
+	// the same device type).
+	Name string `json:"name"`
+	// Routed is the number of routing decisions that chose this node.
+	Routed int64 `json:"routed"`
+	// Shed is the number of requests that missed the fleet deadline on this
+	// node.
+	Shed int64 `json:"shed"`
+	// SampleLatencyMicros is the probed modeled single-sample latency the
+	// cost-aware policy scores this node by, in microseconds.
+	SampleLatencyMicros float64 `json:"sample_latency_micros"`
+	// Serve is the node server's own statistics snapshot.
+	Serve serve.Stats `json:"serve"`
+}
+
+// Stats is an aggregated point-in-time snapshot of the fleet: fleet-wide
+// counters and modeled latency percentiles (merged across every node's
+// retained samples), plus the per-device breakdown.
+type Stats struct {
+	// Policy is the routing policy's name.
+	Policy string `json:"policy"`
+	// Devices is the number of attached nodes.
+	Devices int `json:"devices"`
+	// Requests is the number of samples served successfully, fleet-wide.
+	Requests int64 `json:"requests"`
+	// Errors is the number of samples whose protocol run failed, fleet-wide.
+	Errors int64 `json:"errors"`
+	// Shed is the number of requests refused by admission control (in-flight
+	// cap) or timed out by the fleet deadline.
+	Shed int64 `json:"shed"`
+	// InFlight is the number of admitted, unanswered requests right now.
+	InFlight int64 `json:"in_flight"`
+	// RoutingDecisions is the total number of Pick calls that resolved.
+	RoutingDecisions int64 `json:"routing_decisions"`
+	// P50/P95/P99Micros are fleet-wide modeled per-request latency
+	// percentiles in microseconds, merged across the nodes' samples.
+	P50Micros float64 `json:"p50_micros"`
+	P95Micros float64 `json:"p95_micros"`
+	P99Micros float64 `json:"p99_micros"`
+	// ModeledThroughput is the sum of the nodes' modeled throughputs —
+	// requests per modeled device-second with every pool running in parallel.
+	ModeledThroughput float64 `json:"modeled_throughput_rps"`
+	// PeakSecureBytes is the sum of the nodes' secure-memory high-water
+	// marks: the fleet's total modeled TEE footprint.
+	PeakSecureBytes int64 `json:"peak_secure_bytes"`
+	// WallSeconds is the host time since the fleet started.
+	WallSeconds float64 `json:"wall_seconds"`
+	// PerDevice is the per-node breakdown, in attachment order.
+	PerDevice []DeviceStats `json:"per_device"`
+}
+
+// Stats returns an aggregated snapshot of the fleet's counters.
+func (f *Fleet) Stats() Stats {
+	out := Stats{
+		Policy:      f.cfg.Policy.Name(),
+		Devices:     len(f.nodes),
+		Shed:        f.shedTotal.Load(),
+		InFlight:    f.inflight.Load(),
+		WallSeconds: time.Since(f.start).Seconds(),
+	}
+	var samples []float64
+	for _, n := range f.nodes {
+		st := n.srv.Stats()
+		out.Requests += st.Requests
+		out.Errors += st.Errors
+		out.RoutingDecisions += n.routed.Load()
+		out.ModeledThroughput += st.ModeledThroughput
+		out.PeakSecureBytes += st.PeakSecureBytes
+		samples = append(samples, n.srv.LatencySamples()...)
+		out.PerDevice = append(out.PerDevice, DeviceStats{
+			Name:                n.name,
+			Routed:              n.routed.Load(),
+			Shed:                n.shed.Load(),
+			SampleLatencyMicros: n.sampleLat * 1e6,
+			Serve:               st,
+		})
+	}
+	if len(samples) > 0 {
+		sort.Float64s(samples)
+		n := len(samples)
+		out.P50Micros = samples[n/2] * 1e6
+		out.P95Micros = samples[(n*95)/100] * 1e6
+		out.P99Micros = samples[(n*99)/100] * 1e6
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tbnet/internal/tee"
+)
+
+// TestPolicyPicks is the table-driven routing contract: given one load
+// snapshot, each policy must pick the expected node.
+func TestPolicyPicks(t *testing.T) {
+	// Latencies in the spirit of the registered cost models: the edge board
+	// is orders of magnitude slower than the server-class backends.
+	rpi3 := Load{Name: "rpi3", Workers: 2, SampleLatency: 30e-3}
+	sgx := Load{Name: "sgx-desktop", Workers: 2, SampleLatency: 40e-6}
+	jetson := Load{Name: "jetson-tz", Workers: 2, SampleLatency: 900e-6}
+	withLoad := func(l Load, queue, inflight int) Load {
+		l.QueueDepth, l.InFlight = queue, inflight
+		return l
+	}
+	cases := []struct {
+		name   string
+		policy Policy
+		loads  []Load
+		want   []int // picks for successive calls
+	}{
+		{
+			name:   "round-robin cycles regardless of load",
+			policy: RoundRobin(),
+			loads:  []Load{withLoad(rpi3, 9, 9), sgx, jetson},
+			want:   []int{0, 1, 2, 0, 1},
+		},
+		{
+			name:   "least-loaded picks the smallest backlog",
+			policy: LeastLoaded(),
+			loads:  []Load{withLoad(rpi3, 1, 1), withLoad(sgx, 4, 0), withLoad(jetson, 0, 1)},
+			want:   []int{2, 2},
+		},
+		{
+			name:   "least-loaded breaks ties towards the faster device",
+			policy: LeastLoaded(),
+			loads:  []Load{withLoad(rpi3, 1, 0), withLoad(jetson, 1, 0), withLoad(sgx, 1, 0)},
+			want:   []int{2},
+		},
+		{
+			name:   "cost-aware prefers jetson-tz over rpi3 under identical load",
+			policy: CostAware(),
+			loads:  []Load{withLoad(rpi3, 2, 2), withLoad(jetson, 2, 2)},
+			want:   []int{1, 1},
+		},
+		{
+			name:   "cost-aware prefers jetson-tz over rpi3 when both are idle",
+			policy: CostAware(),
+			loads:  []Load{rpi3, jetson},
+			want:   []int{1},
+		},
+		{
+			name:   "cost-aware spills to the slow device only once backlog pays for it",
+			policy: CostAware(),
+			loads:  []Load{rpi3, withLoad(jetson, 80, 80)}, // 900µs × 81 pool-waves > 30ms
+			want:   []int{0},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for call, want := range c.want {
+				if got := c.policy.Pick(c.loads); got != want {
+					t.Fatalf("call %d: picked %d (%s), want %d (%s)",
+						call, got, c.loads[got].Name, want, c.loads[want].Name)
+				}
+			}
+		})
+	}
+}
+
+// TestCostAwareUsesProbedDeviceLatencies ties the policy to the real cost
+// models: on a live rpi3 + jetson-tz fleet the probed sample latencies must
+// make CostAware route to jetson-tz under identical (idle) load.
+func TestCostAwareUsesProbedDeviceLatencies(t *testing.T) {
+	dep := testDeployment(t, 100)
+	jetson, err := tee.ByName("jetson-tz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(dep, Config{Nodes: []NodeConfig{
+		{Device: tee.RaspberryPi3(), Workers: 1},
+		{Device: jetson, Workers: 1},
+	}, Policy: CostAware(), MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if rpi, jet := f.nodes[0].sampleLat, f.nodes[1].sampleLat; rpi <= jet {
+		t.Fatalf("probed latencies rpi3 %g ≤ jetson-tz %g — cost models not threaded", rpi, jet)
+	}
+	// Sequential requests leave both nodes idle at routing time, so every
+	// decision must go to the faster board.
+	for i, x := range randSamples(6, 101) {
+		if _, err := f.Infer(context.Background(), x); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	st := f.Stats()
+	if st.PerDevice[0].Routed != 0 || st.PerDevice[1].Routed != 6 {
+		t.Fatalf("cost-aware routed rpi3=%d jetson=%d, want 0/6",
+			st.PerDevice[0].Routed, st.PerDevice[1].Routed)
+	}
+}
+
+// badPolicy returns indices far outside the node range.
+type badPolicy struct{}
+
+func (badPolicy) Name() string    { return "bad" }
+func (badPolicy) Pick([]Load) int { return -7 }
+
+// TestFleetFoldsOutOfRangePicks: a buggy policy degrades to a valid (if
+// skewed) route instead of panicking.
+func TestFleetFoldsOutOfRangePicks(t *testing.T) {
+	dep := testDeployment(t, 110)
+	f, err := New(dep, Config{Nodes: mixedNodes(t, 1), Policy: badPolicy{},
+		MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Infer(context.Background(), randSamples(1, 111)[0]); err != nil {
+		t.Fatalf("out-of-range pick must still serve: %v", err)
+	}
+}

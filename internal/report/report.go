@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a titled text table.
@@ -32,12 +33,12 @@ func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 func (t *Table) Render(w io.Writer) {
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if w := utf8.RuneCountInString(c); i < len(widths) && w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
@@ -70,10 +71,11 @@ func (t *Table) String() string {
 }
 
 func pad(s string, w int) string {
-	if len(s) >= w {
-		return s
+	// Width is measured in runes, not bytes, so headers with µ stay aligned.
+	if n := utf8.RuneCountInString(s); n < w {
+		return s + strings.Repeat(" ", w-n)
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s
 }
 
 // Pct formats a [0,1] fraction as a percentage with two decimals.

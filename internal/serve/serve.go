@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tbnet/internal/core"
@@ -91,8 +92,10 @@ func (c Config) validate() error {
 
 // request is one enqueued sample awaiting a batched protocol run.
 type request struct {
-	x    *tensor.Tensor // [1,C,H,W]
-	resp chan response  // buffered(1): workers never block on it
+	x        *tensor.Tensor  // [1,C,H,W]
+	resp     chan response   // buffered(1): workers never block on it
+	ctx      context.Context // caller's context; expired requests are dropped at flush
+	enqueued time.Time       // admission time, for queue-wait accounting
 }
 
 type response struct {
@@ -116,6 +119,10 @@ type Server struct {
 	inflight  sync.WaitGroup
 	closeOnce sync.Once
 	drained   chan struct{} // closed once shutdown fully drains
+
+	// pending counts requests admitted to the queue whose response has not
+	// been delivered yet — the live in-flight load a routing layer probes.
+	pending atomic.Int64
 
 	dispatcherDone chan struct{}
 	workersDone    sync.WaitGroup
@@ -210,21 +217,78 @@ func (s *Server) worker(id int, rep *core.Deployment) {
 }
 
 func (s *Server) runBatch(id int, rep *core.Deployment, batch []*request) {
-	x := concat(batch)
+	// Drop requests whose caller already gave up (cancelled context, missed
+	// deadline): their abandoned callers would discard the answer anyway, so
+	// running them would burn modeled device time on shed load and count it
+	// as served. They are answered with their context's error and appear in
+	// neither the request nor the error counters.
+	var wait time.Duration
+	now := time.Now()
+	live := make([]*request, 0, len(batch))
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.resp <- response{err: r.ctx.Err()}
+			s.pending.Add(-1)
+			continue
+		}
+		if !r.enqueued.IsZero() {
+			wait += now.Sub(r.enqueued)
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	x := concat(live)
 	before := rep.Latency()
 	labels, err := rep.Infer(x)
 	lat := rep.Latency() - before
-	if err == nil && len(labels) != len(batch) {
-		err = fmt.Errorf("serve: %d labels for %d requests", len(labels), len(batch))
+	if err == nil && len(labels) != len(live) {
+		err = fmt.Errorf("serve: %d labels for %d requests", len(labels), len(live))
 	}
-	for i, r := range batch {
+	if err != nil && len(live) > 1 {
+		// The coalesced protocol run failed as a whole, which would pin the
+		// same error on every caller in the batch. Re-run each sample alone to
+		// isolate which input was actually bad: good samples still succeed,
+		// and only the offending request carries the error.
+		s.isolateBatch(id, rep, live, wait)
+		return
+	}
+	for i, r := range live {
+		s.pending.Add(-1)
 		if err != nil {
 			r.resp <- response{err: err}
 			continue
 		}
 		r.resp <- response{label: labels[i]}
 	}
-	s.stats.record(id, len(batch), lat, err)
+	s.stats.record(id, len(live), lat, wait, err)
+}
+
+// isolateBatch re-runs each request of a failed coalesced batch as its own
+// protocol run, so every caller gets its sample's own outcome instead of a
+// shared batch error.
+func (s *Server) isolateBatch(id int, rep *core.Deployment, batch []*request, wait time.Duration) {
+	perWait := wait / time.Duration(len(batch))
+	for _, r := range batch {
+		s.pending.Add(-1)
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.resp <- response{err: r.ctx.Err()}
+			continue
+		}
+		before := rep.Latency()
+		labels, err := rep.Infer(r.x)
+		lat := rep.Latency() - before
+		if err == nil && len(labels) != 1 {
+			err = fmt.Errorf("serve: %d labels for 1 request", len(labels))
+		}
+		if err != nil {
+			r.resp <- response{err: err}
+		} else {
+			r.resp <- response{label: labels[0]}
+		}
+		s.stats.record(id, 1, lat, perWait, err)
+	}
 }
 
 // concat stacks the per-request [1,C,H,W] samples into one [k,C,H,W] batch.
@@ -278,26 +342,40 @@ func (s *Server) enqueue(ctx context.Context, req *request) error {
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer s.inflight.Done()
+	req.enqueued = time.Now()
+	s.pending.Add(1)
 	select {
 	case s.queue <- req:
 		return nil
 	case <-ctx.Done():
+		s.pending.Add(-1)
 		return ctx.Err()
 	case <-s.done:
+		s.pending.Add(-1)
 		return ErrClosed
 	}
 }
 
+// QueueDepth is a live probe of the number of requests waiting for a batch
+// slot right now. Routing layers use it to compare load across servers.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// InFlight is a live probe of the number of admitted requests whose response
+// has not been delivered yet (queued + being served).
+func (s *Server) InFlight() int64 { return s.pending.Load() }
+
 // Infer classifies one sample ([C,H,W] or [1,C,H,W]) and returns its label.
 // It blocks until a batched protocol run completes, the context is
-// cancelled, or the server closes. The caller must not mutate x until Infer
-// returns.
+// cancelled, or the server closes. A request whose context expires while it
+// is still queued is dropped at batch-formation time without consuming a
+// protocol run, so abandoned (shed) load costs no modeled device time. The
+// caller must not mutate x until Infer returns.
 func (s *Server) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
 	sample, err := s.checkSample(x)
 	if err != nil {
 		return 0, err
 	}
-	req := &request{x: sample, resp: make(chan response, 1)}
+	req := &request{x: sample, resp: make(chan response, 1), ctx: ctx}
 	if err := s.enqueue(ctx, req); err != nil {
 		return 0, err
 	}
@@ -312,7 +390,9 @@ func (s *Server) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
 // InferBatch classifies xs (each [C,H,W] or [1,C,H,W]) and returns one label
 // per sample, in order. Samples are enqueued individually, so the serving
 // layer is free to coalesce them with other callers' traffic; the first
-// error encountered is returned after all samples resolve.
+// error encountered is returned after all samples resolve, wrapped with the
+// index of the failing sample ("sample 17: ...") so a caller submitting a
+// 64-sample batch can tell which input was bad.
 func (s *Server) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, error) {
 	if len(xs) == 0 {
 		return nil, nil
@@ -323,7 +403,7 @@ func (s *Server) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, er
 		if err != nil {
 			return nil, fmt.Errorf("sample %d: %w", i, err)
 		}
-		reqs[i] = &request{x: sample, resp: make(chan response, 1)}
+		reqs[i] = &request{x: sample, resp: make(chan response, 1), ctx: ctx}
 	}
 	labels := make([]int, len(xs))
 	var firstErr error
@@ -349,7 +429,7 @@ func (s *Server) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, er
 			labels[i] = r.label
 		case <-ctx.Done():
 			if firstErr == nil {
-				firstErr = ctx.Err()
+				firstErr = fmt.Errorf("sample %d: %w", i, ctx.Err())
 			}
 		}
 	}
@@ -382,36 +462,45 @@ func (s *Server) Close() error {
 // Stats is a point-in-time snapshot of the serving layer's behaviour. All
 // latency and throughput figures come from the device cost model (modeled
 // seconds on the simulated TrustZone hardware), not from host wall time,
-// except WallSeconds which reports the host-side observation window.
+// except WallSeconds and AvgQueueWaitMicros, which report the host-side
+// observation window and batching delay. The JSON tags are the stable
+// machine-readable names the CLI and the BENCH_* artifacts carry.
 type Stats struct {
 	// Device is the name of the hardware backend the pool is modeled on.
-	Device string
+	Device string `json:"device"`
 	// PeakSecureBytes is the pool's secure-memory high-water mark: the most
 	// bytes the replicas collectively held against the device budget.
-	PeakSecureBytes int64
+	PeakSecureBytes int64 `json:"peak_secure_bytes"`
 	// Requests is the number of samples served successfully.
-	Requests int64
+	Requests int64 `json:"requests"`
 	// Errors is the number of samples whose protocol run failed.
-	Errors int64
+	Errors int64 `json:"errors"`
 	// Batches is the number of staged protocol runs.
-	Batches int64
+	Batches int64 `json:"batches"`
 	// MeanBatch is Requests/Batches — the realized amortization factor.
-	MeanBatch float64
+	MeanBatch float64 `json:"mean_batch"`
 	// LargestBatch is the biggest batch coalesced so far.
-	LargestBatch int
+	LargestBatch int `json:"largest_batch"`
 	// QueueDepth is the number of requests waiting right now.
-	QueueDepth int
+	QueueDepth int `json:"queue_depth"`
 	// Workers is the replica pool size.
-	Workers int
+	Workers int `json:"workers"`
 	// P50Latency and P99Latency are modeled per-request device latencies in
 	// seconds (a request's latency is its batch's staged protocol run).
-	P50Latency float64
-	P99Latency float64
+	P50Latency float64 `json:"p50_latency_sec"`
+	P99Latency float64 `json:"p99_latency_sec"`
+	// P95Micros is the modeled p95 per-request latency in microseconds — the
+	// tail figure routing policies and the fleet stats table compare across
+	// heterogeneous backends.
+	P95Micros float64 `json:"p95_micros"`
+	// AvgQueueWaitMicros is the mean host-side time a request spent queued
+	// before its batch started, in microseconds — the price of coalescing.
+	AvgQueueWaitMicros float64 `json:"avg_queue_wait_micros"`
 	// ModeledThroughput is requests per modeled device-second, using the
 	// busiest replica as the critical path (replicas run in parallel).
-	ModeledThroughput float64
+	ModeledThroughput float64 `json:"modeled_throughput_rps"`
 	// WallSeconds is the host time since the server started.
-	WallSeconds float64
+	WallSeconds float64 `json:"wall_seconds"`
 }
 
 // statsAgg accumulates serving statistics.
@@ -423,16 +512,21 @@ type statsAgg struct {
 	batches      int64
 	largestBatch int
 	workerBusy   []float64 // modeled seconds per worker
+	// queueWait accumulates host-side queueing delay over queueWaited samples.
+	queueWait   time.Duration
+	queueWaited int64
 	// latencies is a bounded ring of per-request modeled latencies used for
 	// the percentile estimates.
 	latencies [8192]float64
 	latCount  int64
 }
 
-func (a *statsAgg) record(worker, batchSize int, lat float64, err error) {
+func (a *statsAgg) record(worker, batchSize int, lat float64, wait time.Duration, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.batches++
+	a.queueWait += wait
+	a.queueWaited += int64(batchSize)
 	if err != nil {
 		a.errors += int64(batchSize)
 		return
@@ -446,6 +540,22 @@ func (a *statsAgg) record(worker, batchSize int, lat float64, err error) {
 		a.latencies[a.latCount%int64(len(a.latencies))] = lat
 		a.latCount++
 	}
+}
+
+// LatencySamples returns a copy of the retained per-request modeled latencies
+// (seconds, most recent 8192). Aggregators — the fleet layer — merge the
+// samples of several servers to compute cross-device percentiles.
+func (s *Server) LatencySamples() []float64 {
+	a := &s.stats
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := int(a.latCount)
+	if n > len(a.latencies) {
+		n = len(a.latencies)
+	}
+	out := make([]float64, n)
+	copy(out, a.latencies[:n])
+	return out
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -467,6 +577,9 @@ func (s *Server) Stats() Stats {
 	if a.batches > 0 {
 		out.MeanBatch = float64(a.requests) / float64(a.batches)
 	}
+	if a.queueWaited > 0 {
+		out.AvgQueueWaitMicros = float64(a.queueWait.Microseconds()) / float64(a.queueWaited)
+	}
 	n := int(a.latCount)
 	if n > len(a.latencies) {
 		n = len(a.latencies)
@@ -476,6 +589,7 @@ func (s *Server) Stats() Stats {
 		copy(sorted, a.latencies[:n])
 		sort.Float64s(sorted)
 		out.P50Latency = sorted[n/2]
+		out.P95Micros = sorted[(n*95)/100] * 1e6
 		out.P99Latency = sorted[(n*99)/100]
 	}
 	var critical float64

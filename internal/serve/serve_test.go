@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -195,6 +196,80 @@ func TestServerAcceptsCHWInput(t *testing.T) {
 	}
 }
 
+// TestServerStatsP95AndQueueWait: the stats snapshot carries the modeled p95
+// tail and the realized host-side batching delay the fleet layer routes on.
+func TestServerStatsP95AndQueueWait(t *testing.T) {
+	dep := testDeployment(t, 35)
+	srv, err := New(dep, Config{Workers: 1, MaxBatch: 8, MaxDelay: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// A lone request waits out the full flush delay, so the average queue
+	// wait must reflect (a good part of) MaxDelay.
+	if _, err := srv.Infer(context.Background(), randSamples(1, 36)[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range randSamples(6, 37) {
+		if _, err := srv.Infer(context.Background(), x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.P95Micros <= 0 {
+		t.Fatalf("p95 = %g µs, want > 0", st.P95Micros)
+	}
+	if lo, hi := st.P50Latency*1e6, st.P99Latency*1e6; st.P95Micros < lo || st.P95Micros > hi {
+		t.Fatalf("p95 %g µs outside [p50 %g, p99 %g]", st.P95Micros, lo, hi)
+	}
+	if st.AvgQueueWaitMicros < 1000 {
+		t.Fatalf("avg queue wait = %g µs, want ≥ 1ms with a 30ms flush delay", st.AvgQueueWaitMicros)
+	}
+}
+
+// TestServerLoadProbes: the live queue-depth/in-flight probes a routing layer
+// consults settle back to zero once the server drains.
+func TestServerLoadProbes(t *testing.T) {
+	dep := testDeployment(t, 38)
+	srv, err := New(dep, Config{Workers: 2, MaxBatch: 2, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.QueueDepth() != 0 || srv.InFlight() != 0 {
+		t.Fatalf("idle probes: queue %d, in-flight %d, want 0/0", srv.QueueDepth(), srv.InFlight())
+	}
+	if _, err := srv.InferBatch(context.Background(), randSamples(6, 39)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(srv.LatencySamples()); n != 6 {
+		t.Fatalf("latency samples = %d, want 6", n)
+	}
+	srv.Close()
+	if srv.QueueDepth() != 0 || srv.InFlight() != 0 {
+		t.Fatalf("drained probes: queue %d, in-flight %d, want 0/0", srv.QueueDepth(), srv.InFlight())
+	}
+}
+
+// TestServerInferBatchErrorNamesSample: a failing sample's index is carried
+// in the wrapped error, so a 64-sample caller can tell which input was bad.
+func TestServerInferBatchErrorNamesSample(t *testing.T) {
+	dep := testDeployment(t, 45)
+	srv, err := New(dep, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	xs := randSamples(5, 46)
+	xs[3] = tensor.New(1, 3, 8, 8) // wrong spatial size
+	_, err = srv.InferBatch(context.Background(), xs)
+	if !errors.Is(err, core.ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+	if !strings.Contains(err.Error(), "sample 3") {
+		t.Fatalf("err %q does not name the failing sample", err)
+	}
+}
+
 func TestServerRejectsBadShapes(t *testing.T) {
 	dep := testDeployment(t, 40)
 	srv, err := New(dep, Config{Workers: 1})
@@ -253,6 +328,28 @@ func TestServerCloseDrainsAndRejects(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestServerDropsExpiredRequestsAtFlush: a request whose context dies while
+// it waits in the queue is dropped at batch formation — no protocol run, no
+// modeled device time, absent from both request and error counters.
+func TestServerDropsExpiredRequestsAtFlush(t *testing.T) {
+	dep := testDeployment(t, 55)
+	srv, err := New(dep, Config{Workers: 1, MaxBatch: 8, MaxDelay: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, err := srv.Infer(ctx, randSamples(1, 56)[0]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired Infer err = %v, want DeadlineExceeded", err)
+	}
+	srv.Close() // drains the queue, flushing (and dropping) the request
+	st := srv.Stats()
+	if st.Requests != 0 || st.Errors != 0 {
+		t.Fatalf("abandoned request was executed: requests %d, errors %d, want 0/0",
+			st.Requests, st.Errors)
 	}
 }
 

@@ -39,6 +39,18 @@
 // REE with a CPU-class TEE). Custom cost models embed CostModel and join the
 // registry with RegisterDevice.
 //
+// For heterogeneous serving, NewFleet fans one deployment out across several
+// backends — one replicated pool per attached device — routing every request
+// through a pluggable RoutingPolicy (RoundRobin, LeastLoaded, CostAware) with
+// deadline- and capacity-based admission control that sheds excess load with
+// ErrOverloaded:
+//
+//	f, err := tbnet.NewFleet(dep,
+//		tbnet.WithDevice("rpi3", 2), tbnet.WithDevice("sgx-desktop", 4),
+//		tbnet.WithPolicy(tbnet.CostAware()), tbnet.WithDeadline(50*time.Millisecond))
+//	label, err := f.Infer(ctx, x)
+//	stats := f.Stats() // per-device + fleet-wide p50/p95/p99, shed, routing
+//
 // Bad input surfaces as wrapped sentinel errors (ErrShape, ErrNotFinalized,
 // ErrSecureMemory, ErrServerClosed, ErrBadOption) that callers match with
 // errors.Is — public entry points do not panic.
