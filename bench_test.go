@@ -164,6 +164,7 @@ func BenchmarkDeployedInference(b *testing.B) {
 	}
 	x := NewTensor(1, 3, 16, 16)
 	NewRNG(7).FillNormal(x, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dep.Infer(x); err != nil {
@@ -178,6 +179,7 @@ func BenchmarkVictimInference(b *testing.B) {
 	victim := BuildVGG(VGG18Config(10), NewRNG(3))
 	x := NewTensor(1, 3, 16, 16)
 	NewRNG(4).FillNormal(x, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		victim.Forward(x, false)
@@ -194,6 +196,7 @@ func BenchmarkTwoBranchTrainStep(b *testing.B) {
 	cfg := DefaultTrainConfig(1)
 	cfg.BatchSize = 16
 	cfg.LR = 0.01
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		TrainTwoBranch(tb, train, nil, cfg)

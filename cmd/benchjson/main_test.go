@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: tbnet/internal/serve
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInferAllocs 	   14359	    165179 ns/op	     216 B/op	       5 allocs/op
+BenchmarkServerThroughput/device=rpi3/workers=2-8   100  12345 ns/op  1.5 mean-batch  42 modeled-req/s
+PASS
+ok  	tbnet/internal/serve	3.8s
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.CPU == "" || doc.GoOS != "linux" {
+		t.Fatalf("header not parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkInferAllocs" || b0.NsPerOp != 165179 || b0.AllocsPerOp != 5 || b0.BytesPerOp != 216 {
+		t.Fatalf("bench 0 = %+v", b0)
+	}
+	b1 := doc.Benchmarks[1]
+	// Names are recorded verbatim: a trailing -N is ambiguous between the
+	// GOMAXPROCS suffix and a legitimate sub-benchmark name like "rate-100".
+	if b1.Name != "BenchmarkServerThroughput/device=rpi3/workers=2-8" {
+		t.Fatalf("name not verbatim: %q", b1.Name)
+	}
+	if b1.Metrics["mean-batch"] != 1.5 || b1.Metrics["modeled-req/s"] != 42 {
+		t.Fatalf("custom metrics = %+v", b1.Metrics)
+	}
+}

@@ -25,10 +25,14 @@ var errOutOfOrder = errors.New("core: enclave invoked out of protocol order")
 // secureProgram is the trusted application hosting the secure branch M_T.
 // It consumes the input and M_R's per-stage feature maps through the one-way
 // channel and releases only the final logits. Intermediate feature maps never
-// leave the enclave.
+// leave the enclave. All per-stage activations and the gathered channel
+// selections live in the deployment plan's secure-side arena, and the stage
+// cost profile is a plan lookup, so a protocol run performs no allocation
+// and no re-profiling in steady state.
 type secureProgram struct {
 	mt    *zoo.Model
 	align [][]int
+	plan  *inferPlan
 	xT    *tensor.Tensor
 	stage int
 	costs profile.ModelCost
@@ -48,20 +52,32 @@ func (p *secureProgram) Invoke(ctx *tee.Context, cmd int, payload *tensor.Tensor
 	if cmd == CmdInput {
 		p.reset()
 		p.xT = payload
-		p.costs = profile.Profile(p.mt, payload.Shape())
+		p.costs = p.plan.mtCost[payload.Dim(0)-1]
 		return nil
 	}
 	i := cmd - cmdStageBase
 	if i != p.stage || i >= len(p.mt.Stages) || p.xT == nil {
 		return fmt.Errorf("%w: cmd %d at stage %d", errOutOfOrder, cmd, p.stage)
 	}
-	aT := p.mt.Stages[i].Forward(p.xT, false)
+	n := p.xT.Dim(0)
+	aT := p.plan.stageBuf(p.plan.tee, p.plan.mtTags, p.plan.mtDims, i, n)
+	p.mt.Stages[i].InferInto(aT, p.xT, p.plan.tee)
 	ctx.Meter.AddCompute(tee.TEE, p.costs.Stages[i].Flops)
 	ctx.Trace.Record(tee.Event{Kind: tee.EvTEECompute, Label: p.mt.Stages[i].Name(),
 		Bytes: int64(aT.Size()) * 4})
 	sel := payload
 	if p.align[i] != nil {
-		sel = gatherChannels(payload, p.align[i])
+		sel = p.plan.gatherBuf(i, n)
+		// The gather buffer is preshaped to the secure stage's geometry, so
+		// the SameShape check below can no longer catch a bad alignment —
+		// enforce the full invariant (batch, spatial dims, and selection
+		// width against the secure stage's channel count) before writing.
+		if payload.Dim(0) != n || payload.Dim(2) != sel.Dim(2) || payload.Dim(3) != sel.Dim(3) ||
+			len(p.align[i]) != aT.Dim(1) {
+			return fmt.Errorf("core: transfer shape %v (selecting %d channels) does not match secure branch %v at stage %d: %w",
+				payload.Shape(), len(p.align[i]), aT.Shape(), i, ErrShape)
+		}
+		gatherChannelsInto(sel, payload, p.align[i])
 	}
 	if !sel.SameShape(aT) {
 		return fmt.Errorf("core: transfer shape %v does not match secure branch %v at stage %d: %w",
@@ -79,7 +95,8 @@ func (p *secureProgram) Result(ctx *tee.Context) (*tensor.Tensor, error) {
 	if !p.ready {
 		return nil, fmt.Errorf("%w: result requested at stage %d", errOutOfOrder, p.stage)
 	}
-	out := p.mt.Head.Forward(p.xT, false)
+	out := p.plan.logitsBuf(p.xT.Dim(0))
+	p.mt.Head.InferInto(out, p.xT, p.plan.tee)
 	ctx.Meter.AddCompute(tee.TEE, p.costs.Head.Flops)
 	ctx.Trace.Record(tee.Event{Kind: tee.EvTEECompute, Label: p.mt.Head.Name()})
 	return out, nil
@@ -98,6 +115,9 @@ type Deployment struct {
 	mr      *zoo.Model
 	prog    *secureProgram
 	align   [][]int
+	// plan is the session's preplanned inference state: per-stage activation
+	// buffers for both branches and cached cost profiles per batch size.
+	plan *inferPlan
 	// sampleShape is the [N,C,H,W] shape the secure working set was sized
 	// for; inputs must match it in all but the batch dimension, which may
 	// not exceed it.
@@ -147,11 +167,14 @@ func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.Se
 		return nil, fmt.Errorf("core: sample shape %v has %d channels, model expects %d: %w",
 			sampleShape, sampleShape[1], want, ErrShape)
 	}
-	mtCost := profile.Profile(tb.MT, sampleShape)
+	// The plan caches the branch profiles for every admissible batch size;
+	// the deploy-time sizing below reads the full-batch entries.
+	plan := newInferPlan(tb, sampleShape)
+	mtCost := plan.mtCost[len(plan.mtCost)-1]
 	// Staging buffer: the largest single transfer (input or any M_R stage
 	// output after alignment is applied inside the enclave — the full
 	// payload is staged, so use M_R's stage output sizes).
-	mrCost := profile.Profile(tb.MR, sampleShape)
+	mrCost := plan.mrCost[len(plan.mrCost)-1]
 	staging := mrCost.Stages[0].InBytes
 	for _, s := range mrCost.Stages {
 		if s.OutBytes > staging {
@@ -165,7 +188,7 @@ func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.Se
 	if err := mem.Alloc(secureBytes); err != nil {
 		return nil, fmt.Errorf("core: secure branch does not fit: %v: %w", err, ErrSecureMemory)
 	}
-	prog := &secureProgram{mt: tb.MT, align: tb.Align}
+	prog := &secureProgram{mt: tb.MT, align: tb.Align, plan: plan}
 	enclave := tee.NewEnclave(prog, mem)
 	// Memory-pressure-sensitive backends (SGX EPC paging) price latency off
 	// the session's secure working set.
@@ -176,6 +199,7 @@ func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.Se
 		mr:          tb.MR,
 		prog:        prog,
 		align:       tb.Align,
+		plan:        plan,
 		sampleShape: append([]int(nil), sampleShape...),
 		SecureBytes: secureBytes,
 	}, nil
@@ -257,10 +281,30 @@ func (d *Deployment) checkInput(x *tensor.Tensor) error {
 // Each call starts a fresh enclave protocol run (the per-call stage state is
 // reset by the input command), and calls are serialized on the session, so
 // Infer is safe for concurrent use from multiple goroutines.
-func (d *Deployment) Infer(x *tensor.Tensor) (labels []int, err error) {
+func (d *Deployment) Infer(x *tensor.Tensor) ([]int, error) {
 	if err := d.checkInput(x); err != nil {
 		return nil, err
 	}
+	return d.inferInto(x, make([]int, x.Dim(0)))
+}
+
+// InferInto is Infer writing the predicted labels into the caller-provided
+// slice (len ≥ x.Dim(0)) — the allocation-free serving form. Both branches
+// run through the deployment plan's preplanned activation buffers, so a
+// steady-state call performs no heap allocation at all.
+func (d *Deployment) InferInto(x *tensor.Tensor, labels []int) ([]int, error) {
+	if err := d.checkInput(x); err != nil {
+		return nil, err
+	}
+	if len(labels) < x.Dim(0) {
+		return nil, fmt.Errorf("core: label buffer %d for batch %d: %w", len(labels), x.Dim(0), ErrShape)
+	}
+	return d.inferInto(x, labels)
+}
+
+// inferInto runs the staged protocol; the caller has validated x and sized
+// labels.
+func (d *Deployment) inferInto(x *tensor.Tensor, labels []int) (out []int, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	// Shape mismatches that slip past the upfront check (for example an
@@ -269,18 +313,21 @@ func (d *Deployment) Infer(x *tensor.Tensor) (labels []int, err error) {
 	// a serving layer never dies on a bad request.
 	defer func() {
 		if r := recover(); r != nil {
-			labels, err = nil, fmt.Errorf("core: inference failed: %v: %w", r, ErrShape)
+			out, err = nil, fmt.Errorf("core: inference failed: %v: %w", r, ErrShape)
 		}
 	}()
 	meter := d.Enclave.Meter()
 	trace := d.Enclave.Trace()
-	mrCost := profile.Profile(d.mr, x.Shape())
+	n := x.Dim(0)
+	mrCost := d.plan.mrCost[n-1]
 	if err := d.Enclave.Invoke(CmdInput, "input", x); err != nil {
 		return nil, err
 	}
 	aR := x
 	for i, s := range d.mr.Stages {
-		aR = s.Forward(aR, false)
+		dst := d.plan.stageBuf(d.plan.ree, d.plan.mrTags, d.plan.mrDims, i, n)
+		s.InferInto(dst, aR, d.plan.ree)
+		aR = dst
 		meter.AddCompute(tee.REE, mrCost.Stages[i].Flops)
 		trace.Record(tee.Event{Kind: tee.EvREECompute, Label: s.Name(),
 			Bytes: int64(aR.Size()) * 4})
@@ -292,7 +339,7 @@ func (d *Deployment) Infer(x *tensor.Tensor) (labels []int, err error) {
 	if err != nil {
 		return nil, err
 	}
-	labels = make([]int, logits.Dim(0))
+	labels = labels[:n]
 	for i := range labels {
 		labels[i] = logits.ArgMaxRow(i)
 	}

@@ -29,6 +29,7 @@ func BenchmarkFleetThroughput(b *testing.B) {
 			defer f.Close()
 			xs := randSamples(16, 2)
 			const clients = 8
+			b.ReportAllocs()
 			b.ResetTimer()
 			var wg sync.WaitGroup
 			work := make(chan int)

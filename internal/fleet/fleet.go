@@ -372,6 +372,11 @@ type Stats struct {
 	P50Micros float64 `json:"p50_micros"`
 	P95Micros float64 `json:"p95_micros"`
 	P99Micros float64 `json:"p99_micros"`
+	// HostNsPerOp is the measured real host compute time per served sample
+	// in nanoseconds, averaged across the fleet weighted by each node's
+	// served requests — the real-compute figure reported alongside the
+	// modeled percentiles.
+	HostNsPerOp float64 `json:"host_ns_per_op"`
 	// ModeledThroughput is the sum of the nodes' modeled throughputs —
 	// requests per modeled device-second with every pool running in parallel.
 	ModeledThroughput float64 `json:"modeled_throughput_rps"`
@@ -394,6 +399,7 @@ func (f *Fleet) Stats() Stats {
 		WallSeconds: time.Since(f.start).Seconds(),
 	}
 	var samples []float64
+	var hostNs float64
 	for _, n := range f.nodes {
 		st := n.srv.Stats()
 		out.Requests += st.Requests
@@ -401,6 +407,7 @@ func (f *Fleet) Stats() Stats {
 		out.RoutingDecisions += n.routed.Load()
 		out.ModeledThroughput += st.ModeledThroughput
 		out.PeakSecureBytes += st.PeakSecureBytes
+		hostNs += st.HostNsPerOp * float64(st.Requests)
 		samples = append(samples, n.srv.LatencySamples()...)
 		out.PerDevice = append(out.PerDevice, DeviceStats{
 			Name:                n.name,
@@ -409,6 +416,9 @@ func (f *Fleet) Stats() Stats {
 			SampleLatencyMicros: n.sampleLat * 1e6,
 			Serve:               st,
 		})
+	}
+	if out.Requests > 0 {
+		out.HostNsPerOp = hostNs / float64(out.Requests)
 	}
 	if len(samples) > 0 {
 		sort.Float64s(samples)

@@ -94,6 +94,9 @@ func TestFleetMatchesSequential(t *testing.T) {
 		if st.RoutingDecisions != n {
 			t.Fatalf("%s: routing decisions = %d, want %d", policy.Name(), st.RoutingDecisions, n)
 		}
+		if st.HostNsPerOp <= 0 {
+			t.Fatalf("%s: HostNsPerOp = %v, want > 0 (real ns/op must aggregate)", policy.Name(), st.HostNsPerOp)
+		}
 		f.Close()
 	}
 }

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"tbnet/internal/tensor"
+)
+
+// Arena owns the reusable inference scratch of one serving session: pooled
+// im2col column buffers (one per pool worker) and named activation buffers
+// keyed by (tag, batch). The ForwardInto inference path draws every
+// intermediate it needs from an arena, so a session that keeps one arena per
+// replica runs steady-state inference without allocating — each buffer is
+// sized once, on the first request of its batch size, and reused forever
+// after.
+//
+// An arena is not safe for concurrent use: it belongs to exactly one
+// inference session (the serving layer already gives every worker a private
+// replica, so one arena per replica is race-free by construction).
+type Arena struct {
+	cols [][]float32
+	bufs map[arenaKey]*tensor.Tensor
+}
+
+// arenaKey identifies one activation buffer: the owning layer's tag plus the
+// batch size, so micro-batches of different sizes get distinct, stable
+// buffers.
+type arenaKey struct {
+	tag   string
+	batch int
+}
+
+// NewArena creates an empty arena sized for the process's kernel worker
+// pool.
+func NewArena() *Arena {
+	return &Arena{
+		cols: make([][]float32, tensor.Workers()),
+		bufs: make(map[arenaKey]*tensor.Tensor),
+	}
+}
+
+// ColScratch returns worker w's column scratch grown to at least n floats.
+// Contents are undefined; callers overwrite before reading.
+func (a *Arena) ColScratch(w, n int) []float32 {
+	if cap(a.cols[w]) < n {
+		a.cols[w] = make([]float32, n)
+	}
+	return a.cols[w][:n]
+}
+
+// Tensor4 returns the arena's [n,c,h,w] activation buffer registered under
+// tag, allocating it on first use (or when the non-batch dimensions change,
+// which only happens if a session is re-pointed at a different model).
+// Contents are undefined; callers overwrite before reading.
+func (a *Arena) Tensor4(tag string, n, c, h, w int) *tensor.Tensor {
+	k := arenaKey{tag: tag, batch: n}
+	if t := a.bufs[k]; t != nil && t.Rank() == 4 &&
+		t.Dim(1) == c && t.Dim(2) == h && t.Dim(3) == w {
+		return t
+	}
+	t := tensor.New(n, c, h, w)
+	a.bufs[k] = t
+	return t
+}
+
+// Tensor2 returns the arena's [n,c] buffer registered under tag, allocating
+// it on first use. Contents are undefined; callers overwrite before reading.
+func (a *Arena) Tensor2(tag string, n, c int) *tensor.Tensor {
+	k := arenaKey{tag: tag, batch: n}
+	if t := a.bufs[k]; t != nil && t.Rank() == 2 && t.Dim(1) == c {
+		return t
+	}
+	t := tensor.New(n, c)
+	a.bufs[k] = t
+	return t
+}
+
+// Bytes reports the arena's current total buffer footprint, for stats and
+// memory accounting.
+func (a *Arena) Bytes() int64 {
+	var total int64
+	for _, t := range a.bufs {
+		total += int64(t.Size()) * 4
+	}
+	for _, c := range a.cols {
+		total += int64(cap(c)) * 4
+	}
+	return total
+}
+
+// InferLayer is implemented by layers that support the preplanned
+// zero-allocation inference path: ForwardInto writes an eval-mode forward
+// into dst (shaped per OutShape) using arena scratch instead of fresh
+// tensors. Element-wise layers (batch norm, activations) accept dst == x
+// for in-place operation. (Stages compose these into zoo.Stage.InferInto.)
+type InferLayer interface {
+	ForwardInto(dst, x *tensor.Tensor, a *Arena)
+}

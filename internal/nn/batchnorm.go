@@ -57,7 +57,9 @@ func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 func (b *BatchNorm2D) OutShape(in []int) []int { return in }
 
 // Forward normalizes x. In training mode it uses batch statistics and updates
-// the running estimates; in eval mode it uses the running estimates.
+// the running estimates; in eval mode it uses the running estimates and
+// drops any cached backward state, so no tensors stay pinned between
+// requests.
 func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dim(1) != b.C {
 		panic(fmt.Sprintf("nn: %s expects %d channels, got %d", b.name, b.C, x.Dim(1)))
@@ -70,17 +72,8 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	gd, bd := b.Gamma.Value.Data(), b.Beta.Value.Data()
 
 	if !train {
-		rm, rv := b.RunMean.Data(), b.RunVar.Data()
-		for ch := 0; ch < b.C; ch++ {
-			invStd := float32(1 / math.Sqrt(float64(rv[ch])+b.Eps))
-			g, bt, mu := gd[ch], bd[ch], rm[ch]
-			for i := 0; i < n; i++ {
-				base := (i*b.C + ch) * hw
-				for p := 0; p < hw; p++ {
-					od[base+p] = g*(xd[base+p]-mu)*invStd + bt
-				}
-			}
-		}
+		b.lastXHat, b.lastStd, b.lastX, b.lastMean = nil, nil, nil, nil
+		b.evalInto(od, xd, n, hw)
 		return out
 	}
 
@@ -125,6 +118,35 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	b.lastXHat, b.lastStd, b.lastX, b.lastMean = xhat, stds, x, means
 	return out
+}
+
+// ForwardInto is the eval-mode inference path: x normalized by the running
+// statistics, written into dst. dst may equal x for in-place operation; no
+// state is retained and no scratch is needed, so the arena may be nil.
+func (b *BatchNorm2D) ForwardInto(dst, x *tensor.Tensor, _ *Arena) {
+	if x.Dim(1) != b.C {
+		panic(fmt.Sprintf("nn: %s expects %d channels, got %d", b.name, b.C, x.Dim(1)))
+	}
+	if dst.Size() != x.Size() {
+		panic(fmt.Sprintf("nn: %s destination %v for input %v", b.name, dst.Shape(), x.Shape()))
+	}
+	b.evalInto(dst.Data(), x.Data(), x.Dim(0), x.Dim(2)*x.Dim(3))
+}
+
+// evalInto applies the running-statistics normalization; od may alias xd.
+func (b *BatchNorm2D) evalInto(od, xd []float32, n, hw int) {
+	gd, bd := b.Gamma.Value.Data(), b.Beta.Value.Data()
+	rm, rv := b.RunMean.Data(), b.RunVar.Data()
+	for ch := 0; ch < b.C; ch++ {
+		invStd := float32(1 / math.Sqrt(float64(rv[ch])+b.Eps))
+		g, bt, mu := gd[ch], bd[ch], rm[ch]
+		for i := 0; i < n; i++ {
+			base := (i*b.C + ch) * hw
+			for p := 0; p < hw; p++ {
+				od[base+p] = g*(xd[base+p]-mu)*invStd + bt
+			}
+		}
+	}
 }
 
 // Backward implements the standard batch-norm gradient.

@@ -15,9 +15,26 @@ func benchInput(n, c, h, w int) *tensor.Tensor {
 func BenchmarkConvForward(b *testing.B) {
 	conv := NewConv2D("c", 16, 32, 3, 1, 1, false, tensor.NewRNG(2))
 	x := benchInput(8, 16, 16, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conv.Forward(x, false)
+	}
+}
+
+// BenchmarkConvForwardInto is the steady-state serving shape of the
+// convolution: output and im2col scratch preplanned in an arena, so the
+// only cost is compute.
+func BenchmarkConvForwardInto(b *testing.B) {
+	conv := NewConv2D("c", 16, 32, 3, 1, 1, false, tensor.NewRNG(2))
+	x := benchInput(8, 16, 16, 16)
+	dst := tensor.New(conv.OutShape(x.Shape())...)
+	a := NewArena()
+	conv.ForwardInto(dst, x, a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.ForwardInto(dst, x, a)
 	}
 }
 
@@ -27,6 +44,7 @@ func BenchmarkConvBackward(b *testing.B) {
 	out := conv.Forward(x, true)
 	g := tensor.New(out.Shape()...)
 	tensor.NewRNG(4).FillNormal(g, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conv.Backward(g)
@@ -36,6 +54,7 @@ func BenchmarkConvBackward(b *testing.B) {
 func BenchmarkBatchNormForward(b *testing.B) {
 	bn := NewBatchNorm2D("bn", 32)
 	x := benchInput(8, 32, 16, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bn.Forward(x, true)
@@ -46,6 +65,7 @@ func BenchmarkDenseForward(b *testing.B) {
 	d := NewDense("fc", 512, 100, tensor.NewRNG(5))
 	x := tensor.New(32, 512)
 	tensor.NewRNG(6).FillNormal(x, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Forward(x, false)

@@ -3,7 +3,6 @@ package nn
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"tbnet/internal/tensor"
 )
@@ -21,6 +20,21 @@ type Conv2D struct {
 	name           string
 	lastInput      *tensor.Tensor
 	lastOH, lastOW int
+
+	// bwd is per-worker training scratch, lazily sized on the first
+	// Backward and reused across steps. It is never cloned: replicas and
+	// snapshots start with fresh scratch.
+	bwd []convBwd
+	// wT is the transposed weight matrix reused across Backward calls.
+	wT *tensor.Tensor
+}
+
+// convBwd is one worker's backward scratch: the im2col columns, their
+// transpose, the per-sample weight-gradient product, the worker's
+// weight-gradient partial sum, and the column gradient.
+type convBwd struct {
+	cols, colsT, dwi, dwiAcc, dcols []float32
+	used                            bool
 }
 
 // NewConv2D creates a convolution with He-normal initialized weights.
@@ -54,29 +68,73 @@ func (c *Conv2D) OutShape(in []int) []int {
 	return []int{in[0], c.OutC, oh, ow}
 }
 
-// Forward computes the convolution for x of shape [N, InC, H, W].
+// Forward computes the convolution for x of shape [N, InC, H, W]. In eval
+// mode (train == false) no backward state is retained, so the input tensor
+// is not pinned past the call.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	oh := tensor.ConvOutDim(x.Dim(2), c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutDim(x.Dim(3), c.KW, c.Stride, c.Pad)
+	out := tensor.New(n, c.OutC, oh, ow)
+	c.forwardInto(out, x, nil)
+	if train {
+		c.lastInput, c.lastOH, c.lastOW = x, oh, ow
+	} else {
+		c.lastInput = nil
+	}
+	return out
+}
+
+// ForwardInto is the eval-mode inference path: the convolution of x written
+// into dst (shaped per OutShape) using the arena's pooled column scratch. No
+// state is retained.
+func (c *Conv2D) ForwardInto(dst, x *tensor.Tensor, a *Arena) {
+	c.forwardInto(dst, x, a)
+}
+
+func (c *Conv2D) forwardInto(dst, x *tensor.Tensor, a *Arena) {
 	if x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s expects %d input channels, got %d", c.name, c.InC, x.Dim(1)))
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh := tensor.ConvOutDim(h, c.KH, c.Stride, c.Pad)
 	ow := tensor.ConvOutDim(w, c.KW, c.Stride, c.Pad)
-	out := tensor.New(n, c.OutC, oh, ow)
+	if dst.Dim(0) != n || dst.Dim(1) != c.OutC || dst.Size() != n*c.OutC*oh*ow {
+		panic(fmt.Sprintf("nn: %s destination %v for output [%d,%d,%d,%d]",
+			c.name, dst.Shape(), n, c.OutC, oh, ow))
+	}
 	colRows := c.InC * c.KH * c.KW
+	colLen := colRows * oh * ow
 	sampleIn := c.InC * h * w
 	sampleOut := c.OutC * oh * ow
+	xd, od, wd := x.Data(), dst.Data(), c.W.Value.Data()
 
-	parallelFor(n, func(i int) {
-		cols := make([]float32, colRows*oh*ow)
-		tensor.Im2Col(x.Data()[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, cols)
-		colT := tensor.FromData(cols, colRows, oh*ow)
-		dst := tensor.FromData(out.Data()[i*sampleOut:(i+1)*sampleOut], c.OutC, oh*ow)
-		tensor.MatMulInto(dst, c.W.Value, colT)
-	})
+	if n == 1 {
+		// A single sample has no sample-level parallelism; run the matmul
+		// itself through the worker pool instead (inline on single-proc
+		// hosts, so this path stays allocation-free with an arena).
+		var cols []float32
+		if a != nil {
+			cols = a.ColScratch(0, colLen)
+		} else {
+			cols = make([]float32, colLen)
+		}
+		tensor.Im2Col(xd, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, cols)
+		tensor.GemmParallel(od[:sampleOut], wd, cols, c.OutC, oh*ow, colRows)
+	} else {
+		parallelFor(n, func(worker, i int) {
+			var cols []float32
+			if a != nil {
+				cols = a.ColScratch(worker, colLen)
+			} else {
+				cols = make([]float32, colLen)
+			}
+			tensor.Im2Col(xd[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, cols)
+			tensor.GemmSerial(od[i*sampleOut:(i+1)*sampleOut], wd, cols, c.OutC, oh*ow, colRows)
+		})
+	}
 	if c.B != nil {
 		bd := c.B.Value.Data()
-		od := out.Data()
 		hw := oh * ow
 		for i := 0; i < n; i++ {
 			for ch := 0; ch < c.OutC; ch++ {
@@ -88,53 +146,101 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	c.lastInput, c.lastOH, c.lastOW = x, oh, ow
-	return out
 }
 
 // Backward accumulates dW (and dB) and returns dX. It recomputes im2col per
-// sample rather than caching the column matrices, trading compute for memory.
+// sample rather than caching the column matrices, trading compute for
+// memory; the per-sample temporaries live in reused per-worker scratch, so
+// steady-state training steps stop churning the allocator.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.lastInput
 	if x == nil {
-		panic("nn: Conv2D.Backward before Forward")
+		panic("nn: Conv2D.Backward before training-mode Forward")
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.lastOH, c.lastOW
 	colRows := c.InC * c.KH * c.KW
+	ohw := oh * ow
 	sampleIn := c.InC * h * w
 	sampleOut := c.OutC * oh * ow
 	dx := tensor.New(n, c.InC, h, w)
-	wT := tensor.Transpose(c.W.Value) // [colRows, OutC]
+	if c.wT == nil || c.wT.Dim(0) != colRows || c.wT.Dim(1) != c.OutC {
+		c.wT = tensor.New(colRows, c.OutC)
+	}
+	tensor.TransposeInto(c.wT, c.W.Value) // [colRows, OutC]
+	wTd := c.wT.Data()
+	if len(c.bwd) == 0 {
+		c.bwd = make([]convBwd, tensor.Workers())
+	}
+	xd, gd, dxd := x.Data(), grad.Data(), dx.Data()
 
-	var mu sync.Mutex
-	parallelFor(n, func(i int) {
-		cols := make([]float32, colRows*oh*ow)
-		tensor.Im2Col(x.Data()[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, cols)
-		colT := tensor.FromData(cols, colRows, oh*ow)
-		dy := tensor.FromData(grad.Data()[i*sampleOut:(i+1)*sampleOut], c.OutC, oh*ow)
+	parallelFor(n, func(worker, i int) {
+		ws := &c.bwd[worker]
+		ws.ensure(colRows, ohw, c.OutC)
+		ws.used = true
+		tensor.Im2Col(xd[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, ws.cols)
+		tensor.TransposeSerial(ws.colsT, ws.cols, colRows, ohw)
+		dy := gd[i*sampleOut : (i+1)*sampleOut]
 
-		// dW_i = dy @ cols^T
-		dwi := tensor.MatMul(dy, tensor.Transpose(colT))
-		// dcols = W^T @ dy ; dx_i = col2im(dcols)
-		dcols := tensor.MatMul(wT, dy)
-		tensor.Col2Im(dcols.Data(), c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, dx.Data()[i*sampleIn:(i+1)*sampleIn])
+		// dW_i = dy @ colsᵀ, accumulated into the worker's partial sum.
+		tensor.GemmSerial(ws.dwi, dy, ws.colsT, c.OutC, colRows, ohw)
+		for j, v := range ws.dwi {
+			ws.dwiAcc[j] += v
+		}
+		// dcols = Wᵀ @ dy ; dx_i = col2im(dcols)
+		tensor.GemmSerial(ws.dcols, wTd, dy, colRows, ohw, c.OutC)
+		tensor.Col2Im(ws.dcols, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad, dxd[i*sampleIn:(i+1)*sampleIn])
+	})
 
-		mu.Lock()
-		c.W.Grad.AddInPlace(dwi)
-		if c.B != nil {
-			bg := c.B.Grad.Data()
-			dyd := dy.Data()
-			hw := oh * ow
+	// Fold the per-worker weight-gradient partials into the shared
+	// accumulator, serially and in worker order (deterministic, no mutex).
+	wg := c.W.Grad.Data()
+	for wi := range c.bwd {
+		ws := &c.bwd[wi]
+		if !ws.used {
+			continue
+		}
+		for j, v := range ws.dwiAcc {
+			wg[j] += v
+		}
+		ws.used = false
+	}
+	if c.B != nil {
+		bg := c.B.Grad.Data()
+		for i := 0; i < n; i++ {
 			for ch := 0; ch < c.OutC; ch++ {
+				base := (i*c.OutC + ch) * ohw
 				var s float32
-				for p := 0; p < hw; p++ {
-					s += dyd[ch*hw+p]
+				for p := 0; p < ohw; p++ {
+					s += gd[base+p]
 				}
 				bg[ch] += s
 			}
 		}
-		mu.Unlock()
-	})
+	}
 	return dx
+}
+
+// ensure grows the worker scratch to the layer's current geometry and zeroes
+// the weight-gradient partial for a fresh accumulation.
+func (ws *convBwd) ensure(colRows, ohw, outC int) {
+	if cap(ws.cols) < colRows*ohw {
+		ws.cols = make([]float32, colRows*ohw)
+		ws.colsT = make([]float32, colRows*ohw)
+		ws.dcols = make([]float32, colRows*ohw)
+	}
+	ws.cols = ws.cols[:colRows*ohw]
+	ws.colsT = ws.colsT[:colRows*ohw]
+	ws.dcols = ws.dcols[:colRows*ohw]
+	if cap(ws.dwi) < outC*colRows {
+		ws.dwi = make([]float32, outC*colRows)
+		ws.dwiAcc = make([]float32, outC*colRows)
+	}
+	ws.dwi = ws.dwi[:outC*colRows]
+	ws.dwiAcc = ws.dwiAcc[:outC*colRows]
+	if !ws.used {
+		for j := range ws.dwiAcc {
+			ws.dwiAcc[j] = 0
+		}
+	}
 }

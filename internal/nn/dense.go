@@ -37,14 +37,28 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // OutShape maps [N, In] to [N, Out].
 func (d *Dense) OutShape(in []int) []int { return []int{in[0], d.Out} }
 
-// Forward computes x@W + b.
+// Forward computes x@W + b. In eval mode no backward state is retained, so
+// the input tensor is not pinned past the call.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Dim(0), d.Out)
+	d.ForwardInto(out, x, nil)
+	if train {
+		d.lastInput = x
+	} else {
+		d.lastInput = nil
+	}
+	return out
+}
+
+// ForwardInto is the eval-mode inference path: x@W + b written into dst
+// ([N,Out]). No state is retained and no scratch is needed, so the arena
+// may be nil.
+func (d *Dense) ForwardInto(dst, x *tensor.Tensor, _ *Arena) {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: %s expects [N,%d] input, got %v", d.name, d.In, x.Shape()))
 	}
-	d.lastInput = x
-	out := tensor.MatMul(x, d.W.Value)
-	od, bd := out.Data(), d.B.Value.Data()
+	tensor.MatMulInto(dst, x, d.W.Value)
+	od, bd := dst.Data(), d.B.Value.Data()
 	n := x.Dim(0)
 	for i := 0; i < n; i++ {
 		row := od[i*d.Out : (i+1)*d.Out]
@@ -52,7 +66,6 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			row[j] += bd[j]
 		}
 	}
-	return out
 }
 
 // Backward accumulates dW = xᵀ@dy, dB = Σdy and returns dx = dy@Wᵀ.
@@ -100,7 +113,9 @@ func (f *Flatten) OutShape(in []int) []int {
 
 // Forward reshapes the input (a view, no copy).
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.inShape = append([]int(nil), x.Shape()...)
+	if train {
+		f.inShape = append([]int(nil), x.Shape()...)
+	}
 	return x.Reshape(x.Dim(0), -1)
 }
 

@@ -42,18 +42,40 @@ func (d *DepthwiseConv2D) OutShape(in []int) []int {
 		tensor.ConvOutDim(in[3], d.K, d.Stride, d.Pad)}
 }
 
-// Forward applies each channel's filter to its plane.
+// Forward applies each channel's filter to its plane. In eval mode no
+// backward state is retained, so the input tensor is not pinned past the
+// call.
 func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	oh := tensor.ConvOutDim(x.Dim(2), d.K, d.Stride, d.Pad)
+	ow := tensor.ConvOutDim(x.Dim(3), d.K, d.Stride, d.Pad)
+	out := tensor.New(n, d.C, oh, ow)
+	d.ForwardInto(out, x, nil)
+	if train {
+		d.lastInput, d.lastOH, d.lastOW = x, oh, ow
+	} else {
+		d.lastInput = nil
+	}
+	return out
+}
+
+// ForwardInto is the eval-mode inference path: the depthwise convolution of
+// x written into dst (shaped per OutShape). No state is retained and no
+// scratch is needed, so the arena may be nil.
+func (d *DepthwiseConv2D) ForwardInto(dst, x *tensor.Tensor, _ *Arena) {
 	if x.Dim(1) != d.C {
 		panic(fmt.Sprintf("nn: %s expects %d channels, got %d", d.name, d.C, x.Dim(1)))
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh := tensor.ConvOutDim(h, d.K, d.Stride, d.Pad)
 	ow := tensor.ConvOutDim(w, d.K, d.Stride, d.Pad)
-	out := tensor.New(n, d.C, oh, ow)
-	xd, od, wd := x.Data(), out.Data(), d.W.Value.Data()
+	if dst.Dim(0) != n || dst.Size() != n*d.C*oh*ow {
+		panic(fmt.Sprintf("nn: %s destination %v for output [%d,%d,%d,%d]",
+			d.name, dst.Shape(), n, d.C, oh, ow))
+	}
+	xd, od, wd := x.Data(), dst.Data(), d.W.Value.Data()
 	kk := d.K * d.K
-	parallelFor(n, func(i int) {
+	parallelFor(n, func(_, i int) {
 		for ch := 0; ch < d.C; ch++ {
 			plane := xd[(i*d.C+ch)*h*w : (i*d.C+ch+1)*h*w]
 			dst := od[(i*d.C+ch)*oh*ow : (i*d.C+ch+1)*oh*ow]
@@ -81,8 +103,6 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	})
-	d.lastInput, d.lastOH, d.lastOW = x, oh, ow
-	return out
 }
 
 // Backward accumulates filter gradients and returns the input gradient.

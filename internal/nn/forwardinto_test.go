@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"testing"
+
+	"tbnet/internal/tensor"
+)
+
+// checkInto asserts the ForwardInto path of a layer is bit-identical to its
+// eval-mode Forward path for the given input.
+func checkInto(t *testing.T, l Layer, x *tensor.Tensor) {
+	t.Helper()
+	into, ok := l.(InferLayer)
+	if !ok {
+		t.Fatalf("%s does not implement InferLayer", l.Name())
+	}
+	want := l.Forward(x, false)
+	dst := tensor.New(l.OutShape(x.Shape())...)
+	dst.Fill(99) // stale contents must be fully overwritten
+	a := NewArena()
+	into.ForwardInto(dst, x, a)
+	if !dst.SameShape(want) {
+		t.Fatalf("%s: ForwardInto shape %v, Forward shape %v", l.Name(), dst.Shape(), want.Shape())
+	}
+	wd, gd := want.Data(), dst.Data()
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Fatalf("%s: element %d = %v via ForwardInto, %v via Forward", l.Name(), i, gd[i], wd[i])
+		}
+	}
+	// A second pass through the same arena must reuse the warm buffers and
+	// still agree (the steady-state serving condition).
+	into.ForwardInto(dst, x, a)
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Fatalf("%s: warm-arena element %d = %v, want %v", l.Name(), i, gd[i], wd[i])
+		}
+	}
+}
+
+func intoInput(t *testing.T, seed uint64, shape ...int) *tensor.Tensor {
+	t.Helper()
+	x := tensor.New(shape...)
+	tensor.NewRNG(seed).FillNormal(x, 0, 1)
+	return x
+}
+
+func TestForwardIntoMatchesForward(t *testing.T) {
+	rng := tensor.NewRNG(77)
+	bn := NewBatchNorm2D("bn", 6)
+	// Give the batch norm non-trivial running stats so the eval path is not
+	// the identity.
+	warm := intoInput(t, 1, 4, 6, 5, 5)
+	bn.Forward(warm, true)
+
+	cases := []struct {
+		layer Layer
+		x     *tensor.Tensor
+	}{
+		{NewConv2D("conv", 3, 8, 3, 1, 1, false, rng), intoInput(t, 2, 2, 3, 8, 8)},
+		{NewConv2D("conv-bias", 3, 8, 3, 2, 1, true, rng), intoInput(t, 3, 3, 3, 9, 9)},
+		{NewConv2D("conv-1x1", 5, 7, 1, 1, 0, false, rng), intoInput(t, 4, 1, 5, 6, 6)},
+		{NewDepthwiseConv2D("dw", 6, 3, 1, 1, rng), intoInput(t, 5, 2, 6, 8, 8)},
+		{NewDepthwiseConv2D("dw-s2", 6, 3, 2, 1, rng), intoInput(t, 6, 1, 6, 9, 9)},
+		{bn, intoInput(t, 7, 2, 6, 5, 5)},
+		{NewReLU("relu"), intoInput(t, 8, 2, 4, 3, 3)},
+		{NewMaxPool2D("pool", 2), intoInput(t, 9, 2, 3, 8, 8)},
+		{NewGlobalAvgPool("gap"), intoInput(t, 10, 3, 5, 4, 4)},
+		{NewDense("fc", 24, 10, rng), intoInput(t, 11, 4, 24)},
+	}
+	for _, tc := range cases {
+		checkInto(t, tc.layer, tc.x)
+	}
+}
+
+// TestForwardIntoInPlace locks the documented in-place contract of the
+// element-wise layers: dst == x must produce the same values as Forward.
+func TestForwardIntoInPlace(t *testing.T) {
+	bn := NewBatchNorm2D("bn", 4)
+	bn.Forward(intoInput(t, 20, 4, 4, 6, 6), true)
+	relu := NewReLU("relu")
+
+	x := intoInput(t, 21, 2, 4, 6, 6)
+	want := relu.Forward(bn.Forward(x.Clone(), false), false)
+	buf := x.Clone()
+	bn.ForwardInto(buf, buf, nil)
+	relu.ForwardInto(buf, buf, nil)
+	wd, gd := want.Data(), buf.Data()
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Fatalf("in-place element %d = %v, want %v", i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestEvalForwardDropsBackwardState is the regression for the serving-path
+// memory leak: an eval-mode Forward must not keep the input (or any
+// batch-statistics scratch) reachable from the layer.
+func TestEvalForwardDropsBackwardState(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	conv := NewConv2D("conv", 3, 4, 3, 1, 1, false, rng)
+	dw := NewDepthwiseConv2D("dw", 3, 3, 1, 1, rng)
+	bn := NewBatchNorm2D("bn", 3)
+	dense := NewDense("fc", 12, 4, rng)
+
+	x4 := intoInput(t, 32, 2, 3, 6, 6)
+	x2 := intoInput(t, 33, 2, 12)
+
+	// Train-mode forwards populate the caches...
+	conv.Forward(x4, true)
+	dw.Forward(x4, true)
+	bn.Forward(x4, true)
+	dense.Forward(x2, true)
+	if conv.lastInput == nil || dw.lastInput == nil || bn.lastX == nil || dense.lastInput == nil {
+		t.Fatal("train-mode forward did not cache backward state")
+	}
+	// ...and eval-mode forwards must clear them.
+	conv.Forward(x4, false)
+	dw.Forward(x4, false)
+	bn.Forward(x4, false)
+	dense.Forward(x2, false)
+	if conv.lastInput != nil {
+		t.Error("Conv2D eval forward retained lastInput")
+	}
+	if dw.lastInput != nil {
+		t.Error("DepthwiseConv2D eval forward retained lastInput")
+	}
+	if bn.lastX != nil || bn.lastXHat != nil {
+		t.Error("BatchNorm2D eval forward retained batch scratch")
+	}
+	if dense.lastInput != nil {
+		t.Error("Dense eval forward retained lastInput")
+	}
+}
+
+// TestConvBackwardAfterEvalPanics documents the sharpened contract: Backward
+// requires a preceding training-mode Forward.
+func TestConvBackwardAfterEvalPanics(t *testing.T) {
+	rng := tensor.NewRNG(41)
+	conv := NewConv2D("conv", 2, 3, 3, 1, 1, false, rng)
+	x := intoInput(t, 42, 1, 2, 5, 5)
+	g := tensor.New(conv.OutShape(x.Shape())...)
+	conv.Forward(x, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward after eval-mode Forward did not panic")
+		}
+	}()
+	conv.Backward(g)
+}
+
+// TestConvBackwardScratchReuse verifies the hoisted per-worker backward
+// scratch produces the same gradients as a fresh layer (and therefore that
+// reuse across steps does not leak state between calls).
+func TestConvBackwardScratchReuse(t *testing.T) {
+	rng := tensor.NewRNG(51)
+	conv := NewConv2D("conv", 3, 5, 3, 1, 1, true, rng)
+	x := intoInput(t, 52, 4, 3, 7, 7)
+	g := intoInput(t, 53, 4, 5, 7, 7)
+
+	conv.Forward(x, true)
+	dx1 := conv.Backward(g)
+	wg1 := conv.W.Grad.Clone()
+	bg1 := conv.B.Grad.Clone()
+
+	// A second identical step through the now-warm scratch must reproduce
+	// every gradient bit for bit: stale scratch contents must not leak in.
+	conv.W.Grad.Zero()
+	conv.B.Grad.Zero()
+	conv.Forward(x, true)
+	dx2 := conv.Backward(g)
+	for i, v := range dx1.Data() {
+		if dx2.Data()[i] != v {
+			t.Fatalf("dx element %d changed across warm-scratch steps: %v vs %v", i, dx2.Data()[i], v)
+		}
+	}
+	for i, v := range wg1.Data() {
+		if conv.W.Grad.Data()[i] != v {
+			t.Fatalf("W grad element %d = %v on warm scratch, want %v", i, conv.W.Grad.Data()[i], v)
+		}
+	}
+	for i, v := range bg1.Data() {
+		if conv.B.Grad.Data()[i] != v {
+			t.Fatalf("B grad element %d = %v on warm scratch, want %v", i, conv.B.Grad.Data()[i], v)
+		}
+	}
+}

@@ -11,9 +11,6 @@
 package nn
 
 import (
-	"runtime"
-	"sync"
-
 	"tbnet/internal/tensor"
 )
 
@@ -96,33 +93,20 @@ func (s *Sequential) OutShape(in []int) []int {
 	return in
 }
 
-// parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS goroutines. It is
-// used to parallelize per-sample convolution work.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+// parallelFor runs fn(worker, i) for i in [0, n) across the persistent
+// tensor worker pool. worker is a dense chunk index usable for per-worker
+// scratch; single-sample or single-proc runs execute inline with no dispatch
+// cost. fn must use the serial tensor kernels (the pool does not re-enter).
+func parallelFor(n int, fn func(worker, i int)) {
+	if n <= 1 || tensor.Workers() == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	tensor.Parallel(n, 1, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(w, i)
+		}
+	})
 }

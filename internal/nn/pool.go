@@ -24,17 +24,39 @@ func (p *MaxPool2D) OutShape(in []int) []int {
 	return []int{in[0], in[1], in[2] / p.K, in[3] / p.K}
 }
 
-// Forward computes the max over each window, recording argmax positions.
+// Forward computes the max over each window. In training mode it records
+// the argmax positions for Backward; in eval mode no backward scratch is
+// touched.
 func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	oh, ow := h/p.K, w/p.K
-	out := tensor.New(n, c, oh, ow)
+	out := tensor.New(n, c, h/p.K, w/p.K)
+	if !train {
+		p.ForwardInto(out, x, nil)
+		return out
+	}
 	if cap(p.argmax) < out.Size() {
 		p.argmax = make([]int, out.Size())
 	}
 	p.argmax = p.argmax[:out.Size()]
 	p.inShape = []int{n, c, h, w}
-	xd, od := x.Data(), out.Data()
+	p.pool(out.Data(), x.Data(), n, c, h, w, p.argmax)
+	return out
+}
+
+// ForwardInto is the eval-mode inference path: the pooled maxima written
+// into dst (shaped per OutShape) with no argmax recording. The arena may be
+// nil.
+func (p *MaxPool2D) ForwardInto(dst, x *tensor.Tensor, _ *Arena) {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if dst.Size() != n*c*(h/p.K)*(w/p.K) {
+		panic("nn: MaxPool2D destination size mismatch")
+	}
+	p.pool(dst.Data(), x.Data(), n, c, h, w, nil)
+}
+
+// pool runs the window maximum; argmax is recorded when non-nil.
+func (p *MaxPool2D) pool(od, xd []float32, n, c, h, w int, argmax []int) {
+	oh, ow := h/p.K, w/p.K
 	oi := 0
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -53,13 +75,14 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 						}
 					}
 					od[oi] = bv
-					p.argmax[oi] = best
+					if argmax != nil {
+						argmax[oi] = best
+					}
 					oi++
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Backward routes each output gradient to its argmax input position.
@@ -93,11 +116,24 @@ func (p *GlobalAvgPool) OutShape(in []int) []int { return []int{in[0], in[1]} }
 
 // Forward averages over the spatial dimensions.
 func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	p.inShape = []int{n, c, h, w}
-	hw := h * w
+	n, c := x.Dim(0), x.Dim(1)
 	out := tensor.New(n, c)
-	xd, od := x.Data(), out.Data()
+	if train {
+		p.inShape = []int{n, c, x.Dim(2), x.Dim(3)}
+	}
+	p.ForwardInto(out, x, nil)
+	return out
+}
+
+// ForwardInto is the eval-mode inference path: per-channel spatial means
+// written into dst ([N,C]). No state is retained; the arena may be nil.
+func (p *GlobalAvgPool) ForwardInto(dst, x *tensor.Tensor, _ *Arena) {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if dst.Size() != n*c {
+		panic("nn: GlobalAvgPool destination size mismatch")
+	}
+	hw := h * w
+	xd, od := x.Data(), dst.Data()
 	inv := 1 / float32(hw)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -109,7 +145,6 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			od[i*c+ch] = s * inv
 		}
 	}
-	return out
 }
 
 // Backward spreads each channel gradient uniformly over the plane.

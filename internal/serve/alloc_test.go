@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tbnet/internal/tensor"
+)
+
+// allocLimit returns the steady-state allocation budget for one inference.
+// On a single-proc host (the CI runner) the budget is the acceptance bound:
+// at most 8 allocations per op. Multi-proc hosts pay a few extra transient
+// allocations per request for parallel kernel dispatch (one closure plus
+// queue bookkeeping per fanned-out stage), so the budget scales with the
+// worker pool rather than flaking.
+func allocLimit() float64 {
+	if tensor.Workers() == 1 {
+		return 8
+	}
+	return 32
+}
+
+// TestDeploymentInferSteadyStateAllocs locks the deployment plan's core
+// promise: once the session is warm, Infer through the preplanned arenas
+// performs (almost) no heap allocation — the remaining budget covers the
+// returned label slice.
+func TestDeploymentInferSteadyStateAllocs(t *testing.T) {
+	dep := testDeployment(t, 9)
+	// A long-lived session bounds its trace like the serving layer does;
+	// otherwise the ever-growing event log would dominate the measurement.
+	dep.Enclave.Trace().Bound(512)
+	x := randSamples(1, 10)[0]
+	labels := make([]int, 1)
+	for i := 0; i < 4; i++ { // warm the arenas and the trace ring
+		if _, err := dep.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := dep.InferInto(x, labels); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := allocLimit(); allocs > limit {
+		t.Fatalf("steady-state Deployment.InferInto allocates %.1f/op, budget %.0f", allocs, limit)
+	}
+	// The allocating wrapper may add only the label slice.
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := dep.Infer(x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := allocLimit() + 1; allocs > limit {
+		t.Fatalf("steady-state Deployment.Infer allocates %.1f/op, budget %.0f", allocs, limit)
+	}
+}
+
+// TestServerInferSteadyStateAllocs is the end-to-end acceptance regression:
+// a steady stream of single-sample requests through the full serving path —
+// queue, batching, worker replica, stats — must stay within a small fixed
+// allocation budget per op (≤ 8 on the single-proc CI runner).
+func TestServerInferSteadyStateAllocs(t *testing.T) {
+	dep := testDeployment(t, 11)
+	srv, err := New(dep, Config{Workers: 1, MaxBatch: 1, MaxDelay: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	x := randSamples(1, 12)[0]
+	for i := 0; i < 8; i++ { // warm replicas, arenas, scratch, stats ring
+		if _, err := srv.Infer(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := srv.Infer(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := allocLimit(); allocs > limit {
+		t.Fatalf("steady-state Server.Infer allocates %.1f/op, budget %.0f", allocs, limit)
+	}
+}
+
+// TestServerBatchedInferMatchesAndReusesScratch drives batches bigger than
+// one through the worker staging views and checks labels still match
+// sequential inference (scratch reuse must not corrupt samples).
+func TestServerBatchedInferMatchesAndReusesScratch(t *testing.T) {
+	dep := testDeployment(t, 13)
+	want := make([][]int, 0)
+	xs := randSamples(12, 14)
+	for _, x := range xs {
+		l, err := dep.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, l)
+	}
+	srv, err := New(dep, Config{Workers: 1, MaxBatch: 4, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for round := 0; round < 3; round++ { // repeat so the scratch is reused warm
+		labels, err := srv.InferBatch(context.Background(), xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range labels {
+			if labels[i] != want[i][0] {
+				t.Fatalf("round %d sample %d: label %d, want %d", round, i, labels[i], want[i][0])
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.HostNsPerOp <= 0 {
+		t.Fatalf("HostNsPerOp = %v, want > 0 after served traffic", st.HostNsPerOp)
+	}
+}

@@ -37,6 +37,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 				defer srv.Close()
 				xs := randSamples(16, 2)
 				clients := 4 * workers
+				b.ReportAllocs()
 				b.ResetTimer()
 				var wg sync.WaitGroup
 				work := make(chan int)
@@ -63,7 +64,36 @@ func BenchmarkServerThroughput(b *testing.B) {
 				b.ReportMetric(st.ModeledThroughput, "modeled-req/s")
 				b.ReportMetric(st.MeanBatch, "mean-batch")
 				b.ReportMetric(st.P99Latency*1e3, "modeled-p99-ms")
+				b.ReportMetric(st.HostNsPerOp, "host-ns/op")
 			})
+		}
+	}
+}
+
+// BenchmarkInferAllocs is the allocation trajectory of the steady-state
+// serving path: sequential single-sample requests through the full stack
+// (queue → batcher → worker replica → plan arenas). Run with -benchmem; the
+// acceptance target is ≤ 8 allocs/op on the single-proc CI runner, asserted
+// hard by TestServerInferSteadyStateAllocs.
+func BenchmarkInferAllocs(b *testing.B) {
+	dep := testDeployment(b, 21)
+	srv, err := New(dep, Config{Workers: 1, MaxBatch: 1, MaxDelay: time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	x := randSamples(1, 22)[0]
+	for i := 0; i < 8; i++ { // reach steady state before measuring
+		if _, err := srv.Infer(ctx, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Infer(ctx, x); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -163,12 +163,20 @@ func New(dep *core.Deployment, cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: replicating session %d of %d: %w", i+1, cfg.Workers, err)
 		}
+		// A serving session lives indefinitely: cap its observation trace so
+		// steady-state requests neither allocate nor accumulate memory.
+		rep.Enclave.Trace().Bound(traceBound)
 		s.workersDone.Add(1)
 		go s.worker(i, rep)
 	}
 	go s.dispatch()
 	return s, nil
 }
+
+// traceBound is the per-replica observation-trace ring capacity — enough to
+// hold the protocol events of the last few dozen batches for debugging
+// without unbounded growth.
+const traceBound = 1024
 
 // dispatch coalesces queued requests into batches: a batch flushes as soon as
 // it reaches MaxBatch, or MaxDelay after its first request arrived.
@@ -208,15 +216,52 @@ func (s *Server) dispatch() {
 	}
 }
 
+// workerScratch is one worker's preplanned request-assembly state: a
+// max-batch staging tensor with one prebuilt view per batch size, and a
+// label buffer, so coalescing and inference allocate nothing in steady
+// state.
+type workerScratch struct {
+	views  []*tensor.Tensor // views[k] is a [k,C,H,W] prefix view, k ≥ 1
+	per    int              // floats per sample
+	labels []int
+}
+
+func (s *Server) newScratch() *workerScratch {
+	shape := append([]int(nil), s.sampleShape...)
+	shape[0] = s.cfg.MaxBatch
+	backing := tensor.New(shape...)
+	per := backing.Size() / s.cfg.MaxBatch
+	ws := &workerScratch{
+		views:  make([]*tensor.Tensor, s.cfg.MaxBatch+1),
+		per:    per,
+		labels: make([]int, s.cfg.MaxBatch),
+	}
+	for k := 1; k <= s.cfg.MaxBatch; k++ {
+		ws.views[k] = tensor.FromData(backing.Data()[:k*per], k, shape[1], shape[2], shape[3])
+	}
+	return ws
+}
+
+// concatInto stacks the requests' [1,C,H,W] samples into the worker's
+// preplanned [k,C,H,W] staging view.
+func (ws *workerScratch) concatInto(batch []*request) *tensor.Tensor {
+	x := ws.views[len(batch)]
+	for i, r := range batch {
+		copy(x.Data()[i*ws.per:(i+1)*ws.per], r.x.Data())
+	}
+	return x
+}
+
 // worker runs batches through its private session replica.
 func (s *Server) worker(id int, rep *core.Deployment) {
 	defer s.workersDone.Done()
+	ws := s.newScratch()
 	for batch := range s.batches {
-		s.runBatch(id, rep, batch)
+		s.runBatch(id, rep, ws, batch)
 	}
 }
 
-func (s *Server) runBatch(id int, rep *core.Deployment, batch []*request) {
+func (s *Server) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch []*request) {
 	// Drop requests whose caller already gave up (cancelled context, missed
 	// deadline): their abandoned callers would discard the answer anyway, so
 	// running them would burn modeled device time on shed load and count it
@@ -239,9 +284,11 @@ func (s *Server) runBatch(id int, rep *core.Deployment, batch []*request) {
 	if len(live) == 0 {
 		return
 	}
-	x := concat(live)
+	x := ws.concatInto(live)
 	before := rep.Latency()
-	labels, err := rep.Infer(x)
+	hostStart := time.Now()
+	labels, err := rep.InferInto(x, ws.labels)
+	hostNs := time.Since(hostStart)
 	lat := rep.Latency() - before
 	if err == nil && len(labels) != len(live) {
 		err = fmt.Errorf("serve: %d labels for %d requests", len(labels), len(live))
@@ -251,7 +298,7 @@ func (s *Server) runBatch(id int, rep *core.Deployment, batch []*request) {
 		// same error on every caller in the batch. Re-run each sample alone to
 		// isolate which input was actually bad: good samples still succeed,
 		// and only the offending request carries the error.
-		s.isolateBatch(id, rep, live, wait)
+		s.isolateBatch(id, rep, ws, live, wait)
 		return
 	}
 	for i, r := range live {
@@ -262,13 +309,13 @@ func (s *Server) runBatch(id int, rep *core.Deployment, batch []*request) {
 		}
 		r.resp <- response{label: labels[i]}
 	}
-	s.stats.record(id, len(live), lat, wait, err)
+	s.stats.record(id, len(live), lat, hostNs, wait, err)
 }
 
 // isolateBatch re-runs each request of a failed coalesced batch as its own
 // protocol run, so every caller gets its sample's own outcome instead of a
 // shared batch error.
-func (s *Server) isolateBatch(id int, rep *core.Deployment, batch []*request, wait time.Duration) {
+func (s *Server) isolateBatch(id int, rep *core.Deployment, ws *workerScratch, batch []*request, wait time.Duration) {
 	perWait := wait / time.Duration(len(batch))
 	for _, r := range batch {
 		s.pending.Add(-1)
@@ -277,7 +324,9 @@ func (s *Server) isolateBatch(id int, rep *core.Deployment, batch []*request, wa
 			continue
 		}
 		before := rep.Latency()
-		labels, err := rep.Infer(r.x)
+		hostStart := time.Now()
+		labels, err := rep.InferInto(r.x, ws.labels)
+		hostNs := time.Since(hostStart)
 		lat := rep.Latency() - before
 		if err == nil && len(labels) != 1 {
 			err = fmt.Errorf("serve: %d labels for 1 request", len(labels))
@@ -287,20 +336,8 @@ func (s *Server) isolateBatch(id int, rep *core.Deployment, batch []*request, wa
 		} else {
 			r.resp <- response{label: labels[0]}
 		}
-		s.stats.record(id, 1, lat, perWait, err)
+		s.stats.record(id, 1, lat, hostNs, perWait, err)
 	}
-}
-
-// concat stacks the per-request [1,C,H,W] samples into one [k,C,H,W] batch.
-func concat(batch []*request) *tensor.Tensor {
-	shape := append([]int(nil), batch[0].x.Shape()...)
-	shape[0] = len(batch)
-	out := tensor.New(shape...)
-	per := batch[0].x.Size()
-	for i, r := range batch {
-		copy(out.Data()[i*per:(i+1)*per], r.x.Data())
-	}
-	return out
 }
 
 // checkSample validates one request input: [C,H,W] or [1,C,H,W] matching the
@@ -493,6 +530,11 @@ type Stats struct {
 	// tail figure routing policies and the fleet stats table compare across
 	// heterogeneous backends.
 	P95Micros float64 `json:"p95_micros"`
+	// HostNsPerOp is the mean *real* host compute time per served sample in
+	// nanoseconds — the measured cost of the staged protocol run on this
+	// machine, reported alongside the modeled device figures so the bench
+	// trajectory tracks actual kernel performance, not just the cost model.
+	HostNsPerOp float64 `json:"host_ns_per_op"`
 	// AvgQueueWaitMicros is the mean host-side time a request spent queued
 	// before its batch started, in microseconds — the price of coalescing.
 	AvgQueueWaitMicros float64 `json:"avg_queue_wait_micros"`
@@ -512,6 +554,9 @@ type statsAgg struct {
 	batches      int64
 	largestBatch int
 	workerBusy   []float64 // modeled seconds per worker
+	// hostBusy accumulates real host time spent inside successful protocol
+	// runs, for the measured ns/op figure.
+	hostBusy time.Duration
 	// queueWait accumulates host-side queueing delay over queueWaited samples.
 	queueWait   time.Duration
 	queueWaited int64
@@ -521,7 +566,7 @@ type statsAgg struct {
 	latCount  int64
 }
 
-func (a *statsAgg) record(worker, batchSize int, lat float64, wait time.Duration, err error) {
+func (a *statsAgg) record(worker, batchSize int, lat float64, hostNs, wait time.Duration, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.batches++
@@ -532,6 +577,7 @@ func (a *statsAgg) record(worker, batchSize int, lat float64, wait time.Duration
 		return
 	}
 	a.requests += int64(batchSize)
+	a.hostBusy += hostNs
 	if batchSize > a.largestBatch {
 		a.largestBatch = batchSize
 	}
@@ -579,6 +625,9 @@ func (s *Server) Stats() Stats {
 	}
 	if a.queueWaited > 0 {
 		out.AvgQueueWaitMicros = float64(a.queueWait.Microseconds()) / float64(a.queueWaited)
+	}
+	if a.requests > 0 {
+		out.HostNsPerOp = float64(a.hostBusy.Nanoseconds()) / float64(a.requests)
 	}
 	n := int(a.latCount)
 	if n > len(a.latencies) {

@@ -51,26 +51,69 @@ type Event struct {
 	Bytes int64  // payload size where applicable
 }
 
-// Trace is a thread-safe observation log of a deployment's activity.
+// Trace is a thread-safe observation log of a deployment's activity. By
+// default it grows without bound (experiment and attack runs want the full
+// history); long-lived serving sessions call Bound to turn it into a
+// fixed-capacity ring that retains the most recent events, so steady-state
+// inference neither allocates nor accumulates memory.
 type Trace struct {
 	mu     sync.Mutex
 	events []Event
+	// limit is the ring capacity; 0 means unbounded.
+	limit int
+	// start is the ring read position once the ring is full.
+	start int
 }
 
-// Record appends an event.
+// Bound caps the trace at the most recent n events (n < 1 removes the cap).
+// The ring storage is allocated once here; subsequent Records are
+// allocation-free.
+func (t *Trace) Bound(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ordered := t.orderedLocked()
+	if n < 1 {
+		t.limit, t.start, t.events = 0, 0, ordered
+		return
+	}
+	if len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
+	}
+	t.limit = n
+	t.start = 0
+	t.events = make([]Event, len(ordered), n)
+	copy(t.events, ordered)
+}
+
+// Record appends an event, overwriting the oldest once a bounded trace is
+// full.
 func (t *Trace) Record(e Event) {
 	t.mu.Lock()
-	t.events = append(t.events, e)
+	if t.limit > 0 && len(t.events) == t.limit {
+		t.events[t.start] = e
+		t.start++
+		if t.start == t.limit {
+			t.start = 0
+		}
+	} else {
+		t.events = append(t.events, e)
+	}
 	t.mu.Unlock()
 }
 
-// All returns a copy of the full trace (simulator view).
+// orderedLocked returns the retained events oldest-first. Callers hold mu.
+func (t *Trace) orderedLocked() []Event {
+	out := make([]Event, len(t.events))
+	n := copy(out, t.events[t.start:])
+	copy(out[n:], t.events[:t.start])
+	return out
+}
+
+// All returns a copy of the retained trace (simulator view), oldest first.
 func (t *Trace) All() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Event, len(t.events))
-	copy(out, t.events)
-	return out
+	return t.orderedLocked()
 }
 
 // AttackerView returns only the events observable from the normal world:
@@ -80,7 +123,7 @@ func (t *Trace) AttackerView() []Event {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var out []Event
-	for _, e := range t.events {
+	for _, e := range t.orderedLocked() {
 		switch e.Kind {
 		case EvREECompute, EvREEWeightAccess, EvTransfer, EvSMC:
 			out = append(out, e)
@@ -102,9 +145,10 @@ func (t *Trace) Count(k EventKind) int {
 	return n
 }
 
-// Reset clears the trace.
+// Reset clears the trace, keeping any configured bound.
 func (t *Trace) Reset() {
 	t.mu.Lock()
 	t.events = t.events[:0]
+	t.start = 0
 	t.mu.Unlock()
 }

@@ -1,0 +1,73 @@
+package tee
+
+import "testing"
+
+func TestTraceBoundRetainsMostRecent(t *testing.T) {
+	tr := &Trace{}
+	tr.Bound(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: EvSMC, Bytes: int64(i)})
+	}
+	all := tr.All()
+	if len(all) != 4 {
+		t.Fatalf("retained %d events, want 4", len(all))
+	}
+	for i, e := range all {
+		if want := int64(6 + i); e.Bytes != want {
+			t.Fatalf("event %d = %d, want %d (oldest-first order)", i, e.Bytes, want)
+		}
+	}
+	if got := tr.Count(EvSMC); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+}
+
+func TestTraceBoundOnPopulatedTrace(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 6; i++ {
+		tr.Record(Event{Kind: EvTransfer, Bytes: int64(i)})
+	}
+	tr.Bound(3)
+	all := tr.All()
+	if len(all) != 3 || all[0].Bytes != 3 || all[2].Bytes != 5 {
+		t.Fatalf("bound on populated trace kept %v", all)
+	}
+	// Records after bounding keep rotating.
+	tr.Record(Event{Kind: EvTransfer, Bytes: 6})
+	all = tr.All()
+	if len(all) != 3 || all[0].Bytes != 4 || all[2].Bytes != 6 {
+		t.Fatalf("post-bound rotation kept %v", all)
+	}
+}
+
+func TestTraceBoundedRecordDoesNotAllocate(t *testing.T) {
+	tr := &Trace{}
+	tr.Bound(8)
+	for i := 0; i < 16; i++ {
+		tr.Record(Event{Kind: EvSMC})
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Record(Event{Kind: EvSMC})
+	})
+	if allocs != 0 {
+		t.Fatalf("bounded Record allocates %.1f times per call", allocs)
+	}
+}
+
+func TestTraceResetKeepsBound(t *testing.T) {
+	tr := &Trace{}
+	tr.Bound(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Kind: EvSMC, Bytes: int64(i)})
+	}
+	tr.Reset()
+	if len(tr.All()) != 0 {
+		t.Fatal("reset did not clear events")
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Kind: EvSMC, Bytes: int64(i)})
+	}
+	if all := tr.All(); len(all) != 2 || all[0].Bytes != 3 || all[1].Bytes != 4 {
+		t.Fatalf("bound lost after reset: %v", all)
+	}
+}

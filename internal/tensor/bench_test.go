@@ -7,6 +7,7 @@ func BenchmarkMatMul64(b *testing.B) {
 	x, y := New(64, 64), New(64, 64)
 	rng.FillNormal(x, 0, 1)
 	rng.FillNormal(y, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MatMul(x, y)
@@ -18,9 +19,25 @@ func BenchmarkMatMul256(b *testing.B) {
 	x, y := New(256, 256), New(256, 256)
 	rng.FillNormal(x, 0, 1)
 	rng.FillNormal(y, 0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MatMul(x, y)
+	}
+}
+
+// BenchmarkMatMulInto256 is the steady-state serving shape of the kernel:
+// the destination is preplanned and reused, so the only cost is compute.
+func BenchmarkMatMulInto256(b *testing.B) {
+	rng := NewRNG(2)
+	x, y := New(256, 256), New(256, 256)
+	dst := New(256, 256)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(y, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
 	}
 }
 
@@ -30,7 +47,8 @@ func BenchmarkIm2Col(b *testing.B) {
 	for i := range src {
 		src[i] = float32(rng.Norm())
 	}
-	dst := make([]float32, 16*3*3*32*32)
+	dst := make([]float32, Im2ColLen(16, 32, 32, 3, 3, 1, 1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Im2Col(src, 16, 32, 32, 3, 3, 1, 1, dst)

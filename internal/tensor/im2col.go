@@ -74,3 +74,9 @@ func Col2Im(src []float32, c, h, w, kh, kw, stride, pad int, dst []float32) {
 func ConvOutDim(in, kernel, stride, pad int) int {
 	return (in+2*pad-kernel)/stride + 1
 }
+
+// Im2ColLen returns the scratch length Im2Col requires for a C×H×W input
+// under the given window, so callers can size a reusable buffer once.
+func Im2ColLen(c, h, w, kh, kw, stride, pad int) int {
+	return c * kh * kw * ConvOutDim(h, kh, stride, pad) * ConvOutDim(w, kw, stride, pad)
+}

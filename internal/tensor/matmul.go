@@ -2,17 +2,31 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
-// parallelThreshold is the minimum number of output rows per goroutine before
-// MatMul fans out. Small matrices stay single-threaded to avoid scheduling
-// overhead.
-const parallelThreshold = 8
+// The matmul kernel is written for the serving hot path: cache-blocked
+// (tiled) over the output columns, register-blocked four output rows at a
+// time so every streamed b value is reused fourfold, with the row-quad
+// inner loop dispatched to an 8-wide AVX mul+add kernel on amd64 and a
+// 4-wide-unrolled scalar kernel elsewhere. Both inner kernels perform
+// exactly one mul rounding and one add rounding per element in ascending-p
+// order, so results are bit-identical across the SIMD and scalar paths and
+// across serial and parallel execution.
 
-// MatMul returns a @ b for rank-2 tensors of shapes [m,k] and [k,n]. Large
-// products are split across GOMAXPROCS goroutines by output row.
+// colTile is the column-tile width in elements: four c rows plus a b row
+// segment of this width stay resident in L1 while the kernel sweeps the
+// shared dimension.
+const colTile = 1024
+
+// rowBlock is the register-blocking factor: output rows computed
+// simultaneously per streamed b row.
+const rowBlock = 4
+
+// parallelGrain is the minimum number of row blocks per worker before
+// MatMulInto fans out to the worker pool.
+const parallelGrain = 2
+
+// MatMul returns a @ b for rank-2 tensors of shapes [m,k] and [k,n].
 func MatMul(a, b *Tensor) *Tensor {
 	out := New(a.Dim(0), b.Dim(1))
 	MatMulInto(out, a, b)
@@ -20,12 +34,60 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = a @ b, reusing dst's storage. dst must have shape
-// [a.Dim(0), b.Dim(1)] and must not alias a or b.
+// [a.Dim(0), b.Dim(1)] and must not alias a or b. Large products are split
+// across the persistent worker pool by output-row block.
 func MatMulInto(dst, a, b *Tensor) {
+	m, n, k := matmulDims(dst, a, b)
+	GemmParallel(dst.data, a.data, b.data, m, n, k)
+}
+
+// GemmParallel is the raw-slice form of MatMulInto: dst = a @ b with the
+// product split across the worker pool by output-row block. Like
+// MatMulInto, it must not be called from inside a Parallel region (use
+// GemmSerial there).
+func GemmParallel(dst, a, b []float32, m, n, k int) {
+	cd, ad, bd := dst[:m*n], a[:m*k], b[:k*n]
+	blocks := (m + rowBlock - 1) / rowBlock
+	if blocks/parallelGrain <= 1 || Workers() == 1 {
+		// Single-chunk products skip the pool dispatch entirely: no closure,
+		// no allocation — the zero-alloc steady-state path.
+		matmulRows(cd, ad, bd, n, k, 0, m)
+		return
+	}
+	Parallel(blocks, parallelGrain, func(_, lo, hi int) {
+		r1 := hi * rowBlock
+		if r1 > m {
+			r1 = m
+		}
+		matmulRows(cd, ad, bd, n, k, lo*rowBlock, r1)
+	})
+}
+
+// GemmSerial computes dst = a @ b on raw row-major slices ([m,k] @ [k,n] →
+// [m,n]) on the calling goroutine, bit-identical to MatMulInto. It exists so
+// scratch-reusing callers (layer inference paths, per-worker backward
+// buffers) can run the kernel on slice views without building Tensor
+// headers.
+func GemmSerial(dst, a, b []float32, m, n, k int) {
+	matmulRows(dst[:m*n], a[:m*k], b[:k*n], n, k, 0, m)
+}
+
+// TransposeSerial writes the transpose of the row-major m×n matrix src into
+// dst (n×m), on the calling goroutine. The slices must not overlap.
+func TransposeSerial(dst, src []float32, m, n int) {
+	for i := 0; i < m; i++ {
+		row := src[i*n : (i+1)*n]
+		for j, v := range row {
+			dst[j*m+i] = v
+		}
+	}
+}
+
+func matmulDims(dst, a, b *Tensor) (m, n, k int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 operands")
 	}
-	m, k := a.Dim(0), a.Dim(1)
+	m, k = a.Dim(0), a.Dim(1)
 	k2, n := b.Dim(0), b.Dim(1)
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v @ %v", a.shape, b.shape))
@@ -33,67 +95,111 @@ func MatMulInto(dst, a, b *Tensor) {
 	if dst.Dim(0) != m || dst.Dim(1) != n {
 		panic(fmt.Sprintf("tensor: MatMulInto destination %v for product [%d,%d]", dst.shape, m, n))
 	}
-	ad, bd, cd := a.data, b.data, dst.data
+	return m, n, k
+}
 
-	rows := func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			ci := cd[i*n : (i+1)*n]
-			for x := range ci {
-				ci[x] = 0
+// matmulRows computes output rows [r0, r1) of cd = ad @ bd.
+func matmulRows(cd, ad, bd []float32, n, k, r0, r1 int) {
+	i := r0
+	for ; i+rowBlock-1 < r1; i += rowBlock {
+		c0 := cd[(i+0)*n : (i+1)*n]
+		c1 := cd[(i+1)*n : (i+2)*n]
+		c2 := cd[(i+2)*n : (i+3)*n]
+		c3 := cd[(i+3)*n : (i+4)*n]
+		for x := range c0 {
+			c0[x], c1[x], c2[x], c3[x] = 0, 0, 0, 0
+		}
+		a0r := ad[(i+0)*k : (i+1)*k]
+		a1r := ad[(i+1)*k : (i+2)*k]
+		a2r := ad[(i+2)*k : (i+3)*k]
+		a3r := ad[(i+3)*k : (i+4)*k]
+		var al [4]float32
+		for j0 := 0; j0 < n; j0 += colTile {
+			j1 := j0 + colTile
+			if j1 > n {
+				j1 = n
 			}
-			ai := ad[i*k : (i+1)*k]
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bp := bd[p*n : (p+1)*n]
-				for j, bv := range bp {
-					ci[j] += av * bv
+			w := j1 - j0
+			for p := 0; p < k; p++ {
+				al[0], al[1], al[2], al[3] = a0r[p], a1r[p], a2r[p], a3r[p]
+				bp := bd[p*n+j0 : p*n+j1]
+				if hasSIMD {
+					axpy4SIMD(&c0[j0], &c1[j0], &c2[j0], &c3[j0], &bp[0], w, &al)
+				} else {
+					axpy4Scalar(c0[j0:j1], c1[j0:j1], c2[j0:j1], c3[j0:j1], bp, &al)
 				}
 			}
 		}
 	}
+	// Remainder rows (fewer than rowBlock left): single-row axpy with the
+	// same accumulate-every-term semantics as the quad path, so all rows of
+	// one product treat non-finite values identically.
+	for ; i < r1; i++ {
+		ci := cd[i*n : (i+1)*n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		ai := ad[i*k : (i+1)*k]
+		for p, av := range ai {
+			bp := bd[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m/parallelThreshold {
-		workers = m / parallelThreshold
+// axpy4Scalar is the portable row-quad kernel: the inner loop is unrolled
+// four wide so the compiler keeps the b loads and the four accumulating
+// streams in registers.
+func axpy4Scalar(c0, c1, c2, c3, b []float32, a *[4]float32) {
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	n := len(b)
+	j := 0
+	for ; j+3 < n; j += 4 {
+		b0, b1, b2, b3 := b[j], b[j+1], b[j+2], b[j+3]
+		c0[j] += a0 * b0
+		c0[j+1] += a0 * b1
+		c0[j+2] += a0 * b2
+		c0[j+3] += a0 * b3
+		c1[j] += a1 * b0
+		c1[j+1] += a1 * b1
+		c1[j+2] += a1 * b2
+		c1[j+3] += a1 * b3
+		c2[j] += a2 * b0
+		c2[j+1] += a2 * b1
+		c2[j+2] += a2 * b2
+		c2[j+3] += a2 * b3
+		c3[j] += a3 * b0
+		c3[j+1] += a3 * b1
+		c3[j+2] += a3 * b2
+		c3[j+3] += a3 * b3
 	}
-	if workers <= 1 {
-		rows(0, m)
-		return
+	for ; j < n; j++ {
+		bv := b[j]
+		c0[j] += a0 * bv
+		c1[j] += a1 * bv
+		c2[j] += a2 * bv
+		c3[j] += a3 * bv
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		r0 := w * chunk
-		r1 := r0 + chunk
-		if r1 > m {
-			r1 = m
-		}
-		if r0 >= r1 {
-			break
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			rows(r0, r1)
-		}(r0, r1)
-	}
-	wg.Wait()
 }
 
 // Transpose returns the transpose of a rank-2 tensor.
 func Transpose(a *Tensor) *Tensor {
+	out := New(a.Dim(1), a.Dim(0))
+	TransposeInto(out, a)
+	return out
+}
+
+// TransposeInto writes the transpose of rank-2 a into dst, reusing dst's
+// storage. dst must have shape [a.Dim(1), a.Dim(0)] and must not alias a.
+func TransposeInto(dst, a *Tensor) {
 	if a.Rank() != 2 {
 		panic("tensor: Transpose requires a rank-2 tensor")
 	}
 	m, n := a.Dim(0), a.Dim(1)
-	out := New(n, m)
-	for i := 0; i < m; i++ {
-		row := a.data[i*n : (i+1)*n]
-		for j, v := range row {
-			out.data[j*m+i] = v
-		}
+	if dst.Dim(0) != n || dst.Dim(1) != m {
+		panic(fmt.Sprintf("tensor: TransposeInto destination %v for transpose of %v", dst.shape, a.shape))
 	}
-	return out
+	TransposeSerial(dst.data, a.data, m, n)
 }

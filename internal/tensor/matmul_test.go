@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// refMatMul is the straightforward axpy-ordered reference: for every output
+// element the products accumulate in ascending-p order, the exact order the
+// blocked kernel must reproduce bit for bit.
+func refMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ci := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a.data[i*k+p]
+			bp := b.data[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func TestMatMulMatchesReference(t *testing.T) {
+	rng := NewRNG(11)
+	sizes := [][3]int{
+		{1, 1, 1}, {1, 9, 5}, {3, 7, 2}, {4, 8, 8}, {5, 13, 11},
+		{8, 100, 512}, {16, 33, 17}, {64, 64, 64}, {31, 257, 65},
+	}
+	for _, sz := range sizes {
+		m, k, n := sz[0], sz[1], sz[2]
+		a, b := New(m, k), New(k, n)
+		rng.FillNormal(a, 0, 1)
+		rng.FillNormal(b, 0, 1)
+		want := refMatMul(a, b)
+		got := MatMul(a, b)
+		for i := range want.data {
+			if want.data[i] != got.data[i] {
+				t.Fatalf("[%d,%d]x[%d,%d]: element %d = %v, reference %v",
+					m, k, k, n, i, got.data[i], want.data[i])
+			}
+		}
+		serial := New(m, n)
+		GemmSerial(serial.data, a.data, b.data, m, n, k)
+		for i := range want.data {
+			if want.data[i] != serial.data[i] {
+				t.Fatalf("[%d,%d]x[%d,%d]: serial element %d = %v, reference %v",
+					m, k, k, n, i, serial.data[i], want.data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulIntoReusesDirtyDst(t *testing.T) {
+	rng := NewRNG(12)
+	a, b := New(9, 14), New(14, 6)
+	rng.FillNormal(a, 0, 1)
+	rng.FillNormal(b, 0, 1)
+	want := refMatMul(a, b)
+	dst := New(9, 6)
+	dst.Fill(123.5) // stale contents must not leak into the product
+	MatMulInto(dst, a, b)
+	for i := range want.data {
+		if want.data[i] != dst.data[i] {
+			t.Fatalf("element %d = %v, want %v", i, dst.data[i], want.data[i])
+		}
+	}
+}
+
+func TestTransposeInto(t *testing.T) {
+	rng := NewRNG(13)
+	a := New(5, 8)
+	rng.FillNormal(a, 0, 1)
+	dst := New(8, 5)
+	dst.Fill(9)
+	TransposeInto(dst, a)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 8; j++ {
+			if dst.At(j, i) != a.At(i, j) {
+				t.Fatalf("dst[%d,%d] = %v, want %v", j, i, dst.At(j, i), a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestParallelCoversRangeOnce(t *testing.T) {
+	const n = 1003
+	var hits [n]int32
+	Parallel(n, 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelWorkerIDsAreDense(t *testing.T) {
+	var used [64]int32
+	Parallel(1024, 1, func(w, lo, hi int) {
+		if w < 0 || w >= Workers() {
+			t.Errorf("worker id %d outside [0,%d)", w, Workers())
+			return
+		}
+		atomic.AddInt32(&used[w], 1)
+	})
+	// Every dispatched chunk must carry a distinct worker id (scratch safety).
+	for w, c := range used {
+		if c > 1 {
+			t.Fatalf("worker id %d used for %d chunks", w, c)
+		}
+	}
+}
+
+func TestParallelZeroAndTiny(t *testing.T) {
+	Parallel(0, 1, func(_, lo, hi int) { t.Fatal("fn called for n=0") })
+	ran := false
+	Parallel(1, 8, func(w, lo, hi int) {
+		if w != 0 || lo != 0 || hi != 1 {
+			t.Fatalf("inline chunk = (%d,%d,%d)", w, lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("inline chunk not executed")
+	}
+}

@@ -1,0 +1,41 @@
+//go:build amd64
+
+package tensor
+
+// This file is the amd64 side of the SIMD dispatch for the matmul micro
+// kernel. The assembly kernel (simd_amd64.s) performs the same mul-then-add
+// per element as the scalar path — vmulps followed by vaddps, never a fused
+// multiply-add — so the vector and scalar paths produce bit-identical
+// results and the choice of path is unobservable to callers.
+
+// axpy4SIMD computes, over n elements,
+//
+//	c0[j] += a[0]*b[j]; c1[j] += a[1]*b[j]; c2[j] += a[2]*b[j]; c3[j] += a[3]*b[j]
+//
+// with 8-wide AVX mul+add. The four destination rows must not overlap b.
+//
+//go:noescape
+func axpy4SIMD(c0, c1, c2, c3, b *float32, n int, a *[4]float32)
+
+//go:noescape
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// hasSIMD reports whether the AVX micro kernel is usable: the CPU must
+// support AVX and the OS must have enabled XMM+YMM state saving.
+var hasSIMD = detectAVX()
+
+func detectAVX() bool {
+	const (
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, c, _ := cpuidex(1, 0)
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	eax, _ := xgetbv0()
+	return eax&0x6 == 0x6
+}

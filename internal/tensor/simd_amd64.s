@@ -1,0 +1,93 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func axpy4SIMD(c0, c1, c2, c3, b *float32, n int, a *[4]float32)
+//
+// Four simultaneous saxpy rows sharing one streamed b row: the 4x reuse of
+// each b load is what makes the blocked matmul kernel arithmetic-bound
+// instead of load-bound. The vector body uses vmulps+vaddps (not FMA) so
+// every element sees exactly one mul rounding and one add rounding — the
+// same as the scalar tail and the scalar fallback kernel.
+TEXT ·axpy4SIMD(SB), NOSPLIT, $0-56
+	MOVQ c0+0(FP), DI
+	MOVQ c1+8(FP), SI
+	MOVQ c2+16(FP), DX
+	MOVQ c3+24(FP), CX
+	MOVQ b+32(FP), BX
+	MOVQ n+40(FP), AX
+	MOVQ a+48(FP), R8
+	VBROADCASTSS 0(R8), Y4
+	VBROADCASTSS 4(R8), Y5
+	VBROADCASTSS 8(R8), Y6
+	VBROADCASTSS 12(R8), Y7
+	XORQ R9, R9
+	MOVQ AX, R10
+	SHRQ $3, R10
+	JZ   tail
+
+loop8:
+	VMOVUPS (BX)(R9*4), Y0
+	VMULPS  Y0, Y4, Y1
+	VADDPS  (DI)(R9*4), Y1, Y1
+	VMOVUPS Y1, (DI)(R9*4)
+	VMULPS  Y0, Y5, Y2
+	VADDPS  (SI)(R9*4), Y2, Y2
+	VMOVUPS Y2, (SI)(R9*4)
+	VMULPS  Y0, Y6, Y3
+	VADDPS  (DX)(R9*4), Y3, Y3
+	VMOVUPS Y3, (DX)(R9*4)
+	VMULPS  Y0, Y7, Y1
+	VADDPS  (CX)(R9*4), Y1, Y1
+	VMOVUPS Y1, (CX)(R9*4)
+	ADDQ $8, R9
+	DECQ R10
+	JNZ  loop8
+
+tail:
+	ANDQ $7, AX
+	JZ   done
+
+	// The remainder runs VEX-encoded scalar ops: legacy SSE here would hit
+	// the AVX→SSE transition penalty on every iteration while the YMM upper
+	// state is dirty.
+tailloop:
+	VMOVSS (BX)(R9*4), X0
+	VMULSS X0, X4, X1
+	VADDSS (DI)(R9*4), X1, X1
+	VMOVSS X1, (DI)(R9*4)
+	VMULSS X0, X5, X1
+	VADDSS (SI)(R9*4), X1, X1
+	VMOVSS X1, (SI)(R9*4)
+	VMULSS X0, X6, X1
+	VADDSS (DX)(R9*4), X1, X1
+	VMOVSS X1, (DX)(R9*4)
+	VMULSS X0, X7, X1
+	VADDSS (CX)(R9*4), X1, X1
+	VMOVSS X1, (CX)(R9*4)
+	INCQ R9
+	DECQ AX
+	JNZ  tailloop
+
+done:
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds have no vector kernel; the blocked scalar path in
+// matmul.go is used unconditionally.
+const hasSIMD = false
+
+// axpy4SIMD is never called when hasSIMD is false; the stub keeps the
+// matmul kernel free of build tags.
+func axpy4SIMD(c0, c1, c2, c3, b *float32, n int, a *[4]float32) {
+	panic("tensor: axpy4SIMD called without SIMD support")
+}

@@ -61,6 +61,22 @@ func (b *DWBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return b.DW.Backward(b.BN1.Backward(b.Act1.Backward(g)))
 }
 
+// InferInto implements the stage inference path: depthwise into an arena
+// buffer with its norm and activation in place, then pointwise into dst
+// with the trailing norm and activation in place.
+func (b *DWBlock) InferInto(dst, x *tensor.Tensor, a *nn.Arena) {
+	n := x.Dim(0)
+	oh := tensor.ConvOutDim(x.Dim(2), b.DW.K, b.DW.Stride, b.DW.Pad)
+	ow := tensor.ConvOutDim(x.Dim(3), b.DW.K, b.DW.Stride, b.DW.Pad)
+	mid := a.Tensor4(b.name, n, b.DW.C, oh, ow)
+	b.DW.ForwardInto(mid, x, a)
+	b.BN1.ForwardInto(mid, mid, a)
+	b.Act1.ForwardInto(mid, mid, a)
+	b.PW.ForwardInto(dst, mid, a)
+	b.BN2.ForwardInto(dst, dst, a)
+	b.Act2.ForwardInto(dst, dst, a)
+}
+
 // OutChannels returns the pointwise conv's output width.
 func (b *DWBlock) OutChannels() int { return b.PW.OutC }
 

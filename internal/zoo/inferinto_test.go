@@ -1,0 +1,86 @@
+package zoo
+
+import (
+	"testing"
+
+	"tbnet/internal/nn"
+	"tbnet/internal/tensor"
+)
+
+// warmStats pushes one training batch through a model so batch norms carry
+// non-trivial running statistics (otherwise the eval path degenerates).
+func warmStats(m *Model, seed uint64) {
+	x := tensor.New(4, m.InC, 16, 16)
+	tensor.NewRNG(seed).FillNormal(x, 0, 1)
+	m.Forward(x, true)
+}
+
+// TestStageInferIntoMatchesForward locks the stage-level equivalence the
+// deployment plan depends on: for every stage type, InferInto must be
+// bit-identical to the eval-mode Forward chain.
+func TestStageInferIntoMatchesForward(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	models := map[string]*Model{
+		"vgg":       BuildVGG(TinyVGGConfig(4), rng),
+		"resnet":    BuildResNet(TinyResNetConfig(4), true, rng),
+		"mobilenet": BuildMobileNet(TinyMobileNetConfig(4), rng),
+	}
+	for name, m := range models {
+		warmStats(m, 11)
+		a := nn.NewArena()
+		for _, batch := range []int{1, 3} {
+			x := tensor.New(batch, m.InC, 16, 16)
+			tensor.NewRNG(uint64(13 + batch)).FillNormal(x, 0, 1)
+			cur := x
+			for si, s := range m.Stages {
+				want := s.Forward(cur, false)
+				dst := tensor.New(s.OutShape(cur.Shape())...)
+				dst.Fill(42)
+				s.InferInto(dst, cur, a)
+				diffCheck(t, name, s.Name(), want, dst)
+				// Run again through the warm arena: steady state must agree too.
+				s.InferInto(dst, cur, a)
+				diffCheck(t, name, s.Name(), want, dst)
+				cur = want
+				_ = si
+			}
+			want := m.Head.Forward(cur, false)
+			dst := tensor.New(m.Head.OutShape(cur.Shape())...)
+			m.Head.InferInto(dst, cur, a)
+			diffCheck(t, name, m.Head.Name(), want, dst)
+		}
+	}
+}
+
+func diffCheck(t *testing.T, model, layer string, want, got *tensor.Tensor) {
+	t.Helper()
+	if !want.SameShape(got) {
+		t.Fatalf("%s/%s: shape %v vs %v", model, layer, got.Shape(), want.Shape())
+	}
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Fatalf("%s/%s: element %d = %v via InferInto, %v via Forward", model, layer, i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestResBlockSkipVariantsInferInto covers the three skip configurations
+// (projection, identity, stripped) explicitly.
+func TestResBlockSkipVariantsInferInto(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	blocks := []*ResBlock{
+		NewResBlock("proj", 6, 8, 2, true, rng),  // projection skip
+		NewResBlock("ident", 6, 6, 1, true, rng), // identity skip
+		NewResBlock("plain", 6, 8, 1, false, rng),
+	}
+	for _, b := range blocks {
+		x := tensor.New(2, 6, 8, 8)
+		tensor.NewRNG(23).FillNormal(x, 0, 1)
+		b.Forward(x, true) // warm BN stats
+		want := b.Forward(x, false)
+		dst := tensor.New(b.OutShape(x.Shape())...)
+		b.InferInto(dst, x, nn.NewArena())
+		diffCheck(t, "resblock", b.Name(), want, dst)
+	}
+}

@@ -44,6 +44,14 @@ func (h *Head) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return h.GAP.Backward(h.FC.Backward(grad))
 }
 
+// InferInto is the head's preplanned inference path: pooled features go
+// through an arena buffer, logits land in dst ([N, classes]).
+func (h *Head) InferInto(dst, x *tensor.Tensor, a *nn.Arena) {
+	pooled := a.Tensor2(h.name, x.Dim(0), x.Dim(1))
+	h.GAP.ForwardInto(pooled, x, a)
+	h.FC.ForwardInto(dst, pooled, a)
+}
+
 // PruneIn keeps only the listed input channels.
 func (h *Head) PruneIn(keep []int) { h.FC.PruneInput(keep, 1) }
 

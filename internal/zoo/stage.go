@@ -34,6 +34,10 @@ type Stage interface {
 	PruneIn(keep []int)
 	// CloneStage deep-copies the stage.
 	CloneStage() Stage
+	// InferInto is the stage's preplanned inference path: the eval-mode
+	// forward written into dst (shaped per OutShape) with every
+	// intermediate drawn from the arena. No backward state is retained.
+	InferInto(dst, x *tensor.Tensor, a *nn.Arena)
 }
 
 // ConvBlock is Conv → BN → ReLU with an optional trailing max pool: the
@@ -97,6 +101,26 @@ func (b *ConvBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return b.Conv.Backward(b.BN.Backward(b.Act.Backward(grad)))
 }
 
+// InferInto implements the stage inference path: conv into the destination
+// (or an arena buffer when the block pools), then batch norm and ReLU in
+// place, then the optional pool into dst.
+func (b *ConvBlock) InferInto(dst, x *tensor.Tensor, a *nn.Arena) {
+	if b.Pool == nil {
+		b.Conv.ForwardInto(dst, x, a)
+		b.BN.ForwardInto(dst, dst, a)
+		b.Act.ForwardInto(dst, dst, a)
+		return
+	}
+	n := x.Dim(0)
+	oh := tensor.ConvOutDim(x.Dim(2), b.Conv.KH, b.Conv.Stride, b.Conv.Pad)
+	ow := tensor.ConvOutDim(x.Dim(3), b.Conv.KW, b.Conv.Stride, b.Conv.Pad)
+	mid := a.Tensor4(b.name, n, b.Conv.OutC, oh, ow)
+	b.Conv.ForwardInto(mid, x, a)
+	b.BN.ForwardInto(mid, mid, a)
+	b.Act.ForwardInto(mid, mid, a)
+	b.Pool.ForwardInto(dst, mid, a)
+}
+
 // OutChannels returns the conv's output width.
 func (b *ConvBlock) OutChannels() int { return b.Conv.OutC }
 
@@ -153,6 +177,11 @@ type ResBlock struct {
 
 	lastSkip *tensor.Tensor // cached skip output for backward
 	lastIn   *tensor.Tensor
+
+	// midTag and skipTag are the block's arena buffer keys, derived lazily
+	// from the name so every construction path (builders, clones,
+	// deserialization) gets them for free.
+	midTag, skipTag string
 }
 
 // NewResBlock builds a basic block. stride 2 creates a projection skip.
@@ -194,16 +223,23 @@ func (b *ResBlock) OutShape(in []int) []int {
 	return b.Conv2.OutShape(b.Conv1.OutShape(in))
 }
 
-// Forward runs the main path and (optionally) adds the skip.
+// Forward runs the main path and (optionally) adds the skip. In eval mode no
+// backward state is retained, so inputs are not pinned between requests.
 func (b *ResBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	b.lastIn = x
+	if train {
+		b.lastIn = x
+	} else {
+		b.lastIn, b.lastSkip = nil, nil
+	}
 	y := b.BN2.Forward(b.Conv2.Forward(b.Act1.Forward(b.BN1.Forward(b.Conv1.Forward(x, train), train), train), train), train)
 	if b.WithSkip {
 		skip := x
 		if b.Down != nil {
 			skip = b.DownBN.Forward(b.Down.Forward(x, train), train)
 		}
-		b.lastSkip = skip
+		if train {
+			b.lastSkip = skip
+		}
 		y = y.Clone()
 		y.AddInPlace(skip)
 	}
@@ -226,6 +262,37 @@ func (b *ResBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	dxMain.AddInPlace(dxSkip)
 	return dxMain
+}
+
+// InferInto implements the stage inference path. The main path runs through
+// one arena buffer with the normalizations and activations applied in
+// place; the skip (identity or projection) is added into dst before the
+// final activation, in the same element order as Forward, so the two paths
+// agree bit for bit.
+func (b *ResBlock) InferInto(dst, x *tensor.Tensor, a *nn.Arena) {
+	if b.midTag == "" {
+		b.midTag = b.name + ".mid"
+		b.skipTag = b.name + ".skip"
+	}
+	n := x.Dim(0)
+	oh := tensor.ConvOutDim(x.Dim(2), b.Conv1.KH, b.Conv1.Stride, b.Conv1.Pad)
+	ow := tensor.ConvOutDim(x.Dim(3), b.Conv1.KW, b.Conv1.Stride, b.Conv1.Pad)
+	mid := a.Tensor4(b.midTag, n, b.Conv1.OutC, oh, ow)
+	b.Conv1.ForwardInto(mid, x, a)
+	b.BN1.ForwardInto(mid, mid, a)
+	b.Act1.ForwardInto(mid, mid, a)
+	b.Conv2.ForwardInto(dst, mid, a)
+	b.BN2.ForwardInto(dst, dst, a)
+	if b.WithSkip {
+		skip := x
+		if b.Down != nil {
+			skip = a.Tensor4(b.skipTag, n, b.Down.OutC, oh, ow)
+			b.Down.ForwardInto(skip, x, a)
+			b.DownBN.ForwardInto(skip, skip, a)
+		}
+		dst.AddInPlace(skip)
+	}
+	b.Act2.ForwardInto(dst, dst, a)
 }
 
 // OutChannels returns the block's output width.
