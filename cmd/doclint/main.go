@@ -1,0 +1,221 @@
+// Command doclint enforces the repository's godoc contract: every exported
+// identifier in the checked packages must carry a doc comment. It is the
+// equivalent of revive's `exported` rule, implemented on go/ast so CI needs
+// no third-party tooling.
+//
+// Usage:
+//
+//	doclint [-fields] DIR...
+//
+// Each DIR is one package directory (non-recursive; list the packages to
+// check explicitly). Checked declarations:
+//
+//   - the package clause itself (one file must carry a package comment)
+//   - exported functions and methods (methods only on exported receivers)
+//   - exported types
+//   - exported consts and vars (a documented declaration group covers its
+//     members)
+//   - with -fields (the default), exported fields of exported structs and
+//     exported methods of exported interfaces
+//
+// Exit status is 1 if anything is missing, with one "file:line: symbol"
+// diagnostic per finding, so the CI step fails with an actionable list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run lints every listed package directory and reports missing docs.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("doclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fields := fs.Bool("fields", true, "also require docs on exported struct fields and interface methods")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "usage: doclint [-fields] DIR...")
+		return 2
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fnd, err := lintDir(dir, *fields)
+		if err != nil {
+			fmt.Fprintf(stderr, "doclint: %s: %v\n", dir, err)
+			return 2
+		}
+		findings = append(findings, fnd...)
+	}
+	if len(findings) == 0 {
+		fmt.Fprintf(stdout, "doclint: %d package(s) clean\n", len(dirs))
+		return 0
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	fmt.Fprintf(stderr, "doclint: %d exported identifier(s) missing doc comments\n", len(findings))
+	return 1
+}
+
+// lintDir parses one package directory (tests excluded) and returns the
+// missing-doc findings.
+func lintDir(dir string, fields bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		// Package comment: at least one file must document the package.
+		hasPkgDoc := false
+		var firstFile *ast.File
+		var firstName string
+		for name, file := range pkg.Files {
+			if firstFile == nil || name < firstName {
+				firstFile, firstName = file, name
+			}
+			if file.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc && firstFile != nil {
+			report(firstFile.Package, "package "+pkg.Name+" has no package comment")
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lintDecl(decl, fields, report)
+			}
+		}
+	}
+	return findings, nil
+}
+
+// lintDecl checks one top-level declaration.
+func lintDecl(decl ast.Decl, fields bool, report func(token.Pos, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		if recv := receiverName(d); recv != "" && !ast.IsExported(recv) {
+			return // method on an unexported type: internal detail
+		}
+		if d.Doc == nil {
+			what := "func " + d.Name.Name
+			if r := receiverName(d); r != "" {
+				what = fmt.Sprintf("method (%s).%s", r, d.Name.Name)
+			}
+			report(d.Name.Pos(), what+" is exported but undocumented")
+		}
+	case *ast.GenDecl:
+		lintGenDecl(d, fields, report)
+	}
+}
+
+// lintGenDecl checks type/const/var declarations. A doc comment on the
+// declaration group covers all its specs (the idiomatic enum-block style);
+// otherwise each exported spec needs its own.
+func lintGenDecl(d *ast.GenDecl, fields bool, report func(token.Pos, string)) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if !ts.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil && ts.Doc == nil && ts.Comment == nil {
+				report(ts.Name.Pos(), "type "+ts.Name.Name+" is exported but undocumented")
+			}
+			if fields {
+				lintTypeMembers(ts, report)
+			}
+		}
+	case token.CONST, token.VAR:
+		kind := "const"
+		if d.Tok == token.VAR {
+			kind = "var"
+		}
+		groupDocumented := d.Doc != nil
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, name := range vs.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !groupDocumented && vs.Doc == nil && vs.Comment == nil {
+					report(name.Pos(), kind+" "+name.Name+" is exported but undocumented")
+				}
+			}
+		}
+	}
+}
+
+// lintTypeMembers checks exported struct fields and interface methods of an
+// exported type.
+func lintTypeMembers(ts *ast.TypeSpec, report func(token.Pos, string)) {
+	switch t := ts.Type.(type) {
+	case *ast.StructType:
+		for _, f := range t.Fields.List {
+			for _, name := range f.Names {
+				if name.IsExported() && f.Doc == nil && f.Comment == nil {
+					report(name.Pos(), fmt.Sprintf("field %s.%s is exported but undocumented",
+						ts.Name.Name, name.Name))
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			for _, name := range m.Names {
+				if name.IsExported() && m.Doc == nil && m.Comment == nil {
+					report(name.Pos(), fmt.Sprintf("interface method %s.%s is undocumented",
+						ts.Name.Name, name.Name))
+				}
+			}
+		}
+	}
+}
+
+// receiverName extracts the receiver's base type name ("" for functions).
+func receiverName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

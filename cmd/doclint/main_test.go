@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCleanPackagePasses(t *testing.T) {
+	dir := writePkg(t, `// Package x is documented.
+package x
+
+// Exported is documented.
+func Exported() {}
+
+// T is documented.
+type T struct {
+	// F is documented.
+	F int
+}
+
+// M is documented.
+func (T) M() {}
+
+// Hidden things need no docs.
+type hidden struct{ f int }
+
+func (hidden) m() {}
+`)
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("clean package exited %d: %s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestMissingDocsFlagged(t *testing.T) {
+	dir := writePkg(t, `package x
+
+func Exported() {}
+
+type T struct {
+	F int
+}
+
+func (T) M() {}
+
+const C = 1
+
+var V = 2
+`)
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 1 {
+		t.Fatalf("undocumented package exited %d, want 1", code)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"package x has no package comment",
+		"func Exported",
+		"type T",
+		"field T.F",
+		"method (T).M",
+		"const C",
+		"var V",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("findings missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDocumentedGroupCoversMembers(t *testing.T) {
+	dir := writePkg(t, `// Package x is documented.
+package x
+
+// The enum values.
+const (
+	A = iota
+	B
+)
+`)
+	var out, errb bytes.Buffer
+	if code := run([]string{dir}, &out, &errb); code != 0 {
+		t.Fatalf("documented const group flagged: %s", out.String())
+	}
+}
+
+func TestBadDirFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"/nonexistent-dir-xyz"}, &out, &errb); code != 2 {
+		t.Fatalf("bad dir exited %d, want 2", code)
+	}
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args exited %d, want 2", code)
+	}
+}

@@ -1,14 +1,19 @@
 // Command tbnet drives the TBNet reproduction: it trains victims, generates
-// the two-branch substitution model, serves it concurrently on the simulated
-// TrustZone substrate, and regenerates every table and figure of the paper's
+// the two-branch substitution model, persists and restores finalized
+// deployments, serves them concurrently on the simulated TrustZone
+// substrate — single device, mixed fleet, or under a trace-driven workload
+// scenario — and regenerates every table and figure of the paper's
 // evaluation.
 //
 // Usage:
 //
 //	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|fleet|ablation|...> [flags]
 //	tbnet pipeline [flags]    # one train→transfer→prune→finalize flow
+//	tbnet save [flags]        # run the pipeline and persist the deployment artifact
+//	tbnet load [flags]        # restore a saved deployment (or list a registry)
 //	tbnet serve [flags]       # deploy and serve a synthetic request load
 //	tbnet fleet [flags]       # serve across a mixed device fleet with routed traffic
+//	tbnet scenario [flags]    # drive a fleet through a phased / trace-replayed workload
 //	tbnet info                # print the registered hardware backends
 //
 // Common flags:
@@ -18,15 +23,25 @@
 //	-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet
 //	-dataset c10|c100
 //	-device NAME          hardware backend (default rpi3; see `tbnet info`)
-//	-json                 machine-readable output (experiment, pipeline, serve, fleet)
+//	-json                 machine-readable output (all workload commands)
 //	-v                    verbose progress logging
+//
+// Save/load flags:
+//
+//	-out FILE         artifact file to write (save)
+//	-in FILE          artifact file to read (load)
+//	-registry DIR     named model store directory (save into / load from / list)
+//	-name NAME        registry entry name (save default: the arch name)
 //
 // Serve flags:
 //
-//	-workers N    replicated enclave sessions (default 4)
+//	-workers N    replicated enclave sessions per model (default 4)
 //	-batch N      micro-batch flush size (default 8)
 //	-delay D      micro-batch flush delay (default 2ms)
 //	-requests N   synthetic requests to serve (default 64)
+//	-models LIST  serve saved models (name=artifact.tbd, or registry names
+//	              with -registry) instead of training a pipeline; several
+//	              models are hosted concurrently on one server
 //
 // Fleet flags:
 //
@@ -38,6 +53,13 @@
 //	-poisson          exponential (Poisson-process) interarrival times
 //	-deadline D       per-request deadline; overdue requests are shed (default none)
 //	-max-inflight N   fleet-wide in-flight cap (default capacity-weighted)
+//
+// Scenario flags (plus -devices/-policy/-deadline/-max-inflight as fleet):
+//
+//	-spec LIST    phases as name:pattern:rate:duration[:peak[:period]] with
+//	              pattern uniform|poisson|burst|ramp|diurnal
+//	-trace FILE   replay an arrival trace ("<offset-seconds> [model]" lines)
+//	-models LIST  serve saved models (mixed-model traffic when several)
 package main
 
 import (
@@ -78,6 +100,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runServeCmd(args[1:], stdout, stderr)
 	case "fleet":
 		return runFleetCmd(args[1:], stdout, stderr)
+	case "save":
+		return runSaveCmd(args[1:], stdout, stderr)
+	case "load":
+		return runLoadCmd(args[1:], stdout, stderr)
+	case "scenario":
+		return runScenarioCmd(args[1:], stdout, stderr)
 	case "info":
 		return runInfoCmd(stdout)
 	default:
@@ -225,10 +253,12 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	c := addCommonFlags(fs)
-	workers := fs.Int("workers", 4, "replicated enclave sessions")
+	workers := fs.Int("workers", 4, "replicated enclave sessions per model")
 	batch := fs.Int("batch", 8, "micro-batch flush size")
 	delay := fs.Duration("delay", 2*time.Millisecond, "micro-batch flush delay")
 	requests := fs.Int("requests", 64, "synthetic requests to serve")
+	models := fs.String("models", "", "serve saved models: name=artifact.tbd or registry names (comma-separated)")
+	regDir := fs.String("registry", "", "model registry directory for bare -models names")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -238,31 +268,69 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 			*workers, *batch, *delay, *requests)
 		return 2
 	}
-	opts, err := c.pipelineOptions(stderr)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
-	}
-	device, err := c.resolveDevice()
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
-	}
-	p, err := tbnet.NewPipeline(opts...)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
-	}
-	fmt.Fprintf(stderr, "building %s/%s pipeline at %s scale...\n", c.arch, c.dataset, c.scale)
-	res, err := p.Run(context.Background())
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
+
+	// The served models: saved artifacts (-models/-registry) or one freshly
+	// trained pipeline. Artifact mode serves random noise inputs (no dataset
+	// ships with an artifact) and spreads traffic across the hosted models;
+	// pipeline mode keeps the accuracy-checked closed loop.
+	var dep *tbnet.Deployment
+	var extra []namedDep
+	var sample func(i int) *tbnet.Tensor
+	var checkLabel func(i, label int) bool
+	if *models != "" {
+		device, err := explicitDevice(fs, c)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		deps, err := parseModelList(*models, *regDir, device)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		dep, extra = deps[0].dep, deps[1:]
+		shape := dep.SampleShape()
+		shape[0] = 1
+		rng := tbnet.NewRNG(c.seed)
+		pool := make([]*tbnet.Tensor, 256)
+		for i := range pool {
+			x := tbnet.NewTensor(shape...)
+			rng.FillNormal(x, 0, 1)
+			pool[i] = x
+		}
+		sample = func(i int) *tbnet.Tensor { return pool[i%len(pool)] }
+		checkLabel = func(int, int) bool { return false }
+	} else {
+		opts, err := c.pipelineOptions(stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		device, err := c.resolveDevice()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		p, err := tbnet.NewPipeline(opts...)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "building %s/%s pipeline at %s scale...\n", c.arch, c.dataset, c.scale)
+		res, err := p.Run(context.Background())
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		dep, err = tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		test := res.Test
+		singles := test.Batches(1, nil)
+		sample = func(i int) *tbnet.Tensor { return singles[i%len(singles)].X }
+		checkLabel = func(i, label int) bool { return label == test.Y[i%test.Len()] }
 	}
 	srv, err := tbnet.Serve(dep,
 		tbnet.WithWorkers(*workers),
@@ -274,13 +342,18 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer srv.Close()
+	for _, m := range extra {
+		if err := srv.AddModel(m.name, m.dep); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	hosted := srv.Models()
 
-	// Closed-loop synthetic clients drawn from the test split.
-	test := res.Test
-	singles := test.Batches(1, nil)
-	sample := func(i int) *tbnet.Tensor { return singles[i%len(singles)].X }
-	fmt.Fprintf(stderr, "serving %d requests over %d workers (batch ≤%d, delay %v)...\n",
-		*requests, *workers, *batch, *delay)
+	// Closed-loop synthetic clients; with several hosted models the traffic
+	// round-robins across them.
+	fmt.Fprintf(stderr, "serving %d requests over %d workers × %d model(s) (batch ≤%d, delay %v)...\n",
+		*requests, *workers, len(hosted), *batch, *delay)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	correct, failed := 0, 0
@@ -291,11 +364,11 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				label, err := srv.Infer(context.Background(), sample(i))
+				label, err := srv.InferModel(context.Background(), hosted[i%len(hosted)], sample(i))
 				mu.Lock()
 				if err != nil {
 					failed++
-				} else if label == test.Y[i%test.Len()] {
+				} else if checkLabel(i, label) {
 					correct++
 				}
 				mu.Unlock()
@@ -653,11 +726,21 @@ func usage(w io.Writer) {
   tbnet pipeline [-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet]
                  [-dataset c10|c100] [-scale micro|ci|full] [-seed N]
                  [-device NAME] [-json] [-v]
+  tbnet save     (-out FILE | -registry DIR [-name NAME])
+                 [-arch ...] [-dataset ...] [-scale ...] [-seed N]
+                 [-device NAME] [-json] [-v]
+  tbnet load     (-in FILE | -registry DIR [-name NAME])
+                 [-device NAME] [-json]    # no -name: list the registry
   tbnet serve    [-workers N] [-batch N] [-delay D] [-requests N]
+                 [-models NAME=FILE,... | -models NAME,... -registry DIR]
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N]
                  [-device NAME] [-json] [-v]
   tbnet fleet    [-devices NAME:W,NAME:W,...] [-policy round-robin|least-loaded|cost-aware]
                  [-requests N] [-rate R] [-poisson] [-deadline D] [-max-inflight N]
+                 [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
+  tbnet scenario [-devices NAME:W,...] [-policy ...] [-deadline D] [-max-inflight N]
+                 [-spec name:pattern:rate:dur[:peak[:period]],...] [-trace FILE]
+                 [-models NAME=FILE,... | -models NAME,... -registry DIR]
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
   tbnet info     # list the registered hardware backends`)
 }

@@ -1,0 +1,345 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tbnet"
+	"tbnet/internal/fleet"
+	"tbnet/internal/report"
+	"tbnet/internal/scenario"
+)
+
+// defaultSpec is the scenario the CLI runs when -spec is not given: a
+// warm-up, a flash crowd, a linear load ramp, and a compressed diurnal
+// cycle — a few seconds of wall time that sweeps the fleet through its
+// serving regimes.
+const defaultSpec = "warmup:uniform:120:1s," +
+	"burst:burst:120:2s:480:1s," +
+	"ramp:ramp:120:1500ms:420," +
+	"diurnal:diurnal:100:2s:320:1s"
+
+// namedDep is one model the scenario serves: its serving name and its
+// deployment template.
+type namedDep struct {
+	name string
+	dep  *tbnet.Deployment
+}
+
+// parseModelList loads the -models flag: comma-separated entries, each
+// either "name=artifact.tbd" (loaded from the file) or a bare "name"
+// (loaded from -registry). A non-nil device re-targets every loaded
+// artifact onto that backend (an explicit -device flag); nil keeps each
+// artifact's saved device.
+func parseModelList(list, regDir string, device tbnet.Device) ([]namedDep, error) {
+	var reg *tbnet.Registry
+	var out []namedDep
+	for _, spec := range strings.Split(list, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, path := spec, ""
+		if at := strings.IndexByte(spec, '='); at >= 0 {
+			name, path = spec[:at], spec[at+1:]
+		}
+		if name == "" {
+			return nil, fmt.Errorf("model spec %q: empty name", spec)
+		}
+		var dep *tbnet.Deployment
+		var err error
+		if path != "" {
+			var f *os.File
+			if f, err = os.Open(path); err == nil {
+				dep, err = tbnet.LoadDeploymentOn(f, device)
+				f.Close()
+			}
+		} else {
+			if regDir == "" {
+				return nil, fmt.Errorf("model spec %q names a registry entry but -registry is not set", spec)
+			}
+			if reg == nil {
+				if reg, err = tbnet.OpenRegistry(regDir); err != nil {
+					return nil, err
+				}
+			}
+			dep, err = reg.LoadOn(name, device)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("model %q: %w", name, err)
+		}
+		out = append(out, namedDep{name: name, dep: dep})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty model list")
+	}
+	return out, nil
+}
+
+// explicitDevice resolves the -device flag only if the user actually set it
+// (artifact mode defaults to each artifact's saved device, so the flag's
+// "rpi3" default must not silently re-target loaded models).
+func explicitDevice(fs *flag.FlagSet, c *commonFlags) (tbnet.Device, error) {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "device" {
+			set = true
+		}
+	})
+	if !set {
+		return nil, nil
+	}
+	return c.resolveDevice()
+}
+
+// parseScenarioSpec parses the -spec phase DSL: comma-separated phases, each
+//
+//	name:pattern:rate:duration[:peak[:period]]
+//
+// with pattern one of uniform|poisson|burst|ramp|diurnal. Everything is
+// validated here, before the (potentially minutes-long) model build.
+func parseScenarioSpec(spec string) ([]scenario.Phase, error) {
+	var phases []scenario.Phase
+	for _, ps := range strings.Split(spec, ",") {
+		ps = strings.TrimSpace(ps)
+		if ps == "" {
+			continue
+		}
+		parts := strings.Split(ps, ":")
+		if len(parts) < 4 || len(parts) > 6 {
+			return nil, fmt.Errorf("phase %q: want name:pattern:rate:duration[:peak[:period]]", ps)
+		}
+		switch scenario.Pattern(parts[1]) {
+		case scenario.Uniform, scenario.Poisson, scenario.Burst, scenario.Ramp, scenario.Diurnal:
+		default:
+			return nil, fmt.Errorf("phase %q: unknown pattern %q (want uniform, poisson, burst, ramp, or diurnal)",
+				ps, parts[1])
+		}
+		rate, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("phase %q: bad rate %q", ps, parts[2])
+		}
+		dur, err := time.ParseDuration(parts[3])
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("phase %q: bad duration %q", ps, parts[3])
+		}
+		ph := scenario.Phase{
+			Name:     parts[0],
+			Pattern:  scenario.Pattern(parts[1]),
+			Rate:     rate,
+			Duration: dur,
+		}
+		if len(parts) >= 5 {
+			peak, err := strconv.ParseFloat(parts[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("phase %q: bad peak rate %q", ps, parts[4])
+			}
+			ph.PeakRate = peak
+		}
+		if len(parts) == 6 {
+			period, err := time.ParseDuration(parts[5])
+			if err != nil {
+				return nil, fmt.Errorf("phase %q: bad period %q", ps, parts[5])
+			}
+			ph.Period = period
+		}
+		// Full semantic validation (peak below base rate, bad period, ...)
+		// happens now, not inside scenario.Run after the model build.
+		if err := ph.Validate(); err != nil {
+			return nil, fmt.Errorf("phase %q: %w", ps, err)
+		}
+		phases = append(phases, ph)
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("empty scenario spec")
+	}
+	return phases, nil
+}
+
+// runScenarioCmd implements `tbnet scenario`: assemble a fleet (from saved
+// artifacts or a freshly built pipeline), drive it through a phased workload
+// — synthesized patterns or a replayed trace — and report per-phase latency,
+// shed, and per-model throughput.
+func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := addCommonFlags(fs)
+	devices := fs.String("devices", "rpi3:2,sgx-desktop:2,jetson-tz:2",
+		"attached devices as name:workers pairs")
+	policyName := fs.String("policy", "cost-aware", "routing policy: round-robin, least-loaded, cost-aware")
+	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = none); overdue requests are shed")
+	maxInFlight := fs.Int("max-inflight", 0, "fleet-wide in-flight cap (0 = capacity-weighted default)")
+	models := fs.String("models", "", "serve saved models: name=artifact.tbd or registry names (comma-separated)")
+	regDir := fs.String("registry", "", "model registry directory for bare -models names")
+	spec := fs.String("spec", defaultSpec, "phases as name:pattern:rate:duration[:peak[:period]]")
+	traceFile := fs.String("trace", "", "replay an arrival trace file instead of -spec")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *deadline < 0 || *maxInFlight < 0 {
+		fmt.Fprintf(stderr, "invalid scenario flags: deadline %v, max-inflight %d\n", *deadline, *maxInFlight)
+		return 2
+	}
+	fleetOpts, err := parseFleetDevices(*devices)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	policy, err := fleetPolicy(*policyName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fleetOpts = append(fleetOpts, tbnet.WithPolicy(policy))
+	if *deadline > 0 {
+		fleetOpts = append(fleetOpts, tbnet.WithDeadline(*deadline))
+	}
+	if *maxInFlight > 0 {
+		fleetOpts = append(fleetOpts, tbnet.WithMaxInFlight(*maxInFlight))
+	}
+
+	// Parse the workload shape first — a typo in the spec or a missing trace
+	// file must fail before the (potentially minutes-long) model build.
+	var phases []scenario.Phase
+	if *traceFile != "" {
+		tf, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		arrivals, err := scenario.ParseTrace(tf)
+		tf.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		phases = []scenario.Phase{{Name: "replay", Pattern: scenario.Replay, Trace: arrivals}}
+	} else {
+		phases, err = parseScenarioSpec(*spec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	// The served models: either saved artifacts (-models/-registry) or one
+	// freshly trained pipeline. The first model is the fleet's template and
+	// serves as the default model; any further ones are hosted by name.
+	var deps []namedDep
+	sample := func(i int) *tbnet.Tensor { return nil } // replaced below
+	if *models != "" {
+		device, derr := explicitDevice(fs, c)
+		if derr != nil {
+			fmt.Fprintln(stderr, derr)
+			return 2
+		}
+		deps, err = parseModelList(*models, *regDir, device)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		// Saved artifacts carry no dataset, so the client load is random
+		// noise images of the served shape — the serving stack's behaviour
+		// under load does not depend on input content.
+		shape := deps[0].dep.SampleShape()
+		shape[0] = 1
+		rng := tbnet.NewRNG(c.seed)
+		pool := make([]*tbnet.Tensor, 256)
+		for i := range pool {
+			x := tbnet.NewTensor(shape...)
+			rng.FillNormal(x, 0, 1)
+			pool[i] = x
+		}
+		sample = func(i int) *tbnet.Tensor { return pool[i%len(pool)] }
+	} else {
+		opts, err := c.pipelineOptions(stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		p, err := tbnet.NewPipeline(opts...)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		device, err := c.resolveDevice()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "building %s/%s pipeline at %s scale...\n", c.arch, c.dataset, c.scale)
+		res, err := p.Run(context.Background())
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		deps = []namedDep{{name: c.arch, dep: dep}}
+		singles := res.Test.Batches(1, nil)
+		sample = func(i int) *tbnet.Tensor { return singles[i%len(singles)].X }
+	}
+
+	// Mixed-model traffic shares: the default model plus every named extra,
+	// applied to every phase now that the hosted set is known.
+	if len(deps) > 1 {
+		shares := []scenario.ModelShare{{Name: tbnet.DefaultModel, Weight: 1}}
+		for _, m := range deps[1:] {
+			shares = append(shares, scenario.ModelShare{Name: m.name, Weight: 1})
+		}
+		for i := range phases {
+			phases[i].Models = shares
+		}
+	}
+
+	for _, m := range deps[1:] {
+		fleetOpts = append(fleetOpts, tbnet.WithModel(m.name, m.dep))
+	}
+	f, err := tbnet.NewFleet(deps[0].dep, fleetOpts...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer f.Close()
+
+	fmt.Fprintf(stderr, "driving %d phase(s) over %q routing (default model: %s)...\n",
+		len(phases), *policyName, deps[0].name)
+	res, err := scenario.Run(context.Background(),
+		f, scenario.Spec{Name: deps[0].name, Seed: c.seed, Phases: phases}, sample)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	st := f.Stats()
+
+	if c.jsonOut {
+		// One artifact object: the scenario's per-phase client-side figures
+		// plus the fleet's own server-side snapshot.
+		if err := json.NewEncoder(stdout).Encode(struct {
+			Scenario *scenario.Result `json:"scenario"`
+			Fleet    fleet.Stats      `json:"fleet"`
+		}{res, st}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	report.ScenarioTable(res).Render(stdout)
+	if len(res.PerModel) > 1 {
+		report.ScenarioModelTable(res).Render(stdout)
+	}
+	report.FleetTable(st).Render(stdout)
+	fmt.Fprintf(stdout, "offered %d requests: %d served, %d shed, %d failed in %.2fs\n",
+		res.Offered, res.Served, res.Shed, res.Failed, res.WallSeconds)
+	return 0
+}

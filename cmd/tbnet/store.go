@@ -1,0 +1,231 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tbnet"
+	"tbnet/internal/report"
+)
+
+// runSaveCmd implements `tbnet save`: run the pipeline, deploy the finalized
+// model on the selected backend, and persist the deployment artifact — to a
+// file (-out) or into a named registry entry (-registry/-name).
+func runSaveCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("save", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c := addCommonFlags(fs)
+	out := fs.String("out", "", "artifact file to write (exclusive with -registry)")
+	regDir := fs.String("registry", "", "model registry directory to save into")
+	name := fs.String("name", "", "registry entry name (default the architecture name)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*out == "") == (*regDir == "") {
+		fmt.Fprintln(stderr, "save: exactly one of -out FILE or -registry DIR is required")
+		return 2
+	}
+	opts, err := c.pipelineOptions(stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	device, err := c.resolveDevice()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	p, err := tbnet.NewPipeline(opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "building %s/%s pipeline at %s scale...\n", c.arch, c.dataset, c.scale)
+	res, err := p.Run(context.Background())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	summary := struct {
+		Path        string  `json:"path,omitempty"`
+		Registry    string  `json:"registry,omitempty"`
+		Name        string  `json:"name,omitempty"`
+		SHA256      string  `json:"sha256,omitempty"`
+		SizeBytes   int64   `json:"size_bytes,omitempty"`
+		Device      string  `json:"device"`
+		TBAcc       float64 `json:"tbnet_acc"`
+		SecureBytes int64   `json:"peak_secure_bytes"`
+	}{Device: device.Name(), TBAcc: res.TBAcc, SecureBytes: dep.SecureBytes}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := tbnet.SaveDeployment(f, dep); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		info, err := os.Stat(*out)
+		if err == nil {
+			summary.SizeBytes = info.Size()
+		}
+		summary.Path = *out
+	} else {
+		if *name == "" {
+			*name = c.arch
+		}
+		reg, err := tbnet.OpenRegistry(*regDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		entry, err := reg.Save(*name, dep)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		summary.Registry, summary.Name = *regDir, *name
+		summary.SHA256, summary.SizeBytes = entry.SHA256, entry.SizeBytes
+	}
+
+	if c.jsonOut {
+		if err := json.NewEncoder(stdout).Encode(summary); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	where := summary.Path
+	if where == "" {
+		where = fmt.Sprintf("%s (registry %s, sha256 %s…)", summary.Name, summary.Registry, summary.SHA256[:12])
+	}
+	fmt.Fprintf(stdout, "saved deployment to %s\n", where)
+	fmt.Fprintf(stdout, "  device:        %s\n", summary.Device)
+	fmt.Fprintf(stdout, "  TBNet acc:     %s\n", report.Pct(summary.TBAcc))
+	fmt.Fprintf(stdout, "  artifact size: %s\n", report.Bytes(summary.SizeBytes))
+	fmt.Fprintf(stdout, "  secure memory: %s\n", report.Bytes(summary.SecureBytes))
+	return 0
+}
+
+// runLoadCmd implements `tbnet load`: bring a saved deployment back up from
+// a file or a registry entry (integrity-checked), run one probe inference,
+// and report the placement. With -registry and no -name it lists the store.
+func runLoadCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "artifact file to load (exclusive with -registry)")
+	regDir := fs.String("registry", "", "model registry directory to load from")
+	name := fs.String("name", "", "registry entry name (omit to list the registry)")
+	deviceName := fs.String("device", "", "re-target the deployment onto this backend (default: the saved device)")
+	jsonOut := fs.Bool("json", false, "machine-readable JSON output")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*in == "") == (*regDir == "") {
+		fmt.Fprintln(stderr, "load: exactly one of -in FILE or -registry DIR is required")
+		return 2
+	}
+	var device tbnet.Device
+	if *deviceName != "" {
+		d, err := tbnet.DeviceByName(*deviceName)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		device = d
+	}
+
+	// Registry listing mode.
+	if *regDir != "" && *name == "" {
+		reg, err := tbnet.OpenRegistry(*regDir)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		entries, err := reg.List()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if *jsonOut {
+			if err := json.NewEncoder(stdout).Encode(entries); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			return 0
+		}
+		if len(entries) == 0 {
+			fmt.Fprintf(stdout, "registry %s is empty\n", *regDir)
+			return 0
+		}
+		for _, e := range entries {
+			fmt.Fprintf(stdout, "%-20s device=%-12s shape=%v sha256=%s… %s\n",
+				e.Name, e.Device, e.SampleShape, e.SHA256[:12], report.Bytes(e.SizeBytes))
+		}
+		return 0
+	}
+
+	var dep *tbnet.Deployment
+	var err error
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			fmt.Fprintln(stderr, ferr)
+			return 1
+		}
+		dep, err = tbnet.LoadDeploymentOn(f, device)
+		f.Close()
+	} else {
+		var reg *tbnet.Registry
+		reg, err = tbnet.OpenRegistry(*regDir)
+		if err == nil {
+			dep, err = reg.LoadOn(*name, device)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	// One probe inference confirms the restored plan actually serves and
+	// meters the modeled single-image latency on the (possibly re-targeted)
+	// backend.
+	shape := dep.SampleShape()
+	shape[0] = 1
+	probe := tbnet.NewTensor(shape...)
+	if _, err := dep.Infer(probe); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *jsonOut {
+		if err := json.NewEncoder(stdout).Encode(struct {
+			Device      string  `json:"device"`
+			SampleShape []int   `json:"sample_shape"`
+			SecureBytes int64   `json:"peak_secure_bytes"`
+			LatencySec  float64 `json:"latency_sec"`
+		}{dep.Device.Name(), dep.SampleShape(), dep.SecureBytes, dep.Latency()}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "loaded deployment on %s: shape %v, %s secure memory, %.6fs modeled single-image latency\n",
+		dep.Device.Name(), dep.SampleShape(), report.Bytes(dep.SecureBytes), dep.Latency())
+	return 0
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"save"},                                    // neither -out nor -registry
+		{"save", "-out", "x.tbd", "-registry", "r"}, // both
+		{"load"},
+		{"load", "-in", "x.tbd", "-registry", "r"},
+		{"load", "-in", "x.tbd", "-device", "abacus"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Fatalf("%v exited %d, want 2", args, code)
+		}
+	}
+}
+
+func TestScenarioFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"scenario", "-spec", "oops"},
+		{"scenario", "-spec", "x:squiggle:100:1s"},
+		{"scenario", "-spec", "x:uniform:abc:1s"},
+		{"scenario", "-spec", "x:uniform:100:notatime"},
+		{"scenario", "-spec", "x:burst:100:1s:50"}, // peak below base rate
+		{"scenario", "-devices", "abacus:2"},
+		{"scenario", "-policy", "vibes"},
+		{"scenario", "-models", "m"}, // bare name without -registry
+		{"scenario", "-trace", "/nonexistent/trace.txt"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Fatalf("%v exited %d, want 2", args, code)
+		}
+	}
+}
+
+// TestSaveLoadServeScenarioEndToEnd walks the whole persistence story at
+// micro scale: save two models into a registry, list it, restore one, serve
+// both from the store on one server, then drive a short mixed-model scenario
+// against a fleet serving them — asserting the JSON artifact carries the
+// per-phase latency/shed/throughput rows the CI trajectory records.
+func TestSaveLoadServeScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains micro pipelines")
+	}
+	reg := t.TempDir()
+
+	// Save two differently-seeded models.
+	for i, name := range []string{"prod", "canary"} {
+		code, stdout, stderr := runCLI(t,
+			"save", "-arch", "tiny-vgg", "-scale", "micro", "-seed", string(rune('1'+i)),
+			"-registry", reg, "-name", name, "-json")
+		if code != 0 {
+			t.Fatalf("save %s exited %d: %s", name, code, stderr)
+		}
+		var summary struct {
+			Name   string `json:"name"`
+			SHA256 string `json:"sha256"`
+			Device string `json:"device"`
+		}
+		if err := json.Unmarshal([]byte(stdout), &summary); err != nil {
+			t.Fatalf("save JSON: %v\n%s", err, stdout)
+		}
+		if summary.Name != name || len(summary.SHA256) != 64 || summary.Device != "rpi3" {
+			t.Fatalf("save summary = %+v", summary)
+		}
+	}
+
+	// List the registry.
+	code, stdout, stderr := runCLI(t, "load", "-registry", reg, "-json")
+	if code != 0 {
+		t.Fatalf("list exited %d: %s", code, stderr)
+	}
+	var entries []struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &entries); err != nil {
+		t.Fatalf("list JSON: %v\n%s", err, stdout)
+	}
+	if len(entries) != 2 || entries[0].Name != "canary" || entries[1].Name != "prod" {
+		t.Fatalf("entries = %+v", entries)
+	}
+
+	// Restore one entry, re-targeted onto a different backend.
+	code, stdout, stderr = runCLI(t,
+		"load", "-registry", reg, "-name", "prod", "-device", "jetson-tz", "-json")
+	if code != 0 {
+		t.Fatalf("load exited %d: %s", code, stderr)
+	}
+	var loaded struct {
+		Device     string  `json:"device"`
+		LatencySec float64 `json:"latency_sec"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &loaded); err != nil {
+		t.Fatalf("load JSON: %v\n%s", err, stdout)
+	}
+	if loaded.Device != "jetson-tz" || loaded.LatencySec <= 0 {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+
+	// Serve both models from the store on one multi-tenant server.
+	code, stdout, stderr = runCLI(t,
+		"serve", "-models", "prod,canary", "-registry", reg,
+		"-requests", "24", "-workers", "2", "-json")
+	if code != 0 {
+		t.Fatalf("serve -models exited %d: %s", code, stderr)
+	}
+	var served struct {
+		Requests int64 `json:"requests"`
+		Models   int   `json:"models"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &served); err != nil {
+		t.Fatalf("serve JSON: %v\n%s", err, stdout)
+	}
+	if served.Requests != 24 || served.Models != 2 {
+		t.Fatalf("served = %+v, want 24 requests over 2 models", served)
+	}
+
+	// Drive a short mixed-model scenario and check the artifact shape.
+	code, stdout, stderr = runCLI(t,
+		"scenario", "-models", "prod,canary", "-registry", reg,
+		"-devices", "rpi3:1,sgx-desktop:1",
+		"-spec", "calm:uniform:150:300ms,spike:burst:150:400ms:600:200ms",
+		"-json")
+	if code != 0 {
+		t.Fatalf("scenario exited %d: %s", code, stderr)
+	}
+	var artifact struct {
+		Scenario struct {
+			Offered int `json:"offered"`
+			Phases  []struct {
+				Name     string  `json:"name"`
+				Offered  int     `json:"offered"`
+				ShedRate float64 `json:"shed_rate"`
+				P50Ms    float64 `json:"p50_ms"`
+			} `json:"phases"`
+			PerModel []struct {
+				Model  string `json:"model"`
+				Served int    `json:"served"`
+			} `json:"per_model"`
+		} `json:"scenario"`
+		Fleet struct {
+			Devices int `json:"devices"`
+			Models  []struct {
+				Name string `json:"name"`
+			} `json:"models"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &artifact); err != nil {
+		t.Fatalf("scenario JSON: %v\n%s", err, stdout)
+	}
+	sc := artifact.Scenario
+	if sc.Offered == 0 || len(sc.Phases) != 2 || sc.Phases[0].Name != "calm" || sc.Phases[1].Name != "spike" {
+		t.Fatalf("scenario artifact = %+v", sc)
+	}
+	if sc.Phases[0].P50Ms <= 0 {
+		t.Fatalf("calm phase carries no latency percentiles: %+v", sc.Phases[0])
+	}
+	if len(sc.PerModel) != 2 {
+		t.Fatalf("per-model rows = %+v", sc.PerModel)
+	}
+	if artifact.Fleet.Devices != 2 || len(artifact.Fleet.Models) != 2 {
+		t.Fatalf("fleet snapshot = %+v", artifact.Fleet)
+	}
+}
+
+// TestScenarioTraceReplayEndToEnd: a trace file drives a replay phase.
+func TestScenarioTraceReplayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a micro pipeline")
+	}
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "m.tbd")
+	if code, _, stderr := runCLI(t,
+		"save", "-arch", "tiny-vgg", "-scale", "micro", "-out", artifact); code != 0 {
+		t.Fatalf("save exited %d: %s", code, stderr)
+	}
+	trace := filepath.Join(dir, "trace.txt")
+	if err := os.WriteFile(trace, []byte("0.0\n0.01\n0.02\n0.05\n0.08\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t,
+		"scenario", "-models", "m="+artifact, "-devices", "rpi3:1", "-trace", trace, "-json")
+	if code != 0 {
+		t.Fatalf("scenario replay exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"pattern":"replay"`) {
+		t.Fatalf("replay artifact missing replay phase: %s", stdout)
+	}
+	var out struct {
+		Scenario struct {
+			Offered int `json:"offered"`
+			Served  int `json:"served"`
+		} `json:"scenario"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Scenario.Offered != 5 || out.Scenario.Served != 5 {
+		t.Fatalf("replayed %d/%d, want 5/5", out.Scenario.Served, out.Scenario.Offered)
+	}
+}

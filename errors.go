@@ -5,6 +5,8 @@ import (
 
 	"tbnet/internal/core"
 	"tbnet/internal/fleet"
+	"tbnet/internal/registry"
+	"tbnet/internal/serial"
 	"tbnet/internal/serve"
 )
 
@@ -36,4 +38,24 @@ var (
 	// ErrBadOption reports an invalid value passed to a functional option of
 	// NewPipeline or Serve.
 	ErrBadOption = errors.New("tbnet: invalid option")
+
+	// ErrUnknownModel reports an inference or swap addressed to a model name
+	// the Server or Fleet does not host.
+	ErrUnknownModel = serve.ErrUnknownModel
+
+	// ErrModelExists reports an AddModel under a name already hosted (use
+	// SwapModel to replace a hosted model).
+	ErrModelExists = serve.ErrModelExists
+
+	// ErrBadArtifact reports a corrupt, truncated, or checksum-failing
+	// persisted artifact (SaveDeployment/LoadDeployment, SaveModel/...).
+	ErrBadArtifact = serial.ErrBadFormat
+
+	// ErrModelNotFound reports a Registry load of a name the store does not
+	// hold.
+	ErrModelNotFound = registry.ErrNotFound
+
+	// ErrIntegrity reports a Registry artifact whose on-disk bytes no longer
+	// match the content hash recorded in its manifest.
+	ErrIntegrity = registry.ErrIntegrity
 )

@@ -9,20 +9,33 @@ import (
 	"tbnet/internal/tee"
 )
 
-// Fleet serves one finalized model across a heterogeneous set of TEE devices
-// — one replicated serving pool per attached backend — routing every request
-// through a pluggable policy, with admission control that sheds excess load
-// instead of queueing it unboundedly. Create one with NewFleet; see the
+// Fleet serves one or more named finalized models across a heterogeneous
+// set of TEE devices — per-model replicated serving pools on every attached
+// backend — routing every request through a pluggable policy, with admission
+// control that sheds excess load instead of queueing it unboundedly. Create
+// one with NewFleet; host further models at construction with WithModel or
+// live with Fleet.AddModel, address them with Fleet.InferModel, and replace
+// one's replicas without dropping a request with Fleet.SwapModel. See the
 // fleet package documentation for the execution model.
 type Fleet = fleet.Fleet
 
+// DefaultModel is the name a Server's or Fleet's template deployment is
+// hosted under; Infer and InferBatch route to it.
+const DefaultModel = fleet.DefaultModel
+
 // FleetStats is an aggregated point-in-time snapshot of a Fleet: fleet-wide
 // throughput and p50/p95/p99 modeled latency (merged across devices), shed
-// and routing-decision counters, and the per-device breakdown.
+// and routing-decision counters, and the per-device and per-model
+// breakdowns.
 type FleetStats = fleet.Stats
 
 // FleetDeviceStats is one device's slice of a FleetStats snapshot.
 type FleetDeviceStats = fleet.DeviceStats
+
+// FleetModelStats is one hosted model's fleet-wide slice of a FleetStats
+// snapshot: counters summed and latency percentiles merged across every
+// node's pool for that model.
+type FleetModelStats = fleet.ModelStats
 
 // RoutingPolicy routes each fleet request to one attached device, picking
 // from a live per-node load snapshot. Use the built-ins below or implement
@@ -63,6 +76,25 @@ func WithDevice(name string, workers int) FleetOption {
 			return fmt.Errorf("%w: device %q workers %d < 1", ErrBadOption, name, workers)
 		}
 		c.Nodes = append(c.Nodes, fleet.NodeConfig{Device: d, Workers: workers})
+		return nil
+	}
+}
+
+// WithModel hosts an additional named model on every node of the fleet
+// alongside the default model (the deployment passed to NewFleet, hosted as
+// DefaultModel). Each model gets its own per-node replica pools, sharing
+// every device's secure-memory budget with the other hosted models; requests
+// address it through Fleet.InferModel and its replicas hot-swap through
+// Fleet.SwapModel. Names must be unique and non-empty.
+func WithModel(name string, dep *Deployment) FleetOption {
+	return func(c *fleet.Config) error {
+		if name == "" {
+			return fmt.Errorf("%w: empty model name", ErrBadOption)
+		}
+		if dep == nil {
+			return fmt.Errorf("%w: model %q has a nil deployment", ErrBadOption, name)
+		}
+		c.Models = append(c.Models, fleet.NamedModel{Name: name, Dep: dep})
 		return nil
 	}
 }

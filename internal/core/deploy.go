@@ -252,6 +252,27 @@ func (d *Deployment) ReplicateOn(device tee.Device, batch int, mem *tee.SecureMe
 // SampleShape returns the [N,C,H,W] shape the deployment was sized for.
 func (d *Deployment) SampleShape() []int { return append([]int(nil), d.sampleShape...) }
 
+// Snapshot returns a deep copy of the deployed finalized two-branch model —
+// both branches' weights and the channel-alignment maps — suitable for
+// persisting (serial.SaveDeployment) or re-deploying elsewhere. The copy
+// shares no mutable state with the live session.
+func (d *Deployment) Snapshot() *TwoBranch {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	align := make([][]int, len(d.align))
+	for i, a := range d.align {
+		if a != nil {
+			align[i] = append([]int(nil), a...)
+		}
+	}
+	return &TwoBranch{
+		MR:        d.mr.Clone(),
+		MT:        d.prog.mt.Clone(),
+		Align:     align,
+		Finalized: true,
+	}
+}
+
 // checkInput validates an inference input against the deployed sizing.
 func (d *Deployment) checkInput(x *tensor.Tensor) error {
 	if x == nil {

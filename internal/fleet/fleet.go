@@ -41,6 +41,10 @@ var ErrOverloaded = errors.New("fleet overloaded")
 // ErrConfig reports an invalid fleet configuration.
 var ErrConfig = errors.New("invalid fleet configuration")
 
+// DefaultModel is the name the fleet's template deployment is hosted under;
+// Infer and InferBatch route to it.
+const DefaultModel = serve.DefaultModel
+
 // NodeConfig attaches one device to the fleet.
 type NodeConfig struct {
 	// Device is the hardware backend this node serves on.
@@ -49,10 +53,26 @@ type NodeConfig struct {
 	Workers int
 }
 
+// NamedModel attaches an additional named model to every node of the fleet
+// at construction time (the template deployment passed to New is always
+// hosted as DefaultModel).
+type NamedModel struct {
+	// Name is the model's serving identity, addressed by InferModel and
+	// SwapModel.
+	Name string
+	// Dep is the deployment template; it is replicated onto every attached
+	// device, so it may come from any backend.
+	Dep *core.Deployment
+}
+
 // Config sizes the fleet. The zero value of any field selects its default.
 type Config struct {
 	// Nodes are the attached devices; at least one is required.
 	Nodes []NodeConfig
+	// Models are additional named models hosted on every node alongside the
+	// DefaultModel template. Names must be unique and must not collide with
+	// DefaultModel.
+	Models []NamedModel
 	// Policy routes each request to a node (default RoundRobin()).
 	Policy Policy
 	// Deadline bounds each request's end-to-end time in the fleet, queueing
@@ -108,6 +128,19 @@ func (c Config) validate() error {
 			return fmt.Errorf("%w: node %d (%s) workers %d < 1", ErrConfig, i, n.Device.Name(), n.Workers)
 		}
 	}
+	seen := map[string]bool{DefaultModel: true}
+	for i, m := range c.Models {
+		if m.Name == "" {
+			return fmt.Errorf("%w: model %d has an empty name", ErrConfig, i)
+		}
+		if m.Dep == nil {
+			return fmt.Errorf("%w: model %q has a nil deployment", ErrConfig, m.Name)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("%w: duplicate model name %q", ErrConfig, m.Name)
+		}
+		seen[m.Name] = true
+	}
 	if c.Deadline < 0 {
 		return fmt.Errorf("%w: negative deadline %v", ErrConfig, c.Deadline)
 	}
@@ -120,24 +153,36 @@ func (c Config) validate() error {
 	return nil
 }
 
-// node is one attached device: its server pool and fleet-side load counters.
+// node is one attached device: its multi-model server and fleet-side load
+// counters.
 type node struct {
-	name      string
-	device    tee.Device
-	workers   int
-	srv       *serve.Server
-	sampleLat float64 // modeled single-sample seconds, probed at construction
+	name    string
+	device  tee.Device
+	workers int
+	srv     *serve.Server
+
+	// lat maps each hosted model name to its modeled single-sample latency
+	// on this device, probed when the model is attached (or swapped), so
+	// cost-aware routing needs no warm-up traffic. Guarded by the fleet's
+	// modelMu.
+	lat map[string]float64
 
 	routed atomic.Int64 // routing decisions sent here
 	shed   atomic.Int64 // deadline sheds attributed to this node
 }
 
-// Fleet serves one finalized model across a heterogeneous set of devices,
-// routing each request through the configured policy. Create one with New;
-// it is safe for concurrent use.
+// Fleet serves one or more named finalized models across a heterogeneous set
+// of devices, routing each request through the configured policy. Create one
+// with New; it is safe for concurrent use. Models can be added (AddModel)
+// and hot-swapped (SwapModel) while the fleet serves.
 type Fleet struct {
 	cfg   Config
 	nodes []*node
+
+	// modelMu guards the hosted-model name list and the nodes' per-model
+	// latency maps.
+	modelMu sync.RWMutex
+	names   []string
 
 	inflight  atomic.Int64
 	shedTotal atomic.Int64
@@ -147,10 +192,12 @@ type Fleet struct {
 	start     time.Time
 }
 
-// New builds a fleet from a deployed template: the template's finalized model
-// is replicated onto every attached device (the caller keeps exclusive use of
-// the template's own session). Each node's modeled single-sample latency is
-// probed once here, so cost-aware routing needs no warm-up traffic.
+// New builds a fleet from a deployed template: the template's finalized
+// model is replicated onto every attached device as the DefaultModel (the
+// caller keeps exclusive use of the template's own session), and every
+// cfg.Models entry is hosted alongside it. Each (model, node) pair's modeled
+// single-sample latency is probed once here, so cost-aware routing needs no
+// warm-up traffic.
 func New(dep *core.Deployment, cfg Config) (*Fleet, error) {
 	if dep == nil {
 		return nil, fmt.Errorf("%w: nil deployment", ErrConfig)
@@ -159,9 +206,12 @@ func New(dep *core.Deployment, cfg Config) (*Fleet, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	f := &Fleet{cfg: cfg, drained: make(chan struct{}), start: time.Now()}
-	shape := dep.SampleShape()
-	shape[0] = 1
+	f := &Fleet{
+		cfg:     cfg,
+		names:   []string{DefaultModel},
+		drained: make(chan struct{}),
+		start:   time.Now(),
+	}
 	seen := make(map[string]int)
 	for i, nc := range cfg.Nodes {
 		name := nc.Device.Name()
@@ -169,15 +219,10 @@ func New(dep *core.Deployment, cfg Config) (*Fleet, error) {
 		if k := seen[name]; k > 1 {
 			name = fmt.Sprintf("%s#%d", name, k)
 		}
-		template, err := dep.ReplicateOn(nc.Device, 1, nil)
+		template, lat, err := probeOn(dep, nc.Device)
 		if err != nil {
 			f.closeNodes()
 			return nil, fmt.Errorf("fleet: deploying onto node %d (%s): %w", i, name, err)
-		}
-		probe := tensor.New(shape...)
-		if _, err := template.Infer(probe); err != nil {
-			f.closeNodes()
-			return nil, fmt.Errorf("fleet: probing node %d (%s): %w", i, name, err)
 		}
 		srv, err := serve.New(template, serve.Config{
 			Workers:  nc.Workers,
@@ -189,14 +234,128 @@ func New(dep *core.Deployment, cfg Config) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: starting node %d (%s): %w", i, name, err)
 		}
 		f.nodes = append(f.nodes, &node{
-			name:      name,
-			device:    nc.Device,
-			workers:   nc.Workers,
-			srv:       srv,
-			sampleLat: template.Latency(),
+			name:    name,
+			device:  nc.Device,
+			workers: nc.Workers,
+			srv:     srv,
+			lat:     map[string]float64{DefaultModel: lat},
 		})
 	}
+	for _, m := range cfg.Models {
+		if err := f.AddModel(m.Name, m.Dep); err != nil {
+			f.closeNodes()
+			return nil, fmt.Errorf("fleet: hosting model %q: %w", m.Name, err)
+		}
+	}
 	return f, nil
+}
+
+// probeOn replicates dep onto device (a fresh single-sample session) and
+// measures its modeled single-sample latency with one probe inference. The
+// returned template is suitable as a serve replication template or AddModel
+// source.
+func probeOn(dep *core.Deployment, device tee.Device) (*core.Deployment, float64, error) {
+	template, err := dep.ReplicateOn(device, 1, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	shape := template.SampleShape()
+	shape[0] = 1
+	probe := tensor.New(shape...)
+	if _, err := template.Infer(probe); err != nil {
+		return nil, 0, fmt.Errorf("probing: %w", err)
+	}
+	return template, template.Latency(), nil
+}
+
+// AddModel hosts a further named model on every node of the fleet, probing
+// its per-device latency for cost-aware routing. Attachment is
+// all-or-nothing: if any node cannot host the model — most commonly because
+// the pool does not fit the device's remaining secure-memory budget — the
+// nodes already updated detach it again, so a failed AddModel leaves the
+// name free for a retry.
+func (f *Fleet) AddModel(name string, dep *core.Deployment) error {
+	if dep == nil {
+		return fmt.Errorf("%w: nil deployment", ErrConfig)
+	}
+	if f.closed.Load() {
+		return serve.ErrClosed
+	}
+	f.modelMu.Lock()
+	defer f.modelMu.Unlock()
+	for _, n := range f.names {
+		if n == name {
+			return fmt.Errorf("%w: %q", serve.ErrModelExists, name)
+		}
+	}
+	for i, n := range f.nodes {
+		template, lat, err := probeOn(dep, n.device)
+		if err == nil {
+			err = n.srv.AddModel(name, template)
+		}
+		if err != nil {
+			for _, prev := range f.nodes[:i] {
+				prev.srv.RemoveModel(name) // best-effort unwind
+				delete(prev.lat, name)
+			}
+			return fmt.Errorf("fleet: node %s: %w", n.name, err)
+		}
+		n.lat[name] = lat
+	}
+	f.names = append(f.names, name)
+	return nil
+}
+
+// SwapModel hot-swaps the named model on every node concurrently, each node
+// following the serve layer's warm-then-drain protocol, so no in-flight or
+// queued request is dropped anywhere in the fleet. It returns once every
+// node's old replicas have drained; after that, every response for this
+// model fleet-wide comes from dep's weights. Per-node failures are joined
+// into the returned error — a node that fails (e.g. no secure-memory
+// headroom for the warm window) keeps serving the old model.
+func (f *Fleet) SwapModel(name string, dep *core.Deployment) error {
+	if dep == nil {
+		return fmt.Errorf("%w: nil deployment", ErrConfig)
+	}
+	if f.closed.Load() {
+		return serve.ErrClosed
+	}
+	errs := make([]error, len(f.nodes))
+	lats := make([]float64, len(f.nodes))
+	var wg sync.WaitGroup
+	for i, n := range f.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			template, lat, err := probeOn(dep, n.device)
+			if err != nil {
+				errs[i] = fmt.Errorf("fleet: node %s: %w", n.name, err)
+				return
+			}
+			if err := n.srv.SwapModel(name, template); err != nil {
+				errs[i] = fmt.Errorf("fleet: node %s: %w", n.name, err)
+				return
+			}
+			lats[i] = lat
+		}(i, n)
+	}
+	wg.Wait()
+	f.modelMu.Lock()
+	for i, n := range f.nodes {
+		if errs[i] == nil {
+			n.lat[name] = lats[i]
+		}
+	}
+	f.modelMu.Unlock()
+	return errors.Join(errs...)
+}
+
+// Models returns the hosted model names in hosting order (DefaultModel
+// first).
+func (f *Fleet) Models() []string {
+	f.modelMu.RLock()
+	defer f.modelMu.RUnlock()
+	return append([]string(nil), f.names...)
 }
 
 // closeNodes tears down the servers started so far (construction failure).
@@ -207,9 +366,16 @@ func (f *Fleet) closeNodes() {
 }
 
 // route consults the policy with a live load snapshot and returns the chosen
-// node. An out-of-range pick is folded back into range, so a buggy policy
-// degrades to a skewed distribution rather than a panic.
-func (f *Fleet) route() *node {
+// node for a request addressed to model. An out-of-range pick is folded back
+// into range, so a buggy policy degrades to a skewed distribution rather
+// than a panic.
+func (f *Fleet) route(model string) *node {
+	f.modelMu.RLock()
+	lats := make([]float64, len(f.nodes))
+	for i, n := range f.nodes {
+		lats[i] = n.lat[model]
+	}
+	f.modelMu.RUnlock()
 	loads := make([]Load, len(f.nodes))
 	for i, n := range f.nodes {
 		// The server probes overlap — InFlight counts queued + in-service —
@@ -225,7 +391,7 @@ func (f *Fleet) route() *node {
 			Workers:       n.workers,
 			QueueDepth:    queued,
 			InFlight:      serving,
-			SampleLatency: n.sampleLat,
+			SampleLatency: lats[i],
 		}
 	}
 	idx := f.cfg.Policy.Pick(loads)
@@ -250,12 +416,18 @@ func (f *Fleet) admit() (release func(), inflight int64, ok bool) {
 	return func() { f.inflight.Add(-1) }, n, true
 }
 
-// Infer routes one sample ([C,H,W] or [1,C,H,W]) to a device chosen by the
-// policy and returns its label. Requests beyond the in-flight cap, or not
-// answered within the configured deadline, are shed with a wrapped
-// ErrOverloaded; after Close it fails with serve.ErrClosed. The caller must
-// not mutate x until Infer returns.
+// Infer routes one sample ([C,H,W] or [1,C,H,W]) for the default model to a
+// device chosen by the policy and returns its label. Requests beyond the
+// in-flight cap, or not answered within the configured deadline, are shed
+// with a wrapped ErrOverloaded; after Close it fails with serve.ErrClosed.
+// The caller must not mutate x until Infer returns.
 func (f *Fleet) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
+	return f.InferModel(ctx, DefaultModel, x)
+}
+
+// InferModel is Infer addressed to a named hosted model; unknown names fail
+// with serve.ErrUnknownModel.
+func (f *Fleet) InferModel(ctx context.Context, model string, x *tensor.Tensor) (int, error) {
 	if f.closed.Load() {
 		return 0, serve.ErrClosed
 	}
@@ -265,14 +437,14 @@ func (f *Fleet) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
 			inflight, f.cfg.MaxInFlight, ErrOverloaded)
 	}
 	defer release()
-	n := f.route()
+	n := f.route(model)
 	reqCtx := ctx
 	if f.cfg.Deadline > 0 {
 		var cancel context.CancelFunc
 		reqCtx, cancel = context.WithTimeout(ctx, f.cfg.Deadline)
 		defer cancel()
 	}
-	label, err := n.srv.Infer(reqCtx, x)
+	label, err := n.srv.InferModel(reqCtx, model, x)
 	if err != nil && f.cfg.Deadline > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 		// The fleet's own deadline expired (not the caller's context): that
 		// is load shedding, not a caller error.
@@ -283,11 +455,18 @@ func (f *Fleet) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
 	return label, err
 }
 
-// InferBatch classifies xs and returns one label per sample, in order. Every
-// sample is routed independently — the policy may spread one caller's batch
-// across the whole fleet — and the first error is returned after all samples
-// resolve, wrapped with the failing sample's index.
+// InferBatch classifies xs with the default model and returns one label per
+// sample, in order. Every sample is routed independently — the policy may
+// spread one caller's batch across the whole fleet — and the first error is
+// returned after all samples resolve, wrapped with the failing sample's
+// index.
 func (f *Fleet) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, error) {
+	return f.InferModelBatch(ctx, DefaultModel, xs)
+}
+
+// InferModelBatch is InferBatch addressed to a named hosted model; unknown
+// names fail with serve.ErrUnknownModel.
+func (f *Fleet) InferModelBatch(ctx context.Context, model string, xs []*tensor.Tensor) ([]int, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
@@ -298,7 +477,7 @@ func (f *Fleet) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, err
 		wg.Add(1)
 		go func(i int, x *tensor.Tensor) {
 			defer wg.Done()
-			labels[i], errs[i] = f.Infer(ctx, x)
+			labels[i], errs[i] = f.InferModel(ctx, model, x)
 		}(i, x)
 	}
 	wg.Wait()
@@ -341,11 +520,41 @@ type DeviceStats struct {
 	// Shed is the number of requests that missed the fleet deadline on this
 	// node.
 	Shed int64 `json:"shed"`
-	// SampleLatencyMicros is the probed modeled single-sample latency the
-	// cost-aware policy scores this node by, in microseconds.
+	// SampleLatencyMicros is the probed modeled single-sample latency of the
+	// default model on this node — the figure the cost-aware policy scores
+	// default-model traffic by — in microseconds.
 	SampleLatencyMicros float64 `json:"sample_latency_micros"`
-	// Serve is the node server's own statistics snapshot.
+	// Serve is the node server's own statistics snapshot, aggregated across
+	// every model the node hosts.
 	Serve serve.Stats `json:"serve"`
+}
+
+// ModelStats is one hosted model's fleet-wide slice of the statistics:
+// counters summed and latency percentiles merged across every node's pool
+// for that model.
+type ModelStats struct {
+	// Name is the model's serving identity.
+	Name string `json:"name"`
+	// Requests is the number of samples served successfully for this model,
+	// fleet-wide.
+	Requests int64 `json:"requests"`
+	// Errors is the number of samples whose protocol run failed for this
+	// model, fleet-wide.
+	Errors int64 `json:"errors"`
+	// Swaps is the number of completed per-node hot swaps of this model,
+	// summed across the fleet (one fleet-wide SwapModel counts once per
+	// node).
+	Swaps int64 `json:"swaps"`
+	// P50/P95/P99Micros are the model's modeled per-request latency
+	// percentiles in microseconds, merged across every node's samples.
+	P50Micros float64 `json:"p50_micros"`
+	// P95Micros is the model's fleet-wide modeled p95 latency in µs.
+	P95Micros float64 `json:"p95_micros"`
+	// P99Micros is the model's fleet-wide modeled p99 latency in µs.
+	P99Micros float64 `json:"p99_micros"`
+	// ModeledThroughput is the sum of the model's per-node modeled
+	// throughputs, in requests per modeled device-second.
+	ModeledThroughput float64 `json:"modeled_throughput_rps"`
 }
 
 // Stats is an aggregated point-in-time snapshot of the fleet: fleet-wide
@@ -367,10 +576,12 @@ type Stats struct {
 	InFlight int64 `json:"in_flight"`
 	// RoutingDecisions is the total number of Pick calls that resolved.
 	RoutingDecisions int64 `json:"routing_decisions"`
-	// P50/P95/P99Micros are fleet-wide modeled per-request latency
-	// percentiles in microseconds, merged across the nodes' samples.
+	// P50Micros is the fleet-wide modeled median per-request latency in
+	// microseconds, merged across the nodes' samples.
 	P50Micros float64 `json:"p50_micros"`
+	// P95Micros is the fleet-wide modeled p95 latency in microseconds.
 	P95Micros float64 `json:"p95_micros"`
+	// P99Micros is the fleet-wide modeled p99 latency in microseconds.
 	P99Micros float64 `json:"p99_micros"`
 	// HostNsPerOp is the measured real host compute time per served sample
 	// in nanoseconds, averaged across the fleet weighted by each node's
@@ -385,6 +596,9 @@ type Stats struct {
 	PeakSecureBytes int64 `json:"peak_secure_bytes"`
 	// WallSeconds is the host time since the fleet started.
 	WallSeconds float64 `json:"wall_seconds"`
+	// Models is the per-model fleet-wide breakdown, in hosting order
+	// (DefaultModel first).
+	Models []ModelStats `json:"models"`
 	// PerDevice is the per-node breakdown, in attachment order.
 	PerDevice []DeviceStats `json:"per_device"`
 }
@@ -398,9 +612,16 @@ func (f *Fleet) Stats() Stats {
 		InFlight:    f.inflight.Load(),
 		WallSeconds: time.Since(f.start).Seconds(),
 	}
+	f.modelMu.RLock()
+	models := append([]string(nil), f.names...)
+	defaultLat := make([]float64, len(f.nodes))
+	for i, n := range f.nodes {
+		defaultLat[i] = n.lat[DefaultModel]
+	}
+	f.modelMu.RUnlock()
 	var samples []float64
 	var hostNs float64
-	for _, n := range f.nodes {
+	for i, n := range f.nodes {
 		st := n.srv.Stats()
 		out.Requests += st.Requests
 		out.Errors += st.Errors
@@ -413,7 +634,7 @@ func (f *Fleet) Stats() Stats {
 			Name:                n.name,
 			Routed:              n.routed.Load(),
 			Shed:                n.shed.Load(),
-			SampleLatencyMicros: n.sampleLat * 1e6,
+			SampleLatencyMicros: defaultLat[i] * 1e6,
 			Serve:               st,
 		})
 	}
@@ -426,6 +647,30 @@ func (f *Fleet) Stats() Stats {
 		out.P50Micros = samples[n/2] * 1e6
 		out.P95Micros = samples[(n*95)/100] * 1e6
 		out.P99Micros = samples[(n*99)/100] * 1e6
+	}
+	for _, name := range models {
+		ms := ModelStats{Name: name}
+		var modelSamples []float64
+		for _, n := range f.nodes {
+			st, err := n.srv.ModelStats(name)
+			if err != nil {
+				continue
+			}
+			ms.Requests += st.Requests
+			ms.Errors += st.Errors
+			ms.Swaps += st.Swaps
+			ms.ModeledThroughput += st.ModeledThroughput
+			if s, err := n.srv.ModelLatencySamples(name); err == nil {
+				modelSamples = append(modelSamples, s...)
+			}
+		}
+		if n := len(modelSamples); n > 0 {
+			sort.Float64s(modelSamples)
+			ms.P50Micros = modelSamples[n/2] * 1e6
+			ms.P95Micros = modelSamples[(n*95)/100] * 1e6
+			ms.P99Micros = modelSamples[(n*99)/100] * 1e6
+		}
+		out.Models = append(out.Models, ms)
 	}
 	return out
 }

@@ -92,7 +92,7 @@ func TestCostAwareUsesProbedDeviceLatencies(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if rpi, jet := f.nodes[0].sampleLat, f.nodes[1].sampleLat; rpi <= jet {
+	if rpi, jet := f.nodes[0].lat[DefaultModel], f.nodes[1].lat[DefaultModel]; rpi <= jet {
 		t.Fatalf("probed latencies rpi3 %g ≤ jetson-tz %g — cost models not threaded", rpi, jet)
 	}
 	// Sequential requests leave both nodes idle at routing time, so every

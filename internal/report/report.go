@@ -13,9 +13,12 @@ import (
 
 // Table is a titled text table.
 type Table struct {
-	Title  string
+	// Title is printed above the table.
+	Title string
+	// Header holds the column names.
 	Header []string
-	Rows   [][]string
+	// Rows holds the body cells, one slice per row.
+	Rows [][]string
 	// Device names the hardware backend a device-dependent artifact was
 	// modeled on ("all" for cross-device tables); empty for artifacts that do
 	// not depend on the device. Carried into the JSON rendering so runs on
@@ -97,9 +100,12 @@ func Bytes(n int64) string {
 
 // Histogram is a fixed-bin histogram over float64 samples.
 type Histogram struct {
+	// Lo and Hi are the data range the bins span.
 	Lo, Hi float64
+	// Counts holds the per-bin sample counts.
 	Counts []int
-	N      int
+	// N is the total number of binned samples.
+	N int
 }
 
 // NewHistogram bins values into bins equal-width buckets spanning the data.
@@ -164,7 +170,9 @@ func (h *Histogram) Render(w io.Writer, label string, barWidth int) {
 
 // Series is a named sequence of (x, y) points, used for figure data.
 type Series struct {
-	Name   string
+	// Name labels the series in the rendered figure.
+	Name string
+	// Points holds the (x, y) pairs in plotting order.
 	Points [][2]float64
 }
 

@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tbnet/internal/core"
+	"tbnet/internal/fleet"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// TestScenarioDrivesRealFleet: the harness against a live two-model fleet —
+// per-phase rows populate, per-model traffic reaches both models, and a
+// tight deadline under a hard burst produces shed classified as shed.
+func TestScenarioDrivesRealFleet(t *testing.T) {
+	build := func(seed uint64) *core.Deployment {
+		victim := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(seed))
+		tb := core.NewTwoBranch(victim, seed+1)
+		tb.Finalized = true
+		dep, err := core.Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep
+	}
+	// Shedding must be provoked deterministically: a tiny in-flight cap
+	// sheds by arithmetic once the burst overlaps more than 4 requests,
+	// where a wall-clock deadline would depend on how fast the host happens
+	// to be running this test.
+	f, err := fleet.New(build(1), fleet.Config{
+		Nodes:       []fleet.NodeConfig{{Device: tee.RaspberryPi3(), Workers: 1}},
+		Models:      []fleet.NamedModel{{Name: "b", Dep: build(2)}},
+		MaxInFlight: 4,
+		MaxDelay:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	xs := make([]*tensor.Tensor, 32)
+	rng := tensor.NewRNG(9)
+	for i := range xs {
+		xs[i] = tensor.New(1, 3, 16, 16)
+		rng.FillNormal(xs[i], 0, 1)
+	}
+	spec := Spec{
+		Name: "integration",
+		Seed: 1,
+		Phases: []Phase{
+			{Name: "calm", Pattern: Uniform, Rate: 100, Duration: 200 * time.Millisecond,
+				Models: []ModelShare{{Name: fleet.DefaultModel, Weight: 1}, {Name: "b", Weight: 1}}},
+			{Name: "crush", Pattern: Burst, Rate: 100, PeakRate: 4000,
+				Period: 200 * time.Millisecond, Duration: 400 * time.Millisecond},
+		},
+	}
+	res, err := Run(context.Background(), f, spec, func(i int) *tensor.Tensor { return xs[i%len(xs)] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 || res.Offered == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	calm := res.Phases[0]
+	if calm.Served == 0 || calm.P50Ms <= 0 {
+		t.Fatalf("calm phase served nothing: %+v", calm)
+	}
+	var sawB bool
+	for _, mc := range calm.PerModel {
+		if mc.Model == "b" && mc.Offered > 0 {
+			sawB = true
+		}
+	}
+	if !sawB {
+		t.Fatalf("mixed phase never addressed model b: %+v", calm.PerModel)
+	}
+	crush := res.Phases[1]
+	if crush.Shed == 0 {
+		t.Fatalf("4000 req/s burst against a 4-request in-flight cap shed nothing: %+v", crush)
+	}
+	if crush.Failed != 0 {
+		t.Fatalf("burst produced %d hard failures (shed misclassified?)", crush.Failed)
+	}
+	st := f.Stats()
+	if st.Shed == 0 {
+		t.Fatal("fleet counters saw no shed despite scenario shed")
+	}
+}

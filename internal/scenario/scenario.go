@@ -1,0 +1,597 @@
+// Package scenario is TBNet's trace-driven workload harness: it drives a
+// serving target (typically a fleet) with realistic open-loop traffic shapes
+// — replayed arrival traces, or synthesized uniform / Poisson / bursty /
+// ramping / diurnal patterns, optionally mixed across several hosted models
+// — and reports what the serving layer did under each phase of load.
+//
+// The harness is open-loop: arrivals fire on their own clock whether or not
+// earlier requests have finished, so overload is reachable and shedding
+// observable (a closed loop self-throttles and can never push a server past
+// its knee). A scenario is a sequence of named phases; each phase synthesizes
+// or replays its arrivals, launches one goroutine per arrival at its offset,
+// and waits for the phase's requests to resolve before the next phase
+// starts, so per-phase statistics — client-observed wall-latency
+// percentiles, shed rate, per-model throughput — are cleanly attributable to
+// that phase's load shape.
+//
+// Following the expansion-factor tradition of studying a code's behaviour
+// across whole workload regimes rather than at one operating point, a
+// scenario sweeps the serving stack through regimes (warm-up, burst,
+// saturation, recovery) in one run and reports each regime separately.
+package scenario
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tbnet/internal/fleet"
+	"tbnet/internal/tensor"
+)
+
+// ErrSpec reports an invalid scenario specification.
+var ErrSpec = errors.New("scenario: invalid spec")
+
+// ErrTrace reports an arrival trace that cannot be parsed.
+var ErrTrace = errors.New("scenario: bad trace")
+
+// Pattern names one synthesized arrival shape (or the trace replay).
+type Pattern string
+
+// The built-in arrival patterns.
+const (
+	// Uniform fires arrivals at fixed 1/Rate intervals.
+	Uniform Pattern = "uniform"
+	// Poisson draws exponential interarrival times with mean 1/Rate.
+	Poisson Pattern = "poisson"
+	// Burst alternates half-periods of PeakRate and Rate arrivals — the
+	// flash-crowd shape that stresses admission control.
+	Burst Pattern = "burst"
+	// Ramp increases the rate linearly from Rate to PeakRate across the
+	// phase — the load-ramp shape that locates the serving knee.
+	Ramp Pattern = "ramp"
+	// Diurnal modulates the rate sinusoidally between Rate and PeakRate
+	// with the given Period — a compressed day/night cycle.
+	Diurnal Pattern = "diurnal"
+	// Replay fires the phase's explicit Trace instead of synthesizing.
+	Replay Pattern = "replay"
+)
+
+// Arrival is one request of a trace: its offset from the phase start and the
+// hosted model it addresses ("" means the target's default model).
+type Arrival struct {
+	// At is the arrival offset from the start of its phase.
+	At time.Duration
+	// Model is the hosted model the request addresses ("" = default).
+	Model string
+}
+
+// ModelShare weights one model of a mixed-model phase.
+type ModelShare struct {
+	// Name is the hosted model's serving identity.
+	Name string
+	// Weight is the model's relative share of the phase's arrivals
+	// (normalized across the phase; must be positive).
+	Weight float64
+}
+
+// Phase is one load regime of a scenario.
+type Phase struct {
+	// Name labels the phase in the report.
+	Name string
+	// Pattern selects the arrival shape.
+	Pattern Pattern
+	// Rate is the base arrival rate in requests/second (for Burst and
+	// Diurnal it is the trough; ignored by Replay).
+	Rate float64
+	// PeakRate is the top arrival rate for Burst, Ramp, and Diurnal
+	// (default 4×Rate).
+	PeakRate float64
+	// Period is the Burst/Diurnal cycle length (default: a quarter of the
+	// phase for Burst, the whole phase for Diurnal).
+	Period time.Duration
+	// Duration is the phase's synthesized length (ignored by Replay, which
+	// runs to its last trace arrival).
+	Duration time.Duration
+	// Models weights the phase's traffic across hosted models; empty sends
+	// everything to the target's default model. Replay arrivals that name a
+	// model keep it; unnamed replay arrivals draw from Models.
+	Models []ModelShare
+	// Trace is the explicit arrival list for Replay.
+	Trace []Arrival
+}
+
+// withDefaults fills the derived pattern parameters.
+func (p Phase) withDefaults() Phase {
+	if p.PeakRate == 0 {
+		p.PeakRate = 4 * p.Rate
+	}
+	if p.Period == 0 {
+		switch p.Pattern {
+		case Burst:
+			p.Period = p.Duration / 4
+		case Diurnal:
+			p.Period = p.Duration
+		}
+	}
+	return p
+}
+
+func (p Phase) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("%w: phase with empty name", ErrSpec)
+	}
+	if p.Pattern == Replay {
+		if len(p.Trace) == 0 {
+			return fmt.Errorf("%w: replay phase %q has no trace", ErrSpec, p.Name)
+		}
+		for i, a := range p.Trace {
+			if a.At < 0 {
+				return fmt.Errorf("%w: replay phase %q arrival %d at %v", ErrSpec, p.Name, i, a.At)
+			}
+		}
+	} else {
+		switch p.Pattern {
+		case Uniform, Poisson, Burst, Ramp, Diurnal:
+		default:
+			return fmt.Errorf("%w: phase %q has unknown pattern %q", ErrSpec, p.Name, p.Pattern)
+		}
+		if p.Rate <= 0 {
+			return fmt.Errorf("%w: phase %q rate %g ≤ 0", ErrSpec, p.Name, p.Rate)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("%w: phase %q duration %v ≤ 0", ErrSpec, p.Name, p.Duration)
+		}
+		if p.PeakRate < 0 || (p.PeakRate > 0 && p.PeakRate < p.Rate) {
+			return fmt.Errorf("%w: phase %q peak rate %g below base rate %g",
+				ErrSpec, p.Name, p.PeakRate, p.Rate)
+		}
+	}
+	for i, m := range p.Models {
+		if m.Name == "" {
+			return fmt.Errorf("%w: phase %q model share %d has empty name", ErrSpec, p.Name, i)
+		}
+		if m.Weight <= 0 {
+			return fmt.Errorf("%w: phase %q model %q weight %g ≤ 0", ErrSpec, p.Name, m.Name, m.Weight)
+		}
+	}
+	return nil
+}
+
+// Validate checks the phase (with pattern defaults applied) without
+// synthesizing arrivals, so a CLI can reject a bad spec before any
+// expensive model build. Invalid phases fail with an error wrapping
+// ErrSpec.
+func (p Phase) Validate() error { return p.withDefaults().validate() }
+
+// rateAt is the instantaneous arrival rate t into the phase.
+func (p Phase) rateAt(t time.Duration) float64 {
+	switch p.Pattern {
+	case Burst:
+		if p.Period <= 0 {
+			return p.Rate
+		}
+		// First half of each period is the burst, second half the trough.
+		if (t%p.Period)*2 < p.Period {
+			return p.PeakRate
+		}
+		return p.Rate
+	case Ramp:
+		frac := float64(t) / float64(p.Duration)
+		return p.Rate + (p.PeakRate-p.Rate)*frac
+	case Diurnal:
+		if p.Period <= 0 {
+			return p.Rate
+		}
+		frac := (1 - math.Cos(2*math.Pi*float64(t)/float64(p.Period))) / 2
+		return p.Rate + (p.PeakRate-p.Rate)*frac
+	default:
+		return p.Rate
+	}
+}
+
+// Arrivals synthesizes (or replays) the phase's arrival list, assigning
+// models by the phase's shares. Synthesis is deterministic in seed.
+func (p Phase) Arrivals(seed uint64) ([]Arrival, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	pick := modelPicker(p.Models, rng)
+	if p.Pattern == Replay {
+		out := make([]Arrival, len(p.Trace))
+		copy(out, p.Trace)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+		for i := range out {
+			if out[i].Model == "" {
+				out[i].Model = pick()
+			}
+		}
+		return out, nil
+	}
+	var out []Arrival
+	for t := time.Duration(0); t < p.Duration; {
+		rate := p.rateAt(t)
+		if rate <= 0 {
+			break
+		}
+		step := 1 / rate
+		if p.Pattern == Poisson {
+			step = rng.ExpFloat64() / rate
+		}
+		t += time.Duration(step * float64(time.Second))
+		if t >= p.Duration {
+			break
+		}
+		out = append(out, Arrival{At: t, Model: pick()})
+	}
+	return out, nil
+}
+
+// modelPicker returns a weighted model chooser ("" when no shares are
+// configured).
+func modelPicker(shares []ModelShare, rng *rand.Rand) func() string {
+	if len(shares) == 0 {
+		return func() string { return "" }
+	}
+	var total float64
+	for _, s := range shares {
+		total += s.Weight
+	}
+	return func() string {
+		x := rng.Float64() * total
+		for _, s := range shares {
+			x -= s.Weight
+			if x < 0 {
+				return s.Name
+			}
+		}
+		return shares[len(shares)-1].Name
+	}
+}
+
+// Spec is a full scenario: a named sequence of phases driven from one seed.
+type Spec struct {
+	// Name labels the scenario in reports and artifacts.
+	Name string
+	// Seed drives every random decision (Poisson gaps, model mixing).
+	Seed uint64
+	// Phases run in order, each waiting for its own requests to resolve
+	// before the next starts.
+	Phases []Phase
+}
+
+// Target is the serving surface a scenario drives. fleet.Fleet and
+// serve.Server both satisfy it; an empty model name must route to the
+// target's default model.
+type Target interface {
+	// InferModel classifies one sample with the named hosted model.
+	InferModel(ctx context.Context, model string, x *tensor.Tensor) (int, error)
+}
+
+// defaultModelName resolves "" arrivals to the serving layer's default model
+// name.
+const defaultModelName = fleet.DefaultModel
+
+// ModelCount is one model's slice of a phase (or scenario) result.
+type ModelCount struct {
+	// Model is the hosted model's serving identity.
+	Model string `json:"model"`
+	// Offered is the number of arrivals addressed to this model.
+	Offered int `json:"offered"`
+	// Served is the number answered successfully.
+	Served int `json:"served"`
+	// Shed is the number refused by admission control or deadline.
+	Shed int `json:"shed"`
+	// Failed is the number that errored for any other reason.
+	Failed int `json:"failed"`
+	// ThroughputRPS is Served divided by the phase's wall duration.
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// PhaseResult is one phase's observed outcome.
+type PhaseResult struct {
+	// Name is the phase's label.
+	Name string `json:"name"`
+	// Pattern is the arrival shape that drove the phase.
+	Pattern string `json:"pattern"`
+	// Offered, Served, Shed, Failed count the phase's arrivals by outcome.
+	Offered int `json:"offered"`
+	// Served is the number of requests answered successfully.
+	Served int `json:"served"`
+	// Shed is the number refused by admission control or deadline
+	// (fleet.ErrOverloaded).
+	Shed int `json:"shed"`
+	// Failed is the number that errored for any other reason.
+	Failed int `json:"failed"`
+	// ShedRate is Shed/Offered.
+	ShedRate float64 `json:"shed_rate"`
+	// OfferedRPS is the phase's realized offered load in requests/second.
+	OfferedRPS float64 `json:"offered_rps"`
+	// ServedRPS is the phase's delivered throughput in requests/second.
+	ServedRPS float64 `json:"served_rps"`
+	// DurationSec is the phase's wall-clock length, launch to last response.
+	DurationSec float64 `json:"duration_sec"`
+	// P50Ms, P95Ms, P99Ms are client-observed wall-latency percentiles of
+	// the served requests, in milliseconds. Unlike the serving layer's
+	// modeled device latencies, these include queueing, batching delay, and
+	// host scheduling — the end-to-end figure a client of the system sees.
+	P50Ms float64 `json:"p50_ms"`
+	// P95Ms is the phase's client-observed p95 latency in milliseconds.
+	P95Ms float64 `json:"p95_ms"`
+	// P99Ms is the phase's client-observed p99 latency in milliseconds.
+	P99Ms float64 `json:"p99_ms"`
+	// PerModel breaks the phase down by addressed model, in first-seen
+	// order.
+	PerModel []ModelCount `json:"per_model"`
+}
+
+// Result is a completed scenario run.
+type Result struct {
+	// Name is the scenario's label.
+	Name string `json:"name"`
+	// Seed is the seed the run was driven from.
+	Seed uint64 `json:"seed"`
+	// Offered, Served, Shed, Failed are the scenario-wide totals.
+	Offered int `json:"offered"`
+	// Served is the total number of requests answered successfully.
+	Served int `json:"served"`
+	// Shed is the total number refused by admission control or deadline.
+	Shed int `json:"shed"`
+	// Failed is the total number that errored for any other reason.
+	Failed int `json:"failed"`
+	// WallSeconds is the whole run's wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Phases are the per-phase outcomes, in execution order.
+	Phases []PhaseResult `json:"phases"`
+	// PerModel are the scenario-wide per-model totals, in first-seen order.
+	PerModel []ModelCount `json:"per_model"`
+}
+
+// outcome classifies one resolved request.
+type outcome struct {
+	model   string
+	latency time.Duration
+	shed    bool
+	failed  bool
+}
+
+// Run drives tgt through every phase of spec. sample provides the i-th
+// request's input tensor (i counts across the whole scenario, so a provider
+// can cycle a dataset); it must be safe for concurrent use — arrivals fire
+// from their own goroutines. Run stops early (returning the phases completed
+// so far inside an error) only if ctx is cancelled; per-request errors are
+// data, not failures.
+func Run(ctx context.Context, tgt Target, spec Spec, sample func(i int) *tensor.Tensor) (*Result, error) {
+	if tgt == nil {
+		return nil, fmt.Errorf("%w: nil target", ErrSpec)
+	}
+	if sample == nil {
+		return nil, fmt.Errorf("%w: nil sample provider", ErrSpec)
+	}
+	if len(spec.Phases) == 0 {
+		return nil, fmt.Errorf("%w: no phases", ErrSpec)
+	}
+	// Validate everything up front so a typo in phase 4 does not burn the
+	// first three phases' wall time.
+	for _, ph := range spec.Phases {
+		if err := ph.withDefaults().validate(); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Name: spec.Name, Seed: spec.Seed}
+	start := time.Now()
+	reqIndex := 0
+	totals := newModelTally()
+	for pi, ph := range spec.Phases {
+		arrivals, err := ph.Arrivals(spec.Seed + uint64(pi)*1009)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := runPhase(ctx, tgt, ph, arrivals, sample, &reqIndex)
+		if err != nil {
+			res.WallSeconds = time.Since(start).Seconds()
+			return res, err
+		}
+		res.Phases = append(res.Phases, *pr)
+		res.Offered += pr.Offered
+		res.Served += pr.Served
+		res.Shed += pr.Shed
+		res.Failed += pr.Failed
+		for _, mc := range pr.PerModel {
+			totals.add(mc.Model, mc)
+		}
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	res.PerModel = totals.list(res.WallSeconds)
+	return res, nil
+}
+
+// runPhase fires one phase's arrivals open-loop and waits for them all.
+func runPhase(ctx context.Context, tgt Target, ph Phase, arrivals []Arrival,
+	sample func(i int) *tensor.Tensor, reqIndex *int) (*PhaseResult, error) {
+	outcomes := make([]outcome, len(arrivals))
+	var wg sync.WaitGroup
+	phaseStart := time.Now()
+	for i, a := range arrivals {
+		if err := sleepUntil(ctx, phaseStart.Add(a.At)); err != nil {
+			// Cancelled mid-phase: wait for what was already launched, then
+			// surface the cancellation.
+			wg.Wait()
+			return nil, err
+		}
+		idx := *reqIndex
+		*reqIndex++
+		wg.Add(1)
+		go func(i int, a Arrival, x *tensor.Tensor) {
+			defer wg.Done()
+			model := a.Model
+			if model == "" {
+				model = defaultModelName
+			}
+			t0 := time.Now()
+			_, err := tgt.InferModel(ctx, model, x)
+			o := outcome{model: model, latency: time.Since(t0)}
+			switch {
+			case err == nil:
+			case errors.Is(err, fleet.ErrOverloaded):
+				o.shed = true
+			default:
+				o.failed = true
+			}
+			outcomes[i] = o
+		}(i, a, sample(idx))
+	}
+	wg.Wait()
+	elapsed := time.Since(phaseStart)
+	return summarize(ph, arrivals, outcomes, elapsed), nil
+}
+
+// sleepUntil waits for the wall-clock deadline, honouring cancellation.
+func sleepUntil(ctx context.Context, when time.Time) error {
+	d := time.Until(when)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// summarize folds a phase's outcomes into its result row.
+func summarize(ph Phase, arrivals []Arrival, outcomes []outcome, elapsed time.Duration) *PhaseResult {
+	pr := &PhaseResult{
+		Name:        ph.Name,
+		Pattern:     string(ph.Pattern),
+		Offered:     len(arrivals),
+		DurationSec: elapsed.Seconds(),
+	}
+	tally := newModelTally()
+	var served []float64
+	for _, o := range outcomes {
+		mc := ModelCount{Model: o.model, Offered: 1}
+		switch {
+		case o.shed:
+			pr.Shed++
+			mc.Shed = 1
+		case o.failed:
+			pr.Failed++
+			mc.Failed = 1
+		default:
+			pr.Served++
+			mc.Served = 1
+			served = append(served, o.latency.Seconds())
+		}
+		tally.add(o.model, mc)
+	}
+	if pr.Offered > 0 {
+		pr.ShedRate = float64(pr.Shed) / float64(pr.Offered)
+	}
+	if pr.DurationSec > 0 {
+		pr.OfferedRPS = float64(pr.Offered) / pr.DurationSec
+		pr.ServedRPS = float64(pr.Served) / pr.DurationSec
+	}
+	if n := len(served); n > 0 {
+		sort.Float64s(served)
+		pr.P50Ms = served[n/2] * 1e3
+		pr.P95Ms = served[(n*95)/100] * 1e3
+		pr.P99Ms = served[(n*99)/100] * 1e3
+	}
+	pr.PerModel = tally.list(pr.DurationSec)
+	return pr
+}
+
+// modelTally accumulates per-model counts preserving first-seen order.
+type modelTally struct {
+	order  []string
+	counts map[string]*ModelCount
+}
+
+func newModelTally() *modelTally {
+	return &modelTally{counts: make(map[string]*ModelCount)}
+}
+
+func (t *modelTally) add(model string, mc ModelCount) {
+	c := t.counts[model]
+	if c == nil {
+		c = &ModelCount{Model: model}
+		t.counts[model] = c
+		t.order = append(t.order, model)
+	}
+	c.Offered += mc.Offered
+	c.Served += mc.Served
+	c.Shed += mc.Shed
+	c.Failed += mc.Failed
+}
+
+func (t *modelTally) list(durationSec float64) []ModelCount {
+	out := make([]ModelCount, 0, len(t.order))
+	for _, m := range t.order {
+		c := *t.counts[m]
+		if durationSec > 0 {
+			c.ThroughputRPS = float64(c.Served) / durationSec
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// ParseTrace reads an arrival trace: one arrival per line as
+//
+//	<offset-seconds> [model]
+//
+// with '#' comments and blank lines ignored. Offsets are seconds from the
+// trace start (fractions allowed) and need not be sorted; the parsed trace
+// is returned in time order.
+func ParseTrace(r io.Reader) ([]Arrival, error) {
+	sc := bufio.NewScanner(r)
+	var out []Arrival
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("%w: line %d: want \"<offset-seconds> [model]\", got %q",
+				ErrTrace, line, text)
+		}
+		secs, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || secs < 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
+			return nil, fmt.Errorf("%w: line %d: bad offset %q", ErrTrace, line, fields[0])
+		}
+		a := Arrival{At: time.Duration(secs * float64(time.Second))}
+		if len(fields) == 2 {
+			a.Model = fields[1]
+		}
+		out = append(out, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTrace, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty trace", ErrTrace)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out, nil
+}

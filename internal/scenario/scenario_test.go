@@ -1,0 +1,305 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tbnet/internal/fleet"
+	"tbnet/internal/tensor"
+)
+
+func mustArrivals(t *testing.T, ph Phase, seed uint64) []Arrival {
+	t.Helper()
+	out, err := ph.Arrivals(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestUniformArrivalCount(t *testing.T) {
+	ph := Phase{Name: "u", Pattern: Uniform, Rate: 100, Duration: time.Second}
+	got := len(mustArrivals(t, ph, 1))
+	if got < 98 || got > 101 {
+		t.Fatalf("uniform 100 req/s × 1s synthesized %d arrivals", got)
+	}
+}
+
+func TestPoissonDeterministicPerSeed(t *testing.T) {
+	ph := Phase{Name: "p", Pattern: Poisson, Rate: 200, Duration: time.Second}
+	a := mustArrivals(t, ph, 7)
+	b := mustArrivals(t, ph, 7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+	}
+	c := mustArrivals(t, ph, 8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical Poisson traces")
+	}
+}
+
+func TestBurstBeatsUniformVolume(t *testing.T) {
+	base := Phase{Name: "u", Pattern: Uniform, Rate: 50, Duration: time.Second}
+	burst := Phase{Name: "b", Pattern: Burst, Rate: 50, PeakRate: 400,
+		Period: 500 * time.Millisecond, Duration: time.Second}
+	nu := len(mustArrivals(t, base, 1))
+	nb := len(mustArrivals(t, burst, 1))
+	if nb <= nu {
+		t.Fatalf("burst synthesized %d arrivals, uniform %d — no burst happened", nb, nu)
+	}
+	// Arrivals stay inside the phase.
+	for _, a := range mustArrivals(t, burst, 1) {
+		if a.At < 0 || a.At >= burst.Duration {
+			t.Fatalf("arrival at %v outside phase of %v", a.At, burst.Duration)
+		}
+	}
+}
+
+func TestRampGapsShrink(t *testing.T) {
+	ph := Phase{Name: "r", Pattern: Ramp, Rate: 20, PeakRate: 400, Duration: time.Second}
+	as := mustArrivals(t, ph, 1)
+	if len(as) < 10 {
+		t.Fatalf("ramp synthesized only %d arrivals", len(as))
+	}
+	first := as[1].At - as[0].At
+	last := as[len(as)-1].At - as[len(as)-2].At
+	if last >= first {
+		t.Fatalf("ramp interarrival grew: first gap %v, last gap %v", first, last)
+	}
+}
+
+func TestDiurnalVolumeBetweenBounds(t *testing.T) {
+	ph := Phase{Name: "d", Pattern: Diurnal, Rate: 50, PeakRate: 150,
+		Period: time.Second, Duration: time.Second}
+	got := len(mustArrivals(t, ph, 1))
+	// Mean rate of the sinusoid is (base+peak)/2 = 100 req/s.
+	if got < 80 || got > 120 {
+		t.Fatalf("diurnal 50..150 req/s × 1s synthesized %d arrivals, want ≈100", got)
+	}
+}
+
+func TestModelMixingRoughlyHonoursWeights(t *testing.T) {
+	ph := Phase{Name: "m", Pattern: Uniform, Rate: 1000, Duration: time.Second,
+		Models: []ModelShare{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}}}
+	counts := map[string]int{}
+	for _, a := range mustArrivals(t, ph, 2) {
+		counts[a.Model]++
+	}
+	total := counts["a"] + counts["b"]
+	if total < 990 {
+		t.Fatalf("only %d arrivals", total)
+	}
+	frac := float64(counts["a"]) / float64(total)
+	if frac < 0.65 || frac > 0.85 {
+		t.Fatalf("model a got %.2f of traffic, want ≈0.75", frac)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []Phase{
+		{Name: "", Pattern: Uniform, Rate: 1, Duration: time.Second},
+		{Name: "x", Pattern: "squiggle", Rate: 1, Duration: time.Second},
+		{Name: "x", Pattern: Uniform, Rate: 0, Duration: time.Second},
+		{Name: "x", Pattern: Uniform, Rate: 1, Duration: 0},
+		{Name: "x", Pattern: Uniform, Rate: 10, PeakRate: 5, Duration: time.Second},
+		{Name: "x", Pattern: Replay},
+		{Name: "x", Pattern: Uniform, Rate: 1, Duration: time.Second,
+			Models: []ModelShare{{Name: "", Weight: 1}}},
+		{Name: "x", Pattern: Uniform, Rate: 1, Duration: time.Second,
+			Models: []ModelShare{{Name: "a", Weight: 0}}},
+	}
+	for i, ph := range cases {
+		if _, err := ph.Arrivals(1); !errors.Is(err, ErrSpec) {
+			t.Fatalf("case %d: err = %v, want ErrSpec", i, err)
+		}
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	in := `# demo trace
+0.5 modelB
+0.0
+  0.25   # unnamed mid arrival
+
+1.0 modelA
+`
+	got, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Arrival{
+		{At: 0},
+		{At: 250 * time.Millisecond},
+		{At: 500 * time.Millisecond, Model: "modelB"},
+		{At: time.Second, Model: "modelA"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d arrivals, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arrival %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "abc", "-1.0", "1.0 m extra", "inf"} {
+		if _, err := ParseTrace(strings.NewReader(in)); !errors.Is(err, ErrTrace) {
+			t.Fatalf("ParseTrace(%q) err = %v, want ErrTrace", in, err)
+		}
+	}
+}
+
+// stubTarget answers instantly, shedding every shedEvery-th call, and counts
+// traffic per model.
+type stubTarget struct {
+	mu        sync.Mutex
+	perModel  map[string]int
+	calls     atomic.Int64
+	shedEvery int64
+	failEvery int64
+}
+
+func (s *stubTarget) InferModel(ctx context.Context, model string, x *tensor.Tensor) (int, error) {
+	s.mu.Lock()
+	if s.perModel == nil {
+		s.perModel = map[string]int{}
+	}
+	s.perModel[model]++
+	s.mu.Unlock()
+	n := s.calls.Add(1)
+	if s.shedEvery > 0 && n%s.shedEvery == 0 {
+		return 0, fmt.Errorf("stub: %w", fleet.ErrOverloaded)
+	}
+	if s.failEvery > 0 && n%s.failEvery == 0 {
+		return 0, errors.New("stub: boom")
+	}
+	return 0, nil
+}
+
+func testSample(i int) *tensor.Tensor { return tensor.New(1, 3, 4, 4) }
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	tgt := &stubTarget{shedEvery: 5, failEvery: 7}
+	spec := Spec{
+		Name: "unit",
+		Seed: 1,
+		Phases: []Phase{
+			{Name: "p1", Pattern: Uniform, Rate: 400, Duration: 250 * time.Millisecond},
+			{Name: "p2", Pattern: Poisson, Rate: 400, Duration: 250 * time.Millisecond},
+		},
+	}
+	res, err := Run(context.Background(), tgt, spec, testSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("%d phases, want 2", len(res.Phases))
+	}
+	if res.Offered == 0 || res.Offered != res.Served+res.Shed+res.Failed {
+		t.Fatalf("outcome counts don't add up: %d = %d + %d + %d",
+			res.Offered, res.Served, res.Shed, res.Failed)
+	}
+	if res.Shed == 0 || res.Failed == 0 {
+		t.Fatalf("stub shed/fail not classified: shed %d failed %d", res.Shed, res.Failed)
+	}
+	for _, ph := range res.Phases {
+		if ph.Offered != ph.Served+ph.Shed+ph.Failed {
+			t.Fatalf("phase %q counts don't add up", ph.Name)
+		}
+		if ph.DurationSec <= 0 || ph.OfferedRPS <= 0 {
+			t.Fatalf("phase %q missing rates: %+v", ph.Name, ph)
+		}
+		if ph.Served > 0 && ph.P50Ms < 0 {
+			t.Fatalf("phase %q negative latency", ph.Name)
+		}
+	}
+	if len(res.PerModel) != 1 || res.PerModel[0].Model != defaultModelName {
+		t.Fatalf("per-model totals = %+v", res.PerModel)
+	}
+	if res.PerModel[0].Offered != res.Offered {
+		t.Fatalf("per-model offered %d, want %d", res.PerModel[0].Offered, res.Offered)
+	}
+}
+
+func TestRunMixedModelsReachTheTarget(t *testing.T) {
+	tgt := &stubTarget{}
+	spec := Spec{
+		Seed: 3,
+		Phases: []Phase{{
+			Name: "mix", Pattern: Uniform, Rate: 500, Duration: 200 * time.Millisecond,
+			Models: []ModelShare{{Name: "a", Weight: 1}, {Name: "b", Weight: 1}},
+		}},
+	}
+	res, err := Run(context.Background(), tgt, spec, testSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt.mu.Lock()
+	defer tgt.mu.Unlock()
+	if tgt.perModel["a"] == 0 || tgt.perModel["b"] == 0 {
+		t.Fatalf("mixed traffic did not reach both models: %+v", tgt.perModel)
+	}
+	if len(res.PerModel) != 2 {
+		t.Fatalf("per-model rows = %+v", res.PerModel)
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	tgt := &stubTarget{}
+	spec := Spec{Phases: []Phase{
+		{Name: "long", Pattern: Uniform, Rate: 10, Duration: 10 * time.Second},
+	}}
+	start := time.Now()
+	_, err := Run(ctx, tgt, spec, testSample)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not stop the scenario promptly")
+	}
+}
+
+func TestRunValidatesUpFront(t *testing.T) {
+	tgt := &stubTarget{}
+	if _, err := Run(context.Background(), nil, Spec{Phases: []Phase{{Name: "x", Pattern: Uniform, Rate: 1, Duration: time.Second}}}, testSample); !errors.Is(err, ErrSpec) {
+		t.Fatalf("nil target err = %v", err)
+	}
+	if _, err := Run(context.Background(), tgt, Spec{}, testSample); !errors.Is(err, ErrSpec) {
+		t.Fatalf("no phases err = %v", err)
+	}
+	bad := Spec{Phases: []Phase{
+		{Name: "ok", Pattern: Uniform, Rate: 100, Duration: time.Second},
+		{Name: "bad", Pattern: "nope", Rate: 1, Duration: time.Second},
+	}}
+	start := time.Now()
+	if _, err := Run(context.Background(), tgt, bad, testSample); !errors.Is(err, ErrSpec) {
+		t.Fatalf("bad later phase err = %v", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("validation ran the good phase before rejecting the bad one")
+	}
+}

@@ -1,15 +1,35 @@
-// Package serial persists models and finalized two-branch deployments in a
-// compact little-endian binary format. A model vendor runs the TBNet pipeline
-// offline, saves the result, and ships the M_R file to the device's normal
-// world and the M_T file into the TEE's secure storage; this package is that
-// artifact format.
+// Package serial persists models, two-branch substitutions, and finalized
+// deployments in a compact little-endian binary format. A model vendor runs
+// the TBNet pipeline offline, saves the result, and ships the M_R file to the
+// device's normal world and the M_T file into the TEE's secure storage; this
+// package is that artifact format.
+//
+// # Format versions
+//
+// Every file starts with an 8-byte header: a 4-byte magic identifying the
+// artifact kind and a 4-byte format version.
+//
+//   - Version 1 (the original format) is header + body.
+//   - Version 2 appends a SHA-256 digest of the body as a trailer, so
+//     corruption of the payload — not just of the structure — is detected at
+//     load time instead of surfacing as silently wrong weights.
+//
+// Writers emit version 2; every loader still reads version 1 files, so
+// artifacts saved by earlier releases keep loading. The deployment artifact
+// (SaveDeployment/LoadDeployment) exists only in version 2: it bundles the
+// finalized two-branch weights with the device placement metadata (backend
+// name and deployed sample shape) a serving host needs to bring the model
+// back up without out-of-band configuration.
 package serial
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 
 	"tbnet/internal/core"
@@ -21,19 +41,86 @@ import (
 const (
 	magicModel     = 0x4d4e4254 // "TBNM"
 	magicTwoBranch = 0x324e4254 // "TBN2"
-	version        = 1
+	magicDeploy    = 0x444e4254 // "TBND"
+
+	// version is the format written by the Save functions. Loaders accept
+	// every version in [1, version].
+	version = 2
+	// minVersion is the oldest format the loaders still read.
+	minVersion = 1
 
 	stageConvBlock = 1
 	stageResBlock  = 2
 	stageDWBlock   = 3
 )
 
-// ErrBadFormat is returned for corrupt or mismatched input.
+// ErrBadFormat is returned for corrupt, truncated, or mismatched input,
+// including version-2 files whose payload fails its integrity checksum.
 var ErrBadFormat = errors.New("serial: bad format")
 
+// maxTensorElems bounds any single parameter tensor a loader will allocate
+// (64 Mi float32 elements = 256 MiB), so corrupted dimension fields fail
+// with ErrBadFormat instead of attempting an absurd allocation.
+const maxTensorElems = 1 << 26
+
+// Artifact is a fully described finalized deployment: the two-branch weights
+// plus the placement metadata — which registered hardware backend the vendor
+// sized it for and the [N,C,H,W] sample shape the secure working set was
+// planned around. It is what SaveDeployment ships and LoadDeployment
+// recovers; the registry stores one Artifact per named model.
+type Artifact struct {
+	// TB is the finalized two-branch model (M_R, M_T, channel alignment).
+	TB *core.TwoBranch
+	// Device is the registered name of the hardware backend the deployment
+	// was sized against (e.g. "rpi3"); resolve it with tee.ByName or
+	// tbnet.DeviceByName when re-deploying.
+	Device string
+	// SampleShape is the [N,C,H,W] input shape the deployment plan was sized
+	// for; N bounds the batch capacity of the restored session.
+	SampleShape []int
+}
+
+// writer serializes little-endian primitives through a buffered sink,
+// optionally teeing the checksummed section of the stream into a digest.
 type writer struct {
-	w   *bufio.Writer
+	buf *bufio.Writer
+	w   io.Writer // buf, or a tee into h while a checksummed section is open
+	h   hash.Hash
 	err error
+}
+
+func newWriter(out io.Writer) *writer {
+	buf := bufio.NewWriter(out)
+	return &writer{buf: buf, w: buf}
+}
+
+// beginChecksum starts the integrity-protected section: everything written
+// until endChecksum feeds the digest.
+func (w *writer) beginChecksum() {
+	w.h = sha256.New()
+	w.w = io.MultiWriter(w.buf, w.h)
+}
+
+// endChecksum closes the protected section and writes the digest trailer
+// (the trailer itself is not hashed).
+func (w *writer) endChecksum() {
+	if w.h == nil {
+		return
+	}
+	w.w = w.buf
+	sum := w.h.Sum(nil)
+	w.h = nil
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.buf.Write(sum)
+}
+
+func (w *writer) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.buf.Flush()
 }
 
 func (w *writer) u32(v uint32) {
@@ -49,7 +136,7 @@ func (w *writer) u8(v uint8) {
 	if w.err != nil {
 		return
 	}
-	w.err = w.w.WriteByte(v)
+	_, w.err = w.w.Write([]byte{v})
 }
 
 func (w *writer) bool(v bool) {
@@ -65,7 +152,7 @@ func (w *writer) str(s string) {
 	if w.err != nil {
 		return
 	}
-	_, w.err = w.w.WriteString(s)
+	_, w.err = io.WriteString(w.w, s)
 }
 
 func (w *writer) floats(t *tensor.Tensor) {
@@ -76,9 +163,60 @@ func (w *writer) floats(t *tensor.Tensor) {
 	w.err = binary.Write(w.w, binary.LittleEndian, t.Data())
 }
 
+// reader deserializes little-endian primitives, optionally teeing the
+// checksummed section into a digest for trailer verification.
 type reader struct {
-	r   *bufio.Reader
+	buf *bufio.Reader
+	r   io.Reader // buf, or a tee into h while a checksummed section is open
+	h   hash.Hash
 	err error
+}
+
+func newReader(in io.Reader) *reader {
+	buf := bufio.NewReader(in)
+	return &reader{buf: buf, r: buf}
+}
+
+// beginChecksum starts hashing everything read, for verifyChecksum.
+func (r *reader) beginChecksum() {
+	r.h = sha256.New()
+	r.r = io.TeeReader(r.buf, r.h)
+}
+
+// verifyChecksum reads the 32-byte trailer (unhashed) and compares it to the
+// digest of the section consumed since beginChecksum.
+func (r *reader) verifyChecksum() {
+	if r.h == nil {
+		return
+	}
+	want := r.h.Sum(nil)
+	r.h = nil
+	r.r = r.buf
+	var got [sha256.Size]byte
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.buf, got[:]); err != nil {
+		r.err = fmt.Errorf("%w: missing integrity trailer: %v", ErrBadFormat, err)
+		return
+	}
+	if !bytes.Equal(want, got[:]) {
+		r.err = fmt.Errorf("%w: payload checksum mismatch", ErrBadFormat)
+	}
+}
+
+// header checks the magic and returns the accepted format version.
+func (r *reader) header(magic uint32, kind string) uint32 {
+	if got := r.u32(); r.err == nil && got != magic {
+		r.err = fmt.Errorf("%w: not a %s file", ErrBadFormat, kind)
+		return 0
+	}
+	v := r.u32()
+	if r.err == nil && (v < minVersion || v > version) {
+		r.err = fmt.Errorf("%w: unsupported version %d (this build reads %d..%d)",
+			ErrBadFormat, v, minVersion, version)
+	}
+	return v
 }
 
 func (r *reader) u32() uint32 {
@@ -86,7 +224,9 @@ func (r *reader) u32() uint32 {
 		return 0
 	}
 	var v uint32
-	r.err = binary.Read(r.r, binary.LittleEndian, &v)
+	if err := binary.Read(r.r, binary.LittleEndian, &v); err != nil {
+		r.err = fmt.Errorf("%w: truncated input: %v", ErrBadFormat, err)
+	}
 	return v
 }
 
@@ -96,9 +236,11 @@ func (r *reader) u8() uint8 {
 	if r.err != nil {
 		return 0
 	}
-	b, err := r.r.ReadByte()
-	r.err = err
-	return b
+	var b [1]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		r.err = fmt.Errorf("%w: truncated input: %v", ErrBadFormat, err)
+	}
+	return b[0]
 }
 
 func (r *reader) bool() bool { return r.u8() != 0 }
@@ -113,7 +255,10 @@ func (r *reader) str() string {
 		return ""
 	}
 	buf := make([]byte, n)
-	_, r.err = io.ReadFull(r.r, buf)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.err = fmt.Errorf("%w: truncated input: %v", ErrBadFormat, err)
+		return ""
+	}
 	return string(buf)
 }
 
@@ -127,7 +272,9 @@ func (r *reader) floatsInto(dst *tensor.Tensor) {
 		r.err = fmt.Errorf("%w: tensor size %d, expected %d", ErrBadFormat, n, dst.Size())
 		return
 	}
-	r.err = binary.Read(r.r, binary.LittleEndian, dst.Data())
+	if err := binary.Read(r.r, binary.LittleEndian, dst.Data()); err != nil {
+		r.err = fmt.Errorf("%w: truncated input: %v", ErrBadFormat, err)
+	}
 }
 
 func (w *writer) conv(c *nn.Conv2D) {
@@ -150,8 +297,13 @@ func (r *reader) conv(name string) *nn.Conv2D {
 	if r.err != nil {
 		return nil
 	}
-	if inC <= 0 || outC <= 0 || k <= 0 || inC > 1<<16 || outC > 1<<16 {
-		r.err = fmt.Errorf("%w: conv dims %dx%d k%d", ErrBadFormat, inC, outC, k)
+	if inC <= 0 || outC <= 0 || k <= 0 || inC > 1<<16 || outC > 1<<16 ||
+		k > 64 || stride < 1 || stride > 64 || pad < 0 || pad > 64 {
+		r.err = fmt.Errorf("%w: conv dims %dx%d k%d s%d p%d", ErrBadFormat, inC, outC, k, stride, pad)
+		return nil
+	}
+	if int64(inC)*int64(outC)*int64(k)*int64(k) > maxTensorElems {
+		r.err = fmt.Errorf("%w: conv weight %dx%dx%dx%d too large", ErrBadFormat, outC, inC, k, k)
 		return nil
 	}
 	c := nn.NewConv2D(name, inC, outC, k, stride, pad, hasBias, tensor.NewRNG(0))
@@ -187,16 +339,15 @@ func (r *reader) bn(name string) *nn.BatchNorm2D {
 	return b
 }
 
-// SaveModel writes a staged model.
+// SaveModel writes a staged model (version 2: checksummed payload).
 func SaveModel(out io.Writer, m *zoo.Model) error {
-	w := &writer{w: bufio.NewWriter(out)}
+	w := newWriter(out)
 	w.u32(magicModel)
 	w.u32(version)
+	w.beginChecksum()
 	saveModelBody(w, m)
-	if w.err != nil {
-		return w.err
-	}
-	return w.w.Flush()
+	w.endChecksum()
+	return w.flush()
 }
 
 func saveModelBody(w *writer, m *zoo.Model) {
@@ -254,16 +405,22 @@ func saveModelBody(w *writer, m *zoo.Model) {
 	w.floats(m.Head.FC.B.Value)
 }
 
-// LoadModel reads a staged model.
+// LoadModel reads a staged model written by SaveModel (any supported format
+// version). Corrupt or truncated input fails with an error wrapping
+// ErrBadFormat; LoadModel never panics.
 func LoadModel(in io.Reader) (*zoo.Model, error) {
-	r := &reader{r: bufio.NewReader(in)}
-	if r.u32() != magicModel {
-		return nil, fmt.Errorf("%w: not a TBNet model file", ErrBadFormat)
+	r := newReader(in)
+	v := r.header(magicModel, "TBNet model")
+	if r.err != nil {
+		return nil, r.err
 	}
-	if v := r.u32(); v != version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	if v >= 2 {
+		r.beginChecksum()
 	}
 	m := loadModelBody(r)
+	if r.err == nil {
+		r.verifyChecksum()
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -352,7 +509,8 @@ func loadModelBody(r *reader) *zoo.Model {
 	if r.err != nil {
 		return nil
 	}
-	if in <= 0 || out <= 0 || in > 1<<20 || out > 1<<20 {
+	if in <= 0 || out <= 0 || in > 1<<20 || out > 1<<20 ||
+		int64(in)*int64(out) > maxTensorElems {
 		r.err = fmt.Errorf("%w: head dims %dx%d", ErrBadFormat, in, out)
 		return nil
 	}
@@ -362,11 +520,19 @@ func loadModelBody(r *reader) *zoo.Model {
 	return m
 }
 
-// SaveTwoBranch writes a (typically finalized) two-branch model.
+// SaveTwoBranch writes a (typically finalized) two-branch model (version 2:
+// checksummed payload).
 func SaveTwoBranch(out io.Writer, tb *core.TwoBranch) error {
-	w := &writer{w: bufio.NewWriter(out)}
+	w := newWriter(out)
 	w.u32(magicTwoBranch)
 	w.u32(version)
+	w.beginChecksum()
+	saveTwoBranchBody(w, tb)
+	w.endChecksum()
+	return w.flush()
+}
+
+func saveTwoBranchBody(w *writer, tb *core.TwoBranch) {
 	w.bool(tb.Finalized)
 	saveModelBody(w, tb.MR)
 	saveModelBody(w, tb.MT)
@@ -381,50 +547,165 @@ func SaveTwoBranch(out io.Writer, tb *core.TwoBranch) error {
 			w.i32(ch)
 		}
 	}
-	if w.err != nil {
-		return w.err
-	}
-	return w.w.Flush()
 }
 
-// LoadTwoBranch reads a two-branch model.
+// LoadTwoBranch reads a two-branch model written by SaveTwoBranch (any
+// supported format version). Corrupt or truncated input fails with an error
+// wrapping ErrBadFormat; LoadTwoBranch never panics.
 func LoadTwoBranch(in io.Reader) (*core.TwoBranch, error) {
-	r := &reader{r: bufio.NewReader(in)}
-	if r.u32() != magicTwoBranch {
-		return nil, fmt.Errorf("%w: not a TBNet two-branch file", ErrBadFormat)
+	r := newReader(in)
+	v := r.header(magicTwoBranch, "TBNet two-branch")
+	if r.err != nil {
+		return nil, r.err
 	}
-	if v := r.u32(); v != version {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	if v >= 2 {
+		r.beginChecksum()
 	}
+	tb := loadTwoBranchBody(r)
+	if r.err == nil {
+		r.verifyChecksum()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return tb, nil
+}
+
+func loadTwoBranchBody(r *reader) *core.TwoBranch {
 	finalized := r.bool()
 	mr := loadModelBody(r)
 	mt := loadModelBody(r)
 	n := r.i32()
 	if r.err != nil {
-		return nil, r.err
+		return nil
 	}
-	if mr == nil || mt == nil || n != len(mt.Stages) {
-		return nil, fmt.Errorf("%w: alignment count %d for %d stages", ErrBadFormat, n, len(mt.Stages))
+	if mr == nil || mt == nil || n != len(mt.Stages) || len(mr.Stages) != len(mt.Stages) {
+		r.err = fmt.Errorf("%w: alignment count %d for %d stages", ErrBadFormat, n, len(mt.Stages))
+		return nil
 	}
 	align := make([][]int, n)
 	for i := 0; i < n; i++ {
 		k := r.i32()
 		if r.err != nil {
-			return nil, r.err
+			return nil
 		}
 		if k < 0 {
 			continue
 		}
 		if k > 1<<16 {
-			return nil, fmt.Errorf("%w: alignment length %d", ErrBadFormat, k)
+			r.err = fmt.Errorf("%w: alignment length %d", ErrBadFormat, k)
+			return nil
 		}
 		align[i] = make([]int, k)
 		for j := range align[i] {
 			align[i][j] = r.i32()
 		}
+		// The enclave gathers MR's channels at these indices and adds them to
+		// MT's stage output, so the selection width must match MT's channel
+		// count and every index must address an MR channel. Validating here
+		// keeps a corrupted alignment a load error instead of a serve-time
+		// protocol failure.
+		if r.err == nil {
+			mtC := mt.Stages[i].OutChannels()
+			mrC := mr.Stages[i].OutChannels()
+			if k != mtC {
+				r.err = fmt.Errorf("%w: alignment %d selects %d channels for a %d-channel stage",
+					ErrBadFormat, i, k, mtC)
+				return nil
+			}
+			for _, ch := range align[i] {
+				if ch < 0 || ch >= mrC {
+					r.err = fmt.Errorf("%w: alignment %d index %d outside %d MR channels",
+						ErrBadFormat, i, ch, mrC)
+					return nil
+				}
+			}
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return &core.TwoBranch{MR: mr, MT: mt, Align: align, Finalized: finalized}
+}
+
+// maxShapeDim bounds each deployment sample-shape dimension on load, so a
+// corrupted artifact cannot request an absurd working set.
+const maxShapeDim = 1 << 16
+
+// SaveDeployment writes a deployment artifact: the finalized two-branch
+// weights plus the placement metadata (device name, sample shape). It
+// requires a finalized model; the artifact payload is checksummed.
+func SaveDeployment(out io.Writer, a *Artifact) error {
+	if a == nil || a.TB == nil {
+		return fmt.Errorf("%w: nil deployment artifact", ErrBadFormat)
+	}
+	if !a.TB.Finalized {
+		return fmt.Errorf("%w: deployment artifact of an unfinalized model", ErrBadFormat)
+	}
+	if len(a.SampleShape) != 4 {
+		return fmt.Errorf("%w: sample shape %v is not [N,C,H,W]", ErrBadFormat, a.SampleShape)
+	}
+	w := newWriter(out)
+	w.u32(magicDeploy)
+	w.u32(version)
+	w.beginChecksum()
+	w.str(a.Device)
+	w.i32(len(a.SampleShape))
+	for _, d := range a.SampleShape {
+		w.i32(d)
+	}
+	saveTwoBranchBody(w, a.TB)
+	w.endChecksum()
+	return w.flush()
+}
+
+// LoadDeployment reads a deployment artifact written by SaveDeployment,
+// verifying the payload checksum. Corrupt or truncated input fails with an
+// error wrapping ErrBadFormat; LoadDeployment never panics.
+func LoadDeployment(in io.Reader) (*Artifact, error) {
+	r := newReader(in)
+	if r.header(magicDeploy, "TBNet deployment"); r.err != nil {
+		return nil, r.err
+	}
+	r.beginChecksum()
+	a := &Artifact{Device: r.str()}
+	n := r.i32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n != 4 {
+		return nil, fmt.Errorf("%w: sample shape rank %d, want 4", ErrBadFormat, n)
+	}
+	a.SampleShape = make([]int, n)
+	elems := int64(1)
+	for i := range a.SampleShape {
+		d := r.i32()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if d < 1 || d > maxShapeDim {
+			return nil, fmt.Errorf("%w: sample shape dim %d out of range", ErrBadFormat, d)
+		}
+		a.SampleShape[i] = d
+		// Bound the running product, not just each dim: re-deploying sizes
+		// activation buffers for the whole [N,C,H,W] working set, so a
+		// checksum-valid but absurd shape must fail here instead of as a
+		// giant allocation. Checking inside the loop keeps the product far
+		// from int64 overflow (≤ 2^26 × 2^16 per step).
+		if elems *= int64(d); elems > maxTensorElems {
+			return nil, fmt.Errorf("%w: sample shape %v requests over %d elements",
+				ErrBadFormat, a.SampleShape[:i+1], int64(maxTensorElems))
+		}
+	}
+	a.TB = loadTwoBranchBody(r)
+	if r.err == nil {
+		r.verifyChecksum()
 	}
 	if r.err != nil {
 		return nil, r.err
 	}
-	return &core.TwoBranch{MR: mr, MT: mt, Align: align, Finalized: finalized}, nil
+	if !a.TB.Finalized {
+		return nil, fmt.Errorf("%w: deployment artifact carries an unfinalized model", ErrBadFormat)
+	}
+	return a, nil
 }

@@ -1,6 +1,6 @@
-// Package serve is TBNet's concurrent serving layer: it turns one deployed
-// two-branch model into a pool of replicated enclave sessions behind a
-// micro-batching request queue.
+// Package serve is TBNet's concurrent serving layer: it turns deployed
+// two-branch models into pools of replicated enclave sessions behind
+// micro-batching request queues.
 //
 // The TEE substrate makes single-request serving expensive — every inference
 // pays per-stage world switches and shared-memory staging — and one enclave
@@ -9,12 +9,18 @@
 //
 //   - Replication: each worker owns a full session replica (deep-copied
 //     branches, its own enclave, meter, and trace), so inferences run in
-//     parallel without sharing mutable model state. All replicas reserve
-//     their secure memory from one device-sized budget, so the pool never
-//     overcommits the modeled hardware.
+//     parallel without sharing mutable model state. All replicas of all
+//     hosted models reserve their secure memory from one device-sized
+//     budget, so the server never overcommits the modeled hardware.
 //   - Micro-batching: single-sample requests are coalesced into one staged
 //     protocol run of up to MaxBatch samples (flushed early after MaxDelay),
 //     amortizing the fixed SMC and staging overhead across the batch.
+//
+// A Server is multi-tenant: it hosts one or more named models concurrently
+// (AddModel), each with its own private worker pool and request queue —
+// requests are only ever coalesced with other requests for the same model —
+// and each model's replica pool can be hot-swapped for a new deployment
+// without dropping a single in-flight or queued request (SwapModel).
 //
 // Latency accounting stays on the device cost model, so throughput and
 // percentile figures are deterministic properties of the modeled hardware,
@@ -35,16 +41,31 @@ import (
 	"tbnet/internal/tensor"
 )
 
-// ErrClosed is returned by Infer and InferBatch after Close.
+// ErrClosed is returned by the inference entry points after Close, and by
+// AddModel/SwapModel on a closed server.
 var ErrClosed = errors.New("server closed")
 
 // ErrConfig reports an invalid server configuration or option value.
 var ErrConfig = errors.New("invalid server configuration")
 
+// ErrUnknownModel reports a request or swap addressed to a model name the
+// server does not host.
+var ErrUnknownModel = errors.New("unknown model")
+
+// ErrModelExists reports an AddModel under a name the server already hosts
+// (replace a hosted model with SwapModel instead).
+var ErrModelExists = errors.New("model already hosted")
+
+// DefaultModel is the name New registers its template deployment under;
+// Infer and InferBatch route to it.
+const DefaultModel = "default"
+
 // Config sizes the serving layer. The zero value of any field selects its
-// default.
+// default. One Config governs every hosted model: each model gets its own
+// pool of Workers replicas and its own queue of QueueDepth slots.
 type Config struct {
-	// Workers is the number of replicated enclave sessions (default 2).
+	// Workers is the number of replicated enclave sessions per hosted model
+	// (default 2).
 	Workers int
 	// MaxBatch is the micro-batch flush size (default 8). Each worker's
 	// replica is deployed with this batch capacity, so secure memory is
@@ -53,8 +74,8 @@ type Config struct {
 	// MaxDelay is how long an incomplete batch waits for more requests
 	// before flushing (default 2ms of wall time).
 	MaxDelay time.Duration
-	// QueueDepth bounds the number of waiting requests before Infer blocks
-	// (default Workers*MaxBatch*4).
+	// QueueDepth bounds the number of waiting requests per model before
+	// Infer blocks (default Workers*MaxBatch*4).
 	QueueDepth int
 }
 
@@ -103,36 +124,80 @@ type response struct {
 	err   error
 }
 
-// Server owns the replica pool and the batching queue.
-type Server struct {
-	cfg         Config
+// generation is one immutable worker set of a pool: the replicas, their
+// batch feed, and the collective secure-memory reservation. A swap retires
+// the old generation (close its feed, drain its workers, free its
+// reservation) after installing the new one.
+type generation struct {
+	batches     chan []*request
+	reps        []*core.Deployment
+	workers     sync.WaitGroup
+	secureBytes int64
+}
+
+// pool is one hosted model's serving machinery: a request queue, a batching
+// dispatcher, and the current worker generation. Pools are private to their
+// model — batches never mix models — and share only the server's
+// secure-memory budget with their siblings.
+type pool struct {
+	srv         *Server
+	name        string
 	sampleShape []int // [1,C,H,W] of a single request
-	device      tee.Device
-	pool        *tee.SecureMemory // shared secure-memory budget of the pool
 
-	queue   chan *request
-	batches chan []*request
-	done    chan struct{}
+	queue chan *request
+	done  chan struct{}
 
-	mu        sync.Mutex // guards closed + inflight admission
-	closed    bool
-	inflight  sync.WaitGroup
-	closeOnce sync.Once
-	drained   chan struct{} // closed once shutdown fully drains
+	mu       sync.Mutex // guards closed + inflight admission
+	closed   bool
+	inflight sync.WaitGroup
 
 	// pending counts requests admitted to the queue whose response has not
 	// been delivered yet — the live in-flight load a routing layer probes.
 	pending atomic.Int64
 
 	dispatcherDone chan struct{}
-	workersDone    sync.WaitGroup
+	closeOnce      sync.Once
+	drained        chan struct{}
+
+	// genMu guards gen/retired: the dispatcher holds it shared around each
+	// batch handoff, a swap holds it exclusively while flipping generations,
+	// and the dispatcher's exit marks the pool retired under it so a late
+	// swap cannot install workers nobody will ever terminate.
+	genMu   sync.RWMutex
+	gen     *generation
+	retired bool
+	// swapMu serializes SwapModel calls on this pool.
+	swapMu sync.Mutex
+	swaps  atomic.Int64
 
 	stats statsAgg
 }
 
-// New builds a server from a deployed model. The deployment itself is only
-// used as the replication template; the server never runs inference through
-// it, so the caller keeps exclusive use of the original session.
+// Server hosts named models on one simulated device: per-model replica pools
+// behind per-model micro-batching queues, all drawing secure memory from a
+// single device-sized budget. Create one with New; it is safe for concurrent
+// use.
+type Server struct {
+	cfg    Config
+	device tee.Device
+	budget *tee.SecureMemory // shared secure-memory budget of every pool
+	start  time.Time
+
+	// modelMu guards models/names; pools themselves are internally
+	// synchronized.
+	modelMu sync.RWMutex
+	models  map[string]*pool
+	names   []string // hosting order, for stable stats output
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	drained   chan struct{}
+}
+
+// New builds a server hosting dep as its default model (named DefaultModel).
+// The deployment itself is only used as the replication template; the server
+// never runs inference through it, so the caller keeps exclusive use of the
+// original session. Host further models with AddModel.
 func New(dep *core.Deployment, cfg Config) (*Server, error) {
 	if dep == nil {
 		return nil, fmt.Errorf("%w: nil deployment", ErrConfig)
@@ -141,35 +206,17 @@ func New(dep *core.Deployment, cfg Config) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	shape := dep.SampleShape()
-	shape[0] = 1
 	s := &Server{
-		cfg:            cfg,
-		sampleShape:    shape,
-		queue:          make(chan *request, cfg.QueueDepth),
-		batches:        make(chan []*request),
-		done:           make(chan struct{}),
-		drained:        make(chan struct{}),
-		dispatcherDone: make(chan struct{}),
+		cfg:     cfg,
+		device:  dep.Device,
+		budget:  tee.NewSecureMemory(dep.Device.SecureMemBytes()),
+		start:   time.Now(),
+		models:  make(map[string]*pool),
+		drained: make(chan struct{}),
 	}
-	s.stats.start = time.Now()
-	s.stats.workerBusy = make([]float64, cfg.Workers)
-	// All replicas draw from one accountant sized to the device, so the
-	// pool as a whole cannot overcommit the modeled secure memory.
-	s.device = dep.Device
-	s.pool = tee.NewSecureMemory(dep.Device.SecureMemBytes())
-	for i := 0; i < cfg.Workers; i++ {
-		rep, err := dep.ReplicateInto(cfg.MaxBatch, s.pool)
-		if err != nil {
-			return nil, fmt.Errorf("serve: replicating session %d of %d: %w", i+1, cfg.Workers, err)
-		}
-		// A serving session lives indefinitely: cap its observation trace so
-		// steady-state requests neither allocate nor accumulate memory.
-		rep.Enclave.Trace().Bound(traceBound)
-		s.workersDone.Add(1)
-		go s.worker(i, rep)
+	if err := s.addModel(DefaultModel, dep, false); err != nil {
+		return nil, err
 	}
-	go s.dispatch()
 	return s, nil
 }
 
@@ -178,26 +225,247 @@ func New(dep *core.Deployment, cfg Config) (*Server, error) {
 // without unbounded growth.
 const traceBound = 1024
 
+// newGeneration replicates dep into a fresh worker set drawing on the shared
+// budget. With warm set, each replica runs one max-batch probe inference so
+// its plan's activation arenas are fully sized before the generation sees
+// traffic — the hot-swap path warms here, off the serving path, so the first
+// post-swap batch pays no allocation or sizing cost.
+func (s *Server) newGeneration(dep *core.Deployment, warm bool) (*generation, error) {
+	g := &generation{batches: make(chan []*request)}
+	release := func() {
+		s.budget.Free(g.secureBytes)
+		g.secureBytes = 0
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		rep, err := dep.ReplicateOn(s.device, s.cfg.MaxBatch, s.budget)
+		if err != nil {
+			release()
+			return nil, fmt.Errorf("serve: replicating session %d of %d: %w", i+1, s.cfg.Workers, err)
+		}
+		// A serving session lives indefinitely: cap its observation trace so
+		// steady-state requests neither allocate nor accumulate memory.
+		rep.Enclave.Trace().Bound(traceBound)
+		g.secureBytes += rep.SecureBytes
+		g.reps = append(g.reps, rep)
+	}
+	if warm {
+		shape := g.reps[0].SampleShape()
+		probe := tensor.New(shape...)
+		for _, rep := range g.reps {
+			if _, err := rep.Infer(probe); err != nil {
+				release()
+				return nil, fmt.Errorf("serve: warming replica: %w", err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// startWorkers launches p's workers over generation g.
+func (p *pool) startWorkers(g *generation) {
+	for i := 0; i < p.srv.cfg.Workers; i++ {
+		g.workers.Add(1)
+		go p.worker(g, i)
+	}
+}
+
+// addModel creates and registers a pool for dep under name.
+func (s *Server) addModel(name string, dep *core.Deployment, warm bool) error {
+	if name == "" {
+		return fmt.Errorf("%w: empty model name", ErrConfig)
+	}
+	s.modelMu.Lock()
+	defer s.modelMu.Unlock()
+	// The closed check must happen under modelMu: Close snapshots the pool
+	// set under the same lock, so a pool registered here is either seen and
+	// drained by Close, or this registration observes closed and refuses —
+	// never a live pool Close missed.
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if _, ok := s.models[name]; ok {
+		return fmt.Errorf("%w: %q", ErrModelExists, name)
+	}
+	g, err := s.newGeneration(dep, warm)
+	if err != nil {
+		return err
+	}
+	shape := dep.SampleShape()
+	shape[0] = 1
+	p := &pool{
+		srv:            s,
+		name:           name,
+		sampleShape:    shape,
+		queue:          make(chan *request, s.cfg.QueueDepth),
+		done:           make(chan struct{}),
+		dispatcherDone: make(chan struct{}),
+		drained:        make(chan struct{}),
+		gen:            g,
+	}
+	p.stats.start = time.Now()
+	p.stats.workerBusy = make([]float64, s.cfg.Workers)
+	p.startWorkers(g)
+	go p.dispatch()
+	s.models[name] = p
+	s.names = append(s.names, name)
+	return nil
+}
+
+// AddModel hosts a further named model on the server: a fresh replica pool
+// (replicated onto the server's device, warmed before it sees traffic) and a
+// fresh request queue, drawing secure memory from the same device budget as
+// every other hosted model. It fails with ErrModelExists if name is taken
+// and ErrSecureMemory (wrapped) if the added pool does not fit the budget
+// alongside the existing ones.
+func (s *Server) AddModel(name string, dep *core.Deployment) error {
+	if dep == nil {
+		return fmt.Errorf("%w: nil deployment", ErrConfig)
+	}
+	return s.addModel(name, dep, true)
+}
+
+// RemoveModel stops hosting a named model: admission on its queue stops,
+// queued requests drain through its workers, and the pool's secure-memory
+// reservation returns to the shared budget. The default model cannot be
+// removed (a server always hosts it); unknown names fail with
+// ErrUnknownModel. In-flight requests for the model complete normally;
+// requests issued after removal fail with ErrUnknownModel.
+func (s *Server) RemoveModel(name string) error {
+	if name == DefaultModel {
+		return fmt.Errorf("%w: cannot remove the default model", ErrConfig)
+	}
+	s.modelMu.Lock()
+	p, ok := s.models[name]
+	if !ok {
+		s.modelMu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	delete(s.models, name)
+	for i, n := range s.names {
+		if n == name {
+			s.names = append(s.names[:i], s.names[i+1:]...)
+			break
+		}
+	}
+	s.modelMu.Unlock()
+	p.close()
+	// The pool is drained and retired: its final generation cannot change
+	// anymore, so its reservation can be returned to the budget.
+	p.genMu.RLock()
+	g := p.gen
+	p.genMu.RUnlock()
+	s.budget.Free(g.secureBytes)
+	return nil
+}
+
+// lookup resolves a model name to its pool.
+func (s *Server) lookup(name string) (*pool, error) {
+	s.modelMu.RLock()
+	p := s.models[name]
+	s.modelMu.RUnlock()
+	if p == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return p, nil
+}
+
+// Models returns the hosted model names in hosting order (the default model
+// first).
+func (s *Server) Models() []string {
+	s.modelMu.RLock()
+	defer s.modelMu.RUnlock()
+	return append([]string(nil), s.names...)
+}
+
+// Device returns the hardware backend the server's pools are modeled on.
+func (s *Server) Device() tee.Device { return s.device }
+
+// Swap hot-swaps the default model's replica pool; see SwapModel.
+func (s *Server) Swap(dep *core.Deployment) error { return s.SwapModel(DefaultModel, dep) }
+
+// SwapModel atomically replaces the named model's replicas with a pool built
+// from dep, without dropping a single request. The sequence is
+// warm-then-drain:
+//
+//  1. A full new generation is replicated onto the server's device and
+//     warmed (plans built, arenas sized) while the old replicas keep
+//     serving.
+//  2. The new generation is installed; every batch formed from now on runs
+//     on the new model. The queue, its waiting requests, and the model's
+//     statistics all survive the swap untouched.
+//  3. The old generation's feed is closed; its workers finish the batches
+//     already handed to them, exit, and their secure-memory reservation is
+//     released.
+//
+// SwapModel returns once the old replicas have fully drained, so after it
+// returns every response the server produces for this model comes from dep's
+// weights. During the warm window both generations hold secure memory, so
+// the device budget needs headroom for one extra pool; without it SwapModel
+// fails with ErrSecureMemory (wrapped) and the old pool keeps serving — a
+// failed swap never degrades the running model. The new deployment must
+// accept the pool's sample shape ([C,H,W] must match; dep may come from any
+// device — it is re-priced onto the server's backend).
+func (s *Server) SwapModel(name string, dep *core.Deployment) error {
+	if dep == nil {
+		return fmt.Errorf("%w: nil deployment", ErrConfig)
+	}
+	p, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	shape := dep.SampleShape()
+	for i := 1; i < 4; i++ {
+		if shape[i] != p.sampleShape[i] {
+			return fmt.Errorf("%w: swap shape %v does not match served shape %v",
+				ErrConfig, shape, p.sampleShape)
+		}
+	}
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	g, err := s.newGeneration(dep, true)
+	if err != nil {
+		return err
+	}
+	p.genMu.Lock()
+	if p.retired {
+		p.genMu.Unlock()
+		s.budget.Free(g.secureBytes)
+		return ErrClosed
+	}
+	old := p.gen
+	p.gen = g
+	p.startWorkers(g)
+	p.genMu.Unlock()
+	// Drain the displaced generation: close its feed (the dispatcher already
+	// routes new batches to g), let its workers finish what they hold, then
+	// return their reservation to the shared budget.
+	close(old.batches)
+	old.workers.Wait()
+	s.budget.Free(old.secureBytes)
+	p.swaps.Add(1)
+	return nil
+}
+
 // dispatch coalesces queued requests into batches: a batch flushes as soon as
 // it reaches MaxBatch, or MaxDelay after its first request arrived.
-func (s *Server) dispatch() {
-	defer close(s.dispatcherDone)
-	defer close(s.batches)
+func (p *pool) dispatch() {
+	defer close(p.dispatcherDone)
+	defer p.retire()
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
 		<-timer.C
 	}
 	for {
-		first, ok := <-s.queue
+		first, ok := <-p.queue
 		if !ok {
 			return
 		}
 		batch := []*request{first}
-		timer.Reset(s.cfg.MaxDelay)
+		timer.Reset(p.srv.cfg.MaxDelay)
 	fill:
-		for len(batch) < s.cfg.MaxBatch {
+		for len(batch) < p.srv.cfg.MaxBatch {
 			select {
-			case r, ok := <-s.queue:
+			case r, ok := <-p.queue:
 				if !ok {
 					break fill
 				}
@@ -212,8 +480,27 @@ func (s *Server) dispatch() {
 			default:
 			}
 		}
-		s.batches <- batch
+		p.deliver(batch)
 	}
+}
+
+// deliver hands one batch to the current generation. The shared lock pins
+// the generation across the (possibly blocking) send, so a concurrent swap
+// waits for the handoff instead of closing a channel mid-send.
+func (p *pool) deliver(batch []*request) {
+	p.genMu.RLock()
+	p.gen.batches <- batch
+	p.genMu.RUnlock()
+}
+
+// retire marks the pool closed for swaps and shuts the current generation's
+// feed; it runs exactly once, when the dispatcher exits after draining the
+// queue.
+func (p *pool) retire() {
+	p.genMu.Lock()
+	p.retired = true
+	close(p.gen.batches)
+	p.genMu.Unlock()
 }
 
 // workerScratch is one worker's preplanned request-assembly state: a
@@ -226,17 +513,18 @@ type workerScratch struct {
 	labels []int
 }
 
-func (s *Server) newScratch() *workerScratch {
-	shape := append([]int(nil), s.sampleShape...)
-	shape[0] = s.cfg.MaxBatch
+func (p *pool) newScratch() *workerScratch {
+	maxBatch := p.srv.cfg.MaxBatch
+	shape := append([]int(nil), p.sampleShape...)
+	shape[0] = maxBatch
 	backing := tensor.New(shape...)
-	per := backing.Size() / s.cfg.MaxBatch
+	per := backing.Size() / maxBatch
 	ws := &workerScratch{
-		views:  make([]*tensor.Tensor, s.cfg.MaxBatch+1),
+		views:  make([]*tensor.Tensor, maxBatch+1),
 		per:    per,
-		labels: make([]int, s.cfg.MaxBatch),
+		labels: make([]int, maxBatch),
 	}
-	for k := 1; k <= s.cfg.MaxBatch; k++ {
+	for k := 1; k <= maxBatch; k++ {
 		ws.views[k] = tensor.FromData(backing.Data()[:k*per], k, shape[1], shape[2], shape[3])
 	}
 	return ws
@@ -252,16 +540,19 @@ func (ws *workerScratch) concatInto(batch []*request) *tensor.Tensor {
 	return x
 }
 
-// worker runs batches through its private session replica.
-func (s *Server) worker(id int, rep *core.Deployment) {
-	defer s.workersDone.Done()
-	ws := s.newScratch()
-	for batch := range s.batches {
-		s.runBatch(id, rep, ws, batch)
+// worker runs batches through its private session replica until its
+// generation's feed closes (server shutdown, or this generation being
+// swapped out).
+func (p *pool) worker(g *generation, id int) {
+	defer g.workers.Done()
+	ws := p.newScratch()
+	rep := g.reps[id]
+	for batch := range g.batches {
+		p.runBatch(id, rep, ws, batch)
 	}
 }
 
-func (s *Server) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch []*request) {
+func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch []*request) {
 	// Drop requests whose caller already gave up (cancelled context, missed
 	// deadline): their abandoned callers would discard the answer anyway, so
 	// running them would burn modeled device time on shed load and count it
@@ -273,7 +564,7 @@ func (s *Server) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch
 	for _, r := range batch {
 		if r.ctx != nil && r.ctx.Err() != nil {
 			r.resp <- response{err: r.ctx.Err()}
-			s.pending.Add(-1)
+			p.pending.Add(-1)
 			continue
 		}
 		if !r.enqueued.IsZero() {
@@ -298,27 +589,27 @@ func (s *Server) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch
 		// same error on every caller in the batch. Re-run each sample alone to
 		// isolate which input was actually bad: good samples still succeed,
 		// and only the offending request carries the error.
-		s.isolateBatch(id, rep, ws, live, wait)
+		p.isolateBatch(id, rep, ws, live, wait)
 		return
 	}
 	for i, r := range live {
-		s.pending.Add(-1)
+		p.pending.Add(-1)
 		if err != nil {
 			r.resp <- response{err: err}
 			continue
 		}
 		r.resp <- response{label: labels[i]}
 	}
-	s.stats.record(id, len(live), lat, hostNs, wait, err)
+	p.stats.record(id, len(live), lat, hostNs, wait, err)
 }
 
 // isolateBatch re-runs each request of a failed coalesced batch as its own
 // protocol run, so every caller gets its sample's own outcome instead of a
 // shared batch error.
-func (s *Server) isolateBatch(id int, rep *core.Deployment, ws *workerScratch, batch []*request, wait time.Duration) {
+func (p *pool) isolateBatch(id int, rep *core.Deployment, ws *workerScratch, batch []*request, wait time.Duration) {
 	perWait := wait / time.Duration(len(batch))
 	for _, r := range batch {
-		s.pending.Add(-1)
+		p.pending.Add(-1)
 		if r.ctx != nil && r.ctx.Err() != nil {
 			r.resp <- response{err: r.ctx.Err()}
 			continue
@@ -336,17 +627,17 @@ func (s *Server) isolateBatch(id int, rep *core.Deployment, ws *workerScratch, b
 		} else {
 			r.resp <- response{label: labels[0]}
 		}
-		s.stats.record(id, 1, lat, hostNs, perWait, err)
+		p.stats.record(id, 1, lat, hostNs, perWait, err)
 	}
 }
 
 // checkSample validates one request input: [C,H,W] or [1,C,H,W] matching the
 // deployed sample shape.
-func (s *Server) checkSample(x *tensor.Tensor) (*tensor.Tensor, error) {
+func (p *pool) checkSample(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x == nil {
 		return nil, fmt.Errorf("serve: nil input: %w", core.ErrShape)
 	}
-	want := s.sampleShape
+	want := p.sampleShape
 	switch x.Rank() {
 	case 3:
 		if x.Dim(0) != want[1] || x.Dim(1) != want[2] || x.Dim(2) != want[3] {
@@ -370,50 +661,37 @@ func (s *Server) checkSample(x *tensor.Tensor) (*tensor.Tensor, error) {
 // shutdown. It must be balanced with exactly one receive from req.resp by a
 // worker (the response channel is buffered so an abandoned caller never
 // blocks the worker).
-func (s *Server) enqueue(ctx context.Context, req *request) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+func (p *pool) enqueue(ctx context.Context, req *request) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
 		return ErrClosed
 	}
-	s.inflight.Add(1)
-	s.mu.Unlock()
-	defer s.inflight.Done()
+	p.inflight.Add(1)
+	p.mu.Unlock()
+	defer p.inflight.Done()
 	req.enqueued = time.Now()
-	s.pending.Add(1)
+	p.pending.Add(1)
 	select {
-	case s.queue <- req:
+	case p.queue <- req:
 		return nil
 	case <-ctx.Done():
-		s.pending.Add(-1)
+		p.pending.Add(-1)
 		return ctx.Err()
-	case <-s.done:
-		s.pending.Add(-1)
+	case <-p.done:
+		p.pending.Add(-1)
 		return ErrClosed
 	}
 }
 
-// QueueDepth is a live probe of the number of requests waiting for a batch
-// slot right now. Routing layers use it to compare load across servers.
-func (s *Server) QueueDepth() int { return len(s.queue) }
-
-// InFlight is a live probe of the number of admitted requests whose response
-// has not been delivered yet (queued + being served).
-func (s *Server) InFlight() int64 { return s.pending.Load() }
-
-// Infer classifies one sample ([C,H,W] or [1,C,H,W]) and returns its label.
-// It blocks until a batched protocol run completes, the context is
-// cancelled, or the server closes. A request whose context expires while it
-// is still queued is dropped at batch-formation time without consuming a
-// protocol run, so abandoned (shed) load costs no modeled device time. The
-// caller must not mutate x until Infer returns.
-func (s *Server) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
-	sample, err := s.checkSample(x)
+// infer runs one validated request through the pool.
+func (p *pool) infer(ctx context.Context, x *tensor.Tensor) (int, error) {
+	sample, err := p.checkSample(x)
 	if err != nil {
 		return 0, err
 	}
 	req := &request{x: sample, resp: make(chan response, 1), ctx: ctx}
-	if err := s.enqueue(ctx, req); err != nil {
+	if err := p.enqueue(ctx, req); err != nil {
 		return 0, err
 	}
 	select {
@@ -424,19 +702,97 @@ func (s *Server) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
 	}
 }
 
-// InferBatch classifies xs (each [C,H,W] or [1,C,H,W]) and returns one label
-// per sample, in order. Samples are enqueued individually, so the serving
-// layer is free to coalesce them with other callers' traffic; the first
-// error encountered is returned after all samples resolve, wrapped with the
-// index of the failing sample ("sample 17: ...") so a caller submitting a
-// 64-sample batch can tell which input was bad.
+// close drains and stops the pool: admission stops, the dispatcher flushes
+// what was admitted, the current generation's workers finish it, and every
+// caller of close blocks until the drain completes.
+func (p *pool) close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		close(p.done)     // wake enqueuers blocked on a full queue
+		p.inflight.Wait() // no sends in flight anymore
+		close(p.queue)    // dispatcher flushes what was admitted, then exits
+		<-p.dispatcherDone
+		p.genMu.RLock()
+		g := p.gen
+		p.genMu.RUnlock()
+		g.workers.Wait()
+		close(p.drained)
+	})
+	<-p.drained
+}
+
+// QueueDepth is a live probe of the number of requests waiting for a batch
+// slot right now, summed across the hosted models. Routing layers use it to
+// compare load across servers.
+func (s *Server) QueueDepth() int {
+	s.modelMu.RLock()
+	defer s.modelMu.RUnlock()
+	total := 0
+	for _, p := range s.models {
+		total += len(p.queue)
+	}
+	return total
+}
+
+// InFlight is a live probe of the number of admitted requests whose response
+// has not been delivered yet (queued + being served), summed across the
+// hosted models.
+func (s *Server) InFlight() int64 {
+	s.modelMu.RLock()
+	defer s.modelMu.RUnlock()
+	var total int64
+	for _, p := range s.models {
+		total += p.pending.Load()
+	}
+	return total
+}
+
+// Infer classifies one sample ([C,H,W] or [1,C,H,W]) with the default model
+// and returns its label. It blocks until a batched protocol run completes,
+// the context is cancelled, or the server closes. A request whose context
+// expires while it is still queued is dropped at batch-formation time
+// without consuming a protocol run, so abandoned (shed) load costs no
+// modeled device time. The caller must not mutate x until Infer returns.
+func (s *Server) Infer(ctx context.Context, x *tensor.Tensor) (int, error) {
+	return s.InferModel(ctx, DefaultModel, x)
+}
+
+// InferModel is Infer addressed to a named hosted model; unknown names fail
+// with ErrUnknownModel.
+func (s *Server) InferModel(ctx context.Context, model string, x *tensor.Tensor) (int, error) {
+	p, err := s.lookup(model)
+	if err != nil {
+		return 0, err
+	}
+	return p.infer(ctx, x)
+}
+
+// InferBatch classifies xs (each [C,H,W] or [1,C,H,W]) with the default
+// model and returns one label per sample, in order. Samples are enqueued
+// individually, so the serving layer is free to coalesce them with other
+// callers' traffic; the first error encountered is returned after all
+// samples resolve, wrapped with the index of the failing sample
+// ("sample 17: ...") so a caller submitting a 64-sample batch can tell which
+// input was bad.
 func (s *Server) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, error) {
+	return s.InferModelBatch(ctx, DefaultModel, xs)
+}
+
+// InferModelBatch is InferBatch addressed to a named hosted model; unknown
+// names fail with ErrUnknownModel.
+func (s *Server) InferModelBatch(ctx context.Context, model string, xs []*tensor.Tensor) ([]int, error) {
 	if len(xs) == 0 {
 		return nil, nil
 	}
+	p, err := s.lookup(model)
+	if err != nil {
+		return nil, err
+	}
 	reqs := make([]*request, len(xs))
 	for i, x := range xs {
-		sample, err := s.checkSample(x)
+		sample, err := p.checkSample(x)
 		if err != nil {
 			return nil, fmt.Errorf("sample %d: %w", i, err)
 		}
@@ -444,18 +800,18 @@ func (s *Server) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, er
 	}
 	labels := make([]int, len(xs))
 	var firstErr error
-	pending := make([]bool, len(xs))
+	pendingReq := make([]bool, len(xs))
 	for i, req := range reqs {
-		if err := s.enqueue(ctx, req); err != nil {
+		if err := p.enqueue(ctx, req); err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("sample %d: %w", i, err)
 			}
 			continue
 		}
-		pending[i] = true
+		pendingReq[i] = true
 	}
 	for i, req := range reqs {
-		if !pending[i] {
+		if !pendingReq[i] {
 			continue
 		}
 		select {
@@ -476,20 +832,28 @@ func (s *Server) InferBatch(ctx context.Context, xs []*tensor.Tensor) ([]int, er
 	return labels, nil
 }
 
-// Close stops admission, drains queued requests through the workers, and
-// waits for them to finish. It is idempotent and safe for concurrent use:
-// every caller blocks until the drain completes. Infer calls issued after
-// Close fail with ErrClosed.
+// Close stops admission on every hosted model, drains their queues through
+// the workers, and waits for them to finish. It is idempotent and safe for
+// concurrent use: every caller blocks until the drain completes. Inference
+// calls issued after Close fail with ErrClosed.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
-		s.mu.Lock()
-		s.closed = true
-		s.mu.Unlock()
-		close(s.done)      // wake enqueuers blocked on a full queue
-		s.inflight.Wait()  // no sends in flight anymore
-		close(s.queue)     // dispatcher flushes what was admitted, then exits
-		<-s.dispatcherDone // batches channel is closed
-		s.workersDone.Wait()
+		s.closed.Store(true)
+		s.modelMu.RLock()
+		pools := make([]*pool, 0, len(s.models))
+		for _, p := range s.models {
+			pools = append(pools, p)
+		}
+		s.modelMu.RUnlock()
+		var wg sync.WaitGroup
+		for _, p := range pools {
+			wg.Add(1)
+			go func(p *pool) {
+				defer wg.Done()
+				p.close()
+			}(p)
+		}
+		wg.Wait()
 		close(s.drained)
 	})
 	<-s.drained
@@ -500,13 +864,24 @@ func (s *Server) Close() error {
 // latency and throughput figures come from the device cost model (modeled
 // seconds on the simulated TrustZone hardware), not from host wall time,
 // except WallSeconds and AvgQueueWaitMicros, which report the host-side
-// observation window and batching delay. The JSON tags are the stable
-// machine-readable names the CLI and the BENCH_* artifacts carry.
+// observation window and batching delay. Server.Stats aggregates every
+// hosted model; Server.ModelStats scopes the same snapshot to one model. The
+// JSON tags are the stable machine-readable names the CLI and the BENCH_*
+// artifacts carry.
 type Stats struct {
-	// Device is the name of the hardware backend the pool is modeled on.
+	// Device is the name of the hardware backend the pools are modeled on.
 	Device string `json:"device"`
-	// PeakSecureBytes is the pool's secure-memory high-water mark: the most
-	// bytes the replicas collectively held against the device budget.
+	// Model is the hosted model the snapshot is scoped to ("" for a
+	// server-wide aggregate).
+	Model string `json:"model,omitempty"`
+	// Models is the number of models hosted at snapshot time.
+	Models int `json:"models"`
+	// Swaps is the number of completed hot swaps (scoped like the rest of
+	// the snapshot).
+	Swaps int64 `json:"swaps"`
+	// PeakSecureBytes is the server's secure-memory high-water mark: the
+	// most bytes all hosted pools collectively held against the device
+	// budget (swap windows included).
 	PeakSecureBytes int64 `json:"peak_secure_bytes"`
 	// Requests is the number of samples served successfully.
 	Requests int64 `json:"requests"`
@@ -520,11 +895,12 @@ type Stats struct {
 	LargestBatch int `json:"largest_batch"`
 	// QueueDepth is the number of requests waiting right now.
 	QueueDepth int `json:"queue_depth"`
-	// Workers is the replica pool size.
+	// Workers is the replica pool width per hosted model.
 	Workers int `json:"workers"`
 	// P50Latency and P99Latency are modeled per-request device latencies in
 	// seconds (a request's latency is its batch's staged protocol run).
 	P50Latency float64 `json:"p50_latency_sec"`
+	// P99Latency is the modeled p99 per-request latency in seconds.
 	P99Latency float64 `json:"p99_latency_sec"`
 	// P95Micros is the modeled p95 per-request latency in microseconds — the
 	// tail figure routing policies and the fleet stats table compare across
@@ -538,14 +914,15 @@ type Stats struct {
 	// AvgQueueWaitMicros is the mean host-side time a request spent queued
 	// before its batch started, in microseconds — the price of coalescing.
 	AvgQueueWaitMicros float64 `json:"avg_queue_wait_micros"`
-	// ModeledThroughput is requests per modeled device-second, using the
-	// busiest replica as the critical path (replicas run in parallel).
+	// ModeledThroughput is requests per modeled device-second. Within one
+	// model the busiest replica is the critical path; across models the
+	// per-model figures add, since every pool runs in parallel.
 	ModeledThroughput float64 `json:"modeled_throughput_rps"`
 	// WallSeconds is the host time since the server started.
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// statsAgg accumulates serving statistics.
+// statsAgg accumulates one pool's serving statistics.
 type statsAgg struct {
 	mu           sync.Mutex
 	start        time.Time
@@ -588,67 +965,151 @@ func (a *statsAgg) record(worker, batchSize int, lat float64, hostNs, wait time.
 	}
 }
 
-// LatencySamples returns a copy of the retained per-request modeled latencies
-// (seconds, most recent 8192). Aggregators — the fleet layer — merge the
-// samples of several servers to compute cross-device percentiles.
-func (s *Server) LatencySamples() []float64 {
-	a := &s.stats
+// poolSnapshot is one pool's raw aggregate, merged by the Stats methods.
+type poolSnapshot struct {
+	requests, errors, batches int64
+	largestBatch              int
+	queueDepth                int
+	swaps                     int64
+	hostBusy                  time.Duration
+	queueWait                 time.Duration
+	queueWaited               int64
+	critical                  float64 // busiest worker's modeled seconds
+	samples                   []float64
+}
+
+func (p *pool) snapshot() poolSnapshot {
+	a := &p.stats
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	out := poolSnapshot{
+		requests:     a.requests,
+		errors:       a.errors,
+		batches:      a.batches,
+		largestBatch: a.largestBatch,
+		queueDepth:   len(p.queue),
+		swaps:        p.swaps.Load(),
+		hostBusy:     a.hostBusy,
+		queueWait:    a.queueWait,
+		queueWaited:  a.queueWaited,
+	}
+	for _, b := range a.workerBusy {
+		if b > out.critical {
+			out.critical = b
+		}
+	}
 	n := int(a.latCount)
 	if n > len(a.latencies) {
 		n = len(a.latencies)
 	}
-	out := make([]float64, n)
-	copy(out, a.latencies[:n])
+	out.samples = make([]float64, n)
+	copy(out.samples, a.latencies[:n])
 	return out
 }
 
-// Stats returns a snapshot of the server's counters.
-func (s *Server) Stats() Stats {
-	a := &s.stats
-	a.mu.Lock()
-	defer a.mu.Unlock()
+// mergeStats folds pool snapshots into one Stats value.
+func (s *Server) mergeStats(snaps []poolSnapshot) Stats {
 	out := Stats{
 		Device:          s.device.Name(),
-		PeakSecureBytes: s.pool.Peak(),
-		Requests:        a.requests,
-		Errors:          a.errors,
-		Batches:         a.batches,
-		LargestBatch:    a.largestBatch,
-		QueueDepth:      len(s.queue),
+		PeakSecureBytes: s.budget.Peak(),
 		Workers:         s.cfg.Workers,
-		WallSeconds:     time.Since(a.start).Seconds(),
+		WallSeconds:     time.Since(s.start).Seconds(),
 	}
-	if a.batches > 0 {
-		out.MeanBatch = float64(a.requests) / float64(a.batches)
-	}
-	if a.queueWaited > 0 {
-		out.AvgQueueWaitMicros = float64(a.queueWait.Microseconds()) / float64(a.queueWaited)
-	}
-	if a.requests > 0 {
-		out.HostNsPerOp = float64(a.hostBusy.Nanoseconds()) / float64(a.requests)
-	}
-	n := int(a.latCount)
-	if n > len(a.latencies) {
-		n = len(a.latencies)
-	}
-	if n > 0 {
-		sorted := make([]float64, n)
-		copy(sorted, a.latencies[:n])
-		sort.Float64s(sorted)
-		out.P50Latency = sorted[n/2]
-		out.P95Micros = sorted[(n*95)/100] * 1e6
-		out.P99Latency = sorted[(n*99)/100]
-	}
-	var critical float64
-	for _, b := range a.workerBusy {
-		if b > critical {
-			critical = b
+	var samples []float64
+	var queueWait time.Duration
+	var queueWaited int64
+	var hostBusy time.Duration
+	for _, sn := range snaps {
+		out.Requests += sn.requests
+		out.Errors += sn.errors
+		out.Batches += sn.batches
+		out.QueueDepth += sn.queueDepth
+		out.Swaps += sn.swaps
+		if sn.largestBatch > out.LargestBatch {
+			out.LargestBatch = sn.largestBatch
 		}
+		if sn.critical > 0 {
+			out.ModeledThroughput += float64(sn.requests) / sn.critical
+		}
+		hostBusy += sn.hostBusy
+		queueWait += sn.queueWait
+		queueWaited += sn.queueWaited
+		samples = append(samples, sn.samples...)
 	}
-	if critical > 0 {
-		out.ModeledThroughput = float64(a.requests) / critical
+	if out.Batches > 0 {
+		out.MeanBatch = float64(out.Requests) / float64(out.Batches)
+	}
+	if queueWaited > 0 {
+		out.AvgQueueWaitMicros = float64(queueWait.Microseconds()) / float64(queueWaited)
+	}
+	if out.Requests > 0 {
+		out.HostNsPerOp = float64(hostBusy.Nanoseconds()) / float64(out.Requests)
+	}
+	if n := len(samples); n > 0 {
+		sort.Float64s(samples)
+		out.P50Latency = samples[n/2]
+		out.P95Micros = samples[(n*95)/100] * 1e6
+		out.P99Latency = samples[(n*99)/100]
 	}
 	return out
+}
+
+// Stats returns a snapshot of the server's counters, aggregated across every
+// hosted model.
+func (s *Server) Stats() Stats {
+	s.modelMu.RLock()
+	pools := make([]*pool, 0, len(s.names))
+	for _, name := range s.names {
+		pools = append(pools, s.models[name])
+	}
+	s.modelMu.RUnlock()
+	snaps := make([]poolSnapshot, len(pools))
+	for i, p := range pools {
+		snaps[i] = p.snapshot()
+	}
+	st := s.mergeStats(snaps)
+	st.Models = len(pools)
+	return st
+}
+
+// ModelStats returns the snapshot scoped to one hosted model; unknown names
+// fail with ErrUnknownModel. PeakSecureBytes still reports the shared
+// server-wide budget (pools are not separately metered).
+func (s *Server) ModelStats(model string) (Stats, error) {
+	p, err := s.lookup(model)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := s.mergeStats([]poolSnapshot{p.snapshot()})
+	st.Model = model
+	st.Models = 1
+	return st, nil
+}
+
+// LatencySamples returns a copy of the retained per-request modeled
+// latencies (seconds, most recent 8192 per model), merged across the hosted
+// models. Aggregators — the fleet layer — merge the samples of several
+// servers to compute cross-device percentiles.
+func (s *Server) LatencySamples() []float64 {
+	s.modelMu.RLock()
+	pools := make([]*pool, 0, len(s.models))
+	for _, p := range s.models {
+		pools = append(pools, p)
+	}
+	s.modelMu.RUnlock()
+	var out []float64
+	for _, p := range pools {
+		out = append(out, p.snapshot().samples...)
+	}
+	return out
+}
+
+// ModelLatencySamples is LatencySamples scoped to one hosted model; unknown
+// names fail with ErrUnknownModel.
+func (s *Server) ModelLatencySamples(model string) ([]float64, error) {
+	p, err := s.lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	return p.snapshot().samples, nil
 }

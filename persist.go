@@ -1,0 +1,137 @@
+package tbnet
+
+import (
+	"fmt"
+	"io"
+
+	"tbnet/internal/core"
+	"tbnet/internal/registry"
+	"tbnet/internal/serial"
+	"tbnet/internal/tee"
+)
+
+// SaveDeployment writes a live deployment as a self-describing, checksummed
+// artifact: the finalized two-branch weights and channel alignment plus the
+// placement metadata (the device's registered name and the [N,C,H,W] sample
+// shape the session was sized for). LoadDeployment brings the artifact back
+// up bit-identically — a saved-then-loaded deployment produces exactly the
+// labels the original would.
+func SaveDeployment(w io.Writer, dep *Deployment) error {
+	if dep == nil {
+		return fmt.Errorf("%w: nil deployment", ErrBadOption)
+	}
+	art := &serial.Artifact{
+		TB:          dep.Snapshot(),
+		Device:      dep.Device.Name(),
+		SampleShape: dep.SampleShape(),
+	}
+	return serial.SaveDeployment(w, art)
+}
+
+// LoadDeployment reads an artifact written by SaveDeployment and re-deploys
+// it: the artifact's payload checksum is verified, its device name is
+// resolved in the backend registry, and the model is placed with the saved
+// sample shape. Corrupt input fails with an error wrapping ErrBadArtifact;
+// an artifact saved for a device this build does not register fails with
+// ErrBadOption (re-target it with LoadDeploymentOn).
+func LoadDeployment(r io.Reader) (*Deployment, error) {
+	return LoadDeploymentOn(r, nil)
+}
+
+// LoadDeploymentOn is LoadDeployment re-targeted onto an explicit hardware
+// backend, overriding the device name saved in the artifact (nil keeps the
+// saved device). The weights are device-independent, so the restored outputs
+// stay bit-identical; only the modeled cost changes.
+func LoadDeploymentOn(r io.Reader, device Device) (*Deployment, error) {
+	art, err := serial.LoadDeployment(r)
+	if err != nil {
+		return nil, fmt.Errorf("tbnet: loading deployment: %w", err)
+	}
+	return deployArtifact(art, device)
+}
+
+// deployArtifact places a parsed artifact onto device (nil resolves the
+// artifact's saved device name).
+func deployArtifact(art *serial.Artifact, device Device) (*Deployment, error) {
+	if device == nil {
+		d, err := tee.ByName(art.Device)
+		if err != nil {
+			return nil, fmt.Errorf("%w: artifact targets device %q: %w", ErrBadOption, art.Device, err)
+		}
+		device = d
+	}
+	dep, err := core.Deploy(art.TB, device, art.SampleShape)
+	if err != nil {
+		return nil, fmt.Errorf("tbnet: re-deploying artifact: %w", err)
+	}
+	return dep, nil
+}
+
+// RegistryEntry is one stored model's manifest: its name, the device and
+// sample shape it was sized for, and the SHA-256 content hash Load verifies
+// the artifact bytes against.
+type RegistryEntry = registry.Entry
+
+// Registry is a directory-backed named store of deployment artifacts — the
+// vendor-ships-artifacts side of the paper's deployment story. Save persists
+// a live deployment under a name; Load re-deploys it (integrity-checked);
+// List enumerates the manifests. Open one with OpenRegistry. A Registry is
+// safe for concurrent readers.
+type Registry struct {
+	store *registry.Store
+}
+
+// OpenRegistry opens (creating if needed) a model registry rooted at dir.
+func OpenRegistry(dir string) (*Registry, error) {
+	s, err := registry.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{store: s}, nil
+}
+
+// Dir returns the registry's root directory.
+func (r *Registry) Dir() string { return r.store.Dir() }
+
+// Save persists dep under name (overwriting a previous entry of that name)
+// and returns the recorded manifest. Names are file-name-safe identifiers:
+// letters, digits, '.', '_', '-'.
+func (r *Registry) Save(name string, dep *Deployment) (RegistryEntry, error) {
+	if dep == nil {
+		return RegistryEntry{}, fmt.Errorf("%w: nil deployment", ErrBadOption)
+	}
+	return r.store.Save(name, &serial.Artifact{
+		TB:          dep.Snapshot(),
+		Device:      dep.Device.Name(),
+		SampleShape: dep.SampleShape(),
+	})
+}
+
+// Load re-deploys the named entry on its saved device. The artifact bytes
+// are verified against the manifest's content hash first: corruption fails
+// with ErrIntegrity, a missing name with ErrModelNotFound.
+func (r *Registry) Load(name string) (*Deployment, error) {
+	return r.LoadOn(name, nil)
+}
+
+// LoadOn is Load re-targeted onto an explicit hardware backend (nil keeps
+// the device recorded in the artifact).
+func (r *Registry) LoadOn(name string, device Device) (*Deployment, error) {
+	art, _, err := r.store.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return deployArtifact(art, device)
+}
+
+// Manifest returns the named entry's manifest without loading the artifact.
+func (r *Registry) Manifest(name string) (RegistryEntry, error) {
+	return r.store.Manifest(name)
+}
+
+// List returns every entry's manifest, sorted by name.
+func (r *Registry) List() ([]RegistryEntry, error) { return r.store.List() }
+
+// Delete removes the named entry; a missing name fails with
+// ErrModelNotFound.
+func (r *Registry) Delete(name string) error { return r.store.Delete(name) }

@@ -210,12 +210,18 @@ func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
 // PipelineResult is the outcome of one pipeline run. TB is finalized and
 // ready for Deploy.
 type PipelineResult struct {
+	// Train and Test are the synthetic dataset splits the run used.
 	Train, Test *Dataset
-	Victim      *Model
-	VictimAcc   float64
-	TB          *TwoBranch
-	TBAcc       float64
-	PruneRes    *PruneResult
+	// Victim is the trained victim model (step 0 of the paper's flow).
+	Victim *Model
+	// VictimAcc is the victim's top-1 test accuracy.
+	VictimAcc float64
+	// TB is the finalized two-branch substitution model.
+	TB *TwoBranch
+	// TBAcc is the benign-user accuracy of the two-branch model (M_T head).
+	TBAcc float64
+	// PruneRes records the iterative pruning history behind TB.
+	PruneRes *PruneResult
 }
 
 func (p *Pipeline) logf(format string, args ...any) {

@@ -7,15 +7,21 @@ import (
 	"tbnet/internal/serve"
 )
 
-// Server is the concurrent serving layer over a deployed model: a pool of
-// replicated enclave sessions behind a micro-batching request queue. Create
-// one with Serve; see the serve package documentation for the execution
+// Server is the concurrent serving layer over deployed models: per-model
+// pools of replicated enclave sessions behind micro-batching request queues,
+// all drawing secure memory from one device-sized budget. Create one with
+// Serve; the deployment it is built from is hosted as DefaultModel. Host
+// further named models with Server.AddModel, address them with
+// Server.InferModel, and hot-swap a hosted model's replicas without dropping
+// a request with Server.Swap / Server.SwapModel (warm the new pool first,
+// then drain the old). See the serve package documentation for the execution
 // model.
 type Server = serve.Server
 
 // ServerStats is a point-in-time snapshot of a Server's behaviour —
-// throughput, realized batch sizes, queue depth, and p50/p99 modeled device
-// latency.
+// throughput, realized batch sizes, queue depth, hot-swap count, and
+// p50/p95/p99 modeled device latency — aggregated across its hosted models
+// (Server.ModelStats scopes it to one).
 type ServerStats = serve.Stats
 
 // ServeOption configures a Server.
