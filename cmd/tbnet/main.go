@@ -741,6 +741,7 @@ func usage(w io.Writer) {
   tbnet scenario [-devices NAME:W,...] [-policy ...] [-deadline D] [-max-inflight N]
                  [-spec name:pattern:rate:dur[:peak[:period]],...] [-trace FILE]
                  [-models NAME=FILE,... | -models NAME,... -registry DIR]
+                 [-target URL [-api-key KEY]]   # client mode: load-test a running tbnetd over HTTP
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
   tbnet info     # list the registered hardware backends`)
 }

@@ -180,12 +180,31 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	regDir := fs.String("registry", "", "model registry directory for bare -models names")
 	spec := fs.String("spec", defaultSpec, "phases as name:pattern:rate:duration[:peak[:period]]")
 	traceFile := fs.String("trace", "", "replay an arrival trace file instead of -spec")
+	target := fs.String("target", "", "drive a running tbnetd daemon at this base URL over HTTP (client mode)")
+	apiKey := fs.String("api-key", "", "API key sent to a -target daemon with auth enabled")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *deadline < 0 || *maxInFlight < 0 {
 		fmt.Fprintf(stderr, "invalid scenario flags: deadline %v, max-inflight %d\n", *deadline, *maxInFlight)
 		return 2
+	}
+
+	// Client mode: the target URL is validated here, before any phase parse
+	// or model build — a typo in -target is a usage error surfaced in
+	// milliseconds, never a failure minutes into a pipeline run.
+	var tgt *scenario.HTTPTarget
+	if *target != "" {
+		if *models != "" {
+			fmt.Fprintln(stderr, "-models is meaningless with -target: the daemon already hosts its models")
+			return 2
+		}
+		var terr error
+		if tgt, terr = scenario.NewHTTPTarget(*target, scenario.WithAPIKey(*apiKey)); terr != nil {
+			fmt.Fprintln(stderr, terr)
+			fs.Usage()
+			return 2
+		}
 	}
 	fleetOpts, err := parseFleetDevices(*devices)
 	if err != nil {
@@ -227,6 +246,12 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
+	}
+
+	// Client mode runs here — the workload shape is parsed and the target
+	// validated; no local fleet or model build is needed at all.
+	if tgt != nil {
+		return runScenarioClient(tgt, *target, phases, c, stdout, stderr)
 	}
 
 	// The served models: either saved artifacts (-models/-registry) or one
@@ -339,6 +364,90 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 		report.ScenarioModelTable(res).Render(stdout)
 	}
 	report.FleetTable(st).Render(stdout)
+	fmt.Fprintf(stdout, "offered %d requests: %d served, %d shed, %d failed in %.2fs\n",
+		res.Offered, res.Served, res.Shed, res.Failed, res.WallSeconds)
+	return 0
+}
+
+// sameShape reports whether two sample shapes match exactly.
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runScenarioClient drives a running tbnetd daemon through the phased
+// workload over real sockets: the hosted models and their sample shapes come
+// from the daemon's /v1/models, the load is synthetic noise of the right
+// shape, and traffic is split across every hosted model that shares the
+// default model's shape. The report is the client-side view only — the
+// daemon's own counters live on its /metrics endpoint.
+func runScenarioClient(tgt *scenario.HTTPTarget, target string, phases []scenario.Phase,
+	c *commonFlags, stdout, stderr io.Writer) int {
+	ctx := context.Background()
+	remote, err := tgt.Models(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	def := remote[0]
+	for _, m := range remote {
+		if m.Default {
+			def = m
+		}
+	}
+	shape := append([]int(nil), def.SampleShape...)
+	if len(shape) == 4 {
+		shape[0] = 1
+	}
+	rng := tbnet.NewRNG(c.seed)
+	pool := make([]*tbnet.Tensor, 256)
+	for i := range pool {
+		x := tbnet.NewTensor(shape...)
+		rng.FillNormal(x, 0, 1)
+		pool[i] = x
+	}
+	sample := func(i int) *tbnet.Tensor { return pool[i%len(pool)] }
+
+	var shares []scenario.ModelShare
+	for _, m := range remote {
+		if sameShape(m.SampleShape, def.SampleShape) {
+			shares = append(shares, scenario.ModelShare{Name: m.Name, Weight: 1})
+		}
+	}
+	if len(shares) > 1 {
+		for i := range phases {
+			phases[i].Models = shares
+		}
+	}
+
+	fmt.Fprintf(stderr, "driving %d phase(s) against %s (%d hosted model(s), default %q)...\n",
+		len(phases), target, len(remote), def.Name)
+	res, err := scenario.Run(ctx, tgt,
+		scenario.Spec{Name: "http:" + def.Name, Seed: c.seed, Phases: phases}, sample)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if c.jsonOut {
+		if err := json.NewEncoder(stdout).Encode(struct {
+			Scenario *scenario.Result `json:"scenario"`
+		}{res}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	report.ScenarioTable(res).Render(stdout)
+	if len(res.PerModel) > 1 {
+		report.ScenarioModelTable(res).Render(stdout)
+	}
 	fmt.Fprintf(stdout, "offered %d requests: %d served, %d shed, %d failed in %.2fs\n",
 		res.Offered, res.Served, res.Shed, res.Failed, res.WallSeconds)
 	return 0

@@ -10,7 +10,7 @@ import (
 
 func TestSaveLoadFlagValidation(t *testing.T) {
 	cases := [][]string{
-		{"save"},                                    // neither -out nor -registry
+		{"save"}, // neither -out nor -registry
 		{"save", "-out", "x.tbd", "-registry", "r"}, // both
 		{"load"},
 		{"load", "-in", "x.tbd", "-registry", "r"},
@@ -34,6 +34,13 @@ func TestScenarioFlagValidation(t *testing.T) {
 		{"scenario", "-policy", "vibes"},
 		{"scenario", "-models", "m"}, // bare name without -registry
 		{"scenario", "-trace", "/nonexistent/trace.txt"},
+		// Client mode: a bad -target URL must fail fast as a usage error,
+		// before any phase parse or (minutes-long) model build.
+		{"scenario", "-target", "://nope"},
+		{"scenario", "-target", "ftp://host:21"},
+		{"scenario", "-target", "localhost:8080"},                           // scheme-less
+		{"scenario", "-target", "http://"},                                  // no host
+		{"scenario", "-target", "http://127.0.0.1:1", "-models", "m=x.tbd"}, // conflicting modes
 	}
 	for _, args := range cases {
 		if code, _, _ := runCLI(t, args...); code != 2 {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"testing"
+	"time"
+
+	"tbnet/internal/core"
+	"tbnet/internal/fleet"
+	"tbnet/internal/httpd"
+	"tbnet/internal/scenario"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// TestScenarioClientModeEndToEnd drives `tbnet scenario -target` against an
+// in-process daemon over a real socket: the CLI discovers the hosted models
+// and their shapes from /v1/models, synthesizes the load, and reports the
+// client-side phase table — no local fleet, no model build.
+func TestScenarioClientModeEndToEnd(t *testing.T) {
+	victim := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(3))
+	tb := core.NewTwoBranch(victim, 4)
+	tb.Finalized = true
+	dep, err := core.Deploy(tb, tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fleet.New(dep, fleet.Config{
+		Nodes:    []fleet.NodeConfig{{Device: tee.RaspberryPi3(), Workers: 1}},
+		MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := httpd.New(httpd.Config{
+		Fleet:  f,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	}()
+
+	code, stdout, stderr := runCLI(t,
+		"scenario", "-target", "http://"+l.Addr().String(),
+		"-spec", "quick:uniform:60:250ms", "-json")
+	if code != 0 {
+		t.Fatalf("client mode exit = %d\nstderr: %s", code, stderr)
+	}
+	var out struct {
+		Scenario *scenario.Result `json:"scenario"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("bad JSON artifact: %v\n%s", err, stdout)
+	}
+	if out.Scenario == nil || out.Scenario.Served == 0 {
+		t.Fatalf("no traffic served through the socket: %s", stdout)
+	}
+	if out.Scenario.Failed != 0 {
+		t.Fatalf("client-mode failures: %+v", out.Scenario)
+	}
+	if len(out.Scenario.Phases) != 1 || out.Scenario.Phases[0].Name != "quick" {
+		t.Fatalf("phase table = %+v", out.Scenario.Phases)
+	}
+}

@@ -1,0 +1,311 @@
+// Command tbnetd is TBNet's network-facing inference daemon: it assembles a
+// heterogeneous serving fleet (from saved artifacts, a registry, or a built-in
+// demo model), wraps it in the httpd middleware chain, and serves the HTTP/JSON
+// API — /v1/infer, /v1/infer/batch, /v1/models, swap-over-HTTP, /healthz, and
+// Prometheus /metrics — until SIGTERM/SIGINT, when it drains gracefully:
+// in-flight requests finish, nothing admitted is dropped.
+//
+// Typical invocations:
+//
+//	tbnetd -demo -addr :8080
+//	tbnetd -models edge=vgg.tbd,big=resnet.tbd -devices rpi3:2,sgx-desktop:4 \
+//	       -policy cost-aware -deadline 50ms -api-keys secret=tenant-a -rate 200
+//
+// The bound address is printed on stderr and, with -addr-file, written to a
+// file — so harnesses can start the daemon on ":0" and discover the port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tbnet"
+	"tbnet/internal/core"
+	"tbnet/internal/httpd"
+	"tbnet/internal/registry"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// demoDeployment builds a small untrained two-branch model and deploys it —
+// instant to construct, so the daemon can come up without any artifact for
+// smoke tests and demos. Outputs are deterministic in the seed.
+func demoDeployment(seed uint64) (*tbnet.Deployment, error) {
+	victim := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(seed))
+	tb := core.NewTwoBranch(victim, seed+1)
+	tb.Finalized = true
+	return core.Deploy(tb, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
+}
+
+// parseModels loads the -models list: comma-separated "name=artifact.tbd"
+// entries (loaded from disk, deployed on each artifact's saved device) or
+// bare "name" entries resolved in the -registry store.
+func parseModels(list, regDir string) (names []string, deps []*tbnet.Deployment, err error) {
+	var reg *tbnet.Registry
+	for _, spec := range strings.Split(list, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, path := spec, ""
+		if at := strings.IndexByte(spec, '='); at >= 0 {
+			name, path = spec[:at], spec[at+1:]
+		}
+		if name == "" {
+			return nil, nil, fmt.Errorf("model spec %q: empty name", spec)
+		}
+		var dep *tbnet.Deployment
+		if path != "" {
+			f, ferr := os.Open(path)
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			dep, err = tbnet.LoadDeploymentOn(f, nil)
+			f.Close()
+		} else {
+			if regDir == "" {
+				return nil, nil, fmt.Errorf("model spec %q names a registry entry but -registry is not set", spec)
+			}
+			if reg == nil {
+				if reg, err = tbnet.OpenRegistry(regDir); err != nil {
+					return nil, nil, err
+				}
+			}
+			dep, err = reg.Load(name)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("model %q: %w", name, err)
+		}
+		names, deps = append(names, name), append(deps, dep)
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("empty model list")
+	}
+	return names, deps, nil
+}
+
+// parseAPIKeys parses "key=tenant" pairs into the auth table.
+func parseAPIKeys(list string) (map[string]string, error) {
+	if list == "" {
+		return nil, nil
+	}
+	keys := make(map[string]string)
+	for _, spec := range strings.Split(list, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		at := strings.IndexByte(spec, '=')
+		if at <= 0 || at == len(spec)-1 {
+			return nil, fmt.Errorf("API key spec %q: want key=tenant", spec)
+		}
+		keys[spec[:at]] = spec[at+1:]
+	}
+	return keys, nil
+}
+
+// run is the daemon body, factored from main so tests can drive a full
+// start → serve → SIGTERM → drain cycle in-process.
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tbnetd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (host:port; port 0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	devices := fs.String("devices", "rpi3:2,sgx-desktop:2",
+		"attached devices as name:workers pairs")
+	policyName := fs.String("policy", "cost-aware", "routing policy: round-robin, least-loaded, cost-aware")
+	deadline := fs.Duration("deadline", 0, "per-request fleet deadline (0 = none); overdue requests are shed")
+	maxInFlight := fs.Int("max-inflight", 0, "fleet-wide in-flight cap (0 = capacity-weighted default)")
+	models := fs.String("models", "", "serve saved models: name=artifact.tbd or registry names (comma-separated)")
+	regDir := fs.String("registry", "", "model registry directory (lists on /v1/models, resolves ?from= swaps)")
+	demo := fs.Bool("demo", false, "serve a small untrained demo model (no artifacts needed)")
+	seed := fs.Uint64("seed", 1, "demo model seed")
+	apiKeys := fs.String("api-keys", "", "API keys as key=tenant pairs (empty disables auth)")
+	rate := fs.Float64("rate", 0, "per-tenant sustained request rate limit (0 = unlimited)")
+	burst := fs.Int("burst", 0, "per-tenant burst allowance (0 = ceil(rate))")
+	idleTTL := fs.Duration("idle-ttl", 0, "reap hosted models idle for this long (0 = never)")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 answers")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	log := slog.New(slog.NewTextHandler(stderr, nil))
+
+	// Everything cheap to validate fails before any model loads.
+	fleetOpts, err := parseFleetDevices(*devices)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	policy, err := fleetPolicy(*policyName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	keys, err := parseAPIKeys(*apiKeys)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *models == "" && !*demo {
+		fmt.Fprintln(stderr, "nothing to serve: give -models (or -registry names), or -demo")
+		return 2
+	}
+
+	var names []string
+	var deps []*tbnet.Deployment
+	if *models != "" {
+		names, deps, err = parseModels(*models, *regDir)
+	} else {
+		var dep *tbnet.Deployment
+		dep, err = demoDeployment(*seed)
+		names, deps = []string{"demo"}, []*tbnet.Deployment{dep}
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	fleetOpts = append(fleetOpts, tbnet.WithPolicy(policy))
+	if *deadline > 0 {
+		fleetOpts = append(fleetOpts, tbnet.WithDeadline(*deadline))
+	}
+	if *maxInFlight > 0 {
+		fleetOpts = append(fleetOpts, tbnet.WithMaxInFlight(*maxInFlight))
+	}
+	for i, name := range names[1:] {
+		fleetOpts = append(fleetOpts, tbnet.WithModel(name, deps[i+1]))
+	}
+	f, err := tbnet.NewFleet(deps[0], fleetOpts...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	var store *registry.Store
+	if *regDir != "" {
+		if store, err = registry.Open(*regDir); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	srv, err := httpd.New(httpd.Config{
+		Fleet:      f,
+		Registry:   store,
+		APIKeys:    keys,
+		RateLimit:  httpd.RateLimit{RPS: *rate, Burst: *burst},
+		IdleTTL:    *idleTTL,
+		RetryAfter: *retryAfter,
+		Logger:     log,
+	})
+	if err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	// The signal handler is live before the address is published, so a
+	// harness that reads -addr-file and immediately signals cannot race the
+	// registration.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	bound := l.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			l.Close()
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	log.Info("tbnetd listening", "addr", bound, "models", strings.Join(f.Models(), ","),
+		"policy", *policyName, "devices", *devices)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+	}
+	stop()
+	log.Info("signal received, draining", "budget", drainTimeout.String())
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	log.Info("drained cleanly, bye")
+	return 0
+}
+
+// parseFleetDevices parses a "name:workers" list into WithDevice options,
+// validating names and widths before anything expensive happens.
+func parseFleetDevices(list string) ([]tbnet.FleetOption, error) {
+	var opts []tbnet.FleetOption
+	for _, spec := range strings.Split(list, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, workers := spec, 2
+		if at := strings.LastIndex(spec, ":"); at >= 0 {
+			var n int
+			if _, err := fmt.Sscanf(spec[at+1:], "%d", &n); err != nil {
+				return nil, fmt.Errorf("device spec %q: workers %q is not a number", spec, spec[at+1:])
+			}
+			name, workers = spec[:at], n
+		}
+		if _, err := tbnet.DeviceByName(name); err != nil {
+			return nil, fmt.Errorf("device spec %q: %w", spec, err)
+		}
+		if workers < 1 {
+			return nil, fmt.Errorf("device spec %q: workers %d < 1", spec, workers)
+		}
+		opts = append(opts, tbnet.WithDevice(name, workers))
+	}
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("empty device list")
+	}
+	return opts, nil
+}
+
+// fleetPolicy maps the -policy flag onto the built-in routing policies.
+func fleetPolicy(name string) (tbnet.RoutingPolicy, error) {
+	switch name {
+	case "round-robin":
+		return tbnet.RoundRobin(), nil
+	case "least-loaded":
+		return tbnet.LeastLoaded(), nil
+	case "cost-aware":
+		return tbnet.CostAware(), nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want round-robin, least-loaded, or cost-aware)", name)
+}

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startTestDaemon launches run() in-process with -demo and returns the base
+// URL and the exit-code channel. The addr file doubles as the readiness
+// signal.
+func startTestDaemon(t *testing.T, extraArgs ...string) (string, chan int) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{
+		"-demo", "-addr", "127.0.0.1:0", "-addr-file", addrFile,
+		"-devices", "rpi3:1", "-drain-timeout", "20s",
+	}, extraArgs...)
+	code := make(chan int, 1)
+	go func() { code <- run(args, io.Discard) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return "http://" + string(b), code
+		}
+		select {
+		case c := <-code:
+			t.Fatalf("daemon exited early with code %d", c)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never published its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// demoInput synthesizes a valid /v1/infer body for the demo model's
+// [1,3,16,16] sample shape.
+func demoInput(seed int) []byte {
+	input := make([]float64, 3*16*16)
+	for i := range input {
+		input[i] = float64((i*seed)%13)/13 - 0.5
+	}
+	body, _ := json.Marshal(map[string]any{"input": input})
+	return body
+}
+
+// TestDaemonSIGTERMDrainsCleanly is the daemon-level acceptance check: a
+// SIGTERM mid-burst lets every in-flight request finish (no torn
+// connections), then run() exits 0.
+func TestDaemonSIGTERMDrainsCleanly(t *testing.T) {
+	base, code := startTestDaemon(t)
+
+	// Sanity: the daemon serves before the signal.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+
+	const n = 16
+	results := make([]error, n)
+	var started, wg sync.WaitGroup
+	started.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			resp, err := http.Post(base+"/v1/infer", "application/json",
+				bytes.NewReader(demoInput(i+1)))
+			if err != nil {
+				results[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				results[i] = fmt.Errorf("status %d: %s", resp.StatusCode, b)
+			}
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(15 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	for i, err := range results {
+		if err == nil {
+			continue
+		}
+		msg := err.Error()
+		// Refused cleanly (late dial after the listener closed, or a 503
+		// draining answer) is acceptable; a torn connection is a dropped
+		// in-flight request.
+		if !strings.Contains(msg, "connection refused") && !strings.Contains(msg, "status 503") {
+			t.Errorf("request %d dropped across SIGTERM drain: %v", i, err)
+		}
+	}
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("daemon exit code = %d, want 0", c)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+}
+
+// TestDaemonServesDemoModel: the demo fleet answers inference and lists its
+// model with the sample shape a client needs.
+func TestDaemonServesDemoModel(t *testing.T) {
+	base, code := startTestDaemon(t)
+	resp, err := http.Post(base+"/v1/infer", "application/json", bytes.NewReader(demoInput(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Label int    `json:"label"`
+		Model string `json:"model"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Model != "default" {
+		t.Fatalf("infer = %d %+v", resp.StatusCode, out)
+	}
+	if out.Label < 0 || out.Label > 3 {
+		t.Fatalf("demo label %d out of class range", out.Label)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "tbnet_fleet_requests_total") {
+		t.Fatalf("metrics scrape lacks fleet counters:\n%s", b)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if c := <-code; c != 0 {
+		t.Fatalf("exit code = %d", c)
+	}
+}
+
+// TestRunFlagValidation: every cheap misconfiguration fails fast with a
+// usage error before any model is built or port bound.
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                                   // nothing to serve
+		{"-demo", "-devices", "warp-core:2"}, // unknown device
+		{"-demo", "-devices", "rpi3:0"},      // bad worker count
+		{"-demo", "-policy", "psychic"},      // unknown policy
+		{"-demo", "-api-keys", "keyonly"},    // malformed key spec
+	}
+	for i, args := range cases {
+		if code := run(args, io.Discard); code != 2 {
+			t.Errorf("case %d %v: exit = %d, want 2", i, args, code)
+		}
+	}
+	// A registry name without -registry is caught at model-load time.
+	if code := run([]string{"-models", "x"}, io.Discard); code == 0 {
+		t.Error("bare registry name without -registry accepted")
+	}
+}
+
+// TestParseAPIKeys: the key=tenant list round-trips and rejects malformed
+// entries.
+func TestParseAPIKeys(t *testing.T) {
+	keys, err := parseAPIKeys("a=alpha, b=beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys["a"] != "alpha" || keys["b"] != "beta" || len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if got, err := parseAPIKeys(""); got != nil || err != nil {
+		t.Fatalf("empty list = %v, %v", got, err)
+	}
+	for _, bad := range []string{"nokey", "=tenant", "key="} {
+		if _, err := parseAPIKeys(bad); err == nil {
+			t.Errorf("parseAPIKeys(%q) accepted", bad)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"tbnet/internal/core"
 	"tbnet/internal/fleet"
+	"tbnet/internal/httpd"
 	"tbnet/internal/registry"
 	"tbnet/internal/serial"
 	"tbnet/internal/serve"
@@ -34,6 +35,16 @@ var (
 	// fleet-wide in-flight cap was reached, or the per-request deadline
 	// expired before a device answered.
 	ErrOverloaded = fleet.ErrOverloaded
+
+	// ErrDraining reports a fleet request refused because Drain has begun:
+	// the fleet is finishing its admitted work before closing and accepts
+	// nothing new. Over HTTP this maps to 503 with a Retry-After hint.
+	ErrDraining = fleet.ErrDraining
+
+	// ErrRateLimited reports an HTTP request refused by the daemon's
+	// per-tenant token bucket before it reached the fleet. Over HTTP this
+	// maps to 429 with a Retry-After hint.
+	ErrRateLimited = httpd.ErrRateLimited
 
 	// ErrBadOption reports an invalid value passed to a functional option of
 	// NewPipeline or Serve.

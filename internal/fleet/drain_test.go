@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tbnet/internal/serve"
+)
+
+// TestFleetDrainZeroDropped: every request admitted before Drain must
+// resolve with its label; Drain waits them out, closes the fleet, and
+// everything after answers ErrClosed.
+func TestFleetDrainZeroDropped(t *testing.T) {
+	dep := testDeployment(t, 1)
+	f, err := New(dep, Config{Nodes: mixedNodes(t, 1), MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	xs := randSamples(n, 2)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.Infer(context.Background(), xs[i])
+		}(i)
+	}
+	// Let the burst get admitted, then drain concurrently with the tail.
+	time.Sleep(2 * time.Millisecond)
+	if err := f.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		// A request that raced the drain flag may be refused with
+		// ErrDraining — refused, not dropped. Anything admitted must have
+		// served; no request may see a protocol error or a closed fleet.
+		if err != nil && !errors.Is(err, ErrDraining) {
+			t.Fatalf("request %d dropped across drain: %v", i, err)
+		}
+	}
+	if _, err := f.Infer(context.Background(), xs[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("post-drain Infer err = %v, want ErrClosed", err)
+	}
+	if err := f.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain err = %v, want nil (idempotent)", err)
+	}
+}
+
+// TestFleetDrainRefusesNewWork: with the draining flag up, the inference
+// entry points answer ErrDraining without touching admission control.
+func TestFleetDrainRefusesNewWork(t *testing.T) {
+	dep := testDeployment(t, 3)
+	f, err := New(dep, Config{Nodes: mixedNodes(t, 1), MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x := randSamples(1, 4)[0]
+	f.draining.Store(true)
+	if _, err := f.Infer(context.Background(), x); !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining Infer err = %v, want ErrDraining", err)
+	}
+	f.draining.Store(false)
+	if _, err := f.Infer(context.Background(), x); err != nil {
+		t.Fatalf("post-undrain Infer err = %v, want nil", err)
+	}
+}
+
+// TestFleetDrainHonorsContext: a drain whose context expires while work is
+// still in flight reports the context error instead of hanging.
+func TestFleetDrainHonorsContext(t *testing.T) {
+	dep := testDeployment(t, 5)
+	f, err := New(dep, Config{Nodes: mixedNodes(t, 1), MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Fake stuck in-flight work: bump the counter directly so Drain can
+	// never reach zero.
+	f.inflight.Add(1)
+	defer f.inflight.Add(-1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if err := f.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain err = %v, want DeadlineExceeded", err)
+	}
+	f.draining.Store(false)
+}
+
+// TestFleetRemoveModel: removal unhosts a named model on every node and
+// frees its name; the default model and unknown names are refused.
+func TestFleetRemoveModel(t *testing.T) {
+	dep := testDeployment(t, 6)
+	extra := testDeployment(t, 7)
+	f, err := New(dep, Config{
+		Nodes:  mixedNodes(t, 1),
+		Models: []NamedModel{{Name: "extra", Dep: extra}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	x := randSamples(1, 8)[0]
+	if _, err := f.InferModel(context.Background(), "extra", x); err != nil {
+		t.Fatalf("pre-remove InferModel: %v", err)
+	}
+	if err := f.RemoveModel("extra"); err != nil {
+		t.Fatalf("RemoveModel: %v", err)
+	}
+	if _, err := f.InferModel(context.Background(), "extra", x); !errors.Is(err, serve.ErrUnknownModel) {
+		t.Fatalf("post-remove InferModel err = %v, want ErrUnknownModel", err)
+	}
+	for _, name := range f.Models() {
+		if name == "extra" {
+			t.Fatal("removed model still listed")
+		}
+	}
+	if err := f.RemoveModel("extra"); !errors.Is(err, serve.ErrUnknownModel) {
+		t.Fatalf("double remove err = %v, want ErrUnknownModel", err)
+	}
+	if err := f.RemoveModel(DefaultModel); !errors.Is(err, ErrConfig) {
+		t.Fatalf("remove default err = %v, want ErrConfig", err)
+	}
+	// The default model keeps serving after the removal.
+	if _, err := f.Infer(context.Background(), x); err != nil {
+		t.Fatalf("default model after removal: %v", err)
+	}
+}
+
+// TestFleetSampleShape: the deployed plan's sample shape is readable per
+// hosted model, for remote clients that synthesize inputs.
+func TestFleetSampleShape(t *testing.T) {
+	dep := testDeployment(t, 9)
+	f, err := New(dep, Config{Nodes: mixedNodes(t, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	shape, err := f.SampleShape(DefaultModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 16, 16}
+	if len(shape) != len(want) {
+		t.Fatalf("SampleShape = %v, want %v", shape, want)
+	}
+	for i := range want {
+		if shape[i] != want[i] {
+			t.Fatalf("SampleShape = %v, want %v", shape, want)
+		}
+	}
+	if _, err := f.SampleShape("nope"); !errors.Is(err, serve.ErrUnknownModel) {
+		t.Fatalf("unknown model err = %v, want ErrUnknownModel", err)
+	}
+}

@@ -41,6 +41,14 @@ var ErrOverloaded = errors.New("fleet overloaded")
 // ErrConfig reports an invalid fleet configuration.
 var ErrConfig = errors.New("invalid fleet configuration")
 
+// ErrDraining is returned by the inference entry points once Drain has begun:
+// the fleet is finishing its in-flight requests and will not admit new ones.
+// Unlike ErrOverloaded the condition is terminal — the fleet is shutting
+// down, not momentarily busy — so network front ends map it to a
+// service-unavailable answer that tells clients to retry against another
+// instance.
+var ErrDraining = errors.New("fleet draining")
+
 // DefaultModel is the name the fleet's template deployment is hosted under;
 // Infer and InferBatch route to it.
 const DefaultModel = serve.DefaultModel
@@ -186,6 +194,7 @@ type Fleet struct {
 
 	inflight  atomic.Int64
 	shedTotal atomic.Int64
+	draining  atomic.Bool
 	closed    atomic.Bool
 	closeOnce sync.Once
 	drained   chan struct{}
@@ -350,12 +359,66 @@ func (f *Fleet) SwapModel(name string, dep *core.Deployment) error {
 	return errors.Join(errs...)
 }
 
+// RemoveModel stops hosting a named model on every node of the fleet:
+// admission for it stops, each node's queued requests drain through its
+// workers, and the pools' secure-memory reservations return to their device
+// budgets — the reclamation path an idle-model reaper calls. The default
+// model cannot be removed; unknown names fail with serve.ErrUnknownModel.
+// In-flight requests for the model complete normally.
+func (f *Fleet) RemoveModel(name string) error {
+	if f.closed.Load() {
+		return serve.ErrClosed
+	}
+	if name == DefaultModel {
+		return fmt.Errorf("%w: cannot remove the default model", ErrConfig)
+	}
+	f.modelMu.Lock()
+	found := false
+	for i, n := range f.names {
+		if n == name {
+			f.names = append(f.names[:i], f.names[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		f.modelMu.Unlock()
+		return fmt.Errorf("%w: %q", serve.ErrUnknownModel, name)
+	}
+	for _, n := range f.nodes {
+		delete(n.lat, name)
+	}
+	f.modelMu.Unlock()
+	// Drain the per-node pools outside the lock — each RemoveModel blocks
+	// until its pool's queue has flushed — and in parallel, like SwapModel.
+	errs := make([]error, len(f.nodes))
+	var wg sync.WaitGroup
+	for i, n := range f.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			if err := n.srv.RemoveModel(name); err != nil {
+				errs[i] = fmt.Errorf("fleet: node %s: %w", n.name, err)
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 // Models returns the hosted model names in hosting order (DefaultModel
 // first).
 func (f *Fleet) Models() []string {
 	f.modelMu.RLock()
 	defer f.modelMu.RUnlock()
 	return append([]string(nil), f.names...)
+}
+
+// SampleShape returns the [1,C,H,W] single-sample input shape a hosted model
+// serves (every node hosts the same model template, so the shape is
+// fleet-wide); unknown names fail with serve.ErrUnknownModel.
+func (f *Fleet) SampleShape(model string) ([]int, error) {
+	return f.nodes[0].srv.SampleShape(model)
 }
 
 // closeNodes tears down the servers started so far (construction failure).
@@ -431,6 +494,9 @@ func (f *Fleet) InferModel(ctx context.Context, model string, x *tensor.Tensor) 
 	if f.closed.Load() {
 		return 0, serve.ErrClosed
 	}
+	if f.draining.Load() {
+		return 0, fmt.Errorf("fleet: %w", ErrDraining)
+	}
 	release, inflight, ok := f.admit()
 	if !ok {
 		return 0, fmt.Errorf("fleet: %d requests in flight (cap %d): %w",
@@ -487,6 +553,28 @@ func (f *Fleet) InferModelBatch(ctx context.Context, model string, xs []*tensor.
 		}
 	}
 	return labels, nil
+}
+
+// Drain gracefully shuts the fleet down: admission stops immediately (new
+// inference requests fail with a wrapped ErrDraining), every already-admitted
+// request is allowed to finish, and the fleet then closes. It returns nil
+// once the fleet is fully drained and closed. If ctx expires first, Drain
+// returns the context's error with the fleet still open but refusing
+// admission — the caller decides whether to hard-Close and drop the
+// stragglers. Drain is safe to call concurrently with traffic; a Drain after
+// Close (or a second Drain) just waits for the existing shutdown.
+func (f *Fleet) Drain(ctx context.Context) error {
+	f.draining.Store(true)
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for f.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fleet: drain: %w", ctx.Err())
+		case <-tick.C:
+		}
+	}
+	return f.Close()
 }
 
 // Close stops admission and shuts every node's server down, draining their

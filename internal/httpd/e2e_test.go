@@ -1,0 +1,344 @@
+package httpd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tbnet/internal/core"
+	"tbnet/internal/fleet"
+	"tbnet/internal/scenario"
+	"tbnet/internal/serial"
+	"tbnet/internal/serve"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+)
+
+// startDaemon serves s on a loopback listener and returns its base URL.
+func startDaemon(t testing.TB, s *Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return "http://" + l.Addr().String()
+}
+
+// promSampleRe matches one Prometheus text-exposition sample line.
+var promSampleRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.eE+]+|NaN|[+-]Inf)$`)
+
+// parsePromText validates the whole scrape against the text exposition
+// format — every sample line parses, every family has HELP and TYPE emitted
+// before its first sample — and returns family → sample-line count.
+func parsePromText(t testing.TB, body string) map[string]int {
+	t.Helper()
+	families := make(map[string]int)
+	typed := make(map[string]bool)
+	for ln, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				if parts[3] != "counter" && parts[3] != "gauge" {
+					t.Fatalf("line %d: bad metric type %q", ln+1, parts[3])
+				}
+				typed[parts[2]] = true
+			}
+		case strings.TrimSpace(line) == "":
+			t.Fatalf("line %d: blank line in exposition", ln+1)
+		default:
+			if !promSampleRe.MatchString(line) {
+				t.Fatalf("line %d: invalid sample %q", ln+1, line)
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			if !typed[name] {
+				t.Fatalf("line %d: sample %q before its # TYPE header", ln+1, name)
+			}
+			families[name]++
+		}
+	}
+	return families
+}
+
+// artifactBytes serializes a fresh two-branch model built from seed.
+func artifactBytes(t testing.TB, seed uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := serial.SaveDeployment(&buf, &serial.Artifact{
+		TB: testTwoBranch(seed), Device: "rpi3", SampleShape: []int{1, 3, 16, 16},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestE2EScenarioSwapMetrics is the full-stack acceptance run: a phased
+// workload drives the daemon through real sockets via the scenario client
+// while a hot swap lands mid-run; afterwards the served outputs are
+// bit-identical to the incoming model, and /metrics parses as valid
+// Prometheus text exposition reflecting the traffic.
+func TestE2EScenarioSwapMetrics(t *testing.T) {
+	s, _ := testServer(t, nil, nil)
+	base := startDaemon(t, s)
+
+	tgt, err := scenario.NewHTTPTarget(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := tgt.Models(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != 1 || remote[0].Name != fleet.DefaultModel || !remote[0].Default {
+		t.Fatalf("remote models = %+v", remote)
+	}
+
+	// Mid-scenario hot swap: fires while the burst phase is in flight.
+	art := artifactBytes(t, 99)
+	ref2, err := core.Deploy(testTwoBranch(99), tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapDone := make(chan error, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		resp, err := http.Post(base+"/v1/models/"+fleet.DefaultModel+"/swap",
+			"application/octet-stream", bytes.NewReader(art))
+		if err == nil {
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				err = fmt.Errorf("swap = %d: %s", resp.StatusCode, b)
+			}
+			resp.Body.Close()
+		}
+		swapDone <- err
+	}()
+
+	phases := []scenario.Phase{
+		{Name: "warm", Pattern: scenario.Uniform, Rate: 60, Duration: 150 * time.Millisecond},
+		{Name: "burst", Pattern: scenario.Burst, Rate: 60, Duration: 400 * time.Millisecond,
+			PeakRate: 240, Period: 150 * time.Millisecond},
+	}
+	pool := make([]*tensor.Tensor, 64)
+	for i := range pool {
+		pool[i] = randSample(uint64(1000 + i))
+	}
+	res, err := scenario.Run(context.Background(), tgt,
+		scenario.Spec{Name: "e2e", Seed: 7, Phases: phases},
+		func(i int) *tensor.Tensor { return pool[i%len(pool)] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-swapDone; err != nil {
+		t.Fatalf("mid-scenario swap: %v", err)
+	}
+	if res.Served == 0 {
+		t.Fatalf("no requests served over the socket: %+v", res)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("swap dropped traffic: %d failed of %d offered", res.Failed, res.Offered)
+	}
+
+	// Post-swap answers must be bit-identical to direct inference on an
+	// identically-built copy of the incoming model.
+	for i := 0; i < 6; i++ {
+		x := randSample(uint64(5000 + i))
+		labels, err := ref2.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tgt.InferModel(context.Background(), fleet.DefaultModel, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != labels[0] {
+			t.Fatalf("post-swap sample %d: socket label %d != incoming model's %d", i, got, labels[0])
+		}
+	}
+
+	// The scrape parses as valid exposition and reflects the traffic.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	families := parsePromText(t, string(body))
+	for _, want := range []string{
+		"tbnet_fleet_requests_total", "tbnet_fleet_shed_total", "tbnet_fleet_in_flight",
+		"tbnet_fleet_p99_latency_seconds", "tbnet_model_requests_total",
+		"tbnet_model_swaps_total", "tbnet_device_requests_total",
+		"tbnet_http_requests_total", "tbnet_http_draining",
+	} {
+		if families[want] == 0 {
+			t.Fatalf("scrape lacks family %s; got %v", want, families)
+		}
+	}
+	if !strings.Contains(string(body), `tbnet_model_swaps_total{model="default"} 1`) {
+		t.Fatalf("swap not reflected in scrape:\n%s", body)
+	}
+}
+
+// TestE2EOverloadRetryAfter: shed and rate-limited answers carry the right
+// status and a Retry-After hint over the real socket — what a well-behaved
+// client needs to back off.
+func TestE2EOverloadRetryAfter(t *testing.T) {
+	// A 1ns fleet deadline sheds every request deterministically.
+	s, _ := testServer(t, func(c *fleet.Config) { c.Deadline = time.Nanosecond },
+		func(c *Config) { c.RetryAfter = 3 * time.Second })
+	base := startDaemon(t, s)
+	body := inferBody(t, "", randSample(1))
+	resp, err := http.Post(base+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("shed over socket = %d, want 503: %s", resp.StatusCode, b)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("503 Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Status != http.StatusServiceUnavailable {
+		t.Fatalf("503 body = %+v (%v)", eb, err)
+	}
+
+	// A one-token bucket answers the second request 429 with the hint.
+	s2, _ := testServer(t, nil, func(c *Config) {
+		c.RateLimit = RateLimit{RPS: 0.0001, Burst: 1}
+		c.RetryAfter = 2 * time.Second
+	})
+	base2 := startDaemon(t, s2)
+	first, err := http.Post(base2+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first request = %d, want 200", first.StatusCode)
+	}
+	second, err := http.Post(base2+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", second.StatusCode)
+	}
+	if ra := second.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("429 Retry-After = %q, want \"2\"", ra)
+	}
+}
+
+// TestE2EShutdownZeroDropped: requests in flight when Shutdown begins all
+// complete with their label; nothing admitted is dropped mid-stream. Late
+// arrivals may be refused (connection refused once the listener closes, or
+// 503 while draining) but must never see a torn connection.
+func TestE2EShutdownZeroDropped(t *testing.T) {
+	s, _ := testServer(t, nil, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	const n = 24
+	results := make([]error, n)
+	var started, wg sync.WaitGroup
+	started.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := inferBody(t, "", randSample(uint64(7000+i)))
+			req, _ := http.NewRequest(http.MethodPost, base+"/v1/infer", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			started.Done()
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				results[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				results[i] = fmt.Errorf("status %d: %s", resp.StatusCode, b)
+				return
+			}
+			var out inferResponse
+			results[i] = json.NewDecoder(resp.Body).Decode(&out)
+		}(i)
+	}
+	started.Wait()
+	// Give the burst a moment to be admitted, then drain under it.
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	wg.Wait()
+
+	dropped := 0
+	for i, err := range results {
+		if err == nil {
+			continue
+		}
+		// Refused cleanly is fine: the listener closed before the dial, or
+		// the daemon answered 503 draining. A torn connection (EOF, reset)
+		// is a dropped in-flight request — the failure this test exists for.
+		msg := err.Error()
+		refused := strings.Contains(msg, "connection refused") || strings.Contains(msg, "status 503")
+		if !refused {
+			dropped++
+			t.Errorf("request %d dropped across drain: %v", i, err)
+		}
+	}
+	if dropped > 0 {
+		t.Fatalf("%d in-flight requests dropped across graceful shutdown", dropped)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() must report true after Shutdown")
+	}
+	if _, err := s.fleet.Infer(context.Background(), randSample(1)); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("fleet after Shutdown err = %v, want ErrClosed", err)
+	}
+}

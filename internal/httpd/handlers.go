@@ -1,0 +1,360 @@
+package httpd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"tbnet/internal/core"
+	"tbnet/internal/fleet"
+	"tbnet/internal/serial"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+)
+
+// maxBodyBytes bounds request bodies: inference inputs are a few hundred KB,
+// swap artifacts a few tens of MB for the zoo architectures.
+const maxBodyBytes = 256 << 20
+
+// inferRequest is the body of POST /v1/infer.
+type inferRequest struct {
+	// Model names the hosted model to run; "" routes to the default model.
+	Model string `json:"model,omitempty"`
+	// Input is the flattened sample, row-major over Shape.
+	Input []float64 `json:"input"`
+	// Shape is the per-sample [C,H,W] shape; omitted, the model's deployed
+	// sample shape is assumed.
+	Shape []int `json:"shape,omitempty"`
+}
+
+// inferResponse is the answer of POST /v1/infer and each success line of the
+// batch stream.
+type inferResponse struct {
+	// Label is the predicted class index.
+	Label int `json:"label"`
+	// Model echoes the model that served the sample.
+	Model string `json:"model"`
+	// Index is the sample's position in a batch request (batch stream only).
+	Index int `json:"index,omitempty"`
+	// RequestID echoes the request's ID.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// batchRequest is the body of POST /v1/infer/batch.
+type batchRequest struct {
+	// Model names the hosted model to run; "" routes to the default model.
+	Model string `json:"model,omitempty"`
+	// Inputs holds one flattened sample per element.
+	Inputs [][]float64 `json:"inputs"`
+	// Shape is the per-sample [C,H,W] shape; omitted, the model's deployed
+	// sample shape is assumed.
+	Shape []int `json:"shape,omitempty"`
+}
+
+// batchLine is one NDJSON line of the batch stream: either a label or a
+// per-sample error, tagged with the sample's index. Lines stream in
+// completion order, not submission order.
+type batchLine struct {
+	// Index is the sample's position in the request.
+	Index int `json:"index"`
+	// Label is the predicted class (when Error is empty).
+	Label int `json:"label,omitempty"`
+	// Error carries the per-sample failure, if any.
+	Error string `json:"error,omitempty"`
+	// Status is the HTTP status the error would have mapped to standalone.
+	Status int `json:"status,omitempty"`
+}
+
+// modelInfo is one hosted model in the GET /v1/models listing.
+type modelInfo struct {
+	// Name is the serving identity.
+	Name string `json:"name"`
+	// Default marks the fleet's default model (never reaped).
+	Default bool `json:"default"`
+	// SampleShape is the [N,C,H,W] shape the pool was planned for.
+	SampleShape []int `json:"sample_shape,omitempty"`
+	// Requests is the fleet-wide served-sample count.
+	Requests int64 `json:"requests"`
+	// Swaps is the fleet-wide completed hot-swap count.
+	Swaps int64 `json:"swaps"`
+	// P99Micros is the fleet-wide modeled p99 latency in microseconds.
+	P99Micros float64 `json:"p99_micros"`
+}
+
+// modelsResponse is the body of GET /v1/models.
+type modelsResponse struct {
+	// Default is the default model's name.
+	Default string `json:"default"`
+	// Models lists the live hosted pools.
+	Models []modelInfo `json:"models"`
+	// Registry lists the attached store's entries (absent without a store).
+	Registry []registryEntry `json:"registry,omitempty"`
+}
+
+// registryEntry is one persisted artifact in the models listing.
+type registryEntry struct {
+	// Name is the registry identity (usable as ?from= in a swap).
+	Name string `json:"name"`
+	// Device is the backend the artifact was sized for.
+	Device string `json:"device"`
+	// SampleShape is the planned [N,C,H,W] shape.
+	SampleShape []int `json:"sample_shape"`
+	// SizeBytes is the artifact size on disk.
+	SizeBytes int64 `json:"size_bytes"`
+}
+
+// swapResponse is the body of a successful POST /v1/models/{name}/swap.
+type swapResponse struct {
+	// Model is the swapped model's serving identity.
+	Model string `json:"model"`
+	// Device is the backend the incoming deployment was sized for.
+	Device string `json:"device"`
+	// Swapped confirms the warm-then-drain swap completed fleet-wide.
+	Swapped bool `json:"swapped"`
+	// RequestID echoes the request's ID.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// handleHealthz answers liveness probes: 200 while serving, 503 once
+// Shutdown has begun so load balancers stop sending new traffic during the
+// drain window.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status, state := http.StatusOK, "ok"
+	if s.draining.Load() {
+		status, state = http.StatusServiceUnavailable, "draining"
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":  state,
+		"models":  len(s.fleet.Models()),
+		"devices": s.fleetStats().Devices,
+	})
+}
+
+// decodeBody strictly decodes the JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// sampleTensor builds the [1,C,H,W] inference tensor from a flattened input,
+// resolving the per-sample shape against the model's deployed plan when the
+// request omits it.
+func (s *Server) sampleTensor(model string, input []float64, shape []int) (*tensor.Tensor, error) {
+	if shape == nil {
+		ss, err := s.fleet.SampleShape(model)
+		if err != nil {
+			return nil, err
+		}
+		if len(ss) == 4 {
+			shape = ss[1:]
+		} else {
+			shape = ss
+		}
+	}
+	if len(shape) != 3 {
+		return nil, fmt.Errorf("%w: sample shape %v, want [C,H,W]", core.ErrShape, shape)
+	}
+	n := shape[0] * shape[1] * shape[2]
+	if shape[0] <= 0 || shape[1] <= 0 || shape[2] <= 0 || len(input) != n {
+		return nil, fmt.Errorf("%w: %d input values for shape %v (want %d)", core.ErrShape, len(input), shape, n)
+	}
+	x := tensor.New(1, shape[0], shape[1], shape[2])
+	d := x.Data()
+	for i, v := range input {
+		d[i] = float32(v)
+	}
+	return x, nil
+}
+
+// resolveModel applies the default-model fallback.
+func resolveModel(name string) string {
+	if name == "" {
+		return fleet.DefaultModel
+	}
+	return name
+}
+
+// handleInfer runs one sample through the fleet and answers with its label.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req inferRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSONError(w, r, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	model := resolveModel(req.Model)
+	x, err := s.sampleTensor(model, req.Input, req.Shape)
+	if err != nil {
+		writeError(w, r, err, s.cfg.RetryAfter)
+		return
+	}
+	label, err := s.fleet.InferModel(r.Context(), model, x)
+	if err != nil {
+		writeError(w, r, err, s.cfg.RetryAfter)
+		return
+	}
+	s.reaper.touch(model)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(inferResponse{
+		Label:     label,
+		Model:     model,
+		RequestID: RequestIDFrom(r.Context()),
+	})
+}
+
+// handleInferBatch fans a batch through the fleet concurrently and streams
+// one NDJSON line per sample in completion order, flushing after every line
+// so a slow sample does not hold back the fast ones. Per-sample failures are
+// reported in-line (with the status they would have carried standalone); the
+// stream itself is always 200 once the request parses.
+func (s *Server) handleInferBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSONError(w, r, http.StatusBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+	if len(req.Inputs) == 0 {
+		writeJSONError(w, r, http.StatusBadRequest, "empty batch", 0)
+		return
+	}
+	model := resolveModel(req.Model)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var mu sync.Mutex
+	emit := func(line batchLine) {
+		mu.Lock()
+		defer mu.Unlock()
+		_ = enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i, input := range req.Inputs {
+		wg.Add(1)
+		go func(i int, input []float64) {
+			defer wg.Done()
+			x, err := s.sampleTensor(model, input, req.Shape)
+			if err == nil {
+				var label int
+				label, err = s.fleet.InferModel(r.Context(), model, x)
+				if err == nil {
+					emit(batchLine{Index: i, Label: label})
+					return
+				}
+			}
+			code, _ := statusFor(err)
+			emit(batchLine{Index: i, Error: err.Error(), Status: code})
+		}(i, input)
+	}
+	wg.Wait()
+	s.reaper.touch(model)
+}
+
+// handleModels lists the hosted pools (with their fleet-wide counters and
+// deployed sample shapes, so a remote client can synthesize valid inputs)
+// and, when a registry is attached, the persisted artifacts available for
+// swap-by-name.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	st := s.fleetStats()
+	perModel := make(map[string]fleet.ModelStats, len(st.Models))
+	for _, ms := range st.Models {
+		perModel[ms.Name] = ms
+	}
+	resp := modelsResponse{Default: fleet.DefaultModel}
+	for _, name := range s.fleet.Models() {
+		info := modelInfo{Name: name, Default: name == fleet.DefaultModel}
+		if shape, err := s.fleet.SampleShape(name); err == nil {
+			info.SampleShape = shape
+		}
+		if ms, ok := perModel[name]; ok {
+			info.Requests = ms.Requests
+			info.Swaps = ms.Swaps
+			info.P99Micros = ms.P99Micros
+		}
+		resp.Models = append(resp.Models, info)
+	}
+	if s.cfg.Registry != nil {
+		entries, err := s.cfg.Registry.List()
+		if err != nil {
+			writeError(w, r, err, 0)
+			return
+		}
+		for _, e := range entries {
+			resp.Registry = append(resp.Registry, registryEntry{
+				Name:        e.Name,
+				Device:      e.Device,
+				SampleShape: e.SampleShape,
+				SizeBytes:   e.SizeBytes,
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleSwap hot-swaps the named hosted model fleet-wide without dropping
+// traffic: the incoming artifact — the raw request body, or a registry entry
+// named with ?from= — is decoded, re-deployed for its recorded device, and
+// handed to Fleet.SwapModel's warm-then-drain protocol. In-flight requests
+// on the old weights finish; new requests see the new weights.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	art, err := s.swapArtifact(w, r)
+	if err != nil {
+		writeError(w, r, err, s.cfg.RetryAfter)
+		return
+	}
+	dev, err := tee.ByName(art.Device)
+	if err != nil {
+		writeJSONError(w, r, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	dep, err := core.Deploy(art.TB, dev, art.SampleShape)
+	if err != nil {
+		writeError(w, r, err, s.cfg.RetryAfter)
+		return
+	}
+	if err := s.fleet.SwapModel(name, dep); err != nil {
+		writeError(w, r, err, s.cfg.RetryAfter)
+		return
+	}
+	s.reaper.touch(name)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(swapResponse{
+		Model:     name,
+		Device:    art.Device,
+		Swapped:   true,
+		RequestID: RequestIDFrom(r.Context()),
+	})
+}
+
+// swapArtifact resolves the swap request's artifact: the ?from= registry
+// entry when named, the raw v2 artifact bytes in the body otherwise.
+func (s *Server) swapArtifact(w http.ResponseWriter, r *http.Request) (*serial.Artifact, error) {
+	if from := r.URL.Query().Get("from"); from != "" {
+		if s.cfg.Registry == nil {
+			return nil, fmt.Errorf("%w: ?from=%q but no registry attached", serial.ErrBadFormat, from)
+		}
+		art, _, err := s.cfg.Registry.Load(from)
+		return art, err
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading artifact body: %v", serial.ErrBadFormat, err)
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("%w: empty artifact body (POST the .tbd bytes or use ?from=<entry>)", serial.ErrBadFormat)
+	}
+	return serial.LoadDeployment(bytes.NewReader(body))
+}

@@ -1,0 +1,441 @@
+package httpd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tbnet/internal/core"
+	"tbnet/internal/fleet"
+	"tbnet/internal/registry"
+	"tbnet/internal/serial"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// testDeployment builds a deployed tiny finalized two-branch model without
+// the training pipeline; daemon behaviour does not depend on learned weights.
+func testDeployment(t testing.TB, seed uint64) *core.Deployment {
+	t.Helper()
+	dep, err := core.Deploy(testTwoBranch(seed), tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func testTwoBranch(seed uint64) *core.TwoBranch {
+	victim := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(seed))
+	tb := core.NewTwoBranch(victim, seed+1)
+	tb.Finalized = true
+	return tb
+}
+
+// testFleet starts a one-node fleet over a fresh deployment, plus any extra
+// named models.
+func testFleet(t testing.TB, mut func(*fleet.Config)) *fleet.Fleet {
+	t.Helper()
+	cfg := fleet.Config{
+		Nodes:    []fleet.NodeConfig{{Device: tee.RaspberryPi3(), Workers: 1}},
+		MaxDelay: time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	f, err := fleet.New(testDeployment(t, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// testServer assembles a daemon over testFleet with a quiet logger.
+func testServer(t testing.TB, mutFleet func(*fleet.Config), mutCfg func(*Config)) (*Server, *fleet.Fleet) {
+	t.Helper()
+	f := testFleet(t, mutFleet)
+	cfg := Config{
+		Fleet:  f,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	if mutCfg != nil {
+		mutCfg(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, f
+}
+
+func randSample(seed uint64) *tensor.Tensor {
+	x := tensor.New(1, 3, 16, 16)
+	tensor.NewRNG(seed).FillNormal(x, 0, 1)
+	return x
+}
+
+// inferBody marshals a /v1/infer request for x.
+func inferBody(t testing.TB, model string, x *tensor.Tensor) []byte {
+	t.Helper()
+	data := x.Data()
+	input := make([]float64, len(data))
+	for i, v := range data {
+		input[i] = float64(v)
+	}
+	body, err := json.Marshal(map[string]any{"model": model, "input": input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postJSON(t testing.TB, h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func getPath(t testing.TB, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+// TestHealthzAndModels: the probe answers ok with the hosted inventory, and
+// the models listing carries the deployed sample shape a remote client needs.
+func TestHealthzAndModels(t *testing.T) {
+	s, _ := testServer(t, nil, nil)
+	w := getPath(t, s.Handler(), "/healthz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", w.Code)
+	}
+	var hz struct {
+		Status  string `json:"status"`
+		Models  int    `json:"models"`
+		Devices int    `json:"devices"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Models != 1 || hz.Devices != 1 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	w = getPath(t, s.Handler(), "/v1/models")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/v1/models = %d, want 200: %s", w.Code, w.Body)
+	}
+	var ms modelsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ms); err != nil {
+		t.Fatal(err)
+	}
+	if ms.Default != fleet.DefaultModel || len(ms.Models) != 1 {
+		t.Fatalf("models = %+v", ms)
+	}
+	if got, want := fmt.Sprint(ms.Models[0].SampleShape), fmt.Sprint([]int{1, 3, 16, 16}); got != want {
+		t.Fatalf("sample shape = %s, want %s", got, want)
+	}
+	if !ms.Models[0].Default {
+		t.Fatal("default model not flagged")
+	}
+}
+
+// TestInferMatchesDirect: the HTTP answer is the same label direct inference
+// on the template deployment produces.
+func TestInferMatchesDirect(t *testing.T) {
+	s, _ := testServer(t, nil, nil)
+	ref := testDeployment(t, 1)
+	for i := 0; i < 4; i++ {
+		x := randSample(uint64(100 + i))
+		labels, err := ref.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := postJSON(t, s.Handler(), "/v1/infer", inferBody(t, "", x))
+		if w.Code != http.StatusOK {
+			t.Fatalf("infer = %d: %s", w.Code, w.Body)
+		}
+		var out inferResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Label != labels[0] {
+			t.Fatalf("sample %d: HTTP label %d != direct %d", i, out.Label, labels[0])
+		}
+		if out.Model != fleet.DefaultModel {
+			t.Fatalf("answer model = %q", out.Model)
+		}
+		if w.Header().Get(requestIDHeader) == "" {
+			t.Fatal("no request ID on answer")
+		}
+	}
+}
+
+// TestInferBatchNDJSON: the batch endpoint streams one labeled NDJSON line
+// per sample, every index accounted for, labels matching direct inference.
+func TestInferBatchNDJSON(t *testing.T) {
+	s, _ := testServer(t, nil, nil)
+	ref := testDeployment(t, 1)
+	const n = 6
+	inputs := make([][]float64, n)
+	want := make([]int, n)
+	for i := range inputs {
+		x := randSample(uint64(200 + i))
+		labels, err := ref.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = labels[0]
+		data := x.Data()
+		inputs[i] = make([]float64, len(data))
+		for j, v := range data {
+			inputs[i][j] = float64(v)
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"inputs": inputs})
+	w := postJSON(t, s.Handler(), "/v1/infer/batch", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch = %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	seen := make(map[int]int)
+	for _, line := range strings.Split(strings.TrimSpace(w.Body.String()), "\n") {
+		var bl batchLine
+		if err := json.Unmarshal([]byte(line), &bl); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if bl.Error != "" {
+			t.Fatalf("sample %d failed: %s", bl.Index, bl.Error)
+		}
+		seen[bl.Index] = bl.Label
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d distinct indices, want %d", len(seen), n)
+	}
+	for i, label := range want {
+		if seen[i] != label {
+			t.Fatalf("sample %d: streamed label %d != direct %d", i, seen[i], label)
+		}
+	}
+}
+
+// TestInferBadRequests: malformed bodies, wrong shapes, and unknown models
+// map onto 400/404 with the JSON error body.
+func TestInferBadRequests(t *testing.T) {
+	s, _ := testServer(t, nil, nil)
+	h := s.Handler()
+
+	w := postJSON(t, h, "/v1/infer", []byte("{not json"))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON = %d, want 400", w.Code)
+	}
+	w = postJSON(t, h, "/v1/infer", []byte(`{"input":[1,2,3]}`))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("wrong-size input = %d, want 400", w.Code)
+	}
+	w = postJSON(t, h, "/v1/infer", inferBody(t, "nope", randSample(1)))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown model = %d, want 404", w.Code)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Status != http.StatusNotFound || eb.Error == "" || eb.RequestID == "" {
+		t.Fatalf("error body = %+v", eb)
+	}
+	w = postJSON(t, h, "/v1/infer/batch", []byte(`{"inputs":[]}`))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch = %d, want 400", w.Code)
+	}
+}
+
+// TestSwapOverHTTP: POSTing a serialized artifact hot-swaps the hosted model
+// and the post-swap answers are bit-identical to direct inference on an
+// identically-deployed copy of the incoming model.
+func TestSwapOverHTTP(t *testing.T) {
+	s, f := testServer(t, nil, nil)
+	h := s.Handler()
+
+	tb2 := testTwoBranch(99)
+	var buf bytes.Buffer
+	if err := serial.SaveDeployment(&buf, &serial.Artifact{
+		TB: tb2, Device: "rpi3", SampleShape: []int{1, 3, 16, 16},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := core.Deploy(testTwoBranch(99), tee.RaspberryPi3(), []int{1, 3, 16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := postJSON(t, h, "/v1/models/"+fleet.DefaultModel+"/swap", buf.Bytes())
+	if w.Code != http.StatusOK {
+		t.Fatalf("swap = %d: %s", w.Code, w.Body)
+	}
+	var sr swapResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Swapped || sr.Device != "rpi3" {
+		t.Fatalf("swap answer = %+v", sr)
+	}
+	if got := f.Stats().Models[0].Swaps; got != 1 {
+		t.Fatalf("fleet swap counter = %d, want 1", got)
+	}
+	for i := 0; i < 4; i++ {
+		x := randSample(uint64(300 + i))
+		labels, err := ref2.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := postJSON(t, h, "/v1/infer", inferBody(t, "", x))
+		if w.Code != http.StatusOK {
+			t.Fatalf("post-swap infer = %d: %s", w.Code, w.Body)
+		}
+		var out inferResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Label != labels[0] {
+			t.Fatalf("post-swap sample %d: HTTP label %d != incoming model's %d",
+				i, out.Label, labels[0])
+		}
+	}
+
+	// Swapping an unknown name is 404; an empty body is 400.
+	if w := postJSON(t, h, "/v1/models/nope/swap", buf.Bytes()); w.Code != http.StatusNotFound {
+		t.Fatalf("swap unknown = %d, want 404", w.Code)
+	}
+	if w := postJSON(t, h, "/v1/models/"+fleet.DefaultModel+"/swap", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("swap empty body = %d, want 400", w.Code)
+	}
+}
+
+// TestSwapFromRegistry: ?from= resolves the artifact in the attached store
+// instead of the request body, and the registry surfaces on /v1/models.
+func TestSwapFromRegistry(t *testing.T) {
+	dir := t.TempDir()
+	store, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := serial.SaveDeployment(&buf, &serial.Artifact{
+		TB: testTwoBranch(77), Device: "rpi3", SampleShape: []int{1, 3, 16, 16},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	art, err := serial.LoadDeployment(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Save("challenger", art); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := testServer(t, nil, func(c *Config) { c.Registry = store })
+	h := s.Handler()
+
+	w := getPath(t, h, "/v1/models")
+	var ms modelsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ms); err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Registry) != 1 || ms.Registry[0].Name != "challenger" {
+		t.Fatalf("registry listing = %+v", ms.Registry)
+	}
+
+	w = postJSON(t, h, "/v1/models/"+fleet.DefaultModel+"/swap?from=challenger", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("swap ?from= = %d: %s", w.Code, w.Body)
+	}
+	if w := postJSON(t, h, "/v1/models/"+fleet.DefaultModel+"/swap?from=ghost", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("swap ?from=ghost = %d, want 404: %s", w.Code, w.Body)
+	}
+}
+
+// TestReaperExpiresIdleModels: a hosted model with no traffic for the TTL is
+// removed — its secure memory released — while the default model and any
+// model still seeing traffic survive.
+func TestReaperExpiresIdleModels(t *testing.T) {
+	s, f := testServer(t, func(c *fleet.Config) {
+		c.Models = []fleet.NamedModel{
+			{Name: "idle", Dep: testDeployment(t, 21)},
+			{Name: "hot", Dep: testDeployment(t, 22)},
+		}
+	}, func(c *Config) {
+		c.IdleTTL = 80 * time.Millisecond
+		c.ReapInterval = 20 * time.Millisecond
+	})
+	s.reaper.start()
+	defer s.reaper.stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Keep "hot" hot while "idle" ages out.
+		s.reaper.touch("hot")
+		models := f.Models()
+		hasIdle := false
+		for _, m := range models {
+			if m == "idle" {
+				hasIdle = true
+			}
+		}
+		if !hasIdle {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle model never reaped; hosted = %v", models)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, m := range f.Models() {
+		if m == "idle" {
+			t.Fatal("idle model still hosted")
+		}
+	}
+	found := map[string]bool{}
+	for _, m := range f.Models() {
+		found[m] = true
+	}
+	if !found[fleet.DefaultModel] || !found["hot"] {
+		t.Fatalf("default/hot must survive the reaper; hosted = %v", f.Models())
+	}
+	if got := s.metrics.reaped.Load(); got < 1 {
+		t.Fatalf("reaped counter = %d, want >= 1", got)
+	}
+}
+
+// TestConfigValidation: bad configurations fail with ErrHTTPConfig.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil fleet accepted")
+	}
+	f := testFleet(t, nil)
+	bad := []Config{
+		{Fleet: f, RateLimit: RateLimit{RPS: -1}},
+		{Fleet: f, IdleTTL: -time.Second},
+		{Fleet: f, APIKeys: map[string]string{"": "t"}},
+		{Fleet: f, APIKeys: map[string]string{"k": ""}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}

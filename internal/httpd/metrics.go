@@ -1,0 +1,194 @@
+package httpd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tbnet/internal/fleet"
+)
+
+// httpMetrics is the daemon's own counter set — the HTTP-side story
+// (statuses, rate-limit refusals, recovered panics, reaped models) that
+// complements the fleet's serving statistics on /metrics.
+type httpMetrics struct {
+	mu       sync.Mutex
+	byStatus map[int]int64
+
+	rateLimited atomic.Int64
+	panics      atomic.Int64
+	reaped      atomic.Int64
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{byStatus: make(map[int]int64)}
+}
+
+func (m *httpMetrics) observe(status int) {
+	m.mu.Lock()
+	m.byStatus[status]++
+	m.mu.Unlock()
+}
+
+// statusCounts returns the per-status request counts in ascending code
+// order, for stable exposition output.
+func (m *httpMetrics) statusCounts() (codes []int, counts []int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for c := range m.byStatus {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		counts = append(counts, m.byStatus[c])
+	}
+	return codes, counts
+}
+
+// promEscape escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and newline.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promWriter accumulates one scrape in the Prometheus text exposition
+// format, emitting each metric family's HELP/TYPE header exactly once.
+type promWriter struct {
+	w      io.Writer
+	headed map[string]bool
+	err    error
+}
+
+func newPromWriter(w io.Writer) *promWriter {
+	return &promWriter{w: w, headed: make(map[string]bool)}
+}
+
+// metric writes one sample of the named family. labels alternate key, value;
+// the family header is written before its first sample.
+func (pw *promWriter) metric(name, typ, help string, value float64, labels ...string) {
+	if pw.err != nil {
+		return
+	}
+	if !pw.headed[name] {
+		pw.headed[name] = true
+		if _, err := fmt.Fprintf(pw.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ); err != nil {
+			pw.err = err
+			return
+		}
+	}
+	var lb strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if lb.Len() > 0 {
+			lb.WriteByte(',')
+		}
+		fmt.Fprintf(&lb, `%s="%s"`, labels[i], promEscape(labels[i+1]))
+	}
+	line := name
+	if lb.Len() > 0 {
+		line += "{" + lb.String() + "}"
+	}
+	if _, err := fmt.Fprintf(pw.w, "%s %g\n", line, value); err != nil {
+		pw.err = err
+	}
+}
+
+// writeMetrics renders the whole scrape: the fleet's aggregated snapshot
+// (requests, shed, latency percentiles, secure footprint), the per-model and
+// per-device breakdowns, and the daemon's HTTP-side counters.
+func (s *Server) writeMetrics(w io.Writer) error {
+	st := s.fleet.Stats()
+	pw := newPromWriter(w)
+
+	// Fleet-wide serving counters and gauges.
+	pw.metric("tbnet_fleet_requests_total", "counter",
+		"Samples served successfully, fleet-wide.", float64(st.Requests))
+	pw.metric("tbnet_fleet_errors_total", "counter",
+		"Samples whose protocol run failed, fleet-wide.", float64(st.Errors))
+	pw.metric("tbnet_fleet_shed_total", "counter",
+		"Requests refused by admission control or expired on the fleet deadline.", float64(st.Shed))
+	pw.metric("tbnet_fleet_in_flight", "gauge",
+		"Admitted, unanswered requests right now.", float64(st.InFlight))
+	pw.metric("tbnet_fleet_routing_decisions_total", "counter",
+		"Routing policy picks that resolved.", float64(st.RoutingDecisions))
+	pw.metric("tbnet_fleet_devices", "gauge",
+		"Attached fleet nodes.", float64(st.Devices))
+	pw.metric("tbnet_fleet_p50_latency_seconds", "gauge",
+		"Fleet-wide modeled median per-request latency.", st.P50Micros/1e6)
+	pw.metric("tbnet_fleet_p95_latency_seconds", "gauge",
+		"Fleet-wide modeled p95 per-request latency.", st.P95Micros/1e6)
+	pw.metric("tbnet_fleet_p99_latency_seconds", "gauge",
+		"Fleet-wide modeled p99 per-request latency.", st.P99Micros/1e6)
+	pw.metric("tbnet_fleet_host_ns_per_op", "gauge",
+		"Measured host compute nanoseconds per served sample.", st.HostNsPerOp)
+	pw.metric("tbnet_fleet_modeled_throughput_rps", "gauge",
+		"Summed modeled throughput in requests per modeled device-second.", st.ModeledThroughput)
+	pw.metric("tbnet_fleet_peak_secure_bytes", "gauge",
+		"Summed secure-memory high-water marks across the fleet.", float64(st.PeakSecureBytes))
+
+	// Per-model breakdown, in hosting order.
+	for _, ms := range st.Models {
+		l := []string{"model", ms.Name}
+		pw.metric("tbnet_model_requests_total", "counter",
+			"Samples served successfully per hosted model.", float64(ms.Requests), l...)
+		pw.metric("tbnet_model_errors_total", "counter",
+			"Failed samples per hosted model.", float64(ms.Errors), l...)
+		pw.metric("tbnet_model_swaps_total", "counter",
+			"Completed per-node hot swaps per hosted model.", float64(ms.Swaps), l...)
+		pw.metric("tbnet_model_p99_latency_seconds", "gauge",
+			"Modeled p99 per-request latency per hosted model.", ms.P99Micros/1e6, l...)
+	}
+
+	// Per-device breakdown, in attachment order.
+	for _, ds := range st.PerDevice {
+		l := []string{"device", ds.Name}
+		pw.metric("tbnet_device_routed_total", "counter",
+			"Routing decisions that chose this node.", float64(ds.Routed), l...)
+		pw.metric("tbnet_device_shed_total", "counter",
+			"Requests that missed the fleet deadline on this node.", float64(ds.Shed), l...)
+		pw.metric("tbnet_device_requests_total", "counter",
+			"Samples served successfully on this node.", float64(ds.Serve.Requests), l...)
+		pw.metric("tbnet_device_queue_depth", "gauge",
+			"Requests waiting for a batch slot on this node.", float64(ds.Serve.QueueDepth), l...)
+		pw.metric("tbnet_device_host_ns_per_op", "gauge",
+			"Measured host compute nanoseconds per sample on this node.", ds.Serve.HostNsPerOp, l...)
+	}
+
+	// Daemon-side HTTP counters.
+	codes, counts := s.metrics.statusCounts()
+	for i, c := range codes {
+		pw.metric("tbnet_http_requests_total", "counter",
+			"HTTP requests answered, by status code.", float64(counts[i]),
+			"code", fmt.Sprintf("%d", c))
+	}
+	pw.metric("tbnet_http_rate_limited_total", "counter",
+		"Requests refused by the per-tenant token bucket.", float64(s.metrics.rateLimited.Load()))
+	pw.metric("tbnet_http_panics_recovered_total", "counter",
+		"Handler panics converted to 500 answers.", float64(s.metrics.panics.Load()))
+	pw.metric("tbnet_http_reaped_models_total", "counter",
+		"Idle hosted models expired by the reaper.", float64(s.metrics.reaped.Load()))
+	draining := 0.0
+	if s.draining.Load() {
+		draining = 1
+	}
+	pw.metric("tbnet_http_draining", "gauge",
+		"1 while the daemon is draining for shutdown.", draining)
+	return pw.err
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.writeMetrics(w); err != nil {
+		s.cfg.Logger.Error("metrics scrape failed", "err", err)
+	}
+}
+
+// fleetStats is exported to the handlers for the models listing.
+func (s *Server) fleetStats() fleet.Stats { return s.fleet.Stats() }

@@ -1,0 +1,118 @@
+package httpd
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+
+	"tbnet/internal/fleet"
+)
+
+// reaper is the idle-model janitor: hosted models that have served no
+// traffic for the idle TTL are removed from the fleet, releasing their
+// secure-memory reservations back to the budget for the models that are
+// actually hot. The default model is never reaped — the daemon always has
+// something to serve — and a reaped model can come back at any time via a
+// swap-with-create or AddModel from the management side.
+type reaper struct {
+	fleet    *fleet.Fleet
+	ttl      time.Duration
+	interval time.Duration
+	log      *slog.Logger
+	metrics  *httpMetrics
+
+	mu       sync.Mutex
+	lastSeen map[string]time.Time
+
+	stopCh chan struct{}
+	done   chan struct{}
+}
+
+// newReaper builds a reaper over f. With ttl 0 the reaper only tracks
+// touches (start is a no-op), so handlers can stamp activity unconditionally.
+func newReaper(f *fleet.Fleet, ttl, interval time.Duration, log *slog.Logger, m *httpMetrics) *reaper {
+	return &reaper{
+		fleet:    f,
+		ttl:      ttl,
+		interval: interval,
+		log:      log,
+		metrics:  m,
+		lastSeen: make(map[string]time.Time),
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// touch stamps the model as active now, deferring its expiry by a full TTL.
+func (rp *reaper) touch(model string) {
+	rp.mu.Lock()
+	rp.lastSeen[model] = time.Now()
+	rp.mu.Unlock()
+}
+
+// start launches the scan loop (no-op when the TTL is 0).
+func (rp *reaper) start() {
+	if rp.ttl <= 0 {
+		close(rp.done)
+		return
+	}
+	go func() {
+		defer close(rp.done)
+		tick := time.NewTicker(rp.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-rp.stopCh:
+				return
+			case <-tick.C:
+				rp.sweep(time.Now())
+			}
+		}
+	}()
+}
+
+// stop halts the scan loop and waits for an in-progress sweep to finish.
+func (rp *reaper) stop() {
+	select {
+	case <-rp.stopCh:
+	default:
+		close(rp.stopCh)
+	}
+	<-rp.done
+}
+
+// sweep removes every non-default hosted model whose last touch is older
+// than the TTL. A model hosted before the daemon started (or added out of
+// band) gets stamped on first sight, so it always survives one full TTL
+// before becoming eligible.
+func (rp *reaper) sweep(now time.Time) {
+	var expired []string
+	rp.mu.Lock()
+	for _, name := range rp.fleet.Models() {
+		if name == fleet.DefaultModel {
+			continue
+		}
+		seen, ok := rp.lastSeen[name]
+		if !ok {
+			rp.lastSeen[name] = now
+			continue
+		}
+		if now.Sub(seen) >= rp.ttl {
+			expired = append(expired, name)
+		}
+	}
+	rp.mu.Unlock()
+	for _, name := range expired {
+		if err := rp.fleet.RemoveModel(name); err != nil {
+			rp.log.Warn("reap failed", "model", name, "err", err)
+			continue
+		}
+		rp.mu.Lock()
+		delete(rp.lastSeen, name)
+		rp.mu.Unlock()
+		if rp.metrics != nil {
+			rp.metrics.reaped.Add(1)
+		}
+		rp.log.Info("reaped idle model", "model", name, "idle_ttl", rp.ttl.String())
+	}
+}

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"tbnet/internal/fleet"
+	"tbnet/internal/serve"
+	"tbnet/internal/tensor"
+)
+
+// HTTPTarget drives a remote tbnetd daemon through its real socket path: it
+// implements Target by POSTing each sample to /v1/infer, so a phased
+// workload exercises the daemon's full stack — HTTP parsing, the middleware
+// chain, JSON marshalling, fleet routing — not just the in-process fleet.
+// Overload answers (429/503) classify as shed, 504 as deadline expiry, and
+// 404 as an unknown model, so Result's outcome split reads the same whether
+// the target is a local Fleet or a daemon across the network.
+type HTTPTarget struct {
+	base   *url.URL
+	client *http.Client
+	apiKey string
+}
+
+// HTTPTargetOption configures an HTTPTarget.
+type HTTPTargetOption func(*HTTPTarget)
+
+// WithHTTPClient replaces the target's HTTP client (default: a dedicated
+// client with a 30s request timeout).
+func WithHTTPClient(c *http.Client) HTTPTargetOption {
+	return func(t *HTTPTarget) { t.client = c }
+}
+
+// WithAPIKey attaches an API key (sent as X-API-Key) to every request, for
+// daemons running with authentication enabled.
+func WithAPIKey(key string) HTTPTargetOption {
+	return func(t *HTTPTarget) { t.apiKey = key }
+}
+
+// NewHTTPTarget validates rawURL and returns a target addressing the tbnetd
+// daemon at its base. The URL must be absolute with an http or https scheme
+// and a host; anything else fails immediately with ErrSpec — a load test
+// must refuse a bad target before any traffic is generated (and, in the CLI,
+// before any model is built).
+func NewHTTPTarget(rawURL string, opts ...HTTPTargetOption) (*HTTPTarget, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("%w: target URL %q: %v", ErrSpec, rawURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("%w: target URL %q: scheme %q (want http or https)", ErrSpec, rawURL, u.Scheme)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("%w: target URL %q: missing host", ErrSpec, rawURL)
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/")
+	u.RawQuery, u.Fragment = "", ""
+	t := &HTTPTarget{
+		base:   u,
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t, nil
+}
+
+// endpoint resolves a daemon path against the target's base URL.
+func (t *HTTPTarget) endpoint(path string) string {
+	return t.base.String() + path
+}
+
+// wireInfer mirrors the daemon's POST /v1/infer body.
+type wireInfer struct {
+	Model string    `json:"model,omitempty"`
+	Input []float64 `json:"input"`
+	Shape []int     `json:"shape,omitempty"`
+}
+
+// wireLabel mirrors the daemon's inference answer.
+type wireLabel struct {
+	Label int `json:"label"`
+}
+
+// wireErr mirrors the daemon's JSON error body.
+type wireErr struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+// InferModel classifies one sample by POSTing it to the daemon's /v1/infer.
+func (t *HTTPTarget) InferModel(ctx context.Context, model string, x *tensor.Tensor) (int, error) {
+	shape := x.Shape()
+	if len(shape) == 4 {
+		shape = shape[1:]
+	}
+	data := x.Data()
+	input := make([]float64, len(data))
+	for i, v := range data {
+		input[i] = float64(v)
+	}
+	body, err := json.Marshal(wireInfer{Model: model, Input: input, Shape: shape})
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.endpoint("/v1/infer"), bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if t.apiKey != "" {
+		req.Header.Set("X-API-Key", t.apiKey)
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out wireLabel
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return 0, fmt.Errorf("scenario: decoding /v1/infer answer: %w", err)
+		}
+		return out.Label, nil
+	}
+	var we wireErr
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&we)
+	msg := we.Error
+	if msg == "" {
+		msg = resp.Status
+	}
+	// Map wire statuses back onto the serving stack's sentinels so the
+	// harness's outcome classification is target-agnostic.
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return 0, fmt.Errorf("scenario: %s: %w", msg, fleet.ErrOverloaded)
+	case http.StatusGatewayTimeout:
+		return 0, fmt.Errorf("scenario: %s: %w", msg, context.DeadlineExceeded)
+	case http.StatusNotFound:
+		return 0, fmt.Errorf("scenario: %s: %w", msg, serve.ErrUnknownModel)
+	default:
+		return 0, fmt.Errorf("scenario: /v1/infer answered %d: %s", resp.StatusCode, msg)
+	}
+}
+
+// RemoteModel is one hosted model as reported by the daemon's /v1/models.
+type RemoteModel struct {
+	// Name is the model's serving identity.
+	Name string `json:"name"`
+	// Default marks the daemon's default model.
+	Default bool `json:"default"`
+	// SampleShape is the [N,C,H,W] shape the pool was planned for — what a
+	// client needs to synthesize valid load.
+	SampleShape []int `json:"sample_shape"`
+}
+
+// Models asks the daemon which models it hosts (GET /v1/models), so a
+// client-mode scenario can split traffic across them and size its synthetic
+// samples without any local artifact.
+func (t *HTTPTarget) Models(ctx context.Context) ([]RemoteModel, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.endpoint("/v1/models"), nil)
+	if err != nil {
+		return nil, err
+	}
+	if t.apiKey != "" {
+		req.Header.Set("X-API-Key", t.apiKey)
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scenario: /v1/models answered %s", resp.Status)
+	}
+	var out struct {
+		Models []RemoteModel `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("scenario: decoding /v1/models: %w", err)
+	}
+	if len(out.Models) == 0 {
+		return nil, fmt.Errorf("scenario: daemon hosts no models")
+	}
+	return out.Models, nil
+}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tbnet/internal/fleet"
+	"tbnet/internal/serve"
+	"tbnet/internal/tensor"
+)
+
+// TestNewHTTPTargetValidation: a load test must refuse a bad target URL
+// immediately with ErrSpec — before any traffic or model build — and accept
+// well-formed http/https bases.
+func TestNewHTTPTargetValidation(t *testing.T) {
+	bad := []string{
+		"",
+		"://nope",
+		"ftp://host:21",
+		"http://",
+		"localhost:8080", // scheme-less: parses as scheme "localhost"
+		"/just/a/path",
+	}
+	for _, raw := range bad {
+		if _, err := NewHTTPTarget(raw); !errors.Is(err, ErrSpec) {
+			t.Errorf("NewHTTPTarget(%q) err = %v, want ErrSpec", raw, err)
+		}
+	}
+	good := []string{
+		"http://127.0.0.1:8080",
+		"https://edge.example.com",
+		"http://host:9/", // trailing slash trimmed
+	}
+	for _, raw := range good {
+		if _, err := NewHTTPTarget(raw); err != nil {
+			t.Errorf("NewHTTPTarget(%q) err = %v, want nil", raw, err)
+		}
+	}
+}
+
+// TestHTTPTargetOutcomeMapping: wire statuses map back onto the serving
+// sentinels, so the harness classifies shed/deadline/unknown identically for
+// local fleets and remote daemons.
+func TestHTTPTargetOutcomeMapping(t *testing.T) {
+	var status int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if status == http.StatusOK {
+			_ = json.NewEncoder(w).Encode(map[string]any{"label": 3})
+			return
+		}
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(map[string]any{"error": "synthetic", "status": status})
+	}))
+	defer srv.Close()
+	tgt, err := NewHTTPTarget(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 3, 4, 4)
+
+	status = http.StatusOK
+	label, err := tgt.InferModel(context.Background(), "m", x)
+	if err != nil || label != 3 {
+		t.Fatalf("200: label %d err %v", label, err)
+	}
+	cases := []struct {
+		status int
+		want   error
+	}{
+		{http.StatusTooManyRequests, fleet.ErrOverloaded},
+		{http.StatusServiceUnavailable, fleet.ErrOverloaded},
+		{http.StatusGatewayTimeout, context.DeadlineExceeded},
+		{http.StatusNotFound, serve.ErrUnknownModel},
+	}
+	for _, tc := range cases {
+		status = tc.status
+		if _, err := tgt.InferModel(context.Background(), "m", x); !errors.Is(err, tc.want) {
+			t.Errorf("status %d: err = %v, want %v", tc.status, err, tc.want)
+		}
+	}
+	status = http.StatusTeapot
+	if _, err := tgt.InferModel(context.Background(), "m", x); err == nil {
+		t.Error("unexpected status must error")
+	}
+}
+
+// TestHTTPTargetModels: the models listing decodes and refuses an empty
+// inventory.
+func TestHTTPTargetModels(t *testing.T) {
+	empty := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/models" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		models := []map[string]any{{"name": "default", "default": true, "sample_shape": []int{1, 3, 16, 16}}}
+		if empty {
+			models = nil
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"default": "default", "models": models})
+	}))
+	defer srv.Close()
+	tgt, err := NewHTTPTarget(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := tgt.Models(context.Background())
+	if err != nil || len(ms) != 1 || ms[0].Name != "default" || !ms[0].Default {
+		t.Fatalf("models = %+v, err %v", ms, err)
+	}
+	if len(ms[0].SampleShape) != 4 {
+		t.Fatalf("sample shape = %v", ms[0].SampleShape)
+	}
+	empty = true
+	if _, err := tgt.Models(context.Background()); err == nil {
+		t.Fatal("empty inventory accepted")
+	}
+}

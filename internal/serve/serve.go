@@ -369,6 +369,18 @@ func (s *Server) lookup(name string) (*pool, error) {
 	return p, nil
 }
 
+// SampleShape returns the [1,C,H,W] single-sample input shape a hosted
+// model's pool was sized for; unknown names fail with ErrUnknownModel. A
+// network front end uses it to validate request payload lengths before
+// building a tensor.
+func (s *Server) SampleShape(model string) ([]int, error) {
+	p, err := s.lookup(model)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), p.sampleShape...), nil
+}
+
 // Models returns the hosted model names in hosting order (the default model
 // first).
 func (s *Server) Models() []string {
