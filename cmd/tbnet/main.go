@@ -47,12 +47,22 @@
 //
 //	-devices LIST     attached devices as name:workers pairs
 //	                  (default rpi3:2,sgx-desktop:2,jetson-tz:2)
-//	-policy NAME      round-robin | least-loaded | cost-aware (default cost-aware)
+//	-policy NAME      round-robin | least-loaded | cost-aware | ewma
+//	                  (default cost-aware; ewma routes on learned latencies)
 //	-requests N       synthetic requests to offer (default 64)
 //	-rate R           open-loop arrival rate in req/s (default 200)
 //	-poisson          exponential (Poisson-process) interarrival times
 //	-deadline D       per-request deadline; overdue requests are shed (default none)
 //	-max-inflight N   fleet-wide in-flight cap (default capacity-weighted)
+//
+// Autoscale flags (fleet and scenario):
+//
+//	-autoscale             run the elastic autoscaler over the fleet
+//	-autoscale-min N       per-node worker floor (default 1)
+//	-autoscale-max N       per-node worker ceiling (default 8)
+//	-autoscale-interval D  control-loop period (default 50ms)
+//	-pace S                pace workers at modeled-latency × S of wall time,
+//	                       so capacity genuinely scales with worker count
 //
 // Scenario flags (plus -devices/-policy/-deadline/-max-inflight as fleet):
 //
@@ -60,6 +70,8 @@
 //	              pattern uniform|poisson|burst|ramp|diurnal
 //	-trace FILE   replay an arrival trace ("<offset-seconds> [model]" lines)
 //	-models LIST  serve saved models (mixed-model traffic when several)
+//	-sweep LIST   also run the same workload at these static widths and
+//	              render the static-vs-autoscale comparison (implies -autoscale)
 package main
 
 import (
@@ -408,13 +420,20 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// parseFleetDevices parses a name:workers list like
-// "rpi3:2,sgx-desktop:4,jetson-tz:2" into WithDevice options. A bare name
-// gets the default pool width of 2. Names and widths are validated here,
-// before the (potentially minutes-long) pipeline trains, so a typo fails
-// fast with the usual flag-error exit.
-func parseFleetDevices(list string) ([]tbnet.FleetOption, error) {
-	var opts []tbnet.FleetOption
+// deviceSpec is one parsed -devices entry: a registered backend name and its
+// static pool width.
+type deviceSpec struct {
+	name    string
+	workers int
+}
+
+// parseDeviceSpecs parses a name:workers list like
+// "rpi3:2,sgx-desktop:4,jetson-tz:2". A bare name gets the default pool
+// width of 2. Names and widths are validated here, before the (potentially
+// minutes-long) pipeline trains, so a typo fails fast with the usual
+// flag-error exit.
+func parseDeviceSpecs(list string) ([]deviceSpec, error) {
+	var specs []deviceSpec
 	for _, spec := range strings.Split(list, ",") {
 		spec = strings.TrimSpace(spec)
 		if spec == "" {
@@ -434,25 +453,53 @@ func parseFleetDevices(list string) ([]tbnet.FleetOption, error) {
 		if workers < 1 {
 			return nil, fmt.Errorf("device spec %q: workers %d < 1", spec, workers)
 		}
-		opts = append(opts, tbnet.WithDevice(name, workers))
+		specs = append(specs, deviceSpec{name: name, workers: workers})
 	}
-	if len(opts) == 0 {
+	if len(specs) == 0 {
 		return nil, fmt.Errorf("empty device list")
 	}
-	return opts, nil
+	return specs, nil
 }
 
-// fleetPolicy maps the -policy flag onto the built-in routing policies.
-func fleetPolicy(name string) (tbnet.RoutingPolicy, error) {
+// deviceOpts turns parsed device specs into WithDevice options. A positive
+// override replaces every spec's width — the static legs of an autoscale
+// sweep pin all nodes to one width.
+func deviceOpts(specs []deviceSpec, override int) []tbnet.FleetOption {
+	opts := make([]tbnet.FleetOption, 0, len(specs))
+	for _, s := range specs {
+		w := s.workers
+		if override > 0 {
+			w = override
+		}
+		opts = append(opts, tbnet.WithDevice(s.name, w))
+	}
+	return opts
+}
+
+// parseFleetDevices parses the -devices flag straight into WithDevice options.
+func parseFleetDevices(list string) ([]tbnet.FleetOption, error) {
+	specs, err := parseDeviceSpecs(list)
+	if err != nil {
+		return nil, err
+	}
+	return deviceOpts(specs, 0), nil
+}
+
+// fleetPolicy maps the -policy flag onto a fleet option: one of the built-in
+// routing policies, or "ewma", which also installs the online latency
+// estimator the adaptive policy learns from.
+func fleetPolicy(name string) (tbnet.FleetOption, error) {
 	switch name {
 	case "round-robin":
-		return tbnet.RoundRobin(), nil
+		return tbnet.WithPolicy(tbnet.RoundRobin()), nil
 	case "least-loaded":
-		return tbnet.LeastLoaded(), nil
+		return tbnet.WithPolicy(tbnet.LeastLoaded()), nil
 	case "cost-aware":
-		return tbnet.CostAware(), nil
+		return tbnet.WithPolicy(tbnet.CostAware()), nil
+	case "ewma":
+		return tbnet.WithEWMARouting(0), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q (want round-robin, least-loaded, or cost-aware)", name)
+	return nil, fmt.Errorf("unknown policy %q (want round-robin, least-loaded, cost-aware, or ewma)", name)
 }
 
 func runFleetCmd(args []string, stdout, stderr io.Writer) int {
@@ -461,18 +508,28 @@ func runFleetCmd(args []string, stdout, stderr io.Writer) int {
 	c := addCommonFlags(fs)
 	devices := fs.String("devices", "rpi3:2,sgx-desktop:2,jetson-tz:2",
 		"attached devices as name:workers pairs")
-	policyName := fs.String("policy", "cost-aware", "routing policy: round-robin, least-loaded, cost-aware")
+	policyName := fs.String("policy", "cost-aware", "routing policy: round-robin, least-loaded, cost-aware, ewma")
 	requests := fs.Int("requests", 64, "synthetic requests to offer")
 	rate := fs.Float64("rate", 200, "open-loop arrival rate (req/s)")
 	poisson := fs.Bool("poisson", false, "exponential (Poisson-process) interarrival times")
 	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = none); overdue requests are shed")
 	maxInFlight := fs.Int("max-inflight", 0, "fleet-wide in-flight cap (0 = capacity-weighted default)")
+	auto := fs.Bool("autoscale", false, "run the elastic autoscaler over the fleet")
+	autoMin := fs.Int("autoscale-min", 1, "autoscaler per-node worker floor")
+	autoMax := fs.Int("autoscale-max", 8, "autoscaler per-node worker ceiling")
+	autoInterval := fs.Duration("autoscale-interval", 50*time.Millisecond, "autoscaler control-loop period")
+	pace := fs.Float64("pace", 0, "pace workers at modeled-latency × this factor (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *requests < 1 || *rate <= 0 || *deadline < 0 || *maxInFlight < 0 {
-		fmt.Fprintf(stderr, "invalid fleet flags: requests %d, rate %g, deadline %v, max-inflight %d\n",
-			*requests, *rate, *deadline, *maxInFlight)
+	if *requests < 1 || *rate <= 0 || *deadline < 0 || *maxInFlight < 0 || *pace < 0 {
+		fmt.Fprintf(stderr, "invalid fleet flags: requests %d, rate %g, deadline %v, max-inflight %d, pace %g\n",
+			*requests, *rate, *deadline, *maxInFlight, *pace)
+		return 2
+	}
+	if *auto && (*autoMin < 1 || *autoMax < *autoMin || *autoInterval <= 0) {
+		fmt.Fprintf(stderr, "invalid autoscale flags: min %d, max %d, interval %v\n",
+			*autoMin, *autoMax, *autoInterval)
 		return 2
 	}
 	fleetOpts, err := parseFleetDevices(*devices)
@@ -480,17 +537,25 @@ func runFleetCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	policy, err := fleetPolicy(*policyName)
+	policyOpt, err := fleetPolicy(*policyName)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	fleetOpts = append(fleetOpts, tbnet.WithPolicy(policy))
+	fleetOpts = append(fleetOpts, policyOpt)
 	if *deadline > 0 {
 		fleetOpts = append(fleetOpts, tbnet.WithDeadline(*deadline))
 	}
 	if *maxInFlight > 0 {
 		fleetOpts = append(fleetOpts, tbnet.WithMaxInFlight(*maxInFlight))
+	}
+	if *pace > 0 {
+		fleetOpts = append(fleetOpts, tbnet.WithPace(*pace))
+	}
+	if *auto {
+		fleetOpts = append(fleetOpts,
+			tbnet.WithAutoscale(*autoMin, *autoMax),
+			tbnet.WithAutoscaleInterval(*autoInterval))
 	}
 	opts, err := c.pipelineOptions(stderr)
 	if err != nil {
@@ -566,8 +631,21 @@ func runFleetCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	wg.Wait()
 	st := f.Stats()
+	ctl := tbnet.FleetAutoscaler(f)
 
 	if c.jsonOut {
+		if ctl != nil {
+			// The flat fleet snapshot plus one nested autoscale object — the
+			// static shape stays byte-compatible with autoscaling off.
+			if err := json.NewEncoder(stdout).Encode(struct {
+				tbnet.FleetStats
+				Autoscale tbnet.AutoscaleStats `json:"autoscale"`
+			}{st, ctl.Stats()}); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			return 0
+		}
 		if err := report.RenderFleetStatsJSON(stdout, st); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -575,6 +653,12 @@ func runFleetCmd(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	report.FleetTable(st).Render(stdout)
+	if ctl != nil {
+		report.AutoscaleTable(ctl.Stats(), f.WorkerSeconds()).Render(stdout)
+		if evs := ctl.Events(); len(evs) > 0 {
+			report.AutoscaleEventTable(evs).Render(stdout)
+		}
+	}
 	fmt.Fprintf(stdout, "offered %d requests: %d served (%d correct), %d shed, %d failed\n",
 		*requests, st.Requests, correct, shed, failed)
 	fmt.Fprintf(stdout, "fleet secure footprint: %s across %d devices\n",
@@ -735,12 +819,15 @@ func usage(w io.Writer) {
                  [-models NAME=FILE,... | -models NAME,... -registry DIR]
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N]
                  [-device NAME] [-json] [-v]
-  tbnet fleet    [-devices NAME:W,NAME:W,...] [-policy round-robin|least-loaded|cost-aware]
+  tbnet fleet    [-devices NAME:W,NAME:W,...] [-policy round-robin|least-loaded|cost-aware|ewma]
                  [-requests N] [-rate R] [-poisson] [-deadline D] [-max-inflight N]
-                 [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
+                 [-autoscale [-autoscale-min N] [-autoscale-max N] [-autoscale-interval D]]
+                 [-pace S] [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
   tbnet scenario [-devices NAME:W,...] [-policy ...] [-deadline D] [-max-inflight N]
                  [-spec name:pattern:rate:dur[:peak[:period]],...] [-trace FILE]
                  [-models NAME=FILE,... | -models NAME,... -registry DIR]
+                 [-autoscale [-autoscale-min N] [-autoscale-max N] [-autoscale-interval D]]
+                 [-pace S] [-sweep W,W,...]     # static-vs-autoscale comparison
                  [-target URL [-api-key KEY]]   # client mode: load-test a running tbnetd over HTTP
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
   tbnet info     # list the registered hardware backends`)

@@ -132,6 +132,10 @@ func TestFleetFlagValidation(t *testing.T) {
 		{"fleet", "-devices", "rpi3:0"},
 		{"fleet", "-policy", "darts"},
 		{"fleet", "-scale", "galactic"},
+		{"fleet", "-pace", "-1"},
+		{"fleet", "-autoscale", "-autoscale-min", "0"},
+		{"fleet", "-autoscale", "-autoscale-min", "4", "-autoscale-max", "2"},
+		{"fleet", "-autoscale", "-autoscale-interval", "0s"},
 		{"fleet", "-bogus"},
 	}
 	for _, args := range cases {
@@ -179,6 +183,101 @@ func TestFleetCommandEndToEnd(t *testing.T) {
 	}
 	if st.P99Micros <= 0 {
 		t.Fatalf("p99 = %g, want > 0", st.P99Micros)
+	}
+}
+
+// TestFleetAutoscaleEndToEnd runs the fleet command with the elastic
+// controller on: the JSON artifact keeps the flat fleet snapshot and gains a
+// nested autoscale object echoing the controller's counters and bounds.
+// Gated behind -short because it trains a (small) pipeline.
+func TestFleetAutoscaleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping pipeline-backed fleet run in short mode")
+	}
+	code, stdout, stderr := runCLI(t,
+		"fleet", "-arch", "tiny-vgg", "-scale", "micro",
+		"-devices", "rpi3:1", "-policy", "ewma", "-pace", "4",
+		"-requests", "48", "-rate", "3000",
+		"-autoscale", "-autoscale-min", "1", "-autoscale-max", "4",
+		"-autoscale-interval", "10ms", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var st struct {
+		Policy    string `json:"policy"`
+		Requests  int64  `json:"requests"`
+		Shed      int64  `json:"shed"`
+		Autoscale struct {
+			Ticks   int64 `json:"ticks"`
+			Workers int   `json:"workers"`
+			Min     int   `json:"min"`
+			Max     int   `json:"max"`
+		} `json:"autoscale"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &st); err != nil {
+		t.Fatalf("fleet -autoscale -json output not parseable: %v\n%s", err, stdout)
+	}
+	if st.Requests+st.Shed < 48 {
+		t.Fatalf("request accounting wrong: %+v", st)
+	}
+	if st.Autoscale.Ticks == 0 {
+		t.Fatalf("controller never ticked: %+v", st)
+	}
+	if st.Autoscale.Min != 1 || st.Autoscale.Max != 4 {
+		t.Fatalf("configured bounds not echoed: %+v", st)
+	}
+}
+
+// TestScenarioSweepEndToEnd drives the same bursty workload through the
+// autoscaled fleet and two static widths and checks the comparison artifact
+// (the BENCH_autoscale.json CI trajectory): one point per configuration,
+// latency and worker-seconds populated. Gated behind -short because it trains
+// a (small) pipeline and runs three serving legs.
+func TestScenarioSweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping pipeline-backed scenario sweep in short mode")
+	}
+	code, stdout, stderr := runCLI(t,
+		"scenario", "-arch", "tiny-vgg", "-scale", "micro",
+		"-devices", "rpi3:1", "-policy", "ewma", "-pace", "2",
+		"-autoscale-min", "1", "-autoscale-max", "4", "-autoscale-interval", "10ms",
+		"-sweep", "1,2",
+		"-spec", "burst:burst:200:500ms:600:250ms",
+		"-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	var out struct {
+		Sweep []struct {
+			Config        string  `json:"config"`
+			Autoscale     bool    `json:"autoscale"`
+			WorstP99Ms    float64 `json:"worst_p99_ms"`
+			WorkerSeconds float64 `json:"worker_seconds"`
+			Offered       int     `json:"offered"`
+			Served        int     `json:"served"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("sweep artifact not parseable: %v\n%s", err, stdout)
+	}
+	if len(out.Sweep) != 3 {
+		t.Fatalf("sweep has %d points, want autoscale + 2 statics:\n%s", len(out.Sweep), stdout)
+	}
+	for i, want := range []string{"autoscale[1,4]", "static-1", "static-2"} {
+		if out.Sweep[i].Config != want {
+			t.Fatalf("point %d config = %q, want %q", i, out.Sweep[i].Config, want)
+		}
+	}
+	if !out.Sweep[0].Autoscale || out.Sweep[1].Autoscale || out.Sweep[2].Autoscale {
+		t.Fatalf("autoscale attribution wrong: %+v", out.Sweep)
+	}
+	for _, p := range out.Sweep {
+		if p.Offered == 0 || p.Served == 0 {
+			t.Fatalf("leg %s served nothing: %+v", p.Config, p)
+		}
+		if p.WorstP99Ms <= 0 || p.WorkerSeconds <= 0 {
+			t.Fatalf("leg %s lacks latency/cost figures: %+v", p.Config, p)
+		}
 	}
 }
 

@@ -173,7 +173,7 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	c := addCommonFlags(fs)
 	devices := fs.String("devices", "rpi3:2,sgx-desktop:2,jetson-tz:2",
 		"attached devices as name:workers pairs")
-	policyName := fs.String("policy", "cost-aware", "routing policy: round-robin, least-loaded, cost-aware")
+	policyName := fs.String("policy", "cost-aware", "routing policy: round-robin, least-loaded, cost-aware, ewma")
 	deadline := fs.Duration("deadline", 0, "per-request deadline (0 = none); overdue requests are shed")
 	maxInFlight := fs.Int("max-inflight", 0, "fleet-wide in-flight cap (0 = capacity-weighted default)")
 	models := fs.String("models", "", "serve saved models: name=artifact.tbd or registry names (comma-separated)")
@@ -182,11 +182,35 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	traceFile := fs.String("trace", "", "replay an arrival trace file instead of -spec")
 	target := fs.String("target", "", "drive a running tbnetd daemon at this base URL over HTTP (client mode)")
 	apiKey := fs.String("api-key", "", "API key sent to a -target daemon with auth enabled")
+	auto := fs.Bool("autoscale", false, "run the elastic autoscaler over the fleet")
+	autoMin := fs.Int("autoscale-min", 1, "autoscaler per-node worker floor")
+	autoMax := fs.Int("autoscale-max", 8, "autoscaler per-node worker ceiling")
+	autoInterval := fs.Duration("autoscale-interval", 50*time.Millisecond, "autoscaler control-loop period")
+	pace := fs.Float64("pace", 0, "pace workers at modeled-latency × this factor (0 = off)")
+	sweepList := fs.String("sweep", "", "also run the same workload at these static widths (comma-separated worker counts) and compare; implies -autoscale")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *deadline < 0 || *maxInFlight < 0 {
-		fmt.Fprintf(stderr, "invalid scenario flags: deadline %v, max-inflight %d\n", *deadline, *maxInFlight)
+	if *deadline < 0 || *maxInFlight < 0 || *pace < 0 {
+		fmt.Fprintf(stderr, "invalid scenario flags: deadline %v, max-inflight %d, pace %g\n",
+			*deadline, *maxInFlight, *pace)
+		return 2
+	}
+	sweep, err := parseSweepWidths(*sweepList)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(sweep) > 0 {
+		*auto = true
+	}
+	if *auto && (*autoMin < 1 || *autoMax < *autoMin || *autoInterval <= 0) {
+		fmt.Fprintf(stderr, "invalid autoscale flags: min %d, max %d, interval %v\n",
+			*autoMin, *autoMax, *autoInterval)
+		return 2
+	}
+	if *target != "" && *auto {
+		fmt.Fprintln(stderr, "-autoscale/-sweep drive a local fleet; with -target the daemon owns its scaling")
 		return 2
 	}
 
@@ -206,22 +230,27 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	fleetOpts, err := parseFleetDevices(*devices)
+	specs, err := parseDeviceSpecs(*devices)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	policy, err := fleetPolicy(*policyName)
+	policyOpt, err := fleetPolicy(*policyName)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	fleetOpts = append(fleetOpts, tbnet.WithPolicy(policy))
+	// baseOpts is every leg's shared configuration; the per-leg device widths
+	// (and the autoscaled leg's controller) are appended when fleets build.
+	baseOpts := []tbnet.FleetOption{policyOpt}
 	if *deadline > 0 {
-		fleetOpts = append(fleetOpts, tbnet.WithDeadline(*deadline))
+		baseOpts = append(baseOpts, tbnet.WithDeadline(*deadline))
 	}
 	if *maxInFlight > 0 {
-		fleetOpts = append(fleetOpts, tbnet.WithMaxInFlight(*maxInFlight))
+		baseOpts = append(baseOpts, tbnet.WithMaxInFlight(*maxInFlight))
+	}
+	if *pace > 0 {
+		baseOpts = append(baseOpts, tbnet.WithPace(*pace))
 	}
 
 	// Parse the workload shape first — a typo in the spec or a missing trace
@@ -328,7 +357,54 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	}
 
 	for _, m := range deps[1:] {
-		fleetOpts = append(fleetOpts, tbnet.WithModel(m.name, m.dep))
+		baseOpts = append(baseOpts, tbnet.WithModel(m.name, m.dep))
+	}
+	autoOpts := []tbnet.FleetOption{
+		tbnet.WithAutoscale(*autoMin, *autoMax),
+		tbnet.WithAutoscaleInterval(*autoInterval),
+	}
+	runSpec := scenario.Spec{Name: deps[0].name, Seed: c.seed, Phases: phases}
+
+	// Sweep mode: the autoscaled fleet and each static width face the same
+	// workload back to back, one fleet at a time so the legs never contend
+	// for the host.
+	if len(sweep) > 0 {
+		var points []report.AutoscalePoint
+		legs := []scenarioLeg{{
+			label: fmt.Sprintf("autoscale[%d,%d]", *autoMin, *autoMax),
+			opts:  append(append(deviceOpts(specs, 0), baseOpts...), autoOpts...),
+			auto:  true,
+		}}
+		for _, w := range sweep {
+			legs = append(legs, scenarioLeg{
+				label: fmt.Sprintf("static-%d", w),
+				opts:  append(deviceOpts(specs, w), baseOpts...),
+			})
+		}
+		for _, leg := range legs {
+			fmt.Fprintf(stderr, "driving %d phase(s) over %q routing, %s...\n",
+				len(phases), *policyName, leg.label)
+			p, err := runScenarioLeg(leg, deps[0].dep, runSpec, sample)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			points = append(points, p)
+		}
+		if c.jsonOut {
+			if err := report.RenderAutoscaleJSON(stdout, points); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			return 0
+		}
+		report.AutoscaleSweepTable(points).Render(stdout)
+		return 0
+	}
+
+	fleetOpts := append(deviceOpts(specs, 0), baseOpts...)
+	if *auto {
+		fleetOpts = append(fleetOpts, autoOpts...)
 	}
 	f, err := tbnet.NewFleet(deps[0].dep, fleetOpts...)
 	if err != nil {
@@ -339,21 +415,28 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stderr, "driving %d phase(s) over %q routing (default model: %s)...\n",
 		len(phases), *policyName, deps[0].name)
-	res, err := scenario.Run(context.Background(),
-		f, scenario.Spec{Name: deps[0].name, Seed: c.seed, Phases: phases}, sample)
+	res, err := scenario.Run(context.Background(), f, runSpec, sample)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	st := f.Stats()
+	ctl := tbnet.FleetAutoscaler(f)
 
 	if c.jsonOut {
 		// One artifact object: the scenario's per-phase client-side figures
-		// plus the fleet's own server-side snapshot.
+		// plus the fleet's own server-side snapshot — and, when the
+		// controller ran, its counters.
+		var ast *tbnet.AutoscaleStats
+		if ctl != nil {
+			s := ctl.Stats()
+			ast = &s
+		}
 		if err := json.NewEncoder(stdout).Encode(struct {
-			Scenario *scenario.Result `json:"scenario"`
-			Fleet    fleet.Stats      `json:"fleet"`
-		}{res, st}); err != nil {
+			Scenario  *scenario.Result      `json:"scenario"`
+			Fleet     fleet.Stats           `json:"fleet"`
+			Autoscale *tbnet.AutoscaleStats `json:"autoscale,omitempty"`
+		}{res, st, ast}); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
@@ -364,9 +447,78 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 		report.ScenarioModelTable(res).Render(stdout)
 	}
 	report.FleetTable(st).Render(stdout)
+	if ctl != nil {
+		report.AutoscaleTable(ctl.Stats(), f.WorkerSeconds()).Render(stdout)
+		if evs := ctl.Events(); len(evs) > 0 {
+			report.AutoscaleEventTable(evs).Render(stdout)
+		}
+	}
 	fmt.Fprintf(stdout, "offered %d requests: %d served, %d shed, %d failed in %.2fs\n",
 		res.Offered, res.Served, res.Shed, res.Failed, res.WallSeconds)
 	return 0
+}
+
+// scenarioLeg is one configuration in a static-vs-autoscale sweep.
+type scenarioLeg struct {
+	label string
+	opts  []tbnet.FleetOption
+	auto  bool
+}
+
+// parseSweepWidths parses the -sweep flag: comma-separated static pool
+// widths, each at least 1.
+func parseSweepWidths(list string) ([]int, error) {
+	var widths []int
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		w, err := strconv.Atoi(s)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("sweep width %q: want an integer >= 1", s)
+		}
+		widths = append(widths, w)
+	}
+	if list != "" && len(widths) == 0 {
+		return nil, fmt.Errorf("empty -sweep list")
+	}
+	return widths, nil
+}
+
+// runScenarioLeg builds one fleet, drives it through the shared workload, and
+// condenses the outcome into a sweep point: the worst phase p99 the clients
+// saw against the worker-seconds the fleet paid for.
+func runScenarioLeg(leg scenarioLeg, dep *tbnet.Deployment, spec scenario.Spec,
+	sample func(int) *tbnet.Tensor) (report.AutoscalePoint, error) {
+	f, err := tbnet.NewFleet(dep, leg.opts...)
+	if err != nil {
+		return report.AutoscalePoint{}, fmt.Errorf("%s: %w", leg.label, err)
+	}
+	defer f.Close()
+	res, err := scenario.Run(context.Background(), f, spec, sample)
+	if err != nil {
+		return report.AutoscalePoint{}, fmt.Errorf("%s: %w", leg.label, err)
+	}
+	p := report.AutoscalePoint{
+		Config:        leg.label,
+		Autoscale:     leg.auto,
+		WorkerSeconds: f.WorkerSeconds(),
+		Offered:       res.Offered,
+		Served:        res.Served,
+		Shed:          res.Shed,
+		Failed:        res.Failed,
+	}
+	for _, ph := range res.Phases {
+		if ph.P99Ms > p.WorstP99Ms {
+			p.WorstP99Ms = ph.P99Ms
+		}
+	}
+	if ctl := tbnet.FleetAutoscaler(f); ctl != nil {
+		st := ctl.Stats()
+		p.ScaleUps, p.ScaleDowns, p.Refused = st.ScaleUps, st.ScaleDowns, st.Refused
+	}
+	return p, nil
 }
 
 // sameShape reports whether two sample shapes match exactly.

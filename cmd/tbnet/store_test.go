@@ -41,6 +41,16 @@ func TestScenarioFlagValidation(t *testing.T) {
 		{"scenario", "-target", "localhost:8080"},                           // scheme-less
 		{"scenario", "-target", "http://"},                                  // no host
 		{"scenario", "-target", "http://127.0.0.1:1", "-models", "m=x.tbd"}, // conflicting modes
+		// Autoscale and sweep misconfigurations fail before any model builds.
+		{"scenario", "-pace", "-0.5"},
+		{"scenario", "-sweep", "0"},
+		{"scenario", "-sweep", "two"},
+		{"scenario", "-sweep", " , "},
+		{"scenario", "-autoscale", "-autoscale-min", "0"},
+		{"scenario", "-autoscale", "-autoscale-min", "4", "-autoscale-max", "2"},
+		{"scenario", "-autoscale", "-autoscale-interval", "-1ms"},
+		{"scenario", "-target", "http://127.0.0.1:1", "-autoscale"}, // the daemon owns its scaling
+		{"scenario", "-target", "http://127.0.0.1:1", "-sweep", "2"},
 	}
 	for _, args := range cases {
 		if code, _, _ := runCLI(t, args...); code != 2 {

@@ -10,6 +10,13 @@
 //	tbnetd -demo -addr :8080
 //	tbnetd -models edge=vgg.tbd,big=resnet.tbd -devices rpi3:2,sgx-desktop:4 \
 //	       -policy cost-aware -deadline 50ms -api-keys secret=tenant-a -rate 200
+//	tbnetd -demo -policy ewma -autoscale -autoscale-min 1 -autoscale-max 8
+//
+// With -autoscale the fleet runs elastically: a closed-loop controller widens
+// and narrows every node's worker pool between -autoscale-min and
+// -autoscale-max from live load signals, each scaling event is logged, and
+// the controller's counters are exported on /metrics
+// (tbnet_autoscale_*).
 //
 // The bound address is printed on stderr and, with -addr-file, written to a
 // file — so harnesses can start the daemon on ":0" and discover the port.
@@ -126,9 +133,13 @@ func run(args []string, stderr io.Writer) int {
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
 	devices := fs.String("devices", "rpi3:2,sgx-desktop:2",
 		"attached devices as name:workers pairs")
-	policyName := fs.String("policy", "cost-aware", "routing policy: round-robin, least-loaded, cost-aware")
+	policyName := fs.String("policy", "cost-aware", "routing policy: round-robin, least-loaded, cost-aware, ewma")
 	deadline := fs.Duration("deadline", 0, "per-request fleet deadline (0 = none); overdue requests are shed")
 	maxInFlight := fs.Int("max-inflight", 0, "fleet-wide in-flight cap (0 = capacity-weighted default)")
+	auto := fs.Bool("autoscale", false, "run the elastic autoscaler over the fleet")
+	autoMin := fs.Int("autoscale-min", 1, "autoscaler per-node worker floor")
+	autoMax := fs.Int("autoscale-max", 8, "autoscaler per-node worker ceiling")
+	autoInterval := fs.Duration("autoscale-interval", 250*time.Millisecond, "autoscaler control-loop period")
 	models := fs.String("models", "", "serve saved models: name=artifact.tbd or registry names (comma-separated)")
 	regDir := fs.String("registry", "", "model registry directory (lists on /v1/models, resolves ?from= swaps)")
 	demo := fs.Bool("demo", false, "serve a small untrained demo model (no artifacts needed)")
@@ -150,9 +161,14 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	policy, err := fleetPolicy(*policyName)
+	policyOpt, err := fleetPolicy(*policyName)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *auto && (*autoMin < 1 || *autoMax < *autoMin || *autoInterval <= 0) {
+		fmt.Fprintf(stderr, "invalid autoscale flags: min %d, max %d, interval %v\n",
+			*autoMin, *autoMax, *autoInterval)
 		return 2
 	}
 	keys, err := parseAPIKeys(*apiKeys)
@@ -179,12 +195,23 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 
-	fleetOpts = append(fleetOpts, tbnet.WithPolicy(policy))
+	fleetOpts = append(fleetOpts, policyOpt)
 	if *deadline > 0 {
 		fleetOpts = append(fleetOpts, tbnet.WithDeadline(*deadline))
 	}
 	if *maxInFlight > 0 {
 		fleetOpts = append(fleetOpts, tbnet.WithMaxInFlight(*maxInFlight))
+	}
+	if *auto {
+		fleetOpts = append(fleetOpts,
+			tbnet.WithAutoscale(*autoMin, *autoMax),
+			tbnet.WithAutoscaleInterval(*autoInterval),
+			// Scaling events go to the operator log as they happen; the
+			// counters live on /metrics.
+			tbnet.WithAutoscaleLogger(func(ev tbnet.AutoscaleEvent) {
+				log.Info("autoscale", "action", string(ev.Action), "node", ev.Node,
+					"from", ev.From, "to", ev.To, "workers", ev.TotalWorkers, "reason", ev.Reason)
+			}))
 	}
 	for i, name := range names[1:] {
 		fleetOpts = append(fleetOpts, tbnet.WithModel(name, deps[i+1]))
@@ -297,15 +324,19 @@ func parseFleetDevices(list string) ([]tbnet.FleetOption, error) {
 	return opts, nil
 }
 
-// fleetPolicy maps the -policy flag onto the built-in routing policies.
-func fleetPolicy(name string) (tbnet.RoutingPolicy, error) {
+// fleetPolicy maps the -policy flag onto a fleet option: one of the built-in
+// routing policies, or "ewma", which also installs the online latency
+// estimator the adaptive policy learns from.
+func fleetPolicy(name string) (tbnet.FleetOption, error) {
 	switch name {
 	case "round-robin":
-		return tbnet.RoundRobin(), nil
+		return tbnet.WithPolicy(tbnet.RoundRobin()), nil
 	case "least-loaded":
-		return tbnet.LeastLoaded(), nil
+		return tbnet.WithPolicy(tbnet.LeastLoaded()), nil
 	case "cost-aware":
-		return tbnet.CostAware(), nil
+		return tbnet.WithPolicy(tbnet.CostAware()), nil
+	case "ewma":
+		return tbnet.WithEWMARouting(0), nil
 	}
-	return nil, fmt.Errorf("unknown policy %q (want round-robin, least-loaded, or cost-aware)", name)
+	return nil, fmt.Errorf("unknown policy %q (want round-robin, least-loaded, cost-aware, or ewma)", name)
 }

@@ -164,6 +164,49 @@ func TestDaemonServesDemoModel(t *testing.T) {
 	}
 }
 
+// TestDaemonAutoscaleMetrics: a daemon started with -policy ewma -autoscale
+// reports the live controller and the learned latency estimates on /metrics.
+func TestDaemonAutoscaleMetrics(t *testing.T) {
+	base, code := startTestDaemon(t,
+		"-policy", "ewma", "-autoscale", "-autoscale-min", "1",
+		"-autoscale-max", "4", "-autoscale-interval", "25ms")
+
+	resp, err := http.Post(base+"/v1/infer", "application/json", bytes.NewReader(demoInput(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/infer = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(b)
+	for _, want := range []string{
+		"tbnet_autoscale_running 1",
+		"tbnet_autoscale_workers_max 4",
+		"tbnet_autoscale_ticks_total",
+		"tbnet_ewma_latency_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics scrape lacks %q:\n%s", want, body)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if c := <-code; c != 0 {
+		t.Fatalf("exit code = %d", c)
+	}
+}
+
 // TestRunFlagValidation: every cheap misconfiguration fails fast with a
 // usage error before any model is built or port bound.
 func TestRunFlagValidation(t *testing.T) {
@@ -173,6 +216,9 @@ func TestRunFlagValidation(t *testing.T) {
 		{"-demo", "-devices", "rpi3:0"},      // bad worker count
 		{"-demo", "-policy", "psychic"},      // unknown policy
 		{"-demo", "-api-keys", "keyonly"},    // malformed key spec
+		{"-demo", "-autoscale", "-autoscale-min", "0"},                        // floor below 1
+		{"-demo", "-autoscale", "-autoscale-min", "4", "-autoscale-max", "2"}, // inverted bounds
+		{"-demo", "-autoscale", "-autoscale-interval", "0s"},                  // dead control loop
 	}
 	for i, args := range cases {
 		if code := run(args, io.Discard); code != 2 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"tbnet/internal/autoscale"
 	"tbnet/internal/fleet"
 	"tbnet/internal/tee"
 )
@@ -56,18 +57,59 @@ func LeastLoaded() RoutingPolicy { return fleet.LeastLoaded() }
 // CostAware returns the device-cost-aware policy: devices are scored by
 // their modeled single-sample latency scaled by current backlog, so fast
 // backends absorb traffic and slow edge boards only see requests once the
-// fast ones are saturated.
+// fast ones are saturated. In a fleet built with WithEWMARouting (or any
+// fleet carrying a latency estimator) the scores use the online learned
+// latencies instead of the construction-time probes, so the policy adapts
+// when a device degrades after deployment.
 func CostAware() RoutingPolicy { return fleet.CostAware() }
 
-// FleetOption configures a Fleet.
-type FleetOption func(*fleet.Config) error
+// EWMARouting returns the adaptive routing policy: nodes are scored by their
+// exponentially-weighted observed service latency times outstanding work.
+// Pair it with WithEWMARouting, which also installs the online estimator the
+// policy learns from.
+func EWMARouting() RoutingPolicy { return fleet.EWMA() }
+
+// Autoscaler is the elastic capacity controller a fleet built with
+// WithAutoscale runs: a closed control loop that widens and narrows each
+// node's worker pool from live load signals, always inside the device's
+// secure-memory budget. Retrieve a fleet's controller with FleetAutoscaler.
+type Autoscaler = autoscale.Controller
+
+// AutoscaleStats is a point-in-time snapshot of an Autoscaler's counters and
+// recent scaling events.
+type AutoscaleStats = autoscale.Stats
+
+// AutoscaleEvent is one scaling decision an Autoscaler actuated (or had
+// refused by a device's secure-memory budget).
+type AutoscaleEvent = autoscale.Event
+
+// fleetOptions collects everything FleetOption can configure: the fleet's
+// own config plus the optional autoscale controller riding on it.
+type fleetOptions struct {
+	cfg  fleet.Config
+	auto *autoscale.Config
+}
+
+// autoOpts returns the autoscale config, allocating it on first use so any
+// autoscale-flavoured option implies the controller.
+func (o *fleetOptions) autoOpts() *autoscale.Config {
+	if o.auto == nil {
+		o.auto = &autoscale.Config{}
+	}
+	return o.auto
+}
+
+// FleetOption configures a Fleet built by NewFleet — its devices, models,
+// routing, admission control, and optionally the autoscale controller that
+// runs it elastically.
+type FleetOption func(*fleetOptions) error
 
 // WithDevice attaches a registered hardware backend to the fleet with a
 // replica pool of the given width. Repeat it to build a mixed fleet
 // (attaching the same device name twice creates two distinct nodes, reported
 // as "name" and "name#2"). Unknown names fail with ErrBadOption.
 func WithDevice(name string, workers int) FleetOption {
-	return func(c *fleet.Config) error {
+	return func(o *fleetOptions) error {
 		d, err := tee.ByName(name)
 		if err != nil {
 			return fmt.Errorf("%w: %w", ErrBadOption, err)
@@ -75,7 +117,7 @@ func WithDevice(name string, workers int) FleetOption {
 		if workers < 1 {
 			return fmt.Errorf("%w: device %q workers %d < 1", ErrBadOption, name, workers)
 		}
-		c.Nodes = append(c.Nodes, fleet.NodeConfig{Device: d, Workers: workers})
+		o.cfg.Nodes = append(o.cfg.Nodes, fleet.NodeConfig{Device: d, Workers: workers})
 		return nil
 	}
 }
@@ -87,25 +129,25 @@ func WithDevice(name string, workers int) FleetOption {
 // address it through Fleet.InferModel and its replicas hot-swap through
 // Fleet.SwapModel. Names must be unique and non-empty.
 func WithModel(name string, dep *Deployment) FleetOption {
-	return func(c *fleet.Config) error {
+	return func(o *fleetOptions) error {
 		if name == "" {
 			return fmt.Errorf("%w: empty model name", ErrBadOption)
 		}
 		if dep == nil {
 			return fmt.Errorf("%w: model %q has a nil deployment", ErrBadOption, name)
 		}
-		c.Models = append(c.Models, fleet.NamedModel{Name: name, Dep: dep})
+		o.cfg.Models = append(o.cfg.Models, fleet.NamedModel{Name: name, Dep: dep})
 		return nil
 	}
 }
 
 // WithPolicy sets the routing policy (default RoundRobin()).
 func WithPolicy(p RoutingPolicy) FleetOption {
-	return func(c *fleet.Config) error {
+	return func(o *fleetOptions) error {
 		if p == nil {
 			return fmt.Errorf("%w: nil routing policy", ErrBadOption)
 		}
-		c.Policy = p
+		o.cfg.Policy = p
 		return nil
 	}
 }
@@ -114,11 +156,11 @@ func WithPolicy(p RoutingPolicy) FleetOption {
 // included: a request not answered within d is shed with ErrOverloaded
 // instead of queueing past its deadline.
 func WithDeadline(d time.Duration) FleetOption {
-	return func(c *fleet.Config) error {
+	return func(o *fleetOptions) error {
 		if d <= 0 {
 			return fmt.Errorf("%w: deadline %v must be positive", ErrBadOption, d)
 		}
-		c.Deadline = d
+		o.cfg.Deadline = d
 		return nil
 	}
 }
@@ -127,13 +169,167 @@ func WithDeadline(d time.Duration) FleetOption {
 // requests; admission beyond the cap sheds with ErrOverloaded. The default
 // is capacity-weighted: four full batch waves per replica across the fleet.
 func WithMaxInFlight(n int) FleetOption {
-	return func(c *fleet.Config) error {
+	return func(o *fleetOptions) error {
 		if n < 1 {
 			return fmt.Errorf("%w: max in-flight %d < 1", ErrBadOption, n)
 		}
-		c.MaxInFlight = n
+		o.cfg.MaxInFlight = n
 		return nil
 	}
+}
+
+// WithFleetQueueDepth bounds every node's per-model request queue;
+// submissions past the bound block until the pool catches up. The default is
+// four full batch waves per worker. (WithQueueDepth is the single-server
+// ServeOption of the same knob.)
+func WithFleetQueueDepth(n int) FleetOption {
+	return func(o *fleetOptions) error {
+		if n < 1 {
+			return fmt.Errorf("%w: queue depth %d < 1", ErrBadOption, n)
+		}
+		o.cfg.QueueDepth = n
+		return nil
+	}
+}
+
+// WithPace paces every node's workers in real time: each batch's modeled
+// device latency, scaled by this factor, is spent as wall-clock service time
+// before the batch's responses are released. Pacing turns the modeled device
+// cost into real elapsed time, so fleet capacity scales with worker count on
+// any host — the knob that makes autoscaling observable (and honest) on a
+// machine that could otherwise serve the whole workload on one core.
+func WithPace(scale float64) FleetOption {
+	return func(o *fleetOptions) error {
+		if scale < 0 {
+			return fmt.Errorf("%w: pace scale %g < 0", ErrBadOption, scale)
+		}
+		o.cfg.PaceScale = scale
+		return nil
+	}
+}
+
+// WithEWMARouting routes with the adaptive EWMA policy and installs the
+// online latency estimator it learns from: every served request folds its
+// realized per-sample service time into a per-(model, device) moving
+// average, and routing scores devices by what they are doing now instead of
+// what the construction-time probes promised. alpha is the smoothing factor
+// in (0,1]; 0 selects the default (0.2).
+func WithEWMARouting(alpha float64) FleetOption {
+	return func(o *fleetOptions) error {
+		if alpha < 0 || alpha > 1 {
+			return fmt.Errorf("%w: EWMA alpha %g outside [0,1]", ErrBadOption, alpha)
+		}
+		o.cfg.Estimator = fleet.NewEstimator(alpha)
+		o.cfg.Policy = fleet.EWMA()
+		return nil
+	}
+}
+
+// WithEstimator installs the online latency estimator without changing the
+// routing policy: CostAware (and any custom policy reading
+// NodeLoad.SampleLatency) then scores with learned latencies, and the
+// autoscale controller prices capacity per node with them. alpha as in
+// WithEWMARouting.
+func WithEstimator(alpha float64) FleetOption {
+	return func(o *fleetOptions) error {
+		if alpha < 0 || alpha > 1 {
+			return fmt.Errorf("%w: estimator alpha %g outside [0,1]", ErrBadOption, alpha)
+		}
+		o.cfg.Estimator = fleet.NewEstimator(alpha)
+		return nil
+	}
+}
+
+// WithAutoscale runs the fleet elastically: a closed-loop controller widens
+// and narrows every node's worker pool between min and max from live load
+// signals (queue depth, in-flight work, shed counters), scaling up
+// immediately under pressure — at most doubling per tick, and never past a
+// device's secure-memory budget — and down only after a sustained quiet
+// stretch. The controller starts with the fleet and is stopped by the
+// fleet's Close/Drain; retrieve it with FleetAutoscaler.
+func WithAutoscale(min, max int) FleetOption {
+	return func(o *fleetOptions) error {
+		if min < 1 || max < min {
+			return fmt.Errorf("%w: autoscale bounds [%d, %d]", ErrBadOption, min, max)
+		}
+		a := o.autoOpts()
+		a.Min, a.Max = min, max
+		return nil
+	}
+}
+
+// WithAutoscaleInterval sets the controller's tick period (default 250ms).
+// Shorter intervals track load faster at the cost of more frequent warm
+// windows.
+func WithAutoscaleInterval(d time.Duration) FleetOption {
+	return func(o *fleetOptions) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: autoscale interval %v must be positive", ErrBadOption, d)
+		}
+		o.autoOpts().Interval = d
+		return nil
+	}
+}
+
+// WithAutoscaleTuning adjusts the controller's decision rule: targetBacklog
+// is the outstanding work tolerated per worker before scaling up (default
+// 1.5), scaleDownAfter the consecutive quiet ticks required before narrowing
+// (default 3), and cooldown the minimum spacing between two actions on one
+// node (default none).
+func WithAutoscaleTuning(targetBacklog float64, scaleDownAfter int, cooldown time.Duration) FleetOption {
+	return func(o *fleetOptions) error {
+		if targetBacklog <= 0 {
+			return fmt.Errorf("%w: target backlog %g must be positive", ErrBadOption, targetBacklog)
+		}
+		if scaleDownAfter < 1 {
+			return fmt.Errorf("%w: scale-down-after %d < 1", ErrBadOption, scaleDownAfter)
+		}
+		if cooldown < 0 {
+			return fmt.Errorf("%w: negative cooldown %v", ErrBadOption, cooldown)
+		}
+		a := o.autoOpts()
+		a.TargetBacklog, a.ScaleDownAfter, a.Cooldown = targetBacklog, scaleDownAfter, cooldown
+		return nil
+	}
+}
+
+// WithSpareDevice hands the autoscale controller a whole spare device it may
+// attach to the fleet when every live node is already at the scaling ceiling
+// and pressure persists, and detach again once the fleet goes idle. Unknown
+// names fail with ErrBadOption.
+func WithSpareDevice(name string) FleetOption {
+	return func(o *fleetOptions) error {
+		d, err := tee.ByName(name)
+		if err != nil {
+			return fmt.Errorf("%w: %w", ErrBadOption, err)
+		}
+		a := o.autoOpts()
+		a.Spares = append(a.Spares, d)
+		return nil
+	}
+}
+
+// WithAutoscaleLogger tees every scaling event to fn as it happens — the
+// network daemon's log hook. fn is called from the control loop and must not
+// block.
+func WithAutoscaleLogger(fn func(AutoscaleEvent)) FleetOption {
+	return func(o *fleetOptions) error {
+		if fn == nil {
+			return fmt.Errorf("%w: nil autoscale logger", ErrBadOption)
+		}
+		o.autoOpts().Logger = fn
+		return nil
+	}
+}
+
+// FleetAutoscaler returns the elastic controller of a fleet built with
+// WithAutoscale, or nil for a statically provisioned fleet.
+func FleetAutoscaler(f *Fleet) *Autoscaler {
+	if f == nil {
+		return nil
+	}
+	c, _ := f.Controller().(*Autoscaler)
+	return c
 }
 
 // NewFleet starts a heterogeneous serving fleet over a deployed model. The
@@ -152,25 +348,38 @@ func WithMaxInFlight(n int) FleetOption {
 //	...
 //	label, err := f.Infer(ctx, x)
 //	st := f.Stats() // per-device + fleet-wide throughput, p50/p95/p99, shed
+//
+// With WithAutoscale the fleet runs elastically: the returned fleet carries
+// a live controller (FleetAutoscaler) that resizes its nodes from load, and
+// Close/Drain stop the controller before tearing the fleet down.
 func NewFleet(dep *Deployment, opts ...FleetOption) (*Fleet, error) {
 	if dep == nil {
 		return nil, fmt.Errorf("%w: nil deployment", ErrBadOption)
 	}
-	var cfg fleet.Config
+	var o fleetOptions
 	for _, opt := range opts {
-		if err := opt(&cfg); err != nil {
+		if err := opt(&o); err != nil {
 			return nil, err
 		}
 	}
-	if len(cfg.Nodes) == 0 {
-		cfg.Nodes = []fleet.NodeConfig{{Device: dep.Device, Workers: 2}}
+	if len(o.cfg.Nodes) == 0 {
+		o.cfg.Nodes = []fleet.NodeConfig{{Device: dep.Device, Workers: 2}}
 	}
-	f, err := fleet.New(dep, cfg)
+	f, err := fleet.New(dep, o.cfg)
 	if err != nil {
 		if errors.Is(err, fleet.ErrConfig) {
 			return nil, fmt.Errorf("%w: %w", ErrBadOption, err)
 		}
 		return nil, err
+	}
+	if o.auto != nil {
+		ctl, err := autoscale.New(f, *o.auto)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: %w", ErrBadOption, err)
+		}
+		f.BindController(ctl)
+		ctl.Start()
 	}
 	return f, nil
 }

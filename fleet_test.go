@@ -119,3 +119,119 @@ func TestFleetShedsThroughFacade(t *testing.T) {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
 	}
 }
+
+// TestNewFleetAutoscale: WithAutoscale returns a fleet carrying a live
+// controller, FleetAutoscaler retrieves it, scaling events reach the
+// configured logger, and Close stops the loop.
+func TestNewFleetAutoscale(t *testing.T) {
+	dep := tinyDeployment(t)
+	events := make(chan AutoscaleEvent, 64)
+	f, err := NewFleet(dep,
+		WithDevice("rpi3", 1),
+		WithAutoscale(1, 4),
+		WithAutoscaleInterval(2*time.Millisecond),
+		WithAutoscaleTuning(1.0, 2, 0),
+		WithAutoscaleLogger(func(ev AutoscaleEvent) {
+			select {
+			case events <- ev:
+			default:
+			}
+		}),
+		WithPace(50),
+		WithMaxInFlight(1024),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ctl := FleetAutoscaler(f)
+	if ctl == nil {
+		t.Fatal("FleetAutoscaler returned nil for an autoscaled fleet")
+	}
+	st := ctl.Stats()
+	if !st.Running || st.Min != 1 || st.Max != 4 {
+		t.Fatalf("controller stats = %+v, want running with bounds [1,4]", st)
+	}
+	// Park a paced burst so the loop has pressure to react to.
+	x := NewTensor(1, 3, 16, 16)
+	NewRNG(5).FillNormal(x, 0, 1)
+	done := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		go func() { f.Infer(context.Background(), x); done <- struct{}{} }()
+	}
+	select {
+	case ev := <-events:
+		if ev.Node == "" || ev.To < 1 || ev.TotalWorkers < 1 {
+			t.Fatalf("malformed scaling event %+v", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("controller never scaled under a parked burst")
+	}
+	for i := 0; i < 16; i++ {
+		<-done
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Stats().Running {
+		t.Fatal("controller still running after fleet Close")
+	}
+}
+
+// TestNewFleetAutoscaleValidation: broken autoscale options surface as
+// ErrBadOption from NewFleet.
+func TestNewFleetAutoscaleValidation(t *testing.T) {
+	dep := tinyDeployment(t)
+	for _, c := range []struct {
+		name string
+		opt  FleetOption
+	}{
+		{"inverted bounds", WithAutoscale(4, 2)},
+		{"zero min", WithAutoscale(0, 2)},
+		{"zero interval", WithAutoscaleInterval(0)},
+		{"zero backlog", WithAutoscaleTuning(0, 2, 0)},
+		{"zero hysteresis", WithAutoscaleTuning(1, 0, 0)},
+		{"negative cooldown", WithAutoscaleTuning(1, 2, -time.Second)},
+		{"unknown spare", WithSpareDevice("abacus")},
+		{"nil logger", WithAutoscaleLogger(nil)},
+		{"negative pace", WithPace(-1)},
+		{"zero fleet queue depth", WithFleetQueueDepth(0)},
+		{"bad ewma alpha", WithEWMARouting(1.5)},
+		{"bad estimator alpha", WithEstimator(-0.5)},
+	} {
+		if _, err := NewFleet(dep, c.opt); !errors.Is(err, ErrBadOption) {
+			t.Fatalf("%s: err = %v, want ErrBadOption", c.name, err)
+		}
+	}
+}
+
+// TestNewFleetEWMARouting: WithEWMARouting selects the adaptive policy and
+// the fleet reports learned estimates after traffic.
+func TestNewFleetEWMARouting(t *testing.T) {
+	dep := tinyDeployment(t)
+	f, err := NewFleet(dep,
+		WithDevice("rpi3", 1),
+		WithDevice("sgx-desktop", 1),
+		WithEWMARouting(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := f.Stats().Policy; got != "ewma" {
+		t.Fatalf("policy = %q, want ewma", got)
+	}
+	x := NewTensor(1, 3, 16, 16)
+	NewRNG(6).FillNormal(x, 0, 1)
+	for i := 0; i < 8; i++ {
+		if _, err := f.Infer(context.Background(), x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if est := f.Estimates(); len(est) == 0 {
+		t.Fatal("no learned estimates after served traffic")
+	}
+	if FleetAutoscaler(f) != nil {
+		t.Fatal("FleetAutoscaler non-nil for a fleet without WithAutoscale")
+	}
+}

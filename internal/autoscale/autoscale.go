@@ -1,0 +1,498 @@
+// Package autoscale is TBNet's elastic capacity controller: a closed control
+// loop that watches a serving fleet's live signals — per-node queue depth and
+// in-flight work, shed counters, and the online latency estimates learned by
+// the fleet's EWMA estimator — and actuates the fleet's live-reconfiguration
+// primitives (ResizeNode, AttachDevice, DetachDevice) to track demand.
+//
+// The loop's contract mirrors the serving layer's elasticity rules rather
+// than fighting them: every scale-up goes through the warm-then-drain
+// generation swap, so widening a pool never drops a request, and a scale-up
+// whose warm window does not fit the device's secure-memory budget is
+// refused by the serve layer and recorded here — the controller never
+// pressures a device past its SecureMemBytes envelope, it only spends the
+// headroom the budget actually has.
+//
+// Decisions are deliberately boring: a per-node worker target proportional
+// to outstanding work, a doubling bound per tick on the way up, hysteresis
+// (several consecutive low ticks) plus at-most-halving on the way down, and
+// a per-node cooldown — the same asymmetric aggressive-up / cautious-down
+// shape production autoscalers converge on, because under-provisioning costs
+// tail latency immediately while over-provisioning costs only worker-seconds.
+package autoscale
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbnet/internal/core"
+	"tbnet/internal/fleet"
+	"tbnet/internal/tee"
+)
+
+// ErrConfig reports an invalid controller configuration.
+var ErrConfig = errors.New("autoscale: invalid configuration")
+
+// Action names one kind of scaling event.
+type Action string
+
+// The event kinds a controller emits.
+const (
+	// ScaleUp widened one node's worker pool.
+	ScaleUp Action = "up"
+	// ScaleDown narrowed one node's worker pool.
+	ScaleDown Action = "down"
+	// Refused records a scale-up the device's secure-memory budget rejected;
+	// the node keeps its old width.
+	Refused Action = "refused"
+	// Attach published a whole spare device into the fleet.
+	Attach Action = "attach"
+	// Detach drained a controller-attached spare device out of the fleet.
+	Detach Action = "detach"
+)
+
+// Event is one scaling decision the controller actuated (or had refused).
+type Event struct {
+	// At is when the decision was made.
+	At time.Time `json:"at"`
+	// Node is the fleet node the decision concerns.
+	Node string `json:"node"`
+	// Action is the decision kind.
+	Action Action `json:"action"`
+	// From is the node's worker count before the decision.
+	From int `json:"from"`
+	// To is the node's worker count after the decision (equal to From for a
+	// refused scale-up; the attempted width is in Reason).
+	To int `json:"to"`
+	// TotalWorkers is the fleet-wide provisioned worker count after the
+	// decision.
+	TotalWorkers int `json:"total_workers"`
+	// Reason is the signal that drove the decision, human-readable.
+	Reason string `json:"reason"`
+}
+
+// Config tunes the control loop. The zero value of any field selects its
+// default.
+type Config struct {
+	// Interval is the control-loop tick period (default 250ms).
+	Interval time.Duration
+	// Min is the per-node worker floor (default 1).
+	Min int
+	// Max is the per-node worker ceiling (default 8).
+	Max int
+	// TargetBacklog is the outstanding work (queued + in service) the
+	// controller tolerates per provisioned worker before it widens the pool
+	// (default 1.5). Lower values buy latency with worker-seconds.
+	TargetBacklog float64
+	// ScaleDownAfter is the number of consecutive below-target ticks required
+	// before a node is narrowed — the hysteresis that keeps a sine-shaped
+	// workload from thrashing the pool (default 3).
+	ScaleDownAfter int
+	// Cooldown is the minimum time between two scaling actions on the same
+	// node (default 0: every tick may act).
+	Cooldown time.Duration
+	// Model names the hosted model whose load signals drive the loop
+	// (default the fleet's default model). Scaling acts on whole nodes, so
+	// one driving model suffices for single-model fleets; multi-model fleets
+	// should drive from their dominant model.
+	Model string
+	// Spares are whole devices the controller may attach when every live
+	// node is already at Max and pressure persists, and detach again (in
+	// reverse order) once the fleet goes idle. Empty means the controller
+	// only resizes the fleet it was given.
+	Spares []tee.Device
+	// SpareWorkers is the pool width a spare is attached with (default Min).
+	SpareWorkers int
+	// Logger, when set, receives every event as it is recorded — the network
+	// daemon's scaling log line hook. It is called from the control loop, so
+	// it must not block.
+	Logger func(Event)
+	// EventBuffer bounds the in-memory event ring (default 256).
+	EventBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval == 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.Min == 0 {
+		c.Min = 1
+	}
+	if c.Max == 0 {
+		c.Max = 8
+	}
+	if c.TargetBacklog == 0 {
+		c.TargetBacklog = 1.5
+	}
+	if c.ScaleDownAfter == 0 {
+		c.ScaleDownAfter = 3
+	}
+	if c.Model == "" {
+		c.Model = fleet.DefaultModel
+	}
+	if c.SpareWorkers == 0 {
+		c.SpareWorkers = c.Min
+	}
+	if c.EventBuffer == 0 {
+		c.EventBuffer = 256
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Interval < 0 {
+		return fmt.Errorf("%w: negative interval %v", ErrConfig, c.Interval)
+	}
+	if c.Min < 1 {
+		return fmt.Errorf("%w: min %d < 1", ErrConfig, c.Min)
+	}
+	if c.Max < c.Min {
+		return fmt.Errorf("%w: max %d < min %d", ErrConfig, c.Max, c.Min)
+	}
+	if c.TargetBacklog < 0 || math.IsNaN(c.TargetBacklog) {
+		return fmt.Errorf("%w: target backlog %g", ErrConfig, c.TargetBacklog)
+	}
+	if c.ScaleDownAfter < 1 {
+		return fmt.Errorf("%w: scale-down-after %d < 1", ErrConfig, c.ScaleDownAfter)
+	}
+	if c.Cooldown < 0 {
+		return fmt.Errorf("%w: negative cooldown %v", ErrConfig, c.Cooldown)
+	}
+	if c.SpareWorkers < 1 || c.SpareWorkers > c.Max {
+		return fmt.Errorf("%w: spare workers %d outside [1, max %d]", ErrConfig, c.SpareWorkers, c.Max)
+	}
+	for i, d := range c.Spares {
+		if d == nil {
+			return fmt.Errorf("%w: spare device %d is nil", ErrConfig, i)
+		}
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the controller's counters.
+type Stats struct {
+	// Running reports whether the control loop is currently live.
+	Running bool `json:"running"`
+	// Ticks is the number of control-loop iterations completed.
+	Ticks int64 `json:"ticks"`
+	// ScaleUps, ScaleDowns count actuated resizes by direction.
+	ScaleUps int64 `json:"scale_ups"`
+	// ScaleDowns is the number of actuated pool narrowings.
+	ScaleDowns int64 `json:"scale_downs"`
+	// Refused is the number of scale-ups rejected by a device's
+	// secure-memory budget.
+	Refused int64 `json:"refused"`
+	// Attaches, Detaches count whole-device topology changes.
+	Attaches int64 `json:"attaches"`
+	// Detaches is the number of controller-attached spares drained back out.
+	Detaches int64 `json:"detaches"`
+	// Workers is the fleet's current provisioned worker total.
+	Workers int `json:"workers"`
+	// Min and Max echo the per-node bounds the loop enforces.
+	Min int `json:"min"`
+	// Max is the configured per-node worker ceiling.
+	Max int `json:"max"`
+	// Events are the most recent scaling events, oldest first.
+	Events []Event `json:"events"`
+}
+
+// Controller runs the closed control loop over one fleet. Create one with
+// New, launch it with Start, and stop it with Stop (idempotent; also invoked
+// by the fleet's own Close/Drain when bound via fleet.BindController). All
+// methods are safe for concurrent use.
+type Controller struct {
+	cfg Config
+	f   *fleet.Fleet
+
+	ticks    atomic.Int64
+	ups      atomic.Int64
+	downs    atomic.Int64
+	refused  atomic.Int64
+	attaches atomic.Int64
+	detaches atomic.Int64
+
+	// mu guards the decision state below; the loop holds it across a tick,
+	// Stats/Events hold it to snapshot the ring.
+	mu       sync.Mutex
+	events   []Event
+	low      map[string]int       // consecutive below-target ticks per node
+	lastOp   map[string]time.Time // last actuation per node, for Cooldown
+	lastShed int64                // fleet shed counter at the previous tick
+	spares   []tee.Device         // not-yet-attached spare devices
+	attached []string             // controller-attached node names, LIFO
+	idle     int                  // consecutive fleet-wide idle ticks
+
+	running  atomic.Bool
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a controller for f. The loop is not running yet — call Start
+// (and usually f.BindController(c), so draining the fleet stops the loop
+// first).
+func New(f *fleet.Fleet, cfg Config) (*Controller, error) {
+	if f == nil {
+		return nil, fmt.Errorf("%w: nil fleet", ErrConfig)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:    cfg,
+		f:      f,
+		low:    make(map[string]int),
+		lastOp: make(map[string]time.Time),
+		spares: append([]tee.Device(nil), cfg.Spares...),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the control loop; a second Start is a no-op. The loop runs
+// until Stop.
+func (c *Controller) Start() {
+	if !c.running.CompareAndSwap(false, true) {
+		return
+	}
+	go c.run()
+}
+
+// Stop terminates the control loop and waits for the in-flight tick to
+// finish. It is idempotent and safe to call before Start (the loop then
+// never runs) — the shape fleet.Stopper requires.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	if c.running.Load() {
+		<-c.doneCh
+	}
+}
+
+// run is the control loop: one tick per interval until stopped.
+func (c *Controller) run() {
+	defer close(c.doneCh)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case now := <-t.C:
+			c.tick(now)
+		}
+	}
+}
+
+// tick runs one observe → decide → actuate pass. It is exported to tests via
+// the package boundary only through Start's loop; unit tests in-package call
+// it directly for deterministic single-step control.
+func (c *Controller) tick(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ticks.Add(1)
+
+	loads := c.f.NodeLoads(c.cfg.Model)
+	shed := c.f.ShedTotal()
+	shedDelta := shed - c.lastShed
+	c.lastShed = shed
+
+	live := make(map[string]bool, len(loads))
+	saturated := len(loads) > 0
+	idle := true
+	for _, l := range loads {
+		live[l.Name] = true
+		pending := l.QueueDepth + l.InFlight
+		target := rawTarget(pending, c.cfg.TargetBacklog)
+		if target > c.cfg.Min {
+			idle = false
+		}
+		if l.Workers < c.cfg.Max {
+			saturated = false
+		}
+		c.decideNode(now, l, target, shedDelta)
+	}
+	// Forget nodes that left the fleet underneath us (external detach).
+	for name := range c.low {
+		if !live[name] {
+			delete(c.low, name)
+			delete(c.lastOp, name)
+		}
+	}
+	c.decideSpares(now, saturated, idle, shedDelta)
+}
+
+// rawTarget is the unclamped worker demand implied by one node's outstanding
+// work: enough workers that each holds at most TargetBacklog requests.
+func rawTarget(pending int, backlog float64) int {
+	if backlog <= 0 {
+		return pending
+	}
+	return int(math.Ceil(float64(pending) / backlog))
+}
+
+// decideNode applies the per-node rule: scale up immediately (bounded by
+// doubling and Max), scale down only after ScaleDownAfter consecutive low
+// ticks and at most by half, and force an upward step when the fleet shed
+// since the last tick.
+func (c *Controller) decideNode(now time.Time, l fleet.Load, target int, shedDelta int64) {
+	// Shedding is the loudest signal the fleet emits: demand already
+	// exceeded admission. Whatever the backlog sample says, step up.
+	if shedDelta > 0 && target <= l.Workers {
+		target = l.Workers + 1
+	}
+	target = min(max(target, c.cfg.Min), c.cfg.Max)
+	if c.cfg.Cooldown > 0 && now.Sub(c.lastOp[l.Name]) < c.cfg.Cooldown {
+		return
+	}
+	switch {
+	case target > l.Workers:
+		c.low[l.Name] = 0
+		to := min(target, 2*l.Workers) // at most doubling per tick
+		reason := fmt.Sprintf("pending %d > %g per worker", l.QueueDepth+l.InFlight, c.cfg.TargetBacklog)
+		if shedDelta > 0 {
+			reason = fmt.Sprintf("shed %d since last tick", shedDelta)
+		}
+		c.resize(now, l.Name, l.Workers, to, reason)
+	case target < l.Workers:
+		c.low[l.Name]++
+		if c.low[l.Name] < c.cfg.ScaleDownAfter {
+			return
+		}
+		c.low[l.Name] = 0
+		to := max(target, l.Workers/2) // at most halving per step
+		c.resize(now, l.Name, l.Workers, to,
+			fmt.Sprintf("pending %d low for %d ticks", l.QueueDepth+l.InFlight, c.cfg.ScaleDownAfter))
+	default:
+		c.low[l.Name] = 0
+	}
+}
+
+// resize actuates one node's width change and records the outcome. A refusal
+// by the device's secure-memory budget is an event and a counter, not an
+// error — the fleet keeps the old width and the controller retries only when
+// the signals still call for it.
+func (c *Controller) resize(now time.Time, name string, from, to int, reason string) {
+	err := c.f.ResizeNode(name, to)
+	switch {
+	case err == nil:
+		c.lastOp[name] = now
+		if to > from {
+			c.ups.Add(1)
+			c.record(Event{At: now, Node: name, Action: ScaleUp, From: from, To: to,
+				TotalWorkers: c.f.Workers(), Reason: reason})
+		} else {
+			c.downs.Add(1)
+			c.record(Event{At: now, Node: name, Action: ScaleDown, From: from, To: to,
+				TotalWorkers: c.f.Workers(), Reason: reason})
+		}
+	case errors.Is(err, core.ErrSecureMemory):
+		c.lastOp[name] = now
+		c.refused.Add(1)
+		c.record(Event{At: now, Node: name, Action: Refused, From: from, To: from,
+			TotalWorkers: c.f.Workers(),
+			Reason:       fmt.Sprintf("secure-memory budget refused %d→%d workers", from, to)})
+	default:
+		// The node detached or the fleet is closing: the next tick's load
+		// snapshot no longer lists it, so there is nothing to record.
+	}
+}
+
+// decideSpares attaches a whole spare device when every live node is pinned
+// at Max and pressure persists, and detaches controller-attached spares
+// (newest first) after a sustained idle stretch.
+func (c *Controller) decideSpares(now time.Time, saturated, idle bool, shedDelta int64) {
+	if idle {
+		c.idle++
+	} else {
+		c.idle = 0
+	}
+	if saturated && (shedDelta > 0 || !idle) && len(c.spares) > 0 {
+		dev := c.spares[0]
+		name, err := c.f.AttachDevice(dev, c.cfg.SpareWorkers)
+		if err != nil {
+			// Budget-refused or racing shutdown: keep the spare for later.
+			if errors.Is(err, core.ErrSecureMemory) {
+				c.refused.Add(1)
+				c.record(Event{At: now, Node: dev.Name(), Action: Refused,
+					TotalWorkers: c.f.Workers(),
+					Reason:       "secure-memory budget refused device attach"})
+			}
+			return
+		}
+		c.spares = c.spares[1:]
+		c.attached = append(c.attached, name)
+		c.attaches.Add(1)
+		c.record(Event{At: now, Node: name, Action: Attach, From: 0, To: c.cfg.SpareWorkers,
+			TotalWorkers: c.f.Workers(), Reason: "fleet saturated at max workers"})
+		return
+	}
+	if c.idle >= c.cfg.ScaleDownAfter && len(c.attached) > 0 {
+		name := c.attached[len(c.attached)-1]
+		from := 0
+		for _, l := range c.f.NodeLoads(c.cfg.Model) {
+			if l.Name == name {
+				from = l.Workers
+			}
+		}
+		if err := c.f.DetachDevice(name); err != nil {
+			return
+		}
+		c.attached = c.attached[:len(c.attached)-1]
+		c.detaches.Add(1)
+		c.idle = 0
+		c.record(Event{At: now, Node: name, Action: Detach, From: from, To: 0,
+			TotalWorkers: c.f.Workers(),
+			Reason:       fmt.Sprintf("idle for %d ticks", c.cfg.ScaleDownAfter)})
+	}
+}
+
+// record appends an event to the bounded ring (oldest dropped) and tees it
+// to the configured Logger. Callers hold c.mu.
+func (c *Controller) record(ev Event) {
+	c.events = append(c.events, ev)
+	if n := len(c.events) - c.cfg.EventBuffer; n > 0 {
+		c.events = append(c.events[:0], c.events[n:]...)
+	}
+	if c.cfg.Logger != nil {
+		c.cfg.Logger(ev)
+	}
+}
+
+// Events returns the retained scaling events, oldest first.
+func (c *Controller) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Stats returns a snapshot of the controller's counters and recent events.
+func (c *Controller) Stats() Stats {
+	st := Stats{
+		Running:    c.running.Load() && !c.stopped(),
+		Ticks:      c.ticks.Load(),
+		ScaleUps:   c.ups.Load(),
+		ScaleDowns: c.downs.Load(),
+		Refused:    c.refused.Load(),
+		Attaches:   c.attaches.Load(),
+		Detaches:   c.detaches.Load(),
+		Workers:    c.f.Workers(),
+		Min:        c.cfg.Min,
+		Max:        c.cfg.Max,
+	}
+	st.Events = c.Events()
+	return st
+}
+
+// stopped reports whether Stop has been requested.
+func (c *Controller) stopped() bool {
+	select {
+	case <-c.stopCh:
+		return true
+	default:
+		return false
+	}
+}

@@ -133,6 +133,75 @@ func TestFleetRemoveModel(t *testing.T) {
 	}
 }
 
+// TestFleetDrainDuringScaleUp: a Drain issued while a node is mid-scale-up
+// (warming the wider generation) must wait out both the in-flight traffic
+// and the resize — nothing may drop, the resize must terminate (success or
+// ErrClosed, never a hang), and Drain still returns a closed fleet.
+func TestFleetDrainDuringScaleUp(t *testing.T) {
+	testFleetDrainDuringResize(t, 10, 5)
+}
+
+// TestFleetDrainDuringScaleDown is the shrink direction of the same
+// contract: draining while a node narrows from 5 workers to 1.
+func TestFleetDrainDuringScaleDown(t *testing.T) {
+	testFleetDrainDuringResize(t, 12, 1)
+}
+
+func testFleetDrainDuringResize(t *testing.T, seed uint64, target int) {
+	t.Helper()
+	f, err := New(testDeployment(t, seed), Config{
+		Nodes:       mixedNodes(t, 5),
+		MaxDelay:    200 * time.Microsecond,
+		MaxInFlight: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	xs := randSamples(n, seed+1)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.Infer(context.Background(), xs[i])
+		}(i)
+	}
+	// Let the burst get admitted, kick the resize off against the live
+	// traffic, then drain while the new generation is still warming.
+	time.Sleep(2 * time.Millisecond)
+	resizeErr := make(chan error, 1)
+	go func() { resizeErr <- f.ResizeNode("rpi3", target) }()
+	time.Sleep(500 * time.Microsecond)
+	if err := f.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain during resize: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		// Refusals at the front door (ErrDraining, or ErrClosed for a
+		// goroutine scheduled after the drain completed) are fine; an
+		// ADMITTED request can never see ErrClosed because it holds the
+		// in-flight count Drain waits on. Anything else is a drop.
+		if err != nil && !errors.Is(err, ErrDraining) && !errors.Is(err, serve.ErrClosed) {
+			t.Fatalf("request %d dropped across drain+resize: %v", i, err)
+		}
+	}
+	// The racing resize must have terminated: either it committed before the
+	// shutdown or it lost to it (ErrClosed); a hang would time the test out.
+	select {
+	case err := <-resizeErr:
+		if err != nil && !errors.Is(err, serve.ErrClosed) {
+			t.Fatalf("resize racing drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("resize never returned after drain")
+	}
+	if _, err := f.Infer(context.Background(), xs[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("post-drain Infer err = %v, want ErrClosed", err)
+	}
+}
+
 // TestFleetSampleShape: the deployed plan's sample shape is readable per
 // hosted model, for remote clients that synthesize inputs.
 func TestFleetSampleShape(t *testing.T) {

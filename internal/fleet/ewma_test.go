@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestEstimatorEWMA: the estimator seeds on the first observation, then
+// moves alpha of the way toward each new sample; drops forget exactly the
+// named node or model.
+func TestEstimatorEWMA(t *testing.T) {
+	e := NewEstimator(0.2)
+	if _, ok := e.Estimate("m", "a"); ok {
+		t.Fatal("empty estimator reported an estimate")
+	}
+	e.Observe("m", "a", 1.0)
+	if v, ok := e.Estimate("m", "a"); !ok || v != 1.0 {
+		t.Fatalf("seed estimate = %v/%v, want 1.0/true", v, ok)
+	}
+	e.Observe("m", "a", 0.0)
+	if v, _ := e.Estimate("m", "a"); math.Abs(v-0.8) > 1e-12 {
+		t.Fatalf("post-decay estimate = %v, want 0.8", v)
+	}
+	e.Observe("m", "b", 0.5)
+	e.Observe("n", "a", 0.25)
+	snap := e.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d cells, want 3", len(snap))
+	}
+	// Sorted by model then node.
+	if snap[0].Model != "m" || snap[0].Node != "a" || snap[0].Samples != 2 {
+		t.Fatalf("snapshot[0] = %+v", snap[0])
+	}
+	if snap[2].Model != "n" {
+		t.Fatalf("snapshot[2] = %+v, want model n last", snap[2])
+	}
+	e.DropNode("a")
+	if _, ok := e.Estimate("m", "a"); ok {
+		t.Fatal("DropNode left the (m,a) cell")
+	}
+	if _, ok := e.Estimate("m", "b"); !ok {
+		t.Fatal("DropNode erased another node's cell")
+	}
+	e.DropModel("m")
+	if len(e.Snapshot()) != 0 {
+		t.Fatalf("cells after drops: %v", e.Snapshot())
+	}
+	// Out-of-range alpha falls back to the default.
+	if got := NewEstimator(-1).alpha; got != DefaultEWMAAlpha {
+		t.Fatalf("alpha = %v, want default %v", got, DefaultEWMAAlpha)
+	}
+}
+
+// TestEstimatorLearnsFromTraffic: with an estimator configured, real served
+// requests must populate (model, node) cells through the serve observer hook
+// — no manual feeding.
+func TestEstimatorLearnsFromTraffic(t *testing.T) {
+	est := NewEstimator(0)
+	f, err := New(testDeployment(t, 11), Config{
+		Nodes:     mixedNodes(t, 1),
+		Policy:    RoundRobin(),
+		MaxDelay:  time.Millisecond,
+		Estimator: est,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, x := range randSamples(12, 12) {
+		if _, err := f.Infer(context.Background(), x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := f.Estimates()
+	if len(snap) == 0 {
+		t.Fatal("no estimator cells after 12 served requests")
+	}
+	for _, c := range snap {
+		if c.Model != DefaultModel {
+			t.Fatalf("unexpected model cell %+v", c)
+		}
+		if c.Seconds <= 0 || c.Samples <= 0 {
+			t.Fatalf("degenerate cell %+v", c)
+		}
+	}
+}
+
+// TestRoutingShiftsOffDegradedNode is the adaptive-routing satellite: with
+// the estimator present, both CostAware and EWMA must abandon a node whose
+// observed latency degrades after construction — construction-time probes
+// are no longer trusted forever. Table-driven over the policies; the
+// degraded node must receive zero traffic within the next N routing
+// decisions.
+func TestRoutingShiftsOffDegradedNode(t *testing.T) {
+	const n = 50
+	for _, tc := range []struct {
+		name   string
+		policy Policy
+	}{
+		{"cost-aware", CostAware()},
+		{"ewma", EWMA()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			est := NewEstimator(0)
+			f, err := New(testDeployment(t, 21), Config{
+				// Two identical devices: the probes cannot separate them.
+				Nodes:     []NodeConfig{{Device: mixedNodes(t, 1)[0].Device, Workers: 1}, {Device: mixedNodes(t, 1)[0].Device, Workers: 1}},
+				Policy:    tc.policy,
+				MaxDelay:  time.Millisecond,
+				Estimator: est,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			// Both nodes start indistinguishable; then node rpi3 degrades
+			// hard — thermal throttling, say — which the estimator observes.
+			est.Observe(DefaultModel, "rpi3", 0.5)
+			est.Observe(DefaultModel, "rpi3#2", 0.001)
+			degraded := 0
+			for i := 0; i < n; i++ {
+				picked := f.route(DefaultModel)
+				picked.active.Add(-1)
+				if picked.name == "rpi3" {
+					degraded++
+				}
+			}
+			if degraded != 0 {
+				t.Fatalf("%s sent %d/%d decisions to the degraded node after the estimator flagged it",
+					tc.name, degraded, n)
+			}
+		})
+	}
+}
+
+// TestEWMAPolicyPick: the policy's scoring must prefer the lower
+// latency-per-capacity node and fold backlog in.
+func TestEWMAPolicyPick(t *testing.T) {
+	p := EWMA()
+	if p.Name() != "ewma" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+	loads := []Load{
+		{Name: "slow", Workers: 1, SampleLatency: 0.100},
+		{Name: "fast", Workers: 1, SampleLatency: 0.001},
+	}
+	if got := p.Pick(loads); got != 1 {
+		t.Fatalf("idle pick = %d, want the fast node", got)
+	}
+	// Pile backlog on the fast node until the slow one wins.
+	loads[1].QueueDepth = 200
+	if got := p.Pick(loads); got != 0 {
+		t.Fatalf("backlogged pick = %d, want the slow node", got)
+	}
+}

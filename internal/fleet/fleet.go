@@ -96,6 +96,18 @@ type Config struct {
 	MaxBatch int
 	// MaxDelay is every node's micro-batch flush delay (default 2ms).
 	MaxDelay time.Duration
+	// QueueDepth is every node's per-model queue bound (default the serve
+	// layer's Workers×MaxBatch×4).
+	QueueDepth int
+	// PaceScale paces every node's workers in real time: each batch's
+	// modeled device latency, scaled by this factor, is spent as wall-clock
+	// service time (see serve.Config.PaceScale). 0 disables pacing.
+	PaceScale float64
+	// Estimator, when set, learns per-(model, node) service latency online
+	// from every protocol run and replaces the construction-time probes in
+	// routing decisions — CostAware and EWMA both score with the learned
+	// figures, so routing adapts when a device degrades after deployment.
+	Estimator *Estimator
 }
 
 func (c Config) withDefaults() Config {
@@ -158,22 +170,41 @@ func (c Config) validate() error {
 	if c.MaxDelay < 0 {
 		return fmt.Errorf("%w: negative max delay %v", ErrConfig, c.MaxDelay)
 	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("%w: negative queue depth %d", ErrConfig, c.QueueDepth)
+	}
+	if c.PaceScale < 0 {
+		return fmt.Errorf("%w: negative pace scale %v", ErrConfig, c.PaceScale)
+	}
 	return nil
 }
 
 // node is one attached device: its multi-model server and fleet-side load
 // counters.
 type node struct {
-	name    string
-	device  tee.Device
-	workers int
-	srv     *serve.Server
+	name   string
+	device tee.Device
+	srv    *serve.Server
+
+	// workers is the node's current replica pool width — the construction
+	// value until a live resize moves it.
+	workers atomic.Int32
+	// resizeMu serializes fleet-level resizes of this node, so concurrent
+	// controllers cannot interleave width changes and misaccount the
+	// worker-seconds clock.
+	resizeMu sync.Mutex
 
 	// lat maps each hosted model name to its modeled single-sample latency
 	// on this device, probed when the model is attached (or swapped), so
 	// cost-aware routing needs no warm-up traffic. Guarded by the fleet's
 	// modelMu.
 	lat map[string]float64
+
+	// active counts requests routed here whose InferModel call has not
+	// returned yet. DetachDevice unpublishes the node, waits for active to
+	// reach zero, and only then closes the server — so a request that was
+	// routed a microsecond before the detach still lands on a live server.
+	active atomic.Int64
 
 	routed atomic.Int64 // routing decisions sent here
 	shed   atomic.Int64 // deadline sheds attributed to this node
@@ -184,13 +215,40 @@ type node struct {
 // with New; it is safe for concurrent use. Models can be added (AddModel)
 // and hot-swapped (SwapModel) while the fleet serves.
 type Fleet struct {
-	cfg   Config
-	nodes []*node
+	cfg Config
 
-	// modelMu guards the hosted-model name list and the nodes' per-model
-	// latency maps.
+	// topoMu guards the attached-node slice: routing and stats hold it
+	// shared, AttachDevice/DetachDevice hold it exclusively. It is never
+	// held while waiting on modelMu's writer side (and vice versa), so the
+	// two-lock discipline cannot cycle.
+	topoMu sync.RWMutex
+	nodes  []*node
+
+	// modelMu guards the hosted-model name list, the nodes' per-model
+	// latency maps, the retained templates, and modelVer.
 	modelMu sync.RWMutex
 	names   []string
+	// templates retains each hosted model's source deployment so a device
+	// attached later can host the full current model set.
+	templates map[string]*core.Deployment
+	// modelVer counts model-set mutations (add/remove/swap); AttachDevice
+	// rebuilds its candidate node until the version holds still.
+	modelVer int64
+
+	// est is cfg.Estimator, hoisted for the hot routing path.
+	est *Estimator
+
+	// clock integrates provisioned workers over wall time — the fleet's
+	// worker-seconds ledger, the cost side of the autoscaling acceptance.
+	clock workerClock
+
+	// ctl is the bound autoscale controller (a Stopper), stopped on
+	// Close/Drain so the control loop cannot outlive its fleet.
+	ctl atomic.Value
+
+	// attachMu serializes AttachDevice/DetachDevice, so topology changes
+	// are totally ordered and device-name uniquing cannot race.
+	attachMu sync.Mutex
 
 	inflight  atomic.Int64
 	shedTotal atomic.Int64
@@ -199,6 +257,66 @@ type Fleet struct {
 	closeOnce sync.Once
 	drained   chan struct{}
 	start     time.Time
+}
+
+// Stopper is the shutdown handle BindController accepts — the autoscale
+// controller's Stop, without the fleet importing the autoscale package.
+type Stopper interface {
+	// Stop terminates the bound control loop and waits for it to exit; it
+	// must be idempotent.
+	Stop()
+}
+
+// workerClock integrates the fleet's provisioned worker count over wall
+// time. Every topology change (resize, attach, detach) closes the running
+// segment at the old width and opens one at the new, so Total is exact
+// piecewise-constant integration, not sampling.
+type workerClock struct {
+	mu      sync.Mutex
+	at      time.Time
+	workers int
+	accum   float64
+	stopped bool
+}
+
+func (c *workerClock) init(workers int) {
+	c.mu.Lock()
+	c.at, c.workers = time.Now(), workers
+	c.mu.Unlock()
+}
+
+// add closes the running segment and shifts the provisioned width by delta.
+func (c *workerClock) add(delta int) {
+	now := time.Now()
+	c.mu.Lock()
+	if !c.stopped {
+		c.accum += float64(c.workers) * now.Sub(c.at).Seconds()
+		c.at = now
+		c.workers += delta
+	}
+	c.mu.Unlock()
+}
+
+// stop freezes the ledger at fleet shutdown.
+func (c *workerClock) stop() {
+	now := time.Now()
+	c.mu.Lock()
+	if !c.stopped {
+		c.accum += float64(c.workers) * now.Sub(c.at).Seconds()
+		c.stopped = true
+	}
+	c.mu.Unlock()
+}
+
+// total reads the ledger including the running segment.
+func (c *workerClock) total() float64 {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return c.accum
+	}
+	return c.accum + float64(c.workers)*now.Sub(c.at).Seconds()
 }
 
 // New builds a fleet from a deployed template: the template's finalized
@@ -216,40 +334,30 @@ func New(dep *core.Deployment, cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 	f := &Fleet{
-		cfg:     cfg,
-		names:   []string{DefaultModel},
-		drained: make(chan struct{}),
-		start:   time.Now(),
+		cfg:       cfg,
+		names:     []string{DefaultModel},
+		templates: map[string]*core.Deployment{DefaultModel: dep},
+		est:       cfg.Estimator,
+		drained:   make(chan struct{}),
+		start:     time.Now(),
 	}
 	seen := make(map[string]int)
+	totalWorkers := 0
 	for i, nc := range cfg.Nodes {
 		name := nc.Device.Name()
 		seen[name]++
 		if k := seen[name]; k > 1 {
 			name = fmt.Sprintf("%s#%d", name, k)
 		}
-		template, lat, err := probeOn(dep, nc.Device)
-		if err != nil {
-			f.closeNodes()
-			return nil, fmt.Errorf("fleet: deploying onto node %d (%s): %w", i, name, err)
-		}
-		srv, err := serve.New(template, serve.Config{
-			Workers:  nc.Workers,
-			MaxBatch: cfg.MaxBatch,
-			MaxDelay: cfg.MaxDelay,
-		})
+		n, err := f.buildNode(name, nc.Device, nc.Workers, dep)
 		if err != nil {
 			f.closeNodes()
 			return nil, fmt.Errorf("fleet: starting node %d (%s): %w", i, name, err)
 		}
-		f.nodes = append(f.nodes, &node{
-			name:    name,
-			device:  nc.Device,
-			workers: nc.Workers,
-			srv:     srv,
-			lat:     map[string]float64{DefaultModel: lat},
-		})
+		f.nodes = append(f.nodes, n)
+		totalWorkers += nc.Workers
 	}
+	f.clock.init(totalWorkers)
 	for _, m := range cfg.Models {
 		if err := f.AddModel(m.Name, m.Dep); err != nil {
 			f.closeNodes()
@@ -257,6 +365,47 @@ func New(dep *core.Deployment, cfg Config) (*Fleet, error) {
 		}
 	}
 	return f, nil
+}
+
+// buildNode probes dep onto device and starts the node's server with the
+// fleet-wide serving knobs, wiring the estimator's observation hook when one
+// is configured.
+func (f *Fleet) buildNode(name string, device tee.Device, workers int, dep *core.Deployment) (*node, error) {
+	template, lat, err := probeOn(dep, device)
+	if err != nil {
+		return nil, err
+	}
+	scfg := serve.Config{
+		Workers:    workers,
+		MaxBatch:   f.cfg.MaxBatch,
+		MaxDelay:   f.cfg.MaxDelay,
+		QueueDepth: f.cfg.QueueDepth,
+		PaceScale:  f.cfg.PaceScale,
+	}
+	if est := f.est; est != nil {
+		scfg.Observer = func(model string, samples int, perSample time.Duration) {
+			est.Observe(model, name, perSample.Seconds())
+		}
+	}
+	srv, err := serve.New(template, scfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{
+		name:   name,
+		device: device,
+		srv:    srv,
+		lat:    map[string]float64{DefaultModel: lat},
+	}
+	n.workers.Store(int32(workers))
+	return n, nil
+}
+
+// snapshotNodes copies the attached-node slice under the topology lock.
+func (f *Fleet) snapshotNodes() []*node {
+	f.topoMu.RLock()
+	defer f.topoMu.RUnlock()
+	return append([]*node(nil), f.nodes...)
 }
 
 // probeOn replicates dep onto device (a fresh single-sample session) and
@@ -290,6 +439,7 @@ func (f *Fleet) AddModel(name string, dep *core.Deployment) error {
 	if f.closed.Load() {
 		return serve.ErrClosed
 	}
+	nodes := f.snapshotNodes()
 	f.modelMu.Lock()
 	defer f.modelMu.Unlock()
 	for _, n := range f.names {
@@ -297,13 +447,13 @@ func (f *Fleet) AddModel(name string, dep *core.Deployment) error {
 			return fmt.Errorf("%w: %q", serve.ErrModelExists, name)
 		}
 	}
-	for i, n := range f.nodes {
+	for i, n := range nodes {
 		template, lat, err := probeOn(dep, n.device)
 		if err == nil {
 			err = n.srv.AddModel(name, template)
 		}
 		if err != nil {
-			for _, prev := range f.nodes[:i] {
+			for _, prev := range nodes[:i] {
 				prev.srv.RemoveModel(name) // best-effort unwind
 				delete(prev.lat, name)
 			}
@@ -312,6 +462,8 @@ func (f *Fleet) AddModel(name string, dep *core.Deployment) error {
 		n.lat[name] = lat
 	}
 	f.names = append(f.names, name)
+	f.templates[name] = dep
+	f.modelVer++
 	return nil
 }
 
@@ -329,10 +481,11 @@ func (f *Fleet) SwapModel(name string, dep *core.Deployment) error {
 	if f.closed.Load() {
 		return serve.ErrClosed
 	}
-	errs := make([]error, len(f.nodes))
-	lats := make([]float64, len(f.nodes))
+	nodes := f.snapshotNodes()
+	errs := make([]error, len(nodes))
+	lats := make([]float64, len(nodes))
 	var wg sync.WaitGroup
-	for i, n := range f.nodes {
+	for i, n := range nodes {
 		wg.Add(1)
 		go func(i int, n *node) {
 			defer wg.Done()
@@ -349,10 +502,26 @@ func (f *Fleet) SwapModel(name string, dep *core.Deployment) error {
 		}(i, n)
 	}
 	wg.Wait()
+	// A node detached while we swapped fails with ErrClosed through no fault
+	// of the swap; drop its error rather than failing a fleet-wide success.
+	attached := make(map[*node]bool, len(f.snapshotNodes()))
+	for _, n := range f.snapshotNodes() {
+		attached[n] = true
+	}
+	swapped := false
 	f.modelMu.Lock()
-	for i, n := range f.nodes {
+	for i, n := range nodes {
 		if errs[i] == nil {
 			n.lat[name] = lats[i]
+			swapped = true
+		} else if !attached[n] {
+			errs[i] = nil
+		}
+	}
+	if swapped {
+		if _, ok := f.templates[name]; ok {
+			f.templates[name] = dep
+			f.modelVer++
 		}
 	}
 	f.modelMu.Unlock()
@@ -372,6 +541,7 @@ func (f *Fleet) RemoveModel(name string) error {
 	if name == DefaultModel {
 		return fmt.Errorf("%w: cannot remove the default model", ErrConfig)
 	}
+	nodes := f.snapshotNodes()
 	f.modelMu.Lock()
 	found := false
 	for i, n := range f.names {
@@ -385,15 +555,20 @@ func (f *Fleet) RemoveModel(name string) error {
 		f.modelMu.Unlock()
 		return fmt.Errorf("%w: %q", serve.ErrUnknownModel, name)
 	}
-	for _, n := range f.nodes {
+	for _, n := range nodes {
 		delete(n.lat, name)
 	}
+	delete(f.templates, name)
+	f.modelVer++
 	f.modelMu.Unlock()
+	if f.est != nil {
+		f.est.DropModel(name)
+	}
 	// Drain the per-node pools outside the lock — each RemoveModel blocks
 	// until its pool's queue has flushed — and in parallel, like SwapModel.
-	errs := make([]error, len(f.nodes))
+	errs := make([]error, len(nodes))
 	var wg sync.WaitGroup
-	for i, n := range f.nodes {
+	for i, n := range nodes {
 		wg.Add(1)
 		go func(i int, n *node) {
 			defer wg.Done()
@@ -418,7 +593,7 @@ func (f *Fleet) Models() []string {
 // serves (every node hosts the same model template, so the shape is
 // fleet-wide); unknown names fail with serve.ErrUnknownModel.
 func (f *Fleet) SampleShape(model string) ([]int, error) {
-	return f.nodes[0].srv.SampleShape(model)
+	return f.snapshotNodes()[0].srv.SampleShape(model)
 }
 
 // closeNodes tears down the servers started so far (construction failure).
@@ -428,42 +603,77 @@ func (f *Fleet) closeNodes() {
 	}
 }
 
-// route consults the policy with a live load snapshot and returns the chosen
-// node for a request addressed to model. An out-of-range pick is folded back
-// into range, so a buggy policy degrades to a skewed distribution rather
-// than a panic.
-func (f *Fleet) route(model string) *node {
+// loadOf probes one node's live Load entry for a request addressed to model;
+// lat is the latency figure routing should price the node at.
+func loadOf(n *node, lat float64) Load {
+	// The server probes overlap — InFlight counts queued + in-service —
+	// so split them: policies sum the two fields without double-counting
+	// queued requests.
+	queued := n.srv.QueueDepth()
+	serving := int(n.srv.InFlight()) - queued
+	if serving < 0 {
+		serving = 0
+	}
+	return Load{
+		Name:          n.name,
+		Workers:       int(n.workers.Load()),
+		QueueDepth:    queued,
+		InFlight:      serving,
+		SampleLatency: lat,
+	}
+}
+
+// loads builds the policy's snapshot for model over the given nodes,
+// substituting the online estimator's learned latencies for the
+// construction-time probes wherever a cell has observations. Callers hold at
+// most topoMu shared (the topo→model nesting the lock order allows).
+func (f *Fleet) loads(model string, nodes []*node) []Load {
+	lats := make([]float64, len(nodes))
 	f.modelMu.RLock()
-	lats := make([]float64, len(f.nodes))
-	for i, n := range f.nodes {
+	for i, n := range nodes {
 		lats[i] = n.lat[model]
 	}
 	f.modelMu.RUnlock()
-	loads := make([]Load, len(f.nodes))
-	for i, n := range f.nodes {
-		// The server probes overlap — InFlight counts queued + in-service —
-		// so split them: policies sum the two fields without double-counting
-		// queued requests.
-		queued := n.srv.QueueDepth()
-		serving := int(n.srv.InFlight()) - queued
-		if serving < 0 {
-			serving = 0
-		}
-		loads[i] = Load{
-			Name:          n.name,
-			Workers:       n.workers,
-			QueueDepth:    queued,
-			InFlight:      serving,
-			SampleLatency: lats[i],
+	if f.est != nil {
+		for i, n := range nodes {
+			if v, ok := f.est.Estimate(model, n.name); ok {
+				lats[i] = v
+			}
 		}
 	}
+	out := make([]Load, len(nodes))
+	for i, n := range nodes {
+		out[i] = loadOf(n, lats[i])
+	}
+	return out
+}
+
+// route consults the policy with a live load snapshot and returns the chosen
+// node for a request addressed to model, with the node's active count
+// already incremented (the caller must release it). An out-of-range pick is
+// folded back into range, so a buggy policy degrades to a skewed
+// distribution rather than a panic. The topology lock is held across the
+// decision, so the picked node cannot detach before its active count pins
+// it.
+func (f *Fleet) route(model string) *node {
+	f.topoMu.RLock()
+	defer f.topoMu.RUnlock()
+	loads := f.loads(model, f.nodes)
 	idx := f.cfg.Policy.Pick(loads)
 	if idx < 0 || idx >= len(f.nodes) {
 		idx = ((idx % len(f.nodes)) + len(f.nodes)) % len(f.nodes)
 	}
 	n := f.nodes[idx]
 	n.routed.Add(1)
+	n.active.Add(1)
 	return n
+}
+
+// NodeLoads returns the same live per-node load snapshot routing sees for
+// model (estimator-adjusted latencies included) — the autoscale controller's
+// per-tick signal probe.
+func (f *Fleet) NodeLoads(model string) []Load {
+	return f.loads(model, f.snapshotNodes())
 }
 
 // admit applies fleet-wide admission control; the returned release func must
@@ -504,6 +714,7 @@ func (f *Fleet) InferModel(ctx context.Context, model string, x *tensor.Tensor) 
 	}
 	defer release()
 	n := f.route(model)
+	defer n.active.Add(-1)
 	reqCtx := ctx
 	if f.cfg.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -555,6 +766,224 @@ func (f *Fleet) InferModelBatch(ctx context.Context, model string, xs []*tensor.
 	return labels, nil
 }
 
+// ResizeNode changes one node's worker pool width live, through the serve
+// layer's warm-then-drain generation swap: the new width is replicated and
+// warmed while the old pool keeps serving, so not one request is dropped. A
+// scale-up whose warm window does not fit the device's secure-memory budget
+// is refused with ErrSecureMemory (wrapped) and the node keeps its old width
+// — the hot-swap headroom rule applied to elasticity. Unknown node names
+// fail with ErrConfig; a node detached mid-resize fails with
+// serve.ErrClosed. On success the fleet's worker-seconds ledger shifts to
+// the new width.
+func (f *Fleet) ResizeNode(name string, workers int) error {
+	if f.closed.Load() {
+		return serve.ErrClosed
+	}
+	if workers < 1 {
+		return fmt.Errorf("%w: workers %d < 1", ErrConfig, workers)
+	}
+	n := f.nodeByName(name)
+	if n == nil {
+		return fmt.Errorf("%w: no node %q", ErrConfig, name)
+	}
+	n.resizeMu.Lock()
+	defer n.resizeMu.Unlock()
+	old := n.srv.Workers()
+	if workers == old {
+		return nil
+	}
+	if err := n.srv.Resize(workers); err != nil {
+		return fmt.Errorf("fleet: resizing node %s: %w", name, err)
+	}
+	n.workers.Store(int32(workers))
+	f.clock.add(workers - old)
+	return nil
+}
+
+// nodeByName resolves a node by identity under the topology lock.
+func (f *Fleet) nodeByName(name string) *node {
+	f.topoMu.RLock()
+	defer f.topoMu.RUnlock()
+	for _, n := range f.nodes {
+		if n.name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// AttachDevice attaches a whole new device to the running fleet: every
+// currently hosted model is replicated, probed, and warmed onto it off the
+// serving path, and only then is the node published to routing — the first
+// request it sees lands on sized arenas. The returned name is the node's
+// identity ("jetson-tz", or "jetson-tz#2" when the fleet already holds one).
+// If the model set changes while the node is being prepared (a concurrent
+// add, remove, or swap), preparation restarts against the new set, so a
+// published node always hosts exactly the fleet's current models.
+func (f *Fleet) AttachDevice(device tee.Device, workers int) (string, error) {
+	if device == nil {
+		return "", fmt.Errorf("%w: nil device", ErrConfig)
+	}
+	if workers < 1 {
+		return "", fmt.Errorf("%w: workers %d < 1", ErrConfig, workers)
+	}
+	if f.closed.Load() || f.draining.Load() {
+		return "", serve.ErrClosed
+	}
+	f.attachMu.Lock()
+	defer f.attachMu.Unlock()
+	// Unique node identity: count live nodes of this device type. attachMu
+	// makes the count stable against other attaches.
+	name := device.Name()
+	k := 1
+	for _, n := range f.snapshotNodes() {
+		if n.device.Name() == device.Name() {
+			k++
+		}
+	}
+	if k > 1 {
+		name = fmt.Sprintf("%s#%d", name, k)
+	}
+	for {
+		f.modelMu.RLock()
+		ver := f.modelVer
+		names := append([]string(nil), f.names...)
+		templates := make(map[string]*core.Deployment, len(names))
+		for _, m := range names {
+			templates[m] = f.templates[m]
+		}
+		f.modelMu.RUnlock()
+
+		n, err := f.buildNode(name, device, workers, templates[DefaultModel])
+		if err != nil {
+			return "", fmt.Errorf("fleet: attaching %s: %w", name, err)
+		}
+		for _, m := range names[1:] {
+			template, lat, perr := probeOn(templates[m], device)
+			if perr == nil {
+				perr = n.srv.AddModel(m, template)
+			}
+			if perr != nil {
+				n.srv.Close()
+				return "", fmt.Errorf("fleet: attaching %s: hosting %q: %w", name, m, perr)
+			}
+			n.lat[m] = lat
+		}
+
+		f.topoMu.Lock()
+		f.modelMu.RLock()
+		if f.modelVer == ver && !f.closed.Load() {
+			f.nodes = append(f.nodes, n)
+			f.modelMu.RUnlock()
+			f.topoMu.Unlock()
+			f.clock.add(workers)
+			return name, nil
+		}
+		closed := f.closed.Load()
+		f.modelMu.RUnlock()
+		f.topoMu.Unlock()
+		n.srv.Close()
+		if closed {
+			return "", serve.ErrClosed
+		}
+		// The model set moved underneath us — rebuild against the new set.
+	}
+}
+
+// DetachDevice detaches a node from the running fleet without dropping a
+// request: the node is unpublished from routing, requests already routed to
+// it finish on its live server, its queues drain, and its secure memory
+// returns to the modeled device. The last node cannot be detached (a fleet
+// always serves); unknown names fail with ErrConfig.
+func (f *Fleet) DetachDevice(name string) error {
+	if f.closed.Load() {
+		return serve.ErrClosed
+	}
+	f.attachMu.Lock()
+	defer f.attachMu.Unlock()
+	f.topoMu.Lock()
+	var n *node
+	for i, cand := range f.nodes {
+		if cand.name == name {
+			if len(f.nodes) == 1 {
+				f.topoMu.Unlock()
+				return fmt.Errorf("%w: cannot detach the last node %q", ErrConfig, name)
+			}
+			n = cand
+			f.nodes = append(f.nodes[:i], f.nodes[i+1:]...)
+			break
+		}
+	}
+	f.topoMu.Unlock()
+	if n == nil {
+		return fmt.Errorf("%w: no node %q", ErrConfig, name)
+	}
+	// Unpublished: routing can no longer pick the node, and every request
+	// that picked it before the unpublish holds its active count. Wait those
+	// out, then drain the server.
+	for n.active.Load() > 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	n.srv.Close()
+	f.clock.add(-int(n.workers.Load()))
+	if f.est != nil {
+		f.est.DropNode(name)
+	}
+	return nil
+}
+
+// Workers returns the fleet's current total provisioned worker count.
+func (f *Fleet) Workers() int {
+	total := 0
+	for _, n := range f.snapshotNodes() {
+		total += int(n.workers.Load())
+	}
+	return total
+}
+
+// WorkerSeconds returns the integral of the fleet's provisioned worker count
+// over wall time since construction — the cost side of the autoscaling
+// trade: a fleet that holds 4 workers for 10 seconds has spent 40
+// worker-seconds whether or not they served anything.
+func (f *Fleet) WorkerSeconds() float64 { return f.clock.total() }
+
+// Estimates returns the online latency estimator's learned (model, node)
+// cells, or nil when the fleet runs on construction-time probes only.
+func (f *Fleet) Estimates() []Estimate {
+	if f.est == nil {
+		return nil
+	}
+	return f.est.Snapshot()
+}
+
+// ShedTotal returns the cumulative number of requests shed by admission
+// control or the fleet deadline — the autoscale controller's overload
+// signal.
+func (f *Fleet) ShedTotal() int64 { return f.shedTotal.Load() }
+
+// BindController attaches an autoscale controller's shutdown handle to the
+// fleet: Close and Drain stop it before tearing nodes down, so a control
+// loop can never resize a dying fleet. Binding nil detaches.
+func (f *Fleet) BindController(s Stopper) { f.ctl.Store(&s) }
+
+// Controller returns the bound autoscale controller (the Stopper passed to
+// BindController), or nil — network front ends use it to discover the
+// fleet's controller for observability.
+func (f *Fleet) Controller() Stopper {
+	if p, ok := f.ctl.Load().(*Stopper); ok && p != nil {
+		return *p
+	}
+	return nil
+}
+
+// stopController stops the bound controller, if any, exactly as many times
+// as it tolerates (Stop is idempotent by contract).
+func (f *Fleet) stopController() {
+	if c := f.Controller(); c != nil {
+		c.Stop()
+	}
+}
+
 // Drain gracefully shuts the fleet down: admission stops immediately (new
 // inference requests fail with a wrapped ErrDraining), every already-admitted
 // request is allowed to finish, and the fleet then closes. It returns nil
@@ -565,6 +994,7 @@ func (f *Fleet) InferModelBatch(ctx context.Context, model string, xs []*tensor.
 // Close (or a second Drain) just waits for the existing shutdown.
 func (f *Fleet) Drain(ctx context.Context) error {
 	f.draining.Store(true)
+	f.stopController()
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
 	for f.inflight.Load() > 0 {
@@ -583,8 +1013,9 @@ func (f *Fleet) Drain(ctx context.Context) error {
 func (f *Fleet) Close() error {
 	f.closeOnce.Do(func() {
 		f.closed.Store(true)
+		f.stopController()
 		var wg sync.WaitGroup
-		for _, n := range f.nodes {
+		for _, n := range f.snapshotNodes() {
 			wg.Add(1)
 			go func(n *node) {
 				defer wg.Done()
@@ -592,6 +1023,7 @@ func (f *Fleet) Close() error {
 			}(n)
 		}
 		wg.Wait()
+		f.clock.stop()
 		close(f.drained)
 	})
 	<-f.drained
@@ -603,6 +1035,9 @@ type DeviceStats struct {
 	// Name is the node's identity ("rpi3", or "rpi3#2" for a second node of
 	// the same device type).
 	Name string `json:"name"`
+	// Workers is the node's current replica pool width — live, so a fleet
+	// under autoscale reports each node's momentary provisioning.
+	Workers int `json:"workers"`
 	// Routed is the number of routing decisions that chose this node.
 	Routed int64 `json:"routed"`
 	// Shed is the number of requests that missed the fleet deadline on this
@@ -682,6 +1117,13 @@ type Stats struct {
 	// PeakSecureBytes is the sum of the nodes' secure-memory high-water
 	// marks: the fleet's total modeled TEE footprint.
 	PeakSecureBytes int64 `json:"peak_secure_bytes"`
+	// Workers is the fleet's current total provisioned worker count.
+	Workers int `json:"workers"`
+	// WorkerSeconds is the integral of the provisioned worker count over
+	// wall time since the fleet started — total capacity paid for, whether
+	// busy or idle. The autoscaling acceptance compares it against
+	// client-observed latency.
+	WorkerSeconds float64 `json:"worker_seconds"`
 	// WallSeconds is the host time since the fleet started.
 	WallSeconds float64 `json:"wall_seconds"`
 	// Models is the per-model fleet-wide breakdown, in hosting order
@@ -693,33 +1135,37 @@ type Stats struct {
 
 // Stats returns an aggregated snapshot of the fleet's counters.
 func (f *Fleet) Stats() Stats {
+	nodes := f.snapshotNodes()
 	out := Stats{
-		Policy:      f.cfg.Policy.Name(),
-		Devices:     len(f.nodes),
-		Shed:        f.shedTotal.Load(),
-		InFlight:    f.inflight.Load(),
-		WallSeconds: time.Since(f.start).Seconds(),
+		Policy:        f.cfg.Policy.Name(),
+		Devices:       len(nodes),
+		Shed:          f.shedTotal.Load(),
+		InFlight:      f.inflight.Load(),
+		WorkerSeconds: f.clock.total(),
+		WallSeconds:   time.Since(f.start).Seconds(),
 	}
 	f.modelMu.RLock()
 	models := append([]string(nil), f.names...)
-	defaultLat := make([]float64, len(f.nodes))
-	for i, n := range f.nodes {
+	defaultLat := make([]float64, len(nodes))
+	for i, n := range nodes {
 		defaultLat[i] = n.lat[DefaultModel]
 	}
 	f.modelMu.RUnlock()
 	var samples []float64
 	var hostNs float64
-	for i, n := range f.nodes {
+	for i, n := range nodes {
 		st := n.srv.Stats()
 		out.Requests += st.Requests
 		out.Errors += st.Errors
 		out.RoutingDecisions += n.routed.Load()
 		out.ModeledThroughput += st.ModeledThroughput
 		out.PeakSecureBytes += st.PeakSecureBytes
+		out.Workers += int(n.workers.Load())
 		hostNs += st.HostNsPerOp * float64(st.Requests)
 		samples = append(samples, n.srv.LatencySamples()...)
 		out.PerDevice = append(out.PerDevice, DeviceStats{
 			Name:                n.name,
+			Workers:             int(n.workers.Load()),
 			Routed:              n.routed.Load(),
 			Shed:                n.shed.Load(),
 			SampleLatencyMicros: defaultLat[i] * 1e6,
@@ -739,7 +1185,7 @@ func (f *Fleet) Stats() Stats {
 	for _, name := range models {
 		ms := ModelStats{Name: name}
 		var modelSamples []float64
-		for _, n := range f.nodes {
+		for _, n := range nodes {
 			st, err := n.srv.ModelStats(name)
 			if err != nil {
 				continue

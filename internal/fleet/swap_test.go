@@ -232,12 +232,13 @@ func TestFleetAddModelRollsBackOnPartialFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.nodes = []*node{
-		{name: "ok", device: tee.RaspberryPi3(), workers: 1, srv: srv,
-			lat: map[string]float64{DefaultModel: 1}},
-		{name: "tight", device: tiny, workers: 1, srv: srv, // probeOn fails on tiny before srv is touched
-			lat: map[string]float64{DefaultModel: 1}},
-	}
+	ok := &node{name: "ok", device: tee.RaspberryPi3(), srv: srv,
+		lat: map[string]float64{DefaultModel: 1}}
+	ok.workers.Store(1)
+	tightNode := &node{name: "tight", device: tiny, srv: srv, // probeOn fails on tiny before srv is touched
+		lat: map[string]float64{DefaultModel: 1}}
+	tightNode.workers.Store(1)
+	f.nodes = []*node{ok, tightNode}
 	defer srv.Close()
 
 	if err := f.AddModel("m", testDeployment(t, 81)); err == nil {

@@ -47,7 +47,7 @@ func startDaemon(t testing.TB, s *Server) string {
 
 // promSampleRe matches one Prometheus text-exposition sample line.
 var promSampleRe = regexp.MustCompile(
-	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.eE+]+|NaN|[+-]Inf)$`)
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?([0-9]+(\.[0-9]+)?|\.[0-9]+)([eE][+-]?[0-9]+)?|NaN|[+-]Inf)$`)
 
 // parsePromText validates the whole scrape against the text exposition
 // format — every sample line parses, every family has HELP and TYPE emitted
@@ -199,6 +199,7 @@ func TestE2EScenarioSwapMetrics(t *testing.T) {
 		"tbnet_fleet_requests_total", "tbnet_fleet_shed_total", "tbnet_fleet_in_flight",
 		"tbnet_fleet_p99_latency_seconds", "tbnet_model_requests_total",
 		"tbnet_model_swaps_total", "tbnet_device_requests_total",
+		"tbnet_device_workers", "tbnet_fleet_worker_seconds_total",
 		"tbnet_http_requests_total", "tbnet_http_draining",
 	} {
 		if families[want] == 0 {

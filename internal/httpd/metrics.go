@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tbnet/internal/autoscale"
 	"tbnet/internal/fleet"
 )
 
@@ -131,6 +132,8 @@ func (s *Server) writeMetrics(w io.Writer) error {
 		"Summed modeled throughput in requests per modeled device-second.", st.ModeledThroughput)
 	pw.metric("tbnet_fleet_peak_secure_bytes", "gauge",
 		"Summed secure-memory high-water marks across the fleet.", float64(st.PeakSecureBytes))
+	pw.metric("tbnet_fleet_worker_seconds_total", "counter",
+		"Integral of provisioned worker count over wall time — capacity paid for.", st.WorkerSeconds)
 
 	// Per-model breakdown, in hosting order.
 	for _, ms := range st.Models {
@@ -158,6 +161,45 @@ func (s *Server) writeMetrics(w io.Writer) error {
 			"Requests waiting for a batch slot on this node.", float64(ds.Serve.QueueDepth), l...)
 		pw.metric("tbnet_device_host_ns_per_op", "gauge",
 			"Measured host compute nanoseconds per sample on this node.", ds.Serve.HostNsPerOp, l...)
+		pw.metric("tbnet_device_workers", "gauge",
+			"Replica pool width on this node right now.", float64(ds.Workers), l...)
+	}
+
+	// Online latency estimates, when the fleet learns them (EWMA routing or
+	// an attached estimator). One gauge cell per (model, device) pair.
+	for _, e := range s.fleet.Estimates() {
+		l := []string{"model", e.Model, "device", e.Node}
+		pw.metric("tbnet_ewma_latency_seconds", "gauge",
+			"Learned per-sample service-time estimate per model and device.", e.Seconds, l...)
+		pw.metric("tbnet_ewma_samples_total", "counter",
+			"Observations folded into the latency estimate.", float64(e.Samples), l...)
+	}
+
+	// Autoscale controller counters, when one is bound to the fleet.
+	if ctl, ok := s.fleet.Controller().(*autoscale.Controller); ok && ctl != nil {
+		ast := ctl.Stats()
+		running := 0.0
+		if ast.Running {
+			running = 1
+		}
+		pw.metric("tbnet_autoscale_running", "gauge",
+			"1 while the autoscale control loop is live.", running)
+		pw.metric("tbnet_autoscale_ticks_total", "counter",
+			"Control-loop iterations completed.", float64(ast.Ticks))
+		pw.metric("tbnet_autoscale_scale_ups_total", "counter",
+			"Actuated worker-pool widenings.", float64(ast.ScaleUps))
+		pw.metric("tbnet_autoscale_scale_downs_total", "counter",
+			"Actuated worker-pool narrowings.", float64(ast.ScaleDowns))
+		pw.metric("tbnet_autoscale_refused_total", "counter",
+			"Scale-ups rejected by a device's secure-memory budget.", float64(ast.Refused))
+		pw.metric("tbnet_autoscale_attaches_total", "counter",
+			"Spare devices attached by the controller.", float64(ast.Attaches))
+		pw.metric("tbnet_autoscale_detaches_total", "counter",
+			"Controller-attached spares drained back out.", float64(ast.Detaches))
+		pw.metric("tbnet_autoscale_workers_min", "gauge",
+			"Per-node worker floor the loop enforces.", float64(ast.Min))
+		pw.metric("tbnet_autoscale_workers_max", "gauge",
+			"Per-node worker ceiling the loop enforces.", float64(ast.Max))
 	}
 
 	// Daemon-side HTTP counters.

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"tbnet/internal/autoscale"
+)
+
+func TestAutoscaleTables(t *testing.T) {
+	st := autoscale.Stats{Ticks: 12, ScaleUps: 3, ScaleDowns: 1, Refused: 2,
+		Workers: 5, Min: 1, Max: 8}
+	out := AutoscaleTable(st, 7.25).String()
+	for _, want := range []string{"Autoscale controller", "[1,8]", "7.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("controller table missing %q:\n%s", want, out)
+		}
+	}
+
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	events := []autoscale.Event{
+		{At: t0, Node: "rpi3", Action: autoscale.ScaleUp, From: 1, To: 2, TotalWorkers: 3, Reason: "backlog"},
+		{At: t0.Add(1500 * time.Millisecond), Node: "rpi3", Action: autoscale.ScaleDown, From: 2, To: 1, TotalWorkers: 2, Reason: "idle"},
+	}
+	out = AutoscaleEventTable(events).String()
+	for _, want := range []string{"Scaling events", "0.00", "1.50", "backlog", "idle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("event table missing %q:\n%s", want, out)
+		}
+	}
+	if got := AutoscaleEventTable(nil).String(); !strings.Contains(got, "Scaling events") {
+		t.Fatalf("empty event table lost its title:\n%s", got)
+	}
+}
+
+func TestAutoscaleSweepArtifact(t *testing.T) {
+	points := []AutoscalePoint{
+		{Config: "autoscale[1,8]", Autoscale: true, WorstP99Ms: 21.1, WorkerSeconds: 16.5,
+			Offered: 100, Served: 98, Shed: 2, ScaleUps: 4, ScaleDowns: 3},
+		{Config: "static-4", WorstP99Ms: 680, WorkerSeconds: 36.8, Offered: 100, Served: 100},
+	}
+	out := AutoscaleSweepTable(points).String()
+	if !strings.Contains(out, "Static vs. autoscale") || !strings.Contains(out, "static-4") {
+		t.Fatalf("sweep table missing pieces:\n%s", out)
+	}
+	// Static rows show "-" in the controller-counter columns, not zeros.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "static-4") && !strings.Contains(line, "-") {
+			t.Fatalf("static row lacks dashed counters:\n%s", out)
+		}
+	}
+
+	var b strings.Builder
+	if err := RenderAutoscaleJSON(&b, points); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Sweep []AutoscalePoint `json:"sweep"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("artifact not parseable: %v\n%s", err, b.String())
+	}
+	if len(got.Sweep) != 2 || got.Sweep[0] != points[0] || got.Sweep[1] != points[1] {
+		t.Fatalf("artifact did not round-trip: %+v", got.Sweep)
+	}
+	// Static points must omit the controller counters entirely.
+	static, err := json.Marshal(points[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(static), "scale_ups") {
+		t.Fatalf("static point carries controller counters: %s", static)
+	}
+}

@@ -77,6 +77,20 @@ type Config struct {
 	// QueueDepth bounds the number of waiting requests per model before
 	// Infer blocks (default Workers*MaxBatch*4).
 	QueueDepth int
+	// PaceScale, when positive, paces each worker in real time: after a
+	// batch's protocol run the worker sleeps the batch's modeled device
+	// latency multiplied by PaceScale. This turns the cost model's seconds
+	// into wall-clock service time, so capacity scales with the worker
+	// count even when the host has fewer cores than the fleet has workers —
+	// the property the autoscaler's closed-loop tests depend on. Zero (the
+	// default) disables pacing.
+	PaceScale float64
+	// Observer, when set, is called after every successful protocol run
+	// with the model name, the number of samples served, and the realized
+	// per-sample service time (host compute plus pacing). The fleet layer
+	// installs its EWMA latency estimator here. The callback runs on the
+	// worker goroutine and must be fast and non-blocking.
+	Observer func(model string, samples int, perSample time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +121,9 @@ func (c Config) validate() error {
 	}
 	if c.QueueDepth < 1 {
 		return fmt.Errorf("%w: queue depth %d < 1", ErrConfig, c.QueueDepth)
+	}
+	if c.PaceScale < 0 {
+		return fmt.Errorf("%w: negative pace scale %v", ErrConfig, c.PaceScale)
 	}
 	return nil
 }
@@ -143,6 +160,12 @@ type pool struct {
 	srv         *Server
 	name        string
 	sampleShape []int // [1,C,H,W] of a single request
+
+	// template is the deployment the current generation was replicated
+	// from, retained so Resize can rebuild the pool at a new width without
+	// the caller re-supplying weights. Guarded by swapMu (updated only
+	// while a swap holds it; set before the pool is published).
+	template *core.Deployment
 
 	queue chan *request
 	done  chan struct{}
@@ -183,6 +206,12 @@ type Server struct {
 	budget *tee.SecureMemory // shared secure-memory budget of every pool
 	start  time.Time
 
+	// width is the current worker count per pool — cfg.Workers at
+	// construction, updated by Resize. Each generation snapshots the width
+	// it was built at (len(gen.reps)), so an in-flight generation is never
+	// retroactively resized.
+	width atomic.Int32
+
 	// modelMu guards models/names; pools themselves are internally
 	// synchronized.
 	modelMu sync.RWMutex
@@ -214,6 +243,7 @@ func New(dep *core.Deployment, cfg Config) (*Server, error) {
 		models:  make(map[string]*pool),
 		drained: make(chan struct{}),
 	}
+	s.width.Store(int32(cfg.Workers))
 	if err := s.addModel(DefaultModel, dep, false); err != nil {
 		return nil, err
 	}
@@ -225,22 +255,23 @@ func New(dep *core.Deployment, cfg Config) (*Server, error) {
 // without unbounded growth.
 const traceBound = 1024
 
-// newGeneration replicates dep into a fresh worker set drawing on the shared
-// budget. With warm set, each replica runs one max-batch probe inference so
-// its plan's activation arenas are fully sized before the generation sees
-// traffic — the hot-swap path warms here, off the serving path, so the first
-// post-swap batch pays no allocation or sizing cost.
-func (s *Server) newGeneration(dep *core.Deployment, warm bool) (*generation, error) {
+// newGeneration replicates dep into a fresh worker set of the given width,
+// drawing on the shared budget. With warm set, each replica runs one
+// max-batch probe inference so its plan's activation arenas are fully sized
+// before the generation sees traffic — the hot-swap path warms here, off the
+// serving path, so the first post-swap batch pays no allocation or sizing
+// cost.
+func (s *Server) newGeneration(dep *core.Deployment, workers int, warm bool) (*generation, error) {
 	g := &generation{batches: make(chan []*request)}
 	release := func() {
 		s.budget.Free(g.secureBytes)
 		g.secureBytes = 0
 	}
-	for i := 0; i < s.cfg.Workers; i++ {
+	for i := 0; i < workers; i++ {
 		rep, err := dep.ReplicateOn(s.device, s.cfg.MaxBatch, s.budget)
 		if err != nil {
 			release()
-			return nil, fmt.Errorf("serve: replicating session %d of %d: %w", i+1, s.cfg.Workers, err)
+			return nil, fmt.Errorf("serve: replicating session %d of %d: %w", i+1, workers, err)
 		}
 		// A serving session lives indefinitely: cap its observation trace so
 		// steady-state requests neither allocate nor accumulate memory.
@@ -261,9 +292,11 @@ func (s *Server) newGeneration(dep *core.Deployment, warm bool) (*generation, er
 	return g, nil
 }
 
-// startWorkers launches p's workers over generation g.
+// startWorkers launches p's workers over generation g — one per replica, so
+// a generation built at a different width than its predecessor changes the
+// pool's effective parallelism the moment it is installed.
 func (p *pool) startWorkers(g *generation) {
-	for i := 0; i < p.srv.cfg.Workers; i++ {
+	for i := range g.reps {
 		g.workers.Add(1)
 		go p.worker(g, i)
 	}
@@ -286,7 +319,8 @@ func (s *Server) addModel(name string, dep *core.Deployment, warm bool) error {
 	if _, ok := s.models[name]; ok {
 		return fmt.Errorf("%w: %q", ErrModelExists, name)
 	}
-	g, err := s.newGeneration(dep, warm)
+	width := s.Workers()
+	g, err := s.newGeneration(dep, width, warm)
 	if err != nil {
 		return err
 	}
@@ -296,6 +330,7 @@ func (s *Server) addModel(name string, dep *core.Deployment, warm bool) error {
 		srv:            s,
 		name:           name,
 		sampleShape:    shape,
+		template:       dep,
 		queue:          make(chan *request, s.cfg.QueueDepth),
 		done:           make(chan struct{}),
 		dispatcherDone: make(chan struct{}),
@@ -303,7 +338,7 @@ func (s *Server) addModel(name string, dep *core.Deployment, warm bool) error {
 		gen:            g,
 	}
 	p.stats.start = time.Now()
-	p.stats.workerBusy = make([]float64, s.cfg.Workers)
+	p.stats.workerBusy = make([]float64, width)
 	p.startWorkers(g)
 	go p.dispatch()
 	s.models[name] = p
@@ -432,9 +467,25 @@ func (s *Server) SwapModel(name string, dep *core.Deployment) error {
 				ErrConfig, shape, p.sampleShape)
 		}
 	}
+	if err := s.swapInto(p, dep, s.Workers()); err != nil {
+		return err
+	}
+	p.swaps.Add(1)
+	return nil
+}
+
+// swapInto is the shared warm-then-drain engine behind SwapModel and Resize:
+// it builds a fresh generation of the given width from dep (nil means the
+// pool's retained template — a pure resize), installs it, then drains and
+// releases the displaced generation. On a retired pool (removed model, or
+// server shutting down) it fails with ErrClosed without touching anything.
+func (s *Server) swapInto(p *pool, dep *core.Deployment, workers int) error {
 	p.swapMu.Lock()
 	defer p.swapMu.Unlock()
-	g, err := s.newGeneration(dep, true)
+	if dep == nil {
+		dep = p.template
+	}
+	g, err := s.newGeneration(dep, workers, true)
 	if err != nil {
 		return err
 	}
@@ -446,6 +497,7 @@ func (s *Server) SwapModel(name string, dep *core.Deployment) error {
 	}
 	old := p.gen
 	p.gen = g
+	p.template = dep
 	p.startWorkers(g)
 	p.genMu.Unlock()
 	// Drain the displaced generation: close its feed (the dispatcher already
@@ -454,7 +506,54 @@ func (s *Server) SwapModel(name string, dep *core.Deployment) error {
 	close(old.batches)
 	old.workers.Wait()
 	s.budget.Free(old.secureBytes)
-	p.swaps.Add(1)
+	return nil
+}
+
+// Workers returns the current per-pool worker width — Config.Workers at
+// construction, the latest successful Resize target afterwards.
+func (s *Server) Workers() int { return int(s.width.Load()) }
+
+// Resize changes every hosted pool's worker width to workers, live and
+// without dropping a request. Each pool goes through the same warm-then-drain
+// generation swap as SwapModel — the new generation is replicated and warmed
+// at the target width while the old one keeps serving, so during the window
+// both generations hold secure memory and a scale-up that would exceed the
+// device budget is refused with ErrSecureMemory (wrapped), leaving the old
+// width serving (pools already resized are rolled back best-effort). A pool
+// removed concurrently is skipped; a closed server fails with ErrClosed.
+func (s *Server) Resize(workers int) error {
+	if workers < 1 {
+		return fmt.Errorf("%w: workers %d < 1", ErrConfig, workers)
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	old := s.Workers()
+	s.modelMu.RLock()
+	pools := make([]*pool, 0, len(s.names))
+	for _, name := range s.names {
+		pools = append(pools, s.models[name])
+	}
+	s.modelMu.RUnlock()
+	var done []*pool
+	for _, p := range pools {
+		err := s.swapInto(p, nil, workers)
+		if errors.Is(err, ErrClosed) && !s.closed.Load() {
+			continue // model removed while we resized its siblings
+		}
+		if err != nil {
+			// Restore the pools already moved so a refused scale-up leaves
+			// the server at one coherent width. Rollback shrinks back to the
+			// pre-resize width, which fit before; failures are ignored — the
+			// pool keeps serving at whichever width it holds.
+			for _, q := range done {
+				_ = s.swapInto(q, nil, old)
+			}
+			return err
+		}
+		done = append(done, p)
+	}
+	s.width.Store(int32(workers))
 	return nil
 }
 
@@ -604,6 +703,10 @@ func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch [
 		p.isolateBatch(id, rep, ws, live, wait)
 		return
 	}
+	service := hostNs
+	if err == nil {
+		service += p.pace(lat)
+	}
 	for i, r := range live {
 		p.pending.Add(-1)
 		if err != nil {
@@ -613,6 +716,32 @@ func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch [
 		r.resp <- response{label: labels[i]}
 	}
 	p.stats.record(id, len(live), lat, hostNs, wait, err)
+	if err == nil {
+		p.observe(len(live), service)
+	}
+}
+
+// pace sleeps the modeled batch latency scaled by Config.PaceScale, turning
+// the cost model into wall-clock service time; it returns the slept duration.
+// A zero scale is free.
+func (p *pool) pace(lat float64) time.Duration {
+	scale := p.srv.cfg.PaceScale
+	if scale <= 0 || lat <= 0 {
+		return 0
+	}
+	d := time.Duration(lat * scale * float64(time.Second))
+	time.Sleep(d)
+	return d
+}
+
+// observe reports one successful run's realized per-sample service time to
+// the configured Observer.
+func (p *pool) observe(samples int, service time.Duration) {
+	obs := p.srv.cfg.Observer
+	if obs == nil || samples == 0 {
+		return
+	}
+	obs(p.name, samples, service/time.Duration(samples))
 }
 
 // isolateBatch re-runs each request of a failed coalesced batch as its own
@@ -637,7 +766,9 @@ func (p *pool) isolateBatch(id int, rep *core.Deployment, ws *workerScratch, bat
 		if err != nil {
 			r.resp <- response{err: err}
 		} else {
+			service := hostNs + p.pace(lat)
 			r.resp <- response{label: labels[0]}
+			p.observe(1, service)
 		}
 		p.stats.record(id, 1, lat, hostNs, perWait, err)
 	}
@@ -970,6 +1101,11 @@ func (a *statsAgg) record(worker, batchSize int, lat float64, hostNs, wait time.
 	if batchSize > a.largestBatch {
 		a.largestBatch = batchSize
 	}
+	// A resize can install a wider generation than the pool started with;
+	// the per-worker busy ledger grows to fit the largest width seen.
+	for worker >= len(a.workerBusy) {
+		a.workerBusy = append(a.workerBusy, 0)
+	}
 	a.workerBusy[worker] += lat
 	for i := 0; i < batchSize; i++ {
 		a.latencies[a.latCount%int64(len(a.latencies))] = lat
@@ -1024,7 +1160,7 @@ func (s *Server) mergeStats(snaps []poolSnapshot) Stats {
 	out := Stats{
 		Device:          s.device.Name(),
 		PeakSecureBytes: s.budget.Peak(),
-		Workers:         s.cfg.Workers,
+		Workers:         s.Workers(),
 		WallSeconds:     time.Since(s.start).Seconds(),
 	}
 	var samples []float64

@@ -1,6 +1,9 @@
 package tee
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ErrSecureMemoryExhausted is returned when an allocation would exceed the
 // device's secure-memory capacity.
@@ -17,7 +20,12 @@ func (e *ErrSecureMemoryExhausted) Error() string {
 // SecureMemory is an accounting allocator for the secure world. It tracks
 // live and peak usage against a capacity; deployments use it to report (and
 // bound) the TEE footprint the paper's Fig. 3 compares.
+//
+// All methods are safe for concurrent use: the idle-model reaper, hot swaps,
+// and the autoscaler's warm-then-drain resizes all reserve and release
+// against the same device budget from independent goroutines.
 type SecureMemory struct {
+	mu       sync.Mutex
 	capacity int64
 	used     int64
 	peak     int64
@@ -35,6 +43,8 @@ func (m *SecureMemory) Alloc(n int64) error {
 	if n < 0 {
 		panic("tee: negative allocation")
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.capacity > 0 && m.used+n > m.capacity {
 		return &ErrSecureMemoryExhausted{Requested: n, Used: m.used, Capacity: m.capacity}
 	}
@@ -48,6 +58,8 @@ func (m *SecureMemory) Alloc(n int64) error {
 // Free releases n bytes. Releasing more than is in use panics: that is a
 // deployment accounting bug, not a runtime condition.
 func (m *SecureMemory) Free(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if n > m.used {
 		panic(fmt.Sprintf("tee: freeing %d bytes with only %d in use", n, m.used))
 	}
@@ -55,10 +67,18 @@ func (m *SecureMemory) Free(n int64) {
 }
 
 // Used returns the live byte count.
-func (m *SecureMemory) Used() int64 { return m.used }
+func (m *SecureMemory) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
 
 // Peak returns the high-water mark.
-func (m *SecureMemory) Peak() int64 { return m.peak }
+func (m *SecureMemory) Peak() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
 
 // Capacity returns the configured capacity (0 = unlimited).
 func (m *SecureMemory) Capacity() int64 { return m.capacity }
