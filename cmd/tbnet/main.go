@@ -15,6 +15,7 @@
 //	tbnet fleet [flags]       # serve across a mixed device fleet with routed traffic
 //	tbnet scenario [flags]    # drive a fleet through a phased / trace-replayed workload
 //	tbnet info                # print the registered hardware backends
+//	tbnet version             # print the release and Go toolchain versions
 //
 // Common flags:
 //
@@ -72,6 +73,9 @@
 //	-models LIST  serve saved models (mixed-model traffic when several)
 //	-sweep LIST   also run the same workload at these static widths and
 //	              render the static-vs-autoscale comparison (implies -autoscale)
+//	-trace-out F  record per-request span timelines during the run and write
+//	              them to F after it (a table, or the /debug/trace JSON shape
+//	              with -json); local fleet runs only
 package main
 
 import (
@@ -89,6 +93,7 @@ import (
 	"time"
 
 	"tbnet"
+	"tbnet/internal/buildinfo"
 	"tbnet/internal/experiments"
 	"tbnet/internal/report"
 )
@@ -120,6 +125,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runScenarioCmd(args[1:], stdout, stderr)
 	case "info":
 		return runInfoCmd(stdout)
+	case "version", "-version", "--version":
+		fmt.Fprintf(stdout, "tbnet %s (%s)\n", tbnet.Version, buildinfo.GoVersion())
+		return 0
 	default:
 		fmt.Fprintf(stderr, "unknown command %q\n", cmd)
 		usage(stderr)
@@ -829,6 +837,8 @@ func usage(w io.Writer) {
                  [-autoscale [-autoscale-min N] [-autoscale-max N] [-autoscale-interval D]]
                  [-pace S] [-sweep W,W,...]     # static-vs-autoscale comparison
                  [-target URL [-api-key KEY]]   # client mode: load-test a running tbnetd over HTTP
+                 [-trace-out FILE]              # dump per-request span timelines after the run
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
-  tbnet info     # list the registered hardware backends`)
+  tbnet info     # list the registered hardware backends
+  tbnet version  # print the release and Go toolchain versions`)
 }

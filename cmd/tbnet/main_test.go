@@ -3,8 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"tbnet"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -381,5 +385,95 @@ func TestPipelineCommandJSON(t *testing.T) {
 	}
 	if res.Device != "rpi3" || res.SecureBytes <= 0 || res.LatencySec <= 0 {
 		t.Fatalf("device attribution wrong: %+v", res)
+	}
+}
+
+// TestVersionCommand: `tbnet version` (and the -version spellings) prints the
+// release and toolchain versions and exits 0.
+func TestVersionCommand(t *testing.T) {
+	for _, cmd := range []string{"version", "-version", "--version"} {
+		code, stdout, stderr := runCLI(t, cmd)
+		if code != 0 {
+			t.Fatalf("%s: exit = %d, stderr: %s", cmd, code, stderr)
+		}
+		if !strings.Contains(stdout, "tbnet "+tbnet.Version) || !strings.Contains(stdout, "go") {
+			t.Fatalf("%s output = %q", cmd, stdout)
+		}
+	}
+}
+
+// TestScenarioTraceOutValidation: -trace-out only makes sense for a local
+// fleet run — client mode and sweep comparisons refuse it fast.
+func TestScenarioTraceOutValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"scenario", "-trace-out", "/tmp/x", "-target", "http://127.0.0.1:1"},
+		{"scenario", "-trace-out", "/tmp/x", "-sweep", "1,2"},
+	} {
+		code, _, stderr := runCLI(t, args...)
+		if code != 2 {
+			t.Fatalf("%v: exit = %d, want 2 (stderr %q)", args, code, stderr)
+		}
+		if !strings.Contains(stderr, "-trace-out") {
+			t.Fatalf("%v: stderr %q does not explain the conflict", args, stderr)
+		}
+	}
+}
+
+// TestScenarioTraceOutEndToEnd drives a paced local fleet through a short
+// phase with span capture on and checks the -trace-out artifact: the
+// /debug/trace JSON shape, with per-request timelines whose stage breakdowns
+// carry the queue/batch/world costs. Gated behind -short (it trains a small
+// pipeline).
+func TestScenarioTraceOutEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping pipeline-backed scenario run in short mode")
+	}
+	out := filepath.Join(t.TempDir(), "spans.json")
+	code, stdout, stderr := runCLI(t,
+		"scenario", "-arch", "tiny-vgg", "-scale", "micro",
+		"-devices", "rpi3:1", "-pace", "2",
+		"-spec", "steady:uniform:100:500ms",
+		"-trace-out", out, "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "span timeline(s)") {
+		t.Fatalf("no trace-out confirmation on stderr:\n%s", stderr)
+	}
+	// The main stdout artifact is unchanged by tracing.
+	var res struct {
+		Scenario struct {
+			Served int `json:"served"`
+		} `json:"scenario"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("scenario artifact not parseable: %v\n%s", err, stdout)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Returned int              `json:"returned"`
+		Spans    []tbnet.SpanData `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("trace artifact not parseable: %v\n%s", err, raw)
+	}
+	if dump.Returned == 0 || dump.Returned != len(dump.Spans) {
+		t.Fatalf("trace artifact header = %d spans, body has %d", dump.Returned, len(dump.Spans))
+	}
+	if res.Scenario.Served > 0 && dump.Returned > res.Scenario.Served {
+		t.Fatalf("captured %d spans for %d served requests", dump.Returned, res.Scenario.Served)
+	}
+	for _, d := range dump.Spans[:min(3, len(dump.Spans))] {
+		if d.ID == "" || d.WallMs <= 0 || len(d.Stages) == 0 {
+			t.Fatalf("span lacks identity or breakdown: %+v", d)
+		}
+		for _, stage := range []string{"queued", "ree", "tee", "pace"} {
+			if d.StageMs(stage) <= 0 {
+				t.Fatalf("span %s missing stage %q: %s", d.ID, stage, d.StagesString())
+			}
+		}
 	}
 }

@@ -188,6 +188,7 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	autoInterval := fs.Duration("autoscale-interval", 50*time.Millisecond, "autoscaler control-loop period")
 	pace := fs.Float64("pace", 0, "pace workers at modeled-latency × this factor (0 = off)")
 	sweepList := fs.String("sweep", "", "also run the same workload at these static widths (comma-separated worker counts) and compare; implies -autoscale")
+	traceOut := fs.String("trace-out", "", "write per-request span timelines to this file after the run (local fleet only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -211,6 +212,14 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	if *target != "" && *auto {
 		fmt.Fprintln(stderr, "-autoscale/-sweep drive a local fleet; with -target the daemon owns its scaling")
+		return 2
+	}
+	if *traceOut != "" && *target != "" {
+		fmt.Fprintln(stderr, "-trace-out records a local fleet's spans; against a -target daemon use GET /debug/trace")
+		return 2
+	}
+	if *traceOut != "" && len(sweep) > 0 {
+		fmt.Fprintln(stderr, "-trace-out cannot attribute spans across the fleets of a -sweep comparison")
 		return 2
 	}
 
@@ -251,6 +260,13 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	if *pace > 0 {
 		baseOpts = append(baseOpts, tbnet.WithPace(*pace))
+	}
+	// The span ring outlives the fleet, so the timelines are still readable
+	// after the run tears the serving pools down.
+	var tracer *tbnet.Tracer
+	if *traceOut != "" {
+		tracer = tbnet.NewTracer(4096)
+		baseOpts = append(baseOpts, tbnet.WithTracing(tracer))
 	}
 
 	// Parse the workload shape first — a typo in the spec or a missing trace
@@ -422,6 +438,12 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	st := f.Stats()
 	ctl := tbnet.FleetAutoscaler(f)
+	if tracer != nil {
+		if err := writeTraceOut(*traceOut, tracer, c.jsonOut, stderr); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 
 	if c.jsonOut {
 		// One artifact object: the scenario's per-phase client-side figures
@@ -456,6 +478,30 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "offered %d requests: %d served, %d shed, %d failed in %.2fs\n",
 		res.Offered, res.Served, res.Shed, res.Failed, res.WallSeconds)
 	return 0
+}
+
+// writeTraceOut dumps every span the run's tracer captured to path — the
+// SpanTable text rendering, or with -json the same object shape the daemon's
+// GET /debug/trace answers with, so the artifact feeds the same tooling.
+func writeTraceOut(path string, tracer *tbnet.Tracer, jsonOut bool, stderr io.Writer) error {
+	spans := tbnet.TraceSnapshot(tracer, 0, 0)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		err = report.RenderSpansJSON(f, spans)
+	} else {
+		report.SpanTable(spans).Render(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Fprintf(stderr, "wrote %d request span timeline(s) to %s\n", len(spans), path)
+	return nil
 }
 
 // scenarioLeg is one configuration in a static-vs-autoscale sweep.

@@ -18,6 +18,15 @@
 // the controller's counters are exported on /metrics
 // (tbnet_autoscale_*).
 //
+// The daemon is observable end to end: every request records a span timeline
+// (ingress → queued → batched → ree/tee → pace → respond) into a bounded ring
+// sized by -trace-ring, readable as JSON on GET /debug/trace (?min_ms= filters
+// by wall time; the X-Request-Id echoes back as the span's id); latency
+// distributions export as Prometheus histograms with request-id exemplars;
+// requests slower than -slow-log are journaled with their stage breakdown; and
+// -pprof mounts net/http/pprof under /debug/pprof/. The debug surface honours
+// -api-keys: with auth enabled, timelines and profiles need a key.
+//
 // The bound address is printed on stderr and, with -addr-file, written to a
 // file — so harnesses can start the daemon on ":0" and discover the port.
 package main
@@ -36,6 +45,7 @@ import (
 	"time"
 
 	"tbnet"
+	"tbnet/internal/buildinfo"
 	"tbnet/internal/core"
 	"tbnet/internal/httpd"
 	"tbnet/internal/registry"
@@ -150,7 +160,19 @@ func run(args []string, stderr io.Writer) int {
 	idleTTL := fs.Duration("idle-ttl", 0, "reap hosted models idle for this long (0 = never)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 answers")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+	traceRing := fs.Int("trace-ring", 4096, "request span ring capacity for GET /debug/trace (0 disables tracing)")
+	slowLog := fs.Duration("slow-log", 250*time.Millisecond, "journal requests slower than this with their span breakdown (0 disables)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (behind auth when -api-keys is set)")
+	version := fs.Bool("version", false, "print the release and Go toolchain versions and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintf(stderr, "tbnetd %s (%s)\n", tbnet.Version, buildinfo.GoVersion())
+		return 0
+	}
+	if *traceRing < 0 {
+		fmt.Fprintf(stderr, "invalid -trace-ring %d: want 0 (off) or a positive capacity\n", *traceRing)
 		return 2
 	}
 	log := slog.New(slog.NewTextHandler(stderr, nil))
@@ -195,6 +217,15 @@ func run(args []string, stderr io.Writer) int {
 		return 1
 	}
 
+	// One tracer is shared by the fleet's workers and the HTTP layer: the
+	// middleware starts each request's span, the worker that executes it
+	// fills in the queue/batch/world stages, and GET /debug/trace reads the
+	// ring back.
+	var tracer *tbnet.Tracer
+	if *traceRing > 0 {
+		tracer = tbnet.NewTracer(*traceRing)
+		fleetOpts = append(fleetOpts, tbnet.WithTracing(tracer))
+	}
 	fleetOpts = append(fleetOpts, policyOpt)
 	if *deadline > 0 {
 		fleetOpts = append(fleetOpts, tbnet.WithDeadline(*deadline))
@@ -231,13 +262,16 @@ func run(args []string, stderr io.Writer) int {
 		}
 	}
 	srv, err := httpd.New(httpd.Config{
-		Fleet:      f,
-		Registry:   store,
-		APIKeys:    keys,
-		RateLimit:  httpd.RateLimit{RPS: *rate, Burst: *burst},
-		IdleTTL:    *idleTTL,
-		RetryAfter: *retryAfter,
-		Logger:     log,
+		Fleet:         f,
+		Registry:      store,
+		APIKeys:       keys,
+		RateLimit:     httpd.RateLimit{RPS: *rate, Burst: *burst},
+		IdleTTL:       *idleTTL,
+		RetryAfter:    *retryAfter,
+		Logger:        log,
+		Tracer:        tracer,
+		SlowThreshold: *slowLog,
+		EnablePprof:   *pprofOn,
 	})
 	if err != nil {
 		f.Close()

@@ -13,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"tbnet"
 )
 
 // startTestDaemon launches run() in-process with -demo and returns the base
@@ -155,6 +157,39 @@ func TestDaemonServesDemoModel(t *testing.T) {
 	if !strings.Contains(string(b), "tbnet_fleet_requests_total") {
 		t.Fatalf("metrics scrape lacks fleet counters:\n%s", b)
 	}
+	if !strings.Contains(string(b), "tbnet_build_info{") {
+		t.Fatalf("metrics scrape lacks build info:\n%s", b)
+	}
+
+	// Tracing is on by default: the served request's timeline is readable on
+	// the debug surface, with the fleet stages filled in.
+	resp, err = http.Get(base + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Returned int `json:"returned"`
+		Spans    []struct {
+			ID     string  `json:"request_id"`
+			Model  string  `json:"model"`
+			WallMs float64 `json:"wall_ms"`
+			Stages []struct {
+				Stage string `json:"stage"`
+			} `json:"stages"`
+		} `json:"spans"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&dump)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || derr != nil {
+		t.Fatalf("/debug/trace = %d (%v)", resp.StatusCode, derr)
+	}
+	if dump.Returned < 1 || len(dump.Spans) != dump.Returned {
+		t.Fatalf("trace dump = %+v", dump)
+	}
+	sp := dump.Spans[0]
+	if sp.ID == "" || sp.Model != "default" || sp.WallMs <= 0 || len(sp.Stages) == 0 {
+		t.Fatalf("span lacks identity or breakdown: %+v", sp)
+	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -211,14 +246,15 @@ func TestDaemonAutoscaleMetrics(t *testing.T) {
 // usage error before any model is built or port bound.
 func TestRunFlagValidation(t *testing.T) {
 	cases := [][]string{
-		{},                                   // nothing to serve
-		{"-demo", "-devices", "warp-core:2"}, // unknown device
-		{"-demo", "-devices", "rpi3:0"},      // bad worker count
-		{"-demo", "-policy", "psychic"},      // unknown policy
-		{"-demo", "-api-keys", "keyonly"},    // malformed key spec
-		{"-demo", "-autoscale", "-autoscale-min", "0"},                        // floor below 1
+		{},                                             // nothing to serve
+		{"-demo", "-devices", "warp-core:2"},           // unknown device
+		{"-demo", "-devices", "rpi3:0"},                // bad worker count
+		{"-demo", "-policy", "psychic"},                // unknown policy
+		{"-demo", "-api-keys", "keyonly"},              // malformed key spec
+		{"-demo", "-autoscale", "-autoscale-min", "0"}, // floor below 1
 		{"-demo", "-autoscale", "-autoscale-min", "4", "-autoscale-max", "2"}, // inverted bounds
 		{"-demo", "-autoscale", "-autoscale-interval", "0s"},                  // dead control loop
+		{"-demo", "-trace-ring", "-1"},                                        // negative span ring
 	}
 	for i, args := range cases {
 		if code := run(args, io.Discard); code != 2 {
@@ -228,6 +264,18 @@ func TestRunFlagValidation(t *testing.T) {
 	// A registry name without -registry is caught at model-load time.
 	if code := run([]string{"-models", "x"}, io.Discard); code == 0 {
 		t.Error("bare registry name without -registry accepted")
+	}
+}
+
+// TestVersionFlag: -version prints the release and toolchain versions and
+// exits 0 without binding a port or building a model.
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-version"}, &buf); code != 0 {
+		t.Fatalf("exit = %d, want 0: %s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "tbnetd "+tbnet.Version) || !strings.Contains(buf.String(), "go") {
+		t.Fatalf("-version output = %q", buf.String())
 	}
 }
 

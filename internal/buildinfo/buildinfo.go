@@ -1,0 +1,16 @@
+// Package buildinfo carries the release identity every tbnet surface
+// reports: the -version flags of the CLI and daemon, and the
+// tbnet_build_info gauge on /metrics. It exists as a leaf package so every
+// layer — binaries, httpd, the root facade — can import it without cycles.
+package buildinfo
+
+import "runtime"
+
+// Version is the tbnet release identifier, bumped once per released
+// change-set. It is a constant (not an ldflags injection) so offline builds
+// and tests see the same identity the metrics surface exports.
+const Version = "0.8.0"
+
+// GoVersion reports the Go toolchain the binary was built with, as exposed
+// by the goversion label on tbnet_build_info.
+func GoVersion() string { return runtime.Version() }

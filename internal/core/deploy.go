@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"tbnet/internal/obs"
 	"tbnet/internal/profile"
 	"tbnet/internal/tee"
 	"tbnet/internal/tensor"
@@ -306,7 +308,7 @@ func (d *Deployment) Infer(x *tensor.Tensor) ([]int, error) {
 	if err := d.checkInput(x); err != nil {
 		return nil, err
 	}
-	return d.inferInto(x, make([]int, x.Dim(0)))
+	return d.inferInto(x, make([]int, x.Dim(0)), nil)
 }
 
 // InferInto is Infer writing the predicted labels into the caller-provided
@@ -320,12 +322,28 @@ func (d *Deployment) InferInto(x *tensor.Tensor, labels []int) ([]int, error) {
 	if len(labels) < x.Dim(0) {
 		return nil, fmt.Errorf("core: label buffer %d for batch %d: %w", len(labels), x.Dim(0), ErrShape)
 	}
-	return d.inferInto(x, labels)
+	return d.inferInto(x, labels, nil)
+}
+
+// InferIntoObserved is InferInto additionally filling bd with the host
+// wall-time split of the protocol run: REENs accumulates normal-world stage
+// compute, TEENs the enclave invocations (input staging, per-stage secure
+// compute, result fetch). A nil bd makes it identical to InferInto, with no
+// timing overhead. The breakdown is host time for the obs span timeline —
+// distinct from Latency(), which is the device cost model's virtual time.
+func (d *Deployment) InferIntoObserved(x *tensor.Tensor, labels []int, bd *obs.ExecBreakdown) ([]int, error) {
+	if err := d.checkInput(x); err != nil {
+		return nil, err
+	}
+	if len(labels) < x.Dim(0) {
+		return nil, fmt.Errorf("core: label buffer %d for batch %d: %w", len(labels), x.Dim(0), ErrShape)
+	}
+	return d.inferInto(x, labels, bd)
 }
 
 // inferInto runs the staged protocol; the caller has validated x and sized
-// labels.
-func (d *Deployment) inferInto(x *tensor.Tensor, labels []int) (out []int, err error) {
+// labels. A non-nil bd receives the per-world host wall-time breakdown.
+func (d *Deployment) inferInto(x *tensor.Tensor, labels []int, bd *obs.ExecBreakdown) (out []int, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	// Shape mismatches that slip past the upfront check (for example an
@@ -341,24 +359,51 @@ func (d *Deployment) inferInto(x *tensor.Tensor, labels []int) (out []int, err e
 	trace := d.Enclave.Trace()
 	n := x.Dim(0)
 	mrCost := d.plan.mrCost[n-1]
+	timed := bd != nil
+	var t0 time.Time
+	if timed {
+		bd.Reset()
+		t0 = time.Now()
+	}
 	if err := d.Enclave.Invoke(CmdInput, "input", x); err != nil {
 		return nil, err
+	}
+	if timed {
+		bd.TEENs += time.Since(t0).Nanoseconds()
 	}
 	aR := x
 	for i, s := range d.mr.Stages {
 		dst := d.plan.stageBuf(d.plan.ree, d.plan.mrTags, d.plan.mrDims, i, n)
+		if timed {
+			t0 = time.Now()
+		}
 		s.InferInto(dst, aR, d.plan.ree)
+		if timed {
+			bd.REENs += time.Since(t0).Nanoseconds()
+		}
 		aR = dst
 		meter.AddCompute(tee.REE, mrCost.Stages[i].Flops)
 		trace.Record(tee.Event{Kind: tee.EvREECompute, Label: s.Name(),
 			Bytes: int64(aR.Size()) * 4})
+		if timed {
+			t0 = time.Now()
+		}
 		if err := d.Enclave.Invoke(cmdStageBase+i, s.Name(), aR); err != nil {
 			return nil, err
 		}
+		if timed {
+			bd.TEENs += time.Since(t0).Nanoseconds()
+		}
+	}
+	if timed {
+		t0 = time.Now()
 	}
 	logits, err := d.Enclave.Result()
 	if err != nil {
 		return nil, err
+	}
+	if timed {
+		bd.TEENs += time.Since(t0).Nanoseconds()
 	}
 	labels = labels[:n]
 	for i := range labels {

@@ -22,12 +22,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tbnet/internal/core"
+	"tbnet/internal/obs"
 	"tbnet/internal/serve"
 	"tbnet/internal/tee"
 	"tbnet/internal/tensor"
@@ -108,6 +108,12 @@ type Config struct {
 	// routing decisions — CostAware and EWMA both score with the learned
 	// figures, so routing adapts when a device degrades after deployment.
 	Estimator *Estimator
+	// Tracer, when set, is handed to every node's server so each request's
+	// span timeline (queue wait, batch formation, per-world execution,
+	// pacing) lands in one shared bounded ring; the fleet layer itself
+	// annotates each span with the node the request was routed to. Nil
+	// disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -381,6 +387,7 @@ func (f *Fleet) buildNode(name string, device tee.Device, workers int, dep *core
 		MaxDelay:   f.cfg.MaxDelay,
 		QueueDepth: f.cfg.QueueDepth,
 		PaceScale:  f.cfg.PaceScale,
+		Tracer:     f.cfg.Tracer,
 	}
 	if est := f.est; est != nil {
 		scfg.Observer = func(model string, samples int, perSample time.Duration) {
@@ -715,6 +722,9 @@ func (f *Fleet) InferModel(ctx context.Context, model string, x *tensor.Tensor) 
 	defer release()
 	n := f.route(model)
 	defer n.active.Add(-1)
+	// Annotate the request span (if the ingress attached one) with the
+	// routing decision; the serve layer fills in the rest of the timeline.
+	obs.FromContext(ctx).SetNode(n.name)
 	reqCtx := ctx
 	if f.cfg.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -1078,6 +1088,10 @@ type ModelStats struct {
 	// ModeledThroughput is the sum of the model's per-node modeled
 	// throughputs, in requests per modeled device-second.
 	ModeledThroughput float64 `json:"modeled_throughput_rps"`
+	// LatencyHist is the model's fleet-wide merged modeled-latency
+	// histogram behind the percentile fields, exposed for the /metrics
+	// bucket families. Excluded from JSON.
+	LatencyHist *obs.Histogram `json:"-"`
 }
 
 // Stats is an aggregated point-in-time snapshot of the fleet: fleet-wide
@@ -1131,6 +1145,12 @@ type Stats struct {
 	Models []ModelStats `json:"models"`
 	// PerDevice is the per-node breakdown, in attachment order.
 	PerDevice []DeviceStats `json:"per_device"`
+	// LatencyHist is the fleet-wide merged modeled-latency histogram behind
+	// the percentile fields (per-node histograms are under
+	// PerDevice[i].Serve.LatencyHist, per-model ones under
+	// Models[i].LatencyHist). Excluded from JSON — the stable percentile
+	// fields are the artifact surface; /metrics renders the buckets.
+	LatencyHist *obs.Histogram `json:"-"`
 }
 
 // Stats returns an aggregated snapshot of the fleet's counters.
@@ -1151,7 +1171,7 @@ func (f *Fleet) Stats() Stats {
 		defaultLat[i] = n.lat[DefaultModel]
 	}
 	f.modelMu.RUnlock()
-	var samples []float64
+	out.LatencyHist = &obs.Histogram{}
 	var hostNs float64
 	for i, n := range nodes {
 		st := n.srv.Stats()
@@ -1162,7 +1182,7 @@ func (f *Fleet) Stats() Stats {
 		out.PeakSecureBytes += st.PeakSecureBytes
 		out.Workers += int(n.workers.Load())
 		hostNs += st.HostNsPerOp * float64(st.Requests)
-		samples = append(samples, n.srv.LatencySamples()...)
+		out.LatencyHist.Merge(st.LatencyHist)
 		out.PerDevice = append(out.PerDevice, DeviceStats{
 			Name:                n.name,
 			Workers:             int(n.workers.Load()),
@@ -1175,16 +1195,13 @@ func (f *Fleet) Stats() Stats {
 	if out.Requests > 0 {
 		out.HostNsPerOp = hostNs / float64(out.Requests)
 	}
-	if len(samples) > 0 {
-		sort.Float64s(samples)
-		n := len(samples)
-		out.P50Micros = samples[n/2] * 1e6
-		out.P95Micros = samples[(n*95)/100] * 1e6
-		out.P99Micros = samples[(n*99)/100] * 1e6
+	if out.LatencyHist.Count() > 0 {
+		out.P50Micros = out.LatencyHist.Quantile(0.50) * 1e6
+		out.P95Micros = out.LatencyHist.Quantile(0.95) * 1e6
+		out.P99Micros = out.LatencyHist.Quantile(0.99) * 1e6
 	}
 	for _, name := range models {
-		ms := ModelStats{Name: name}
-		var modelSamples []float64
+		ms := ModelStats{Name: name, LatencyHist: &obs.Histogram{}}
 		for _, n := range nodes {
 			st, err := n.srv.ModelStats(name)
 			if err != nil {
@@ -1194,15 +1211,12 @@ func (f *Fleet) Stats() Stats {
 			ms.Errors += st.Errors
 			ms.Swaps += st.Swaps
 			ms.ModeledThroughput += st.ModeledThroughput
-			if s, err := n.srv.ModelLatencySamples(name); err == nil {
-				modelSamples = append(modelSamples, s...)
-			}
+			ms.LatencyHist.Merge(st.LatencyHist)
 		}
-		if n := len(modelSamples); n > 0 {
-			sort.Float64s(modelSamples)
-			ms.P50Micros = modelSamples[n/2] * 1e6
-			ms.P95Micros = modelSamples[(n*95)/100] * 1e6
-			ms.P99Micros = modelSamples[(n*99)/100] * 1e6
+		if ms.LatencyHist.Count() > 0 {
+			ms.P50Micros = ms.LatencyHist.Quantile(0.50) * 1e6
+			ms.P95Micros = ms.LatencyHist.Quantile(0.95) * 1e6
+			ms.P99Micros = ms.LatencyHist.Quantile(0.99) * 1e6
 		}
 		out.Models = append(out.Models, ms)
 	}

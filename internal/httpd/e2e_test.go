@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"regexp"
@@ -45,17 +46,43 @@ func startDaemon(t testing.TB, s *Server) string {
 	return "http://" + l.Addr().String()
 }
 
-// promSampleRe matches one Prometheus text-exposition sample line.
+// promSampleRe matches one Prometheus text-exposition sample line (after
+// any exemplar trailer has been split off).
 var promSampleRe = regexp.MustCompile(
 	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?([0-9]+(\.[0-9]+)?|\.[0-9]+)([eE][+-]?[0-9]+)?|NaN|[+-]Inf)$`)
 
+// promExemplarRe matches the OpenMetrics-style exemplar trailer the daemon
+// attaches to histogram bucket samples: a label set, the exemplar value,
+// and an optional timestamp.
+var promExemplarRe = regexp.MustCompile(
+	`^\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\} -?([0-9]+(\.[0-9]+)?|\.[0-9]+)([eE][+-]?[0-9]+)?( [0-9]+(\.[0-9]+)?)?$`)
+
+// promLabelRe extracts the individual key="value" pairs of a label set.
+var promLabelRe = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"`)
+
+// histSeries accumulates one labeled histogram series across its _bucket,
+// _sum, and _count samples for the structural checks.
+type histSeries struct {
+	les      []float64
+	bucketNs []float64
+	count    float64
+	sum      float64
+	hasCount bool
+	hasSum   bool
+}
+
 // parsePromText validates the whole scrape against the text exposition
 // format — every sample line parses, every family has HELP and TYPE emitted
-// before its first sample — and returns family → sample-line count.
+// before its first sample, and every histogram family is structurally sound:
+// le buckets in strictly ascending order, cumulative counts monotone, the
+// +Inf bucket equal to _count, exemplar trailers only on bucket samples and
+// syntactically valid. It returns family → sample-line count (histogram
+// _bucket/_sum/_count samples all count toward the base family name).
 func parsePromText(t testing.TB, body string) map[string]int {
 	t.Helper()
 	families := make(map[string]int)
-	typed := make(map[string]bool)
+	typed := make(map[string]string)
+	hists := make(map[string]*histSeries)
 	for ln, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
 		switch {
 		case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# TYPE "):
@@ -64,25 +91,102 @@ func parsePromText(t testing.TB, body string) map[string]int {
 				t.Fatalf("line %d: malformed comment %q", ln+1, line)
 			}
 			if parts[1] == "TYPE" {
-				if parts[3] != "counter" && parts[3] != "gauge" {
+				if parts[3] != "counter" && parts[3] != "gauge" && parts[3] != "histogram" {
 					t.Fatalf("line %d: bad metric type %q", ln+1, parts[3])
 				}
-				typed[parts[2]] = true
+				typed[parts[2]] = parts[3]
 			}
 		case strings.TrimSpace(line) == "":
 			t.Fatalf("line %d: blank line in exposition", ln+1)
 		default:
-			if !promSampleRe.MatchString(line) {
-				t.Fatalf("line %d: invalid sample %q", ln+1, line)
+			sample, exemplar, exemplared := strings.Cut(line, " # ")
+			if exemplared && !promExemplarRe.MatchString(exemplar) {
+				t.Fatalf("line %d: invalid exemplar %q", ln+1, exemplar)
 			}
-			name := line
-			if i := strings.IndexAny(line, "{ "); i >= 0 {
-				name = line[:i]
+			if !promSampleRe.MatchString(sample) {
+				t.Fatalf("line %d: invalid sample %q", ln+1, sample)
 			}
-			if !typed[name] {
+			name := sample
+			if i := strings.IndexAny(sample, "{ "); i >= 0 {
+				name = sample[:i]
+			}
+			family, suffix := name, ""
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, sfx); base != name && typed[base] == "histogram" {
+					family, suffix = base, sfx
+					break
+				}
+			}
+			if typed[family] == "" {
 				t.Fatalf("line %d: sample %q before its # TYPE header", ln+1, name)
 			}
-			families[name]++
+			if typed[family] == "histogram" && suffix == "" {
+				t.Fatalf("line %d: bare sample %q of histogram family", ln+1, name)
+			}
+			if exemplared && suffix != "_bucket" {
+				t.Fatalf("line %d: exemplar on non-bucket sample %q", ln+1, name)
+			}
+			families[family]++
+			if suffix == "" {
+				continue
+			}
+			// Accumulate the series (key: family + labels minus le) for the
+			// structural histogram checks after the scan.
+			rest := strings.TrimPrefix(sample, name)
+			value, err := strconv.ParseFloat(rest[strings.LastIndex(rest, " ")+1:], 64)
+			if err != nil {
+				t.Fatalf("line %d: bad sample value in %q: %v", ln+1, sample, err)
+			}
+			le, key := "", family
+			for _, m := range promLabelRe.FindAllStringSubmatch(rest, -1) {
+				if m[1] == "le" {
+					le = m[2]
+					continue
+				}
+				key += "," + m[1] + "=" + m[2]
+			}
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{}
+				hists[key] = hs
+			}
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					t.Fatalf("line %d: bucket sample without le label: %q", ln+1, sample)
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					if bound, err = strconv.ParseFloat(le, 64); err != nil {
+						t.Fatalf("line %d: bad le %q", ln+1, le)
+					}
+				}
+				hs.les = append(hs.les, bound)
+				hs.bucketNs = append(hs.bucketNs, value)
+			case "_sum":
+				hs.sum, hs.hasSum = value, true
+			case "_count":
+				hs.count, hs.hasCount = value, true
+			}
+		}
+	}
+	for key, hs := range hists {
+		if !hs.hasSum || !hs.hasCount {
+			t.Fatalf("histogram series %s lacks _sum/_count", key)
+		}
+		if len(hs.les) == 0 || !math.IsInf(hs.les[len(hs.les)-1], 1) {
+			t.Fatalf("histogram series %s does not close with le=\"+Inf\": %v", key, hs.les)
+		}
+		for i := 1; i < len(hs.les); i++ {
+			if hs.les[i] <= hs.les[i-1] {
+				t.Fatalf("histogram series %s: le bounds not ascending at %d: %v", key, i, hs.les)
+			}
+			if hs.bucketNs[i] < hs.bucketNs[i-1] {
+				t.Fatalf("histogram series %s: cumulative counts decrease at le=%g: %v", key, hs.les[i], hs.bucketNs)
+			}
+		}
+		if inf := hs.bucketNs[len(hs.bucketNs)-1]; inf != hs.count {
+			t.Fatalf("histogram series %s: +Inf bucket %g != _count %g", key, inf, hs.count)
 		}
 	}
 	return families

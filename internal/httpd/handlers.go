@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"tbnet/internal/core"
 	"tbnet/internal/fleet"
+	"tbnet/internal/obs"
 	"tbnet/internal/serial"
 	"tbnet/internal/tee"
 	"tbnet/internal/tensor"
@@ -200,11 +203,60 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reaper.touch(model)
+	respondStart := time.Now()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(inferResponse{
 		Label:     label,
 		Model:     model,
 		RequestID: RequestIDFrom(r.Context()),
+	})
+	obs.FromContext(r.Context()).Mark(obs.StageRespond, time.Since(respondStart))
+}
+
+// debugTraceResponse is the body of GET /debug/trace.
+type debugTraceResponse struct {
+	// Capacity is the span ring size — the bound on retained timelines.
+	Capacity int `json:"capacity"`
+	// Returned is len(Spans) after filtering and limiting.
+	Returned int `json:"returned"`
+	// Spans holds the matching finished spans, newest first.
+	Spans []obs.SpanData `json:"spans"`
+}
+
+// handleDebugTrace serves the recent span timelines from the tracer ring,
+// newest first: ?min_ms=N keeps only spans at least that slow (the workflow
+// is scrape → spot a slow histogram bucket → fetch its exemplar's timeline
+// here), ?limit=N caps the answer (default 256). 404s when the daemon runs
+// without a tracer.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Tracer == nil {
+		writeJSONError(w, r, http.StatusNotFound, "tracing disabled (no tracer configured)", 0)
+		return
+	}
+	var minWall time.Duration
+	if q := r.URL.Query().Get("min_ms"); q != "" {
+		ms, err := strconv.ParseFloat(q, 64)
+		if err != nil || ms < 0 {
+			writeJSONError(w, r, http.StatusBadRequest, "min_ms must be a non-negative number", 0)
+			return
+		}
+		minWall = time.Duration(ms * float64(time.Millisecond))
+	}
+	limit := 256
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeJSONError(w, r, http.StatusBadRequest, "limit must be a positive integer", 0)
+			return
+		}
+		limit = n
+	}
+	spans := s.cfg.Tracer.Snapshot(minWall, limit)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(debugTraceResponse{
+		Capacity: s.cfg.Tracer.Capacity(),
+		Returned: len(spans),
+		Spans:    spans,
 	})
 }
 

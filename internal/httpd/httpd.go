@@ -10,7 +10,9 @@
 //	GET  /v1/models                hosted pools (+ registry entries, if attached)
 //	POST /v1/models/{name}/swap    hot-swap a hosted model from an artifact body
 //	GET  /healthz                  liveness (503 while draining)
-//	GET  /metrics                  Prometheus text exposition
+//	GET  /metrics                  Prometheus text exposition (histograms with exemplars)
+//	GET  /debug/trace              recent request span timelines, filterable by ?min_ms=
+//	GET  /debug/pprof/*            Go profiling endpoints (opt-in, behind auth)
 //
 // In front of the handlers sits a composable middleware chain, following the
 // defense-in-depth layering of production TEE services: each concern — panic
@@ -37,10 +39,12 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
 	"tbnet/internal/fleet"
+	"tbnet/internal/obs"
 	"tbnet/internal/registry"
 )
 
@@ -87,6 +91,25 @@ type Config struct {
 	RetryAfter time.Duration
 	// Logger receives the structured request log (default slog.Default()).
 	Logger *slog.Logger
+	// Tracer, when set, records a span timeline for every API request —
+	// started under its X-Request-Id by the tracing middleware, filled in by
+	// the serving layers down to the per-world execution split — and backs
+	// GET /debug/trace. Share the same tracer with fleet.Config.Tracer so
+	// the middleware-started spans are the ones the workers annotate. Nil
+	// disables tracing and the trace endpoint.
+	Tracer *obs.Tracer
+	// SlowThreshold journals requests whose wall time reaches it: a WARN
+	// line with the request's full span stage breakdown, sampled to at most
+	// one line per SlowLogGap. 0 disables the journal.
+	SlowThreshold time.Duration
+	// SlowLogGap is the slow-journal sampling interval (default 1s; only
+	// meaningful with SlowThreshold set).
+	SlowLogGap time.Duration
+	// EnablePprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/. Like /debug/trace they sit behind API-key auth when
+	// keys are configured — profiles expose timing detail of the secure
+	// protocol, so they are never left open by accident.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
+	}
+	if c.SlowLogGap == 0 {
+		c.SlowLogGap = time.Second
 	}
 	if c.RateLimit.RPS > 0 && c.RateLimit.Burst == 0 {
 		c.RateLimit.Burst = int(c.RateLimit.RPS + 0.999)
@@ -117,6 +143,9 @@ func (c Config) validate() error {
 	}
 	if c.IdleTTL < 0 {
 		return fmt.Errorf("%w: negative idle TTL %v", ErrHTTPConfig, c.IdleTTL)
+	}
+	if c.SlowThreshold < 0 || c.SlowLogGap < 0 {
+		return fmt.Errorf("%w: negative slow-log threshold %v / gap %v", ErrHTTPConfig, c.SlowThreshold, c.SlowLogGap)
 	}
 	for k, tenant := range c.APIKeys {
 		if k == "" || tenant == "" {
@@ -166,16 +195,29 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/infer/batch", s.handleInferBatch)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/models/{name}/swap", s.handleSwap)
+	// The debug surface: recent span timelines, and (opt-in) the stock Go
+	// profiling endpoints. Neither path is auth-exempt — with API keys
+	// configured, trace timelines and pprof profiles need a credential.
+	mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	// The chain, outermost first: recovery catches panics from every inner
-	// layer (logging included), logging observes the final status of each
-	// request, auth establishes the tenant identity that rate limiting
-	// buckets by. /healthz and /metrics stay reachable without a key so
-	// probes and scrapers need no credentials.
+	// layer (logging included), tracing opens the request span that logging
+	// (for the slow journal) and the serving layers below annotate, logging
+	// observes the final status of each request, auth establishes the tenant
+	// identity that rate limiting buckets by. /healthz and /metrics stay
+	// reachable without a key so probes and scrapers need no credentials.
 	exempt := []string{"/healthz", "/metrics"}
 	s.handler = Chain(mux,
 		Recover(cfg.Logger, s.metrics),
 		RequestID(),
-		Logging(cfg.Logger, s.metrics),
+		Tracing(cfg.Tracer),
+		Logging(cfg.Logger, s.metrics, SlowLog{Threshold: cfg.SlowThreshold, MinGap: cfg.SlowLogGap}),
 		Auth(cfg.APIKeys, exempt...),
 		RateLimitBy(cfg.RateLimit, cfg.RetryAfter, s.metrics, exempt...),
 	)

@@ -3,19 +3,24 @@ package httpd
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"tbnet/internal/autoscale"
+	"tbnet/internal/buildinfo"
 	"tbnet/internal/fleet"
+	"tbnet/internal/obs"
 )
 
 // httpMetrics is the daemon's own counter set — the HTTP-side story
-// (statuses, rate-limit refusals, recovered panics, reaped models) that
-// complements the fleet's serving statistics on /metrics.
+// (statuses, rate-limit refusals, recovered panics, reaped models, slow
+// requests, and the wall-clock request-duration histogram) that complements
+// the fleet's serving statistics on /metrics.
 type httpMetrics struct {
 	mu       sync.Mutex
 	byStatus map[int]int64
@@ -23,6 +28,13 @@ type httpMetrics struct {
 	rateLimited atomic.Int64
 	panics      atomic.Int64
 	reaped      atomic.Int64
+	slow        atomic.Int64
+
+	// reqDur is the wall-clock duration of every answered request, with the
+	// request's X-Request-Id as each bucket's exemplar — the join key that
+	// lets an operator go from a slow histogram bucket straight to
+	// /debug/trace.
+	reqDur obs.Histogram
 }
 
 func newHTTPMetrics() *httpMetrics {
@@ -100,12 +112,81 @@ func (pw *promWriter) metric(name, typ, help string, value float64, labels ...st
 	}
 }
 
+// promFloat renders a sample value (or le bound) the way the exposition
+// format expects, with +Inf spelled literally.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histogram writes one Prometheus histogram family from an obs.Histogram
+// snapshot: cumulative _bucket samples in ascending le order (closing with
+// le="+Inf" equal to _count), then _sum and _count. A bucket that retained
+// an exemplar carries it as an OpenMetrics-style trailer —
+//
+//	name_bucket{le="0.04"} 17 # {trace_id="ab12-000042"} 0.031
+//
+// — so a scrape of a slow bucket hands the operator a request id to feed
+// straight into /debug/trace. A nil histogram writes an empty family (all
+// zeros), keeping the family set stable across scrapes.
+func (pw *promWriter) histogram(name, help string, h *obs.Histogram, labels ...string) {
+	if pw.err != nil {
+		return
+	}
+	if !pw.headed[name] {
+		pw.headed[name] = true
+		if _, err := fmt.Fprintf(pw.w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+			pw.err = err
+			return
+		}
+	}
+	var lb strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		fmt.Fprintf(&lb, `%s="%s",`, labels[i], promEscape(labels[i+1]))
+	}
+	prefix := lb.String()
+	var buckets []obs.BucketCount
+	var sum float64
+	var count uint64
+	if h != nil {
+		buckets, sum, count = h.Buckets(), h.Sum(), h.Count()
+	} else {
+		buckets = []obs.BucketCount{{UpperBound: math.Inf(1)}}
+	}
+	for _, b := range buckets {
+		line := fmt.Sprintf(`%s_bucket{%sle="%s"} %d`, name, prefix, promFloat(b.UpperBound), b.Count)
+		if b.Exemplar.TraceID != "" {
+			line += fmt.Sprintf(` # {trace_id="%s"} %s`,
+				promEscape(b.Exemplar.TraceID), promFloat(b.Exemplar.Value))
+		}
+		if _, err := fmt.Fprintln(pw.w, line); err != nil {
+			pw.err = err
+			return
+		}
+	}
+	series := ""
+	if prefix != "" {
+		series = "{" + strings.TrimSuffix(prefix, ",") + "}"
+	}
+	if _, err := fmt.Fprintf(pw.w, "%s_sum%s %s\n%s_count%s %d\n",
+		name, series, promFloat(sum), name, series, count); err != nil {
+		pw.err = err
+	}
+}
+
 // writeMetrics renders the whole scrape: the fleet's aggregated snapshot
 // (requests, shed, latency percentiles, secure footprint), the per-model and
-// per-device breakdowns, and the daemon's HTTP-side counters.
+// per-device breakdowns, the latency histogram families, and the daemon's
+// HTTP-side counters.
 func (s *Server) writeMetrics(w io.Writer) error {
 	st := s.fleet.Stats()
 	pw := newPromWriter(w)
+
+	pw.metric("tbnet_build_info", "gauge",
+		"Build identity: constant 1, labeled with the tbnet release and Go toolchain.", 1,
+		"version", buildinfo.Version, "goversion", buildinfo.GoVersion())
 
 	// Fleet-wide serving counters and gauges.
 	pw.metric("tbnet_fleet_requests_total", "counter",
@@ -134,6 +215,8 @@ func (s *Server) writeMetrics(w io.Writer) error {
 		"Summed secure-memory high-water marks across the fleet.", float64(st.PeakSecureBytes))
 	pw.metric("tbnet_fleet_worker_seconds_total", "counter",
 		"Integral of provisioned worker count over wall time — capacity paid for.", st.WorkerSeconds)
+	pw.histogram("tbnet_fleet_latency_seconds",
+		"Modeled per-request latency distribution, fleet-wide.", st.LatencyHist)
 
 	// Per-model breakdown, in hosting order.
 	for _, ms := range st.Models {
@@ -146,6 +229,8 @@ func (s *Server) writeMetrics(w io.Writer) error {
 			"Completed per-node hot swaps per hosted model.", float64(ms.Swaps), l...)
 		pw.metric("tbnet_model_p99_latency_seconds", "gauge",
 			"Modeled p99 per-request latency per hosted model.", ms.P99Micros/1e6, l...)
+		pw.histogram("tbnet_model_latency_seconds",
+			"Modeled per-request latency distribution per hosted model.", ms.LatencyHist, l...)
 	}
 
 	// Per-device breakdown, in attachment order.
@@ -163,6 +248,8 @@ func (s *Server) writeMetrics(w io.Writer) error {
 			"Measured host compute nanoseconds per sample on this node.", ds.Serve.HostNsPerOp, l...)
 		pw.metric("tbnet_device_workers", "gauge",
 			"Replica pool width on this node right now.", float64(ds.Workers), l...)
+		pw.histogram("tbnet_device_latency_seconds",
+			"Modeled per-request latency distribution on this node.", ds.Serve.LatencyHist, l...)
 	}
 
 	// Online latency estimates, when the fleet learns them (EWMA routing or
@@ -215,6 +302,10 @@ func (s *Server) writeMetrics(w io.Writer) error {
 		"Handler panics converted to 500 answers.", float64(s.metrics.panics.Load()))
 	pw.metric("tbnet_http_reaped_models_total", "counter",
 		"Idle hosted models expired by the reaper.", float64(s.metrics.reaped.Load()))
+	pw.metric("tbnet_http_slow_requests_total", "counter",
+		"Requests at or over the slow-request journal threshold.", float64(s.metrics.slow.Load()))
+	pw.histogram("tbnet_http_request_duration_seconds",
+		"Wall-clock HTTP request duration, exemplared with X-Request-Id.", &s.metrics.reqDur)
 	draining := 0.0
 	if s.draining.Load() {
 		draining = 1

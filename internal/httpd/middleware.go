@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tbnet/internal/obs"
 )
 
 // ErrRateLimited reports a request refused by the per-tenant token bucket:
@@ -95,10 +97,21 @@ func RequestID() Middleware {
 	}
 }
 
-// statusRecorder captures the status code a handler wrote, for the log line.
+// statusRecorder captures the status code and body size a handler wrote,
+// for the log line and the tracing middleware's error flag.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
+}
+
+// recorderFor wraps w in a statusRecorder, reusing one an outer middleware
+// already installed so Tracing and Logging observe the same status.
+func recorderFor(w http.ResponseWriter) *statusRecorder {
+	if sr, ok := w.(*statusRecorder); ok {
+		return sr
+	}
+	return &statusRecorder{ResponseWriter: w}
 }
 
 func (sr *statusRecorder) WriteHeader(code int) {
@@ -112,7 +125,9 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 	if sr.status == 0 {
 		sr.status = http.StatusOK
 	}
-	return sr.ResponseWriter.Write(b)
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards streaming flushes (the NDJSON batch endpoint) through the
@@ -123,30 +138,113 @@ func (sr *statusRecorder) Flush() {
 	}
 }
 
+// untraced lists the operational endpoints the tracing middleware skips:
+// scrapes and probes would otherwise churn the bounded span ring and evict
+// the inference timelines it exists to retain.
+var untraced = map[string]bool{"/healthz": true, "/metrics": true}
+
+// Tracing starts a per-request span in the tracer ring — under the ID the
+// RequestID layer assigned, so the span joins client logs, the request log,
+// and histogram exemplars — carries it inward via the request context for
+// the serving layers to fill in, and seals it with the response status once
+// the handler returns. A nil tracer leaves the chain untouched. Probe and
+// scrape paths are not traced (see untraced).
+func Tracing(tr *obs.Tracer) Middleware {
+	if tr == nil {
+		return func(next http.Handler) http.Handler { return next }
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if untraced[r.URL.Path] || strings.HasPrefix(r.URL.Path, "/debug/") {
+				next.ServeHTTP(w, r)
+				return
+			}
+			span := tr.Start(RequestIDFrom(r.Context()))
+			rec := recorderFor(w)
+			next.ServeHTTP(rec, r.WithContext(obs.ContextWith(r.Context(), span)))
+			span.Finish(rec.status >= http.StatusInternalServerError)
+		})
+	}
+}
+
+// SlowLog configures the sampled slow-request journal inside the Logging
+// middleware. The zero value disables it.
+type SlowLog struct {
+	// Threshold marks a request slow once its wall duration reaches it;
+	// 0 disables the journal.
+	Threshold time.Duration
+	// MinGap is the sampling interval: at most one journal line per MinGap,
+	// with the number of suppressed slow requests carried on the next line.
+	// 0 journals every slow request.
+	MinGap time.Duration
+}
+
 // Logging emits one structured line per request — method, path, status,
-// duration, tenant, and request ID — and feeds the per-status-code counters
-// behind /metrics. It sits inside RequestID (so the ID is available) and
-// outside the admission layers (so refusals are logged too).
-func Logging(log *slog.Logger, m *httpMetrics) Middleware {
+// bytes written, duration, tenant, and request ID — feeds the per-status
+// counters and the wall-duration histogram behind /metrics, and keeps the
+// sampled slow-request journal: a request at or over slow.Threshold gets a
+// WARN line carrying its full span stage breakdown (queue wait, batching,
+// REE/TEE execution, pacing), the data needed to attribute the latency
+// without re-running the request. It sits inside RequestID and Tracing (so
+// the ID and the live span are in context) and outside the admission layers
+// (so refusals are logged too).
+func Logging(log *slog.Logger, m *httpMetrics, slow SlowLog) Middleware {
+	var lastSlow atomic.Int64   // unix ns of the last journal line
+	var suppressed atomic.Int64 // slow requests skipped by sampling since then
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			start := time.Now()
-			rec := &statusRecorder{ResponseWriter: w}
+			rec := recorderFor(w)
 			next.ServeHTTP(rec, r)
 			if rec.status == 0 {
 				rec.status = http.StatusOK
 			}
+			dur := time.Since(start)
+			id := RequestIDFrom(r.Context())
 			if m != nil {
 				m.observe(rec.status)
+				m.reqDur.Observe(dur.Seconds(), id)
 			}
 			log.Info("request",
-				"request_id", RequestIDFrom(r.Context()),
+				"request_id", id,
 				"tenant", TenantFrom(r.Context()),
 				"method", r.Method,
 				"path", r.URL.Path,
 				"status", rec.status,
-				"duration_ms", float64(time.Since(start).Microseconds())/1e3,
+				"bytes", rec.bytes,
+				"duration_ms", float64(dur.Microseconds())/1e3,
 			)
+			if slow.Threshold <= 0 || dur < slow.Threshold {
+				return
+			}
+			if m != nil {
+				m.slow.Add(1)
+			}
+			// Sampling: claim the journal slot only if MinGap has passed
+			// since the last line; otherwise count the suppression.
+			now := time.Now().UnixNano()
+			last := lastSlow.Load()
+			if now-last < int64(slow.MinGap) || !lastSlow.CompareAndSwap(last, now) {
+				suppressed.Add(1)
+				return
+			}
+			attrs := []any{
+				"request_id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"duration_ms", float64(dur.Microseconds()) / 1e3,
+				"threshold_ms", float64(slow.Threshold.Microseconds()) / 1e3,
+				"suppressed", suppressed.Swap(0),
+			}
+			if d, ok := obs.FromContext(r.Context()).Data(); ok {
+				attrs = append(attrs,
+					"model", d.Model,
+					"node", d.Node,
+					"stages", d.StagesString(),
+				)
+			}
+			log.Warn("slow request", attrs...)
 		})
 	}
 }

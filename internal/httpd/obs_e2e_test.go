@@ -1,0 +1,214 @@
+package httpd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tbnet/internal/fleet"
+	"tbnet/internal/obs"
+)
+
+// TestE2ETraceSlowRequest is the observability acceptance run: a paced
+// (wall-slow) request tagged with a client X-Request-Id must be recoverable
+// end to end — its id surfaces as the exemplar on a slow bucket of the
+// /metrics wall-duration histogram, /debug/trace?min_ms= returns its full
+// span timeline whose queue/batch/world stages sum to within 5% of the
+// observed wall time, and the slow-request journal carries the breakdown.
+// The debug surface itself sits behind API-key auth.
+func TestE2ETraceSlowRequest(t *testing.T) {
+	tr := obs.NewTracer(256)
+	var logBuf bytes.Buffer
+	var logMu syncWriter
+	logMu.w = &logBuf
+	s, _ := testServer(t, func(c *fleet.Config) {
+		// ~450ms modeled wall per request: the paced stage dwarfs host
+		// scheduling noise (a few ms even on a loaded CI box), so the
+		// stage-sum-vs-wall 5% assertion measures accounting, not jitter.
+		c.PaceScale = 300
+		c.Tracer = tr
+	}, func(c *Config) {
+		c.Tracer = tr
+		c.SlowThreshold = 5 * time.Millisecond
+		c.EnablePprof = true
+		c.APIKeys = map[string]string{"k-obs": "observers"}
+		c.Logger = slog.New(slog.NewTextHandler(&logMu, nil))
+	})
+	base := startDaemon(t, s)
+
+	do := func(req *http.Request) *http.Response {
+		t.Helper()
+		req.Header.Set("X-API-Key", "k-obs")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	infer := func(id string) time.Duration {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/infer", bytes.NewReader(inferBody(t, "", randSample(9))))
+		req.Header.Set("Content-Type", "application/json")
+		if id != "" {
+			req.Header.Set("X-Request-Id", id)
+		}
+		start := time.Now()
+		resp := do(req)
+		wall := time.Since(start)
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("infer = %d: %s", resp.StatusCode, b)
+		}
+		return wall
+	}
+
+	// Two warm requests, then the tagged one last so its exemplar is the
+	// newest in its histogram bucket.
+	infer("")
+	infer("")
+	clientWall := infer("trace-me-42")
+
+	// The timeline is recoverable through /debug/trace?min_ms= (with a key).
+	req, _ := http.NewRequest(http.MethodGet, base+"/debug/trace?min_ms=10", nil)
+	resp := do(req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace = %d", resp.StatusCode)
+	}
+	var dump debugTraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Capacity != 256 || dump.Returned != len(dump.Spans) || dump.Returned < 3 {
+		t.Fatalf("trace dump header = %+v", dump)
+	}
+	var span obs.SpanData
+	found := false
+	for _, d := range dump.Spans {
+		if d.ID == "trace-me-42" {
+			span, found = d, true
+		}
+	}
+	if !found {
+		t.Fatalf("tagged span missing from /debug/trace: %+v", dump.Spans)
+	}
+	if span.Model != fleet.DefaultModel || span.Node == "" || span.Err {
+		t.Fatalf("span identity = %+v", span)
+	}
+	for _, stage := range []string{"ingress", "queued", "batched", "ree", "tee", "pace", "respond"} {
+		if span.StageMs(stage) <= 0 {
+			t.Errorf("stage %q missing from timeline: %s", stage, span.StagesString())
+		}
+	}
+	var sum float64
+	for _, sd := range span.Stages {
+		sum += sd.Ms
+	}
+	if span.WallMs > float64(clientWall)/1e6 {
+		t.Errorf("span wall %.2fms exceeds client-observed wall %.2fms", span.WallMs, float64(clientWall)/1e6)
+	}
+	if sum < span.WallMs*0.95 || sum > span.WallMs*1.05 {
+		t.Errorf("stage sum %.2fms not within 5%% of wall %.2fms (%s)", sum, span.WallMs, span.StagesString())
+	}
+
+	// The request id surfaces as a histogram exemplar on its (slow) bucket.
+	req, _ = http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	mresp := do(req)
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	families := parsePromText(t, string(body))
+	for _, want := range []string{
+		"tbnet_build_info", "tbnet_http_request_duration_seconds",
+		"tbnet_fleet_latency_seconds", "tbnet_model_latency_seconds",
+		"tbnet_device_latency_seconds", "tbnet_http_slow_requests_total",
+	} {
+		if families[want] == 0 {
+			t.Fatalf("scrape lacks family %s; got %v", want, families)
+		}
+	}
+	exemplarRe := regexp.MustCompile(
+		`(?m)^tbnet_http_request_duration_seconds_bucket\{le="[^"]+"\} \d+ # \{trace_id="trace-me-42"\}`)
+	if !exemplarRe.MatchString(string(body)) {
+		t.Fatalf("tagged request not exemplared on the wall-duration histogram:\n%s",
+			grepLines(string(body), "tbnet_http_request_duration_seconds"))
+	}
+	if !strings.Contains(string(body), `tbnet_build_info{version="`) {
+		t.Fatal("build info gauge lacks version label")
+	}
+
+	// The slow journal logged the breakdown.
+	logged := logBuf.String()
+	if !strings.Contains(logged, "slow request") || !strings.Contains(logged, "trace-me-42") ||
+		!strings.Contains(logged, "stages=") {
+		t.Fatalf("slow journal missing span breakdown:\n%s", logged)
+	}
+
+	// The debug surface is behind auth: no key, no timelines or profiles.
+	for _, path := range []string{"/debug/trace", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("GET %s without key = %d, want 401", path, resp.StatusCode)
+		}
+	}
+	req, _ = http.NewRequest(http.MethodGet, base+"/debug/pprof/cmdline", nil)
+	presp := do(req)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with key = %d, want 200", presp.StatusCode)
+	}
+}
+
+// TestDebugTraceDisabledAndBadParams: without a tracer the endpoint 404s;
+// malformed filters answer 400.
+func TestDebugTraceDisabledAndBadParams(t *testing.T) {
+	s, _ := testServer(t, nil, nil)
+	if w := getPath(t, s.Handler(), "/debug/trace"); w.Code != http.StatusNotFound {
+		t.Fatalf("/debug/trace without tracer = %d, want 404", w.Code)
+	}
+	tr := obs.NewTracer(16)
+	s2, _ := testServer(t, func(c *fleet.Config) { c.Tracer = tr }, func(c *Config) { c.Tracer = tr })
+	if w := getPath(t, s2.Handler(), "/debug/trace?min_ms=banana"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad min_ms = %d, want 400", w.Code)
+	}
+	if w := getPath(t, s2.Handler(), "/debug/trace?limit=-3"); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d, want 400", w.Code)
+	}
+	if w := getPath(t, s2.Handler(), "/debug/trace"); w.Code != http.StatusOK {
+		t.Fatalf("empty trace dump = %d, want 200: %s", w.Code, w.Body)
+	}
+}
+
+// grepLines returns the lines of s containing substr, for failure messages.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// syncWriter serializes concurrent slog writes into a bytes.Buffer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(b []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(b)
+}

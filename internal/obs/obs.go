@@ -1,0 +1,420 @@
+// Package obs provides the low-overhead observability primitives shared by
+// the serving stack: request-scoped span timelines recorded into a
+// preallocated bounded ring (Tracer, SpanRef), fixed log-bucketed latency
+// histograms with exemplar support (Histogram), and the nearest-rank
+// quantile helper (NearestRank) used wherever the repository reports
+// percentiles.
+//
+// The design goal is zero steady-state heap allocation on the hot path:
+// Tracer.Start hands out a slot from a preallocated ring guarded by a
+// per-slot mutex and an ownership ticket (a late writer whose slot was
+// reclaimed after the ring wrapped cannot corrupt the newer span that now
+// owns it), stage marks write into a fixed-size array inside the span, and
+// Histogram.Observe indexes a fixed bucket table. All formatting —
+// request-id synthesis, JSON rendering, exposition text — happens on the
+// debug and scrape paths only.
+//
+// This package is distinct from internal/trace, which models the
+// *adversary-visible* side-channel trace of the paper's secure protocol;
+// obs records host-side wall-clock telemetry for operators.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one segment of a request's lifecycle. The stages are
+// ordered the way a request traverses the stack; a span's recorded stage
+// durations are designed to sum to (approximately) its wall time.
+type Stage uint8
+
+// The span stage set. StageIngress covers decode, admission, and routing
+// (span start to enqueue); StageQueued is enqueue to batch pickup;
+// StageBatched is batch assembly and staging; StageREE and StageTEE are the
+// host wall time spent in normal-world stage compute and secure-world
+// enclave invocations respectively; StagePace is the modeled-latency pacing
+// sleep; StageRespond is reply delivery back to the caller.
+const (
+	StageIngress Stage = iota
+	StageQueued
+	StageBatched
+	StageREE
+	StageTEE
+	StagePace
+	StageRespond
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"ingress", "queued", "batched", "ree", "tee", "pace", "respond",
+}
+
+// String returns the lowercase stage name used in JSON span dumps and log
+// breakdowns.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// maxMarks bounds the per-span stage array. The serving path records at
+// most one mark per Stage value; the slack absorbs duplicate marks from
+// retried batches without growing the span.
+const maxMarks = 12
+
+type mark struct {
+	stage Stage
+	dur   time.Duration
+}
+
+// Span is one slot of a Tracer ring. Spans are owned by the Tracer and
+// reused in place; user code holds a SpanRef and never a *Span directly.
+type Span struct {
+	mu     sync.Mutex
+	ticket uint64
+	id     string // X-Request-Id when started by httpd, "" when self-started
+	model  string
+	node   string
+	start  time.Time
+	wall   time.Duration
+	err    bool
+	done   bool
+	nmarks int
+	marks  [maxMarks]mark
+}
+
+// SpanRef is a cheap value handle on a ring slot. The zero SpanRef is
+// inert: every method is a no-op (or returns a zero value), so callers on
+// the hot path never branch on "is tracing enabled". A ref also goes inert
+// once the ring wraps and its slot is reclaimed by a newer request — the
+// ticket check under the slot mutex makes late marks harmless.
+type SpanRef struct {
+	sp     *Span
+	ticket uint64
+}
+
+// Active reports whether the ref points at a live (possibly reclaimed)
+// span slot. It is the cheap pre-check; staleness is still re-verified
+// under the slot lock by every mutating method.
+func (r SpanRef) Active() bool { return r.sp != nil }
+
+// lock acquires the slot and reports whether the ref still owns it.
+func (r SpanRef) lock() bool {
+	if r.sp == nil {
+		return false
+	}
+	r.sp.mu.Lock()
+	if r.sp.ticket != r.ticket {
+		r.sp.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// SetModel records the model the request resolved to.
+func (r SpanRef) SetModel(model string) {
+	if r.lock() {
+		r.sp.model = model
+		r.sp.mu.Unlock()
+	}
+}
+
+// SetNode records the fleet node (device name) the request was routed to.
+func (r SpanRef) SetNode(node string) {
+	if r.lock() {
+		r.sp.node = node
+		r.sp.mu.Unlock()
+	}
+}
+
+// ID returns the request id the span was started with ("" for
+// self-started spans or stale refs). Used to join histogram exemplars on
+// X-Request-Id.
+func (r SpanRef) ID() string {
+	if r.lock() {
+		id := r.sp.id
+		r.sp.mu.Unlock()
+		return id
+	}
+	return ""
+}
+
+// Mark records a stage duration on the span. Marks beyond the fixed
+// capacity are dropped rather than grown.
+func (r SpanRef) Mark(st Stage, d time.Duration) {
+	if r.lock() {
+		if r.sp.nmarks < maxMarks {
+			r.sp.marks[r.sp.nmarks] = mark{stage: st, dur: d}
+			r.sp.nmarks++
+		}
+		r.sp.mu.Unlock()
+	}
+}
+
+// MarkSinceStart records the time elapsed since the span started as the
+// given stage. The serving layer uses it for StageIngress, whose left edge
+// (span start in the middleware) is otherwise invisible to it.
+func (r SpanRef) MarkSinceStart(st Stage) {
+	if r.sp == nil {
+		return
+	}
+	now := time.Now()
+	if r.lock() {
+		if r.sp.nmarks < maxMarks {
+			r.sp.marks[r.sp.nmarks] = mark{stage: st, dur: now.Sub(r.sp.start)}
+			r.sp.nmarks++
+		}
+		r.sp.mu.Unlock()
+	}
+}
+
+// Finish seals the span: records wall time and the error flag and makes
+// the span visible to Tracer.Snapshot. The first Finish wins; later calls
+// (e.g. the middleware closing a span the worker already finished) are
+// no-ops, so both ends of the pipeline may call it unconditionally.
+func (r SpanRef) Finish(failed bool) {
+	if r.sp == nil {
+		return
+	}
+	now := time.Now()
+	if r.lock() {
+		if !r.sp.done {
+			r.sp.wall = now.Sub(r.sp.start)
+			r.sp.err = failed
+			r.sp.done = true
+		}
+		r.sp.mu.Unlock()
+	}
+}
+
+// Data copies the span out as a self-contained SpanData, live or finished;
+// an unfinished span reports wall time as elapsed-so-far. It returns ok ==
+// false on the zero ref or once the ring reclaimed the slot. It allocates
+// (the stage slice); it serves the slow-request journal and debug surface,
+// not the steady-state path.
+func (r SpanRef) Data() (SpanData, bool) {
+	if r.sp == nil {
+		return SpanData{}, false
+	}
+	now := time.Now()
+	if !r.lock() {
+		return SpanData{}, false
+	}
+	sp := r.sp
+	wall := sp.wall
+	if !sp.done {
+		wall = now.Sub(sp.start)
+	}
+	d := SpanData{
+		Seq:    sp.ticket,
+		ID:     sp.id,
+		Model:  sp.model,
+		Node:   sp.node,
+		Start:  sp.start,
+		WallMs: float64(wall) / 1e6,
+		Err:    sp.err,
+		Stages: make([]StageDur, sp.nmarks),
+	}
+	for j := 0; j < sp.nmarks; j++ {
+		d.Stages[j] = StageDur{
+			Stage: sp.marks[j].stage.String(),
+			Ms:    float64(sp.marks[j].dur) / 1e6,
+		}
+	}
+	sp.mu.Unlock()
+	if d.ID == "" {
+		d.ID = fmt.Sprintf("span-%d", d.Seq)
+	}
+	return d, true
+}
+
+// Tracer records request spans into a preallocated ring. The ring is
+// bounded: once capacity spans are in flight or retained, the oldest slot
+// is reclaimed for the next request, and any straggling writer to it goes
+// inert via the ticket check. A nil *Tracer is valid and disabled.
+type Tracer struct {
+	ring []Span
+	next atomic.Uint64
+}
+
+// NewTracer returns a tracer retaining the most recent capacity spans.
+// Capacity is clamped to at least 16.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Capacity returns the ring size (the bound on retained spans).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Start claims the next ring slot, resets it, and returns a live ref. id
+// is the external request id ("" for internally generated traffic; the
+// snapshot synthesizes a "span-<seq>" id for those). Start on a nil tracer
+// returns the inert zero SpanRef.
+func (t *Tracer) Start(id string) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	ticket := t.next.Add(1)
+	sp := &t.ring[ticket%uint64(len(t.ring))]
+	sp.mu.Lock()
+	sp.ticket = ticket
+	sp.id = id
+	sp.model = ""
+	sp.node = ""
+	sp.start = time.Now()
+	sp.wall = 0
+	sp.err = false
+	sp.done = false
+	sp.nmarks = 0
+	sp.mu.Unlock()
+	return SpanRef{sp: sp, ticket: ticket}
+}
+
+// StageDur is one stage segment of an exported span timeline.
+type StageDur struct {
+	// Stage is the lowercase stage name (see Stage.String).
+	Stage string `json:"stage"`
+	// Ms is the stage duration in milliseconds.
+	Ms float64 `json:"ms"`
+}
+
+// SpanData is the exported, self-contained copy of a finished span, as
+// served by GET /debug/trace and dumped by `tbnet scenario -trace-out`.
+type SpanData struct {
+	// Seq is the tracer-assigned monotonic sequence number.
+	Seq uint64 `json:"seq"`
+	// ID is the request id (X-Request-Id for HTTP traffic, a synthesized
+	// "span-<seq>" for self-started spans).
+	ID string `json:"request_id"`
+	// Model is the model the request resolved to, if recorded.
+	Model string `json:"model,omitempty"`
+	// Node is the fleet node the request was routed to, if recorded.
+	Node string `json:"node,omitempty"`
+	// Start is the span start time.
+	Start time.Time `json:"start"`
+	// WallMs is the admitted-to-responded wall time in milliseconds.
+	WallMs float64 `json:"wall_ms"`
+	// Err reports whether the request failed.
+	Err bool `json:"error,omitempty"`
+	// Stages is the recorded stage breakdown, in recording order.
+	Stages []StageDur `json:"stages"`
+}
+
+// StageMs returns the total milliseconds recorded for the named stage
+// (0 when absent).
+func (d SpanData) StageMs(stage string) float64 {
+	var ms float64
+	for _, s := range d.Stages {
+		if s.Stage == stage {
+			ms += s.Ms
+		}
+	}
+	return ms
+}
+
+// StagesString renders the stage breakdown as a compact single log token,
+// e.g. "ingress=0.21ms queued=1.04ms ree=0.88ms tee=1.37ms".
+func (d SpanData) StagesString() string {
+	var b strings.Builder
+	for i, s := range d.Stages {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.2fms", s.Stage, s.Ms)
+	}
+	return b.String()
+}
+
+// Snapshot copies out finished spans with wall time >= minWall, newest
+// first, at most max entries (max <= 0 means no limit). It allocates; it
+// is meant for the debug surface, not the hot path.
+func (t *Tracer) Snapshot(minWall time.Duration, max int) []SpanData {
+	if t == nil {
+		return nil
+	}
+	out := make([]SpanData, 0, len(t.ring))
+	for i := range t.ring {
+		sp := &t.ring[i]
+		sp.mu.Lock()
+		if !sp.done || sp.wall < minWall {
+			sp.mu.Unlock()
+			continue
+		}
+		d := SpanData{
+			Seq:    sp.ticket,
+			ID:     sp.id,
+			Model:  sp.model,
+			Node:   sp.node,
+			Start:  sp.start,
+			WallMs: float64(sp.wall) / 1e6,
+			Err:    sp.err,
+			Stages: make([]StageDur, sp.nmarks),
+		}
+		for j := 0; j < sp.nmarks; j++ {
+			d.Stages[j] = StageDur{
+				Stage: sp.marks[j].stage.String(),
+				Ms:    float64(sp.marks[j].dur) / 1e6,
+			}
+		}
+		sp.mu.Unlock()
+		if d.ID == "" {
+			d.ID = fmt.Sprintf("span-%d", d.Seq)
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// ExecBreakdown is the per-protocol-run host wall-time split a deployment
+// fills in during observed inference: REENs is time in normal-world stage
+// compute, TEENs is time inside enclave invocations (input staging, per
+// stage secure compute, and result fetch). A nil *ExecBreakdown disables
+// the measurement.
+type ExecBreakdown struct {
+	// REENs is host nanoseconds spent in normal-world (REE) stage compute.
+	REENs int64
+	// TEENs is host nanoseconds spent inside enclave (TEE) invocations.
+	TEENs int64
+}
+
+// Reset zeroes the breakdown for reuse by a pooled worker.
+func (b *ExecBreakdown) Reset() {
+	if b != nil {
+		b.REENs, b.TEENs = 0, 0
+	}
+}
+
+type ctxKey struct{}
+
+// ContextWith returns a context carrying the span ref. It allocates (one
+// context value); it is called once per request on the HTTP ingress path,
+// never on the steady-state serving path.
+func ContextWith(ctx context.Context, ref SpanRef) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ref)
+}
+
+// FromContext returns the span ref carried by ctx, or the inert zero ref.
+// It does not allocate.
+func FromContext(ctx context.Context) SpanRef {
+	ref, _ := ctx.Value(ctxKey{}).(SpanRef)
+	return ref
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSpanLifecycle(t *testing.T) {
+	tr := NewTracer(64)
+	ref := tr.Start("req-1")
+	if !ref.Active() {
+		t.Fatal("ref from live tracer is inactive")
+	}
+	ref.SetModel("demo")
+	ref.SetNode("rpi3")
+	ref.Mark(StageQueued, 3*time.Millisecond)
+	ref.Mark(StageREE, 2*time.Millisecond)
+	ref.Mark(StageREE, 1*time.Millisecond)
+	ref.MarkSinceStart(StageIngress)
+	if got := ref.ID(); got != "req-1" {
+		t.Fatalf("ID = %q, want req-1", got)
+	}
+	if sn := tr.Snapshot(0, 0); len(sn) != 0 {
+		t.Fatalf("unfinished span visible in snapshot: %+v", sn)
+	}
+	ref.Finish(false)
+	ref.Finish(true) // second finish is a no-op; err stays false
+	sn := tr.Snapshot(0, 0)
+	if len(sn) != 1 {
+		t.Fatalf("snapshot length = %d, want 1", len(sn))
+	}
+	d := sn[0]
+	if d.ID != "req-1" || d.Model != "demo" || d.Node != "rpi3" || d.Err {
+		t.Fatalf("span data = %+v", d)
+	}
+	if got := d.StageMs("ree"); got != 3 {
+		t.Fatalf("ree stage ms = %g, want 3 (2+1 accumulated)", got)
+	}
+	if got := d.StageMs("queued"); got != 3 {
+		t.Fatalf("queued stage ms = %g, want 3", got)
+	}
+	if d.WallMs <= 0 {
+		t.Fatalf("wall ms = %g, want > 0", d.WallMs)
+	}
+}
+
+// TestTracerRingWrapStaleRef locks the ownership-ticket guard: a ref whose
+// slot was reclaimed after the ring wrapped must go inert rather than
+// corrupt the span that now owns the slot.
+func TestTracerRingWrapStaleRef(t *testing.T) {
+	tr := NewTracer(16) // minimum capacity
+	old := tr.Start("victim")
+	refs := make([]SpanRef, 0, tr.Capacity())
+	for i := 0; i < tr.Capacity(); i++ {
+		refs = append(refs, tr.Start("owner"))
+	}
+	// old's slot has been reclaimed by one of the new spans.
+	old.Mark(StageREE, time.Hour)
+	old.SetModel("corrupted")
+	old.Finish(true)
+	if got := old.ID(); got != "" {
+		t.Fatalf("stale ref ID = %q, want \"\"", got)
+	}
+	for _, r := range refs {
+		r.Finish(false)
+	}
+	for _, d := range tr.Snapshot(0, 0) {
+		if d.ID != "owner" || d.Model == "corrupted" || d.Err {
+			t.Fatalf("stale writer corrupted live span: %+v", d)
+		}
+		if d.StageMs("ree") != 0 {
+			t.Fatalf("stale mark leaked into live span: %+v", d)
+		}
+	}
+}
+
+func TestTracerSnapshotFilterAndLimit(t *testing.T) {
+	tr := NewTracer(64)
+	fast := tr.Start("fast")
+	fast.Finish(false)
+	slow := tr.Start("slow")
+	time.Sleep(15 * time.Millisecond)
+	slow.Finish(false)
+	sn := tr.Snapshot(10*time.Millisecond, 0)
+	if len(sn) != 1 || sn[0].ID != "slow" {
+		t.Fatalf("min-wall filter returned %+v, want just slow", sn)
+	}
+	all := tr.Snapshot(0, 0)
+	if len(all) != 2 || all[0].Seq < all[1].Seq {
+		t.Fatalf("snapshot not newest-first: %+v", all)
+	}
+	if lim := tr.Snapshot(0, 1); len(lim) != 1 {
+		t.Fatalf("limit ignored: %d spans", len(lim))
+	}
+}
+
+func TestTracerSelfStartedID(t *testing.T) {
+	tr := NewTracer(16)
+	ref := tr.Start("")
+	ref.Finish(false)
+	sn := tr.Snapshot(0, 0)
+	if len(sn) != 1 || !strings.HasPrefix(sn[0].ID, "span-") {
+		t.Fatalf("self-started span id = %+v, want span-<seq>", sn)
+	}
+}
+
+func TestNilTracerAndZeroRef(t *testing.T) {
+	var tr *Tracer
+	if tr.Capacity() != 0 {
+		t.Fatal("nil tracer capacity != 0")
+	}
+	if sn := tr.Snapshot(0, 0); sn != nil {
+		t.Fatalf("nil tracer snapshot = %+v", sn)
+	}
+	ref := tr.Start("x") // inert
+	if ref.Active() {
+		t.Fatal("nil tracer returned an active ref")
+	}
+	// Every method must be a safe no-op on the zero ref.
+	ref.SetModel("m")
+	ref.SetNode("n")
+	ref.Mark(StageTEE, time.Second)
+	ref.MarkSinceStart(StageIngress)
+	ref.Finish(true)
+	if ref.ID() != "" {
+		t.Fatal("zero ref has an ID")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	ref := tr.Start("ctx-req")
+	ctx := ContextWith(context.Background(), ref)
+	got := FromContext(ctx)
+	if got != ref {
+		t.Fatalf("FromContext = %+v, want %+v", got, ref)
+	}
+	if FromContext(context.Background()).Active() {
+		t.Fatal("FromContext on empty ctx returned an active ref")
+	}
+}
+
+// TestTracerHotPathNoAlloc locks the zero-steady-state-allocation claim
+// for the span path the serving layer takes per request.
+func TestTracerHotPathNoAlloc(t *testing.T) {
+	tr := NewTracer(1024)
+	model := "demo"
+	if n := testing.AllocsPerRun(1000, func() {
+		ref := tr.Start("")
+		ref.SetModel(model)
+		ref.Mark(StageQueued, time.Millisecond)
+		ref.Mark(StageBatched, time.Microsecond)
+		ref.Mark(StageREE, time.Millisecond)
+		ref.Mark(StageTEE, time.Millisecond)
+		ref.Mark(StagePace, 0)
+		ref.Finish(false)
+	}); n != 0 {
+		t.Fatalf("span hot path allocates %v times per request, want 0", n)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageIngress: "ingress", StageQueued: "queued", StageBatched: "batched",
+		StageREE: "ree", StageTEE: "tee", StagePace: "pace", StageRespond: "respond",
+	}
+	for st, name := range want {
+		if st.String() != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", st, st.String(), name)
+		}
+	}
+	if s := Stage(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("out-of-range stage = %q", s)
+	}
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tbnet/internal/obs"
+)
+
+// spanStageOrder fixes the stage columns of SpanTable in request-lifecycle
+// order; stages a span never recorded render as "-".
+var spanStageOrder = []string{"ingress", "queued", "batched", "ree", "tee", "pace", "respond"}
+
+// SpanTable renders captured request span timelines as a text table: one row
+// per span, newest first, with the wall time and the per-stage breakdown in
+// lifecycle order — the offline twin of the daemon's GET /debug/trace.
+func SpanTable(spans []obs.SpanData) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Request spans (%d)", len(spans)),
+		Header: []string{"Request", "Model", "Node", "Wall (ms)",
+			"ingress", "queued", "batched", "ree", "tee", "pace", "respond", "Err"},
+	}
+	for _, d := range spans {
+		row := []string{d.ID, orDash(d.Model), orDash(d.Node), fmt.Sprintf("%.3f", d.WallMs)}
+		for _, stage := range spanStageOrder {
+			if ms := d.StageMs(stage); ms > 0 {
+				row = append(row, fmt.Sprintf("%.3f", ms))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		errCell := "-"
+		if d.Err {
+			errCell = "yes"
+		}
+		t.AddRow(append(row, errCell)...)
+	}
+	return t
+}
+
+// RenderSpansJSON writes captured span timelines as one JSON object, the
+// same shape GET /debug/trace answers with, so `tbnet scenario -trace-out`
+// artifacts and live daemon dumps are interchangeable inputs to tooling.
+func RenderSpansJSON(w io.Writer, spans []obs.SpanData) error {
+	return json.NewEncoder(w).Encode(struct {
+		Returned int            `json:"returned"`
+		Spans    []obs.SpanData `json:"spans"`
+	}{len(spans), spans})
+}
+
+// orDash substitutes "-" for an empty table cell value.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"tbnet/internal/fleet"
+	"tbnet/internal/obs"
 	"tbnet/internal/tensor"
 )
 
@@ -506,11 +507,11 @@ func summarize(ph Phase, arrivals []Arrival, outcomes []outcome, elapsed time.Du
 		pr.OfferedRPS = float64(pr.Offered) / pr.DurationSec
 		pr.ServedRPS = float64(pr.Served) / pr.DurationSec
 	}
-	if n := len(served); n > 0 {
+	if len(served) > 0 {
 		sort.Float64s(served)
-		pr.P50Ms = served[n/2] * 1e3
-		pr.P95Ms = served[(n*95)/100] * 1e3
-		pr.P99Ms = served[(n*99)/100] * 1e3
+		pr.P50Ms = obs.NearestRank(served, 0.50) * 1e3
+		pr.P95Ms = obs.NearestRank(served, 0.95) * 1e3
+		pr.P99Ms = obs.NearestRank(served, 0.99) * 1e3
 	}
 	pr.PerModel = tally.list(pr.DurationSec)
 	return pr

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"tbnet/internal/obs"
+)
+
+// TestServerInferTracedSteadyStateAllocs extends the PR 4 allocation lock to
+// the tracing path: steady-state Server.Infer with a live tracer — span
+// self-start, worker stage marks, per-world execution breakdown, histogram
+// exemplars — must stay within the same per-op budget as the untraced path.
+func TestServerInferTracedSteadyStateAllocs(t *testing.T) {
+	dep := testDeployment(t, 11)
+	tr := obs.NewTracer(4096)
+	srv, err := New(dep, Config{Workers: 1, MaxBatch: 1, MaxDelay: time.Microsecond, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	x := randSamples(1, 12)[0]
+	for i := 0; i < 8; i++ { // warm replicas, arenas, scratch, span ring
+		if _, err := srv.Infer(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := srv.Infer(ctx, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if limit := allocLimit(); allocs > limit {
+		t.Fatalf("steady-state traced Server.Infer allocates %.1f/op, budget %.0f", allocs, limit)
+	}
+	if n := len(tr.Snapshot(0, 0)); n == 0 {
+		t.Fatal("tracer recorded no spans under traced load")
+	}
+}
+
+// TestServerSpanTimeline drives one request carrying an ingress span through
+// the pool and checks the worker filled in the full timeline: model, queue
+// wait, batch formation, both execution worlds — and that the request id
+// surfaces as the latency histogram's exemplar (the /debug/trace join).
+func TestServerSpanTimeline(t *testing.T) {
+	dep := testDeployment(t, 21)
+	tr := obs.NewTracer(64)
+	srv, err := New(dep, Config{Workers: 1, MaxBatch: 2, MaxDelay: time.Millisecond, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	span := tr.Start("req-join")
+	ctx := obs.ContextWith(context.Background(), span)
+	if _, err := srv.Infer(ctx, randSamples(1, 22)[0]); err != nil {
+		t.Fatal(err)
+	}
+	span.Finish(false)
+	var d obs.SpanData
+	found := false
+	for _, s := range tr.Snapshot(0, 0) {
+		if s.ID == "req-join" {
+			d, found = s, true
+		}
+	}
+	if !found {
+		t.Fatalf("span req-join not in snapshot: %+v", tr.Snapshot(0, 0))
+	}
+	if d.Model != DefaultModel {
+		t.Errorf("span model = %q, want %q", d.Model, DefaultModel)
+	}
+	for _, stage := range []string{"ingress", "queued", "batched", "ree", "tee"} {
+		if d.StageMs(stage) <= 0 {
+			t.Errorf("stage %q missing from timeline %+v", stage, d.Stages)
+		}
+	}
+	if sum := d.StageMs("queued") + d.StageMs("batched") + d.StageMs("ree") + d.StageMs("tee"); sum > d.WallMs {
+		t.Errorf("stage sum %.3fms exceeds wall %.3fms", sum, d.WallMs)
+	}
+	var exemplar string
+	for _, b := range srv.LatencyHistogram().Buckets() {
+		if b.Exemplar.TraceID != "" {
+			exemplar = b.Exemplar.TraceID
+		}
+	}
+	if exemplar != "req-join" {
+		t.Errorf("histogram exemplar = %q, want req-join", exemplar)
+	}
+}
+
+// TestTracingOverhead locks the acceptance bound: tracing enabled costs less
+// than 5% throughput on steady-state Server.Infer. Each configuration is
+// measured three times interleaved and compared by its best run, the
+// standard noise-robust benchmark estimator; a 2µs absolute floor absorbs
+// scheduler jitter on hosts where the op itself is only tens of µs.
+func TestTracingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison is meaningless under -short (race) instrumentation")
+	}
+	measure := func(tr *obs.Tracer) float64 {
+		dep := testDeployment(t, 31)
+		srv, err := New(dep, Config{Workers: 1, MaxBatch: 1, MaxDelay: time.Microsecond, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ctx := context.Background()
+		x := randSamples(1, 32)[0]
+		for i := 0; i < 8; i++ {
+			if _, err := srv.Infer(ctx, x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Infer(ctx, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	best := func(ns []float64) float64 {
+		m := ns[0]
+		for _, v := range ns[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}
+	var on, off []float64
+	for i := 0; i < 3; i++ {
+		on = append(on, measure(obs.NewTracer(4096)))
+		off = append(off, measure(nil))
+	}
+	bestOn, bestOff := best(on), best(off)
+	slack := bestOff * 0.05
+	if slack < 2000 {
+		slack = 2000
+	}
+	if bestOn > bestOff+slack {
+		t.Fatalf("tracing overhead: traced %.0f ns/op vs untraced %.0f ns/op (>5%% + floor)", bestOn, bestOff)
+	}
+	t.Logf("traced %.0f ns/op, untraced %.0f ns/op (%.2f%%)", bestOn, bestOff, 100*(bestOn-bestOff)/bestOff)
+}
+
+// BenchmarkInferTraced is BenchmarkInferAllocs with the span pipeline live:
+// the CI BENCH_obs.json artifact pairs it with BenchmarkInferUntraced so the
+// per-commit record carries the measured tracing overhead.
+func BenchmarkInferTraced(b *testing.B) {
+	benchInfer(b, obs.NewTracer(4096))
+}
+
+// BenchmarkInferUntraced is the tracing-disabled baseline of the pair.
+func BenchmarkInferUntraced(b *testing.B) {
+	benchInfer(b, nil)
+}
+
+func benchInfer(b *testing.B, tr *obs.Tracer) {
+	dep := testDeployment(b, 31)
+	srv, err := New(dep, Config{Workers: 1, MaxBatch: 1, MaxDelay: time.Microsecond, Tracer: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	x := randSamples(1, 33)[0]
+	for i := 0; i < 8; i++ {
+		if _, err := srv.Infer(ctx, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Infer(ctx, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

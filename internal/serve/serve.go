@@ -31,12 +31,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tbnet/internal/core"
+	"tbnet/internal/obs"
 	"tbnet/internal/tee"
 	"tbnet/internal/tensor"
 )
@@ -91,6 +91,15 @@ type Config struct {
 	// installs its EWMA latency estimator here. The callback runs on the
 	// worker goroutine and must be fast and non-blocking.
 	Observer func(model string, samples int, perSample time.Duration)
+	// Tracer, when set, records a span timeline for every request into the
+	// tracer's bounded ring: queue wait, batch formation, per-world REE/TEE
+	// host execution time, and pacing. Requests arriving with a span already
+	// in their context (the HTTP ingress path) are annotated in place;
+	// requests without one get a self-started span, so internally generated
+	// traffic is traced too. Span recording is allocation-free in steady
+	// state. Nil disables tracing (requests carrying a context span are
+	// still annotated).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +143,8 @@ type request struct {
 	resp     chan response   // buffered(1): workers never block on it
 	ctx      context.Context // caller's context; expired requests are dropped at flush
 	enqueued time.Time       // admission time, for queue-wait accounting
+	span     obs.SpanRef     // request span (inert zero ref when untraced)
+	wait     time.Duration   // queue wait, set by the worker at batch pickup
 }
 
 type response struct {
@@ -622,6 +633,9 @@ type workerScratch struct {
 	views  []*tensor.Tensor // views[k] is a [k,C,H,W] prefix view, k ≥ 1
 	per    int              // floats per sample
 	labels []int
+	// bd is the worker's reusable per-world execution breakdown, filled by
+	// InferIntoObserved when the batch carries at least one traced request.
+	bd obs.ExecBreakdown
 }
 
 func (p *pool) newScratch() *workerScratch {
@@ -670,6 +684,7 @@ func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch [
 	// as served. They are answered with their context's error and appear in
 	// neither the request nor the error counters.
 	var wait time.Duration
+	traced := false
 	now := time.Now()
 	live := make([]*request, 0, len(batch))
 	for _, r := range batch {
@@ -679,7 +694,11 @@ func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch [
 			continue
 		}
 		if !r.enqueued.IsZero() {
-			wait += now.Sub(r.enqueued)
+			r.wait = now.Sub(r.enqueued)
+			wait += r.wait
+		}
+		if r.span.Active() {
+			traced = true
 		}
 		live = append(live, r)
 	}
@@ -687,9 +706,13 @@ func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch [
 		return
 	}
 	x := ws.concatInto(live)
+	var bd *obs.ExecBreakdown
+	if traced {
+		bd = &ws.bd
+	}
 	before := rep.Latency()
 	hostStart := time.Now()
-	labels, err := rep.InferInto(x, ws.labels)
+	labels, err := rep.InferIntoObserved(x, ws.labels, bd)
 	hostNs := time.Since(hostStart)
 	lat := rep.Latency() - before
 	if err == nil && len(labels) != len(live) {
@@ -700,15 +723,19 @@ func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch [
 		// same error on every caller in the batch. Re-run each sample alone to
 		// isolate which input was actually bad: good samples still succeed,
 		// and only the offending request carries the error.
-		p.isolateBatch(id, rep, ws, live, wait)
+		p.isolateBatch(id, rep, ws, live)
 		return
 	}
 	service := hostNs
+	var paced time.Duration
 	if err == nil {
-		service += p.pace(lat)
+		paced = p.pace(lat)
+		service += paced
 	}
+	prep := hostStart.Sub(now)
 	for i, r := range live {
 		p.pending.Add(-1)
+		r.markStages(prep, bd, paced)
 		if err != nil {
 			r.resp <- response{err: err}
 			continue
@@ -717,7 +744,28 @@ func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch [
 	}
 	p.stats.record(id, len(live), lat, hostNs, wait, err)
 	if err == nil {
+		for _, r := range live {
+			p.stats.hist.Observe(lat, r.span.ID())
+		}
 		p.observe(len(live), service)
+	}
+}
+
+// markStages writes the worker-side span timeline for one served request:
+// its queue wait, the batch formation time it shared, the batch's per-world
+// execution split, and the pacing sleep. A zero span ref makes it free.
+func (r *request) markStages(prep time.Duration, bd *obs.ExecBreakdown, paced time.Duration) {
+	if !r.span.Active() {
+		return
+	}
+	r.span.Mark(obs.StageQueued, r.wait)
+	r.span.Mark(obs.StageBatched, prep)
+	if bd != nil {
+		r.span.Mark(obs.StageREE, time.Duration(bd.REENs))
+		r.span.Mark(obs.StageTEE, time.Duration(bd.TEENs))
+	}
+	if paced > 0 {
+		r.span.Mark(obs.StagePace, paced)
 	}
 }
 
@@ -747,30 +795,38 @@ func (p *pool) observe(samples int, service time.Duration) {
 // isolateBatch re-runs each request of a failed coalesced batch as its own
 // protocol run, so every caller gets its sample's own outcome instead of a
 // shared batch error.
-func (p *pool) isolateBatch(id int, rep *core.Deployment, ws *workerScratch, batch []*request, wait time.Duration) {
-	perWait := wait / time.Duration(len(batch))
+func (p *pool) isolateBatch(id int, rep *core.Deployment, ws *workerScratch, batch []*request) {
 	for _, r := range batch {
 		p.pending.Add(-1)
 		if r.ctx != nil && r.ctx.Err() != nil {
 			r.resp <- response{err: r.ctx.Err()}
 			continue
 		}
+		var bd *obs.ExecBreakdown
+		if r.span.Active() {
+			bd = &ws.bd
+		}
 		before := rep.Latency()
 		hostStart := time.Now()
-		labels, err := rep.InferInto(r.x, ws.labels)
+		labels, err := rep.InferIntoObserved(r.x, ws.labels, bd)
 		hostNs := time.Since(hostStart)
 		lat := rep.Latency() - before
 		if err == nil && len(labels) != 1 {
 			err = fmt.Errorf("serve: %d labels for 1 request", len(labels))
 		}
+		var paced time.Duration
 		if err != nil {
 			r.resp <- response{err: err}
 		} else {
-			service := hostNs + p.pace(lat)
+			paced = p.pace(lat)
+			r.markStages(0, bd, paced)
 			r.resp <- response{label: labels[0]}
-			p.observe(1, service)
+			p.observe(1, hostNs+paced)
 		}
-		p.stats.record(id, 1, lat, hostNs, perWait, err)
+		p.stats.record(id, 1, lat, hostNs, r.wait, err)
+		if err == nil {
+			p.stats.hist.Observe(lat, r.span.ID())
+		}
 	}
 }
 
@@ -833,14 +889,36 @@ func (p *pool) infer(ctx context.Context, x *tensor.Tensor) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	req := &request{x: sample, resp: make(chan response, 1), ctx: ctx}
+	// A request arriving from the HTTP ingress already carries its span in
+	// ctx; direct callers get a self-started span when the server traces.
+	// Both paths are allocation-free (the ring slot is preallocated). Only
+	// self-started spans are finished here — a ctx-carried span belongs to
+	// whoever started it (the HTTP tracing middleware), which still has the
+	// response-writing stage to account for.
+	span := obs.FromContext(ctx)
+	owned := !span.Active()
+	if owned {
+		span = p.srv.cfg.Tracer.Start("")
+	}
+	span.SetModel(p.name)
+	span.MarkSinceStart(obs.StageIngress)
+	req := &request{x: sample, resp: make(chan response, 1), ctx: ctx, span: span}
 	if err := p.enqueue(ctx, req); err != nil {
+		if owned {
+			span.Finish(true)
+		}
 		return 0, err
 	}
 	select {
 	case r := <-req.resp:
+		if owned {
+			span.Finish(r.err != nil)
+		}
 		return r.label, r.err
 	case <-ctx.Done():
+		if owned {
+			span.Finish(true)
+		}
 		return 0, ctx.Err()
 	}
 }
@@ -1063,6 +1141,12 @@ type Stats struct {
 	ModeledThroughput float64 `json:"modeled_throughput_rps"`
 	// WallSeconds is the host time since the server started.
 	WallSeconds float64 `json:"wall_seconds"`
+	// LatencyHist is the merged modeled-latency histogram behind the
+	// percentile fields: an unshared snapshot the caller may keep merging
+	// (the fleet layer folds node snapshots into fleet-wide and per-model
+	// families for /metrics). Excluded from JSON — the stable percentile
+	// fields above are the artifact surface.
+	LatencyHist *obs.Histogram `json:"-"`
 }
 
 // statsAgg accumulates one pool's serving statistics.
@@ -1080,10 +1164,12 @@ type statsAgg struct {
 	// queueWait accumulates host-side queueing delay over queueWaited samples.
 	queueWait   time.Duration
 	queueWaited int64
-	// latencies is a bounded ring of per-request modeled latencies used for
-	// the percentile estimates.
-	latencies [8192]float64
-	latCount  int64
+	// hist is the pool's per-request modeled-latency histogram (seconds),
+	// internally synchronized: the worker observes into it outside the
+	// counter lock, and the Stats methods merge snapshots of it across
+	// pools, nodes, and models. It replaces the bounded sample ring the
+	// percentile estimates used to sort.
+	hist obs.Histogram
 }
 
 func (a *statsAgg) record(worker, batchSize int, lat float64, hostNs, wait time.Duration, err error) {
@@ -1107,10 +1193,6 @@ func (a *statsAgg) record(worker, batchSize int, lat float64, hostNs, wait time.
 		a.workerBusy = append(a.workerBusy, 0)
 	}
 	a.workerBusy[worker] += lat
-	for i := 0; i < batchSize; i++ {
-		a.latencies[a.latCount%int64(len(a.latencies))] = lat
-		a.latCount++
-	}
 }
 
 // poolSnapshot is one pool's raw aggregate, merged by the Stats methods.
@@ -1123,7 +1205,7 @@ type poolSnapshot struct {
 	queueWait                 time.Duration
 	queueWaited               int64
 	critical                  float64 // busiest worker's modeled seconds
-	samples                   []float64
+	hist                      *obs.Histogram
 }
 
 func (p *pool) snapshot() poolSnapshot {
@@ -1146,12 +1228,7 @@ func (p *pool) snapshot() poolSnapshot {
 			out.critical = b
 		}
 	}
-	n := int(a.latCount)
-	if n > len(a.latencies) {
-		n = len(a.latencies)
-	}
-	out.samples = make([]float64, n)
-	copy(out.samples, a.latencies[:n])
+	out.hist = a.hist.Snapshot()
 	return out
 }
 
@@ -1162,8 +1239,8 @@ func (s *Server) mergeStats(snaps []poolSnapshot) Stats {
 		PeakSecureBytes: s.budget.Peak(),
 		Workers:         s.Workers(),
 		WallSeconds:     time.Since(s.start).Seconds(),
+		LatencyHist:     &obs.Histogram{},
 	}
-	var samples []float64
 	var queueWait time.Duration
 	var queueWaited int64
 	var hostBusy time.Duration
@@ -1182,7 +1259,7 @@ func (s *Server) mergeStats(snaps []poolSnapshot) Stats {
 		hostBusy += sn.hostBusy
 		queueWait += sn.queueWait
 		queueWaited += sn.queueWaited
-		samples = append(samples, sn.samples...)
+		out.LatencyHist.Merge(sn.hist)
 	}
 	if out.Batches > 0 {
 		out.MeanBatch = float64(out.Requests) / float64(out.Batches)
@@ -1193,11 +1270,10 @@ func (s *Server) mergeStats(snaps []poolSnapshot) Stats {
 	if out.Requests > 0 {
 		out.HostNsPerOp = float64(hostBusy.Nanoseconds()) / float64(out.Requests)
 	}
-	if n := len(samples); n > 0 {
-		sort.Float64s(samples)
-		out.P50Latency = samples[n/2]
-		out.P95Micros = samples[(n*95)/100] * 1e6
-		out.P99Latency = samples[(n*99)/100]
+	if out.LatencyHist.Count() > 0 {
+		out.P50Latency = out.LatencyHist.Quantile(0.50)
+		out.P95Micros = out.LatencyHist.Quantile(0.95) * 1e6
+		out.P99Latency = out.LatencyHist.Quantile(0.99)
 	}
 	return out
 }
@@ -1234,30 +1310,32 @@ func (s *Server) ModelStats(model string) (Stats, error) {
 	return st, nil
 }
 
-// LatencySamples returns a copy of the retained per-request modeled
-// latencies (seconds, most recent 8192 per model), merged across the hosted
-// models. Aggregators — the fleet layer — merge the samples of several
-// servers to compute cross-device percentiles.
-func (s *Server) LatencySamples() []float64 {
+// LatencyHistogram returns an unshared snapshot of the per-request modeled
+// latency histogram (seconds), merged across the hosted models.
+// Aggregators — the fleet layer — merge the histograms of several servers
+// to compute cross-device percentiles and the /metrics bucket families; a
+// merge is a fixed-size bucket add, so fleet-wide percentiles no longer
+// sort concatenated sample slices.
+func (s *Server) LatencyHistogram() *obs.Histogram {
 	s.modelMu.RLock()
 	pools := make([]*pool, 0, len(s.models))
 	for _, p := range s.models {
 		pools = append(pools, p)
 	}
 	s.modelMu.RUnlock()
-	var out []float64
+	out := &obs.Histogram{}
 	for _, p := range pools {
-		out = append(out, p.snapshot().samples...)
+		out.Merge(&p.stats.hist)
 	}
 	return out
 }
 
-// ModelLatencySamples is LatencySamples scoped to one hosted model; unknown
-// names fail with ErrUnknownModel.
-func (s *Server) ModelLatencySamples(model string) ([]float64, error) {
+// ModelLatencyHistogram is LatencyHistogram scoped to one hosted model;
+// unknown names fail with ErrUnknownModel.
+func (s *Server) ModelLatencyHistogram(model string) (*obs.Histogram, error) {
 	p, err := s.lookup(model)
 	if err != nil {
 		return nil, err
 	}
-	return p.snapshot().samples, nil
+	return p.stats.hist.Snapshot(), nil
 }

@@ -241,8 +241,8 @@ func TestServerLoadProbes(t *testing.T) {
 	if _, err := srv.InferBatch(context.Background(), randSamples(6, 39)); err != nil {
 		t.Fatal(err)
 	}
-	if n := len(srv.LatencySamples()); n != 6 {
-		t.Fatalf("latency samples = %d, want 6", n)
+	if n := srv.LatencyHistogram().Count(); n != 6 {
+		t.Fatalf("latency histogram count = %d, want 6", n)
 	}
 	srv.Close()
 	if srv.QueueDepth() != 0 || srv.InFlight() != 0 {
