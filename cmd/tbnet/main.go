@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|fleet|ablation|...> [flags]
+//	tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|quant|fleet|ablation|...> [flags]
 //	tbnet pipeline [flags]    # one train→transfer→prune→finalize flow
 //	tbnet save [flags]        # run the pipeline and persist the deployment artifact
 //	tbnet load [flags]        # restore a saved deployment (or list a registry)
@@ -163,6 +163,16 @@ func (c *commonFlags) resolveDevice() (tbnet.Device, error) {
 	return tbnet.DeviceByName(c.device)
 }
 
+// deployAt places a finalized model at the selected serving precision. The
+// -precision flag is parsed (and rejected with a usage error) before any
+// pipeline builds, so callers hand in the parsed form.
+func deployAt(tb *tbnet.TwoBranch, device tbnet.Device, shape []int, p tbnet.Precision) (*tbnet.Deployment, error) {
+	if p == tbnet.PrecisionInt8 {
+		return tbnet.DeployInt8(tb, device, shape)
+	}
+	return tbnet.Deploy(tb, device, shape)
+}
+
 // pipelineOptions maps the CLI flags onto the functional-options surface.
 func (c *commonFlags) pipelineOptions(stderr io.Writer) ([]tbnet.PipelineOption, error) {
 	opts := []tbnet.PipelineOption{
@@ -279,6 +289,7 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 	requests := fs.Int("requests", 64, "synthetic requests to serve")
 	models := fs.String("models", "", "serve saved models: name=artifact.tbd or registry names (comma-separated)")
 	regDir := fs.String("registry", "", "model registry directory for bare -models names")
+	precision := fs.String("precision", "f32", "serving precision in pipeline mode: f32 or int8")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -286,6 +297,11 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr,
 			"invalid serve flags: workers %d, batch %d, delay %v, requests %d\n",
 			*workers, *batch, *delay, *requests)
+		return 2
+	}
+	prec, err := tbnet.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -342,7 +358,7 @@ func runServeCmd(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		dep, err = tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+		dep, err = deployAt(res.TB, device, []int{1, 3, 16, 16}, prec)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -527,6 +543,7 @@ func runFleetCmd(args []string, stdout, stderr io.Writer) int {
 	autoMax := fs.Int("autoscale-max", 8, "autoscaler per-node worker ceiling")
 	autoInterval := fs.Duration("autoscale-interval", 50*time.Millisecond, "autoscaler control-loop period")
 	pace := fs.Float64("pace", 0, "pace workers at modeled-latency × this factor (0 = off)")
+	precision := fs.String("precision", "f32", "serving precision: f32 or int8")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -538,6 +555,11 @@ func runFleetCmd(args []string, stdout, stderr io.Writer) int {
 	if *auto && (*autoMin < 1 || *autoMax < *autoMin || *autoInterval <= 0) {
 		fmt.Fprintf(stderr, "invalid autoscale flags: min %d, max %d, interval %v\n",
 			*autoMin, *autoMax, *autoInterval)
+		return 2
+	}
+	prec, err := tbnet.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	fleetOpts, err := parseFleetDevices(*devices)
@@ -586,7 +608,7 @@ func runFleetCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+	dep, err := deployAt(res.TB, device, []int{1, 3, 16, 16}, prec)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -716,7 +738,7 @@ func runExperimentCmd(args []string, stdout, stderr io.Writer) int {
 func knownExperiment(which string) bool {
 	switch which {
 	case "all", "table1", "table2", "table3", "fig2", "fig3", "fig4", "hw",
-		"fleet", "ablation", "ablation-ranking", "ablation-rollback",
+		"quant", "fleet", "ablation", "ablation-ranking", "ablation-rollback",
 		"ablation-lambda", "ablation-quant":
 		return true
 	}
@@ -762,6 +784,8 @@ func renderExperiment(lab *experiments.Lab, which string, jsonOut bool, w, stder
 		return render(lab.Fig3())
 	case "hw":
 		return render(lab.TableHW())
+	case "quant":
+		return render(lab.TableQuant())
 	case "fleet":
 		return render(lab.TableFleet())
 	case "fig4":
@@ -812,30 +836,32 @@ func runInfoCmd(w io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|fleet|ablation|
+  tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|quant|fleet|ablation|
                     ablation-ranking|ablation-rollback|ablation-lambda|ablation-quant>
                    [-scale micro|ci|full] [-seed N] [-device NAME] [-json] [-v]
   tbnet pipeline [-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet]
                  [-dataset c10|c100] [-scale micro|ci|full] [-seed N]
                  [-device NAME] [-json] [-v]
-  tbnet save     (-out FILE | -registry DIR [-name NAME])
+  tbnet save     (-out FILE | -registry DIR [-name NAME]) [-int8]
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N]
                  [-device NAME] [-json] [-v]
   tbnet load     (-in FILE | -registry DIR [-name NAME])
                  [-device NAME] [-json]    # no -name: list the registry
-  tbnet serve    [-workers N] [-batch N] [-delay D] [-requests N]
+  tbnet serve    [-workers N] [-batch N] [-delay D] [-requests N] [-precision f32|int8]
                  [-models NAME=FILE,... | -models NAME,... -registry DIR]
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N]
                  [-device NAME] [-json] [-v]
   tbnet fleet    [-devices NAME:W,NAME:W,...] [-policy round-robin|least-loaded|cost-aware|ewma]
                  [-requests N] [-rate R] [-poisson] [-deadline D] [-max-inflight N]
                  [-autoscale [-autoscale-min N] [-autoscale-max N] [-autoscale-interval D]]
-                 [-pace S] [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
+                 [-pace S] [-precision f32|int8]
+                 [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]
   tbnet scenario [-devices NAME:W,...] [-policy ...] [-deadline D] [-max-inflight N]
                  [-spec name:pattern:rate:dur[:peak[:period]],...] [-trace FILE]
                  [-models NAME=FILE,... | -models NAME,... -registry DIR]
                  [-autoscale [-autoscale-min N] [-autoscale-max N] [-autoscale-interval D]]
-                 [-pace S] [-sweep W,W,...]     # static-vs-autoscale comparison
+                 [-pace S] [-precision f32|int8]
+                 [-sweep W,W,...]               # static-vs-autoscale comparison
                  [-target URL [-api-key KEY]]   # client mode: load-test a running tbnetd over HTTP
                  [-trace-out FILE]              # dump per-request span timelines after the run
                  [-arch ...] [-dataset ...] [-scale ...] [-seed N] [-json] [-v]

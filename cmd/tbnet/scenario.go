@@ -189,12 +189,18 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	pace := fs.Float64("pace", 0, "pace workers at modeled-latency × this factor (0 = off)")
 	sweepList := fs.String("sweep", "", "also run the same workload at these static widths (comma-separated worker counts) and compare; implies -autoscale")
 	traceOut := fs.String("trace-out", "", "write per-request span timelines to this file after the run (local fleet only)")
+	precision := fs.String("precision", "f32", "serving precision in pipeline mode: f32 or int8")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *deadline < 0 || *maxInFlight < 0 || *pace < 0 {
 		fmt.Fprintf(stderr, "invalid scenario flags: deadline %v, max-inflight %d, pace %g\n",
 			*deadline, *maxInFlight, *pace)
+		return 2
+	}
+	prec, err := tbnet.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	sweep, err := parseSweepWidths(*sweepList)
@@ -350,7 +356,7 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
-		dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+		dep, err := deployAt(res.TB, device, []int{1, 3, 16, 16}, prec)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1

@@ -22,6 +22,7 @@ func runSaveCmd(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "artifact file to write (exclusive with -registry)")
 	regDir := fs.String("registry", "", "model registry directory to save into")
 	name := fs.String("name", "", "registry entry name (default the architecture name)")
+	int8Flag := fs.Bool("int8", false, "quantize to int8 and save the quantized serving artifact")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,7 +51,12 @@ func runSaveCmd(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	dep, err := tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+	var dep *tbnet.Deployment
+	if *int8Flag {
+		dep, err = tbnet.DeployInt8(res.TB, device, []int{1, 3, 16, 16})
+	} else {
+		dep, err = tbnet.Deploy(res.TB, device, []int{1, 3, 16, 16})
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -63,9 +69,11 @@ func runSaveCmd(args []string, stdout, stderr io.Writer) int {
 		SHA256      string  `json:"sha256,omitempty"`
 		SizeBytes   int64   `json:"size_bytes,omitempty"`
 		Device      string  `json:"device"`
+		Precision   string  `json:"precision"`
 		TBAcc       float64 `json:"tbnet_acc"`
 		SecureBytes int64   `json:"peak_secure_bytes"`
-	}{Device: device.Name(), TBAcc: res.TBAcc, SecureBytes: dep.SecureBytes}
+	}{Device: device.Name(), Precision: string(dep.Precision()),
+		TBAcc: res.TBAcc, SecureBytes: dep.SecureBytes}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -118,6 +126,7 @@ func runSaveCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "saved deployment to %s\n", where)
 	fmt.Fprintf(stdout, "  device:        %s\n", summary.Device)
+	fmt.Fprintf(stdout, "  precision:     %s\n", summary.Precision)
 	fmt.Fprintf(stdout, "  TBNet acc:     %s\n", report.Pct(summary.TBAcc))
 	fmt.Fprintf(stdout, "  artifact size: %s\n", report.Bytes(summary.SizeBytes))
 	fmt.Fprintf(stdout, "  secure memory: %s\n", report.Bytes(summary.SecureBytes))
@@ -176,8 +185,12 @@ func runLoadCmd(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		for _, e := range entries {
-			fmt.Fprintf(stdout, "%-20s device=%-12s shape=%v sha256=%s… %s\n",
-				e.Name, e.Device, e.SampleShape, e.SHA256[:12], report.Bytes(e.SizeBytes))
+			prec := e.Precision
+			if prec == "" {
+				prec = "f32"
+			}
+			fmt.Fprintf(stdout, "%-20s device=%-12s precision=%-5s shape=%v sha256=%s… %s\n",
+				e.Name, e.Device, prec, e.SampleShape, e.SHA256[:12], report.Bytes(e.SizeBytes))
 		}
 		return 0
 	}
@@ -216,16 +229,18 @@ func runLoadCmd(args []string, stdout, stderr io.Writer) int {
 	if *jsonOut {
 		if err := json.NewEncoder(stdout).Encode(struct {
 			Device      string  `json:"device"`
+			Precision   string  `json:"precision"`
 			SampleShape []int   `json:"sample_shape"`
 			SecureBytes int64   `json:"peak_secure_bytes"`
 			LatencySec  float64 `json:"latency_sec"`
-		}{dep.Device.Name(), dep.SampleShape(), dep.SecureBytes, dep.Latency()}); err != nil {
+		}{dep.Device.Name(), string(dep.Precision()), dep.SampleShape(),
+			dep.SecureBytes, dep.Latency()}); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		return 0
 	}
-	fmt.Fprintf(stdout, "loaded deployment on %s: shape %v, %s secure memory, %.6fs modeled single-image latency\n",
-		dep.Device.Name(), dep.SampleShape(), report.Bytes(dep.SecureBytes), dep.Latency())
+	fmt.Fprintf(stdout, "loaded %s deployment on %s: shape %v, %s secure memory, %.6fs modeled single-image latency\n",
+		dep.Precision(), dep.Device.Name(), dep.SampleShape(), report.Bytes(dep.SecureBytes), dep.Latency())
 	return 0
 }

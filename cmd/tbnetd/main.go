@@ -11,6 +11,7 @@
 //	tbnetd -models edge=vgg.tbd,big=resnet.tbd -devices rpi3:2,sgx-desktop:4 \
 //	       -policy cost-aware -deadline 50ms -api-keys secret=tenant-a -rate 200
 //	tbnetd -demo -policy ewma -autoscale -autoscale-min 1 -autoscale-max 8
+//	tbnetd -demo -precision int8        # quantized serving path for the demo model
 //
 // With -autoscale the fleet runs elastically: a closed-loop controller widens
 // and narrows every node's worker pool between -autoscale-min and
@@ -59,11 +60,15 @@ func main() {
 
 // demoDeployment builds a small untrained two-branch model and deploys it —
 // instant to construct, so the daemon can come up without any artifact for
-// smoke tests and demos. Outputs are deterministic in the seed.
-func demoDeployment(seed uint64) (*tbnet.Deployment, error) {
+// smoke tests and demos. Outputs are deterministic in the seed. The precision
+// knob selects the f32 or int8 serving path, matching `tbnet serve`.
+func demoDeployment(seed uint64, precision tbnet.Precision) (*tbnet.Deployment, error) {
 	victim := zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(seed))
 	tb := core.NewTwoBranch(victim, seed+1)
 	tb.Finalized = true
+	if precision == tbnet.PrecisionInt8 {
+		return core.DeployInt8(tb, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
+	}
 	return core.Deploy(tb, tbnet.RaspberryPi3(), []int{1, 3, 16, 16})
 }
 
@@ -154,6 +159,7 @@ func run(args []string, stderr io.Writer) int {
 	regDir := fs.String("registry", "", "model registry directory (lists on /v1/models, resolves ?from= swaps)")
 	demo := fs.Bool("demo", false, "serve a small untrained demo model (no artifacts needed)")
 	seed := fs.Uint64("seed", 1, "demo model seed")
+	precision := fs.String("precision", "f32", "demo model serving precision: f32 or int8 (artifacts carry their own)")
 	apiKeys := fs.String("api-keys", "", "API keys as key=tenant pairs (empty disables auth)")
 	rate := fs.Float64("rate", 0, "per-tenant sustained request rate limit (0 = unlimited)")
 	burst := fs.Int("burst", 0, "per-tenant burst allowance (0 = ceil(rate))")
@@ -202,6 +208,11 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "nothing to serve: give -models (or -registry names), or -demo")
 		return 2
 	}
+	prec, err := tbnet.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	var names []string
 	var deps []*tbnet.Deployment
@@ -209,7 +220,7 @@ func run(args []string, stderr io.Writer) int {
 		names, deps, err = parseModels(*models, *regDir)
 	} else {
 		var dep *tbnet.Deployment
-		dep, err = demoDeployment(*seed)
+		dep, err = demoDeployment(*seed, prec)
 		names, deps = []string{"demo"}, []*tbnet.Deployment{dep}
 	}
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"tbnet/internal/obs"
 	"tbnet/internal/profile"
+	"tbnet/internal/quant"
 	"tbnet/internal/tee"
 	"tbnet/internal/tensor"
 	"tbnet/internal/zoo"
@@ -127,6 +128,10 @@ type Deployment struct {
 	// SecureBytes is the secure-memory reservation: M_T's parameters, its
 	// peak activation working set, and the shared-memory staging buffer.
 	SecureBytes int64
+	// precision is the numeric serving path; qmr/qmt hold the storage-form
+	// quantized branches on the int8 path (nil on f32), shared by replicas.
+	precision Precision
+	qmr, qmt  *quant.QuantizedModel
 
 	// mu serializes the enclave protocol: the staged command sequence keeps
 	// mutable per-call state inside the program, so one session can run only
@@ -140,12 +145,14 @@ type Deployment struct {
 // with ErrNotFinalized for unfinalized models, ErrShape for an unusable
 // sample shape, and ErrSecureMemory if the enclave does not fit.
 func Deploy(tb *TwoBranch, device tee.Device, sampleShape []int) (*Deployment, error) {
-	return deployWith(tb, device, sampleShape, nil)
+	return deployWith(tb, device, sampleShape, nil, nil)
 }
 
-// deployWith is Deploy with an optional shared secure-memory accountant; a
-// nil mem gets a fresh per-session budget of device.SecureMemBytes().
-func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.SecureMemory) (*Deployment, error) {
+// deployWith is Deploy with an optional shared secure-memory accountant (a
+// nil mem gets a fresh per-session budget of device.SecureMemBytes()) and an
+// optional quantized pair: a non-nil q marks the int8 path, whose branches in
+// tb are already realized int8 execution models.
+func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.SecureMemory, q *quantizedPair) (*Deployment, error) {
 	if device == nil {
 		return nil, fmt.Errorf("core: deploy onto a nil device: %w", ErrShape)
 	}
@@ -172,6 +179,16 @@ func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.Se
 	// The plan caches the branch profiles for every admissible batch size;
 	// the deploy-time sizing below reads the full-batch entries.
 	plan := newInferPlan(tb, sampleShape)
+	precision := PrecisionF32
+	if q != nil {
+		// Int8 path: price the flops under the device's int8 throughput ratio
+		// once, here — the meter then charges quantized-kernel figures on
+		// every inference with no hot-path branching.
+		precision = PrecisionInt8
+		speedup := tee.Int8SpeedupOf(device)
+		scaleFlops(plan.mrCost, speedup)
+		scaleFlops(plan.mtCost, speedup)
+	}
 	mtCost := plan.mtCost[len(plan.mtCost)-1]
 	// Staging buffer: the largest single transfer (input or any M_R stage
 	// output after alignment is applied inside the enclave — the full
@@ -184,6 +201,12 @@ func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.Se
 		}
 	}
 	secureBytes := mtCost.SecureFootprintBytes() + staging
+	if q != nil {
+		// Quantized parameters replace the float32 resident set; activations
+		// (requantized to float32 at layer boundaries) and staging are
+		// unchanged.
+		secureBytes = q.qmt.ParamBytes() + mtCost.PeakActivationBytes() + staging
+	}
 	if mem == nil {
 		mem = tee.NewSecureMemory(device.SecureMemBytes())
 	}
@@ -195,7 +218,7 @@ func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.Se
 	// Memory-pressure-sensitive backends (SGX EPC paging) price latency off
 	// the session's secure working set.
 	enclave.Meter().SetSecureFootprint(secureBytes)
-	return &Deployment{
+	dep := &Deployment{
 		Device:      device,
 		Enclave:     enclave,
 		mr:          tb.MR,
@@ -204,7 +227,12 @@ func deployWith(tb *TwoBranch, device tee.Device, sampleShape []int, mem *tee.Se
 		plan:        plan,
 		sampleShape: append([]int(nil), sampleShape...),
 		SecureBytes: secureBytes,
-	}, nil
+		precision:   precision,
+	}
+	if q != nil {
+		dep.qmr, dep.qmt = q.qmr, q.qmt
+	}
+	return dep, nil
 }
 
 // Replicate creates an independent enclave session for the same finalized
@@ -236,6 +264,11 @@ func (d *Deployment) ReplicateOn(device tee.Device, batch int, mem *tee.SecureMe
 	if batch >= 1 {
 		shape[0] = batch
 	}
+	if d.precision == PrecisionInt8 {
+		// Re-realize from the shared immutable quantized records so the
+		// replica keeps the int8 path (and its pricing) on the new device.
+		return deployQuantizedWith(d.qmr, d.qmt, d.align, device, shape, mem)
+	}
 	align := make([][]int, len(d.align))
 	for i, a := range d.align {
 		if a != nil {
@@ -248,11 +281,37 @@ func (d *Deployment) ReplicateOn(device tee.Device, batch int, mem *tee.SecureMe
 		Align:     align,
 		Finalized: true,
 	}
-	return deployWith(tb, device, shape, mem)
+	return deployWith(tb, device, shape, mem, nil)
 }
+
+// Precision returns the deployment's numeric serving path.
+func (d *Deployment) Precision() Precision {
+	if d.precision == "" {
+		return PrecisionF32
+	}
+	return d.precision
+}
+
+// Quantized returns the storage-form quantized branches of an int8
+// deployment (nil, nil on the f32 path). The records are immutable and shared
+// with the live session; callers must not mutate them.
+func (d *Deployment) Quantized() (qmr, qmt *quant.QuantizedModel) { return d.qmr, d.qmt }
 
 // SampleShape returns the [N,C,H,W] shape the deployment was sized for.
 func (d *Deployment) SampleShape() []int { return append([]int(nil), d.sampleShape...) }
+
+// Align returns a deep copy of the per-stage channel-alignment maps. With
+// Quantized it is the full persistable state of an int8 deployment, without
+// the model clones Snapshot pays for.
+func (d *Deployment) Align() [][]int {
+	align := make([][]int, len(d.align))
+	for i, a := range d.align {
+		if a != nil {
+			align[i] = append([]int(nil), a...)
+		}
+	}
+	return align
+}
 
 // Snapshot returns a deep copy of the deployed finalized two-branch model —
 // both branches' weights and the channel-alignment maps — suitable for

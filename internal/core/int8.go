@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"tbnet/internal/profile"
+	"tbnet/internal/quant"
+	"tbnet/internal/tee"
+)
+
+// Precision selects the numeric serving path of a deployment.
+type Precision string
+
+const (
+	// PrecisionF32 is the float32 reference path.
+	PrecisionF32 Precision = "f32"
+	// PrecisionInt8 runs both branches through the quantized int8 kernels:
+	// weights stored as int8 with per-channel scales, activations quantized
+	// dynamically per sample, accumulation in int32, requantized to float32
+	// at every layer boundary (BN, bias, and pooling stay float32).
+	PrecisionInt8 Precision = "int8"
+)
+
+// ParsePrecision maps a user-facing string ("f32", "int8"; "" defaults to
+// f32) to a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f32", "fp32", "float32":
+		return PrecisionF32, nil
+	case "int8", "i8":
+		return PrecisionInt8, nil
+	}
+	return "", fmt.Errorf("core: unknown precision %q (want f32 or int8): %w", s, ErrShape)
+}
+
+// quantizedPair carries the storage-form quantized branches through deployWith
+// so replicas and artifacts can re-realize them without re-quantizing.
+type quantizedPair struct {
+	qmr, qmt *quant.QuantizedModel
+}
+
+// DeployInt8 is Deploy on the int8 serving path: both branches are quantized
+// (post-training, symmetric per output channel), attached to int8 kernels,
+// and priced under the device's int8 throughput ratio (tee.Int8SpeedupOf).
+// The secure footprint shrinks to the quantized parameter bytes plus the
+// float32 activation working set — on paging-sensitive backends (SGX) that
+// alone can flip the deployment from paging to resident.
+func DeployInt8(tb *TwoBranch, device tee.Device, sampleShape []int) (*Deployment, error) {
+	if tb == nil || tb.MR == nil || tb.MT == nil {
+		return nil, fmt.Errorf("core: deploy of a nil two-branch model: %w", ErrShape)
+	}
+	if !tb.Finalized {
+		return nil, fmt.Errorf("core: deploy requires a finalized model (run FinalizeRollback): %w",
+			ErrNotFinalized)
+	}
+	return DeployQuantized(quant.Quantize(tb.MR), quant.Quantize(tb.MT), tb.Align, device, sampleShape)
+}
+
+// DeployQuantized places already-quantized branches (for example loaded from
+// a v3 artifact) onto a device, realizing int8 execution models from the
+// storage form. The alignment maps are deep-copied; the quantized records are
+// retained by reference (they are immutable) so replicas and artifact saves
+// reuse them.
+func DeployQuantized(qmr, qmt *quant.QuantizedModel, align [][]int, device tee.Device, sampleShape []int) (*Deployment, error) {
+	return deployQuantizedWith(qmr, qmt, align, device, sampleShape, nil)
+}
+
+// deployQuantizedWith is DeployQuantized with an optional shared
+// secure-memory accountant (the replica path).
+func deployQuantizedWith(qmr, qmt *quant.QuantizedModel, align [][]int, device tee.Device, sampleShape []int, mem *tee.SecureMemory) (*Deployment, error) {
+	if qmr == nil || qmt == nil {
+		return nil, fmt.Errorf("core: deploy of nil quantized branches: %w", ErrShape)
+	}
+	rmr, err := qmr.Realize()
+	if err != nil {
+		return nil, fmt.Errorf("core: realize M_R: %w", err)
+	}
+	rmt, err := qmt.Realize()
+	if err != nil {
+		return nil, fmt.Errorf("core: realize M_T: %w", err)
+	}
+	alignCopy := make([][]int, len(align))
+	for i, a := range align {
+		if a != nil {
+			alignCopy[i] = append([]int(nil), a...)
+		}
+	}
+	tb := &TwoBranch{MR: rmr, MT: rmt, Align: alignCopy, Finalized: true}
+	return deployWith(tb, device, sampleShape, mem, &quantizedPair{qmr: qmr, qmt: qmt})
+}
+
+// scaleFlops divides every stage and head flop figure by the device's int8
+// speedup, so the meter (and therefore the modeled latency) prices the
+// quantized kernels. Byte figures are left untouched: activations stage
+// through shared memory as float32 either way.
+func scaleFlops(costs []profile.ModelCost, speedup float64) {
+	for b := range costs {
+		for i := range costs[b].Stages {
+			costs[b].Stages[i].Flops /= speedup
+		}
+		costs[b].Head.Flops /= speedup
+	}
+}

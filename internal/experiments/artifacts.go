@@ -8,6 +8,7 @@ import (
 	"tbnet/internal/core"
 	"tbnet/internal/defense"
 	"tbnet/internal/profile"
+	"tbnet/internal/quant"
 	"tbnet/internal/report"
 	"tbnet/internal/tee"
 	"tbnet/internal/tensor"
@@ -262,6 +263,73 @@ func (l *Lab) TableHW() *report.Table {
 	return t
 }
 
+// TableQuant is the accuracy-vs-latency story of int8 quantized serving: the
+// same finalized VGG/SynthC10 model deployed at float32 and int8 on every
+// registered backend. Each device contributes two rows — the f32 reference
+// and the quantized deployment — comparing secure footprint, modeled
+// per-image latency, the f32→int8 speedup under the backend's own int8
+// throughput ratio, and the benign-user accuracy of each serving path
+// (accuracy is device-independent: the arithmetic is identical everywhere,
+// only the cost model changes). Devices run in measurement mode so oversized
+// footprints report instead of aborting. This table is the BENCH_quant.json
+// artifact.
+func (l *Lab) TableQuant() *report.Table {
+	t := &report.Table{
+		Title: "Quant table: f32 vs int8 serving per registered device (VGG18-S/SynthC10)",
+		Header: []string{"Device", "Precision", "Secure Mem", "Latency (s)",
+			"Speedup", "TBNet Acc."},
+		Device: "all",
+	}
+	const images = 4
+	p := l.Pipeline(Combo{Arch: "vgg", Dataset: "c10"})
+	s := l.cfg.Scale
+
+	// Quantize once; every device deploys from the same immutable records.
+	qmr, qmt := quant.Quantize(p.TB.MR), quant.Quantize(p.TB.MT)
+	rmr, err := qmr.Realize()
+	if err != nil {
+		panic(err)
+	}
+	rmt, err := qmt.Realize()
+	if err != nil {
+		panic(err)
+	}
+	qtb := &core.TwoBranch{MR: rmr, MT: rmt, Align: p.TB.Align, Finalized: true}
+	i8Acc := core.EvaluateTwoBranch(qtb, p.Test, s.BatchSize)
+
+	rng := tensor.NewRNG(l.cfg.Seed + 71)
+	for _, dev := range tee.Devices() {
+		f32, err := core.Deploy(p.TB, tee.Unbounded(dev), sampleShape())
+		if err != nil {
+			panic(err)
+		}
+		i8, err := core.DeployQuantized(qmr, qmt, p.TB.Align, tee.Unbounded(dev), sampleShape())
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < images; i++ {
+			x := tensor.New(sampleShape()...)
+			rng.FillNormal(x, 0, 1)
+			if _, err := f32.Infer(x.Clone()); err != nil {
+				panic(err)
+			}
+			if _, err := i8.Infer(x); err != nil {
+				panic(err)
+			}
+		}
+		if i8.SecureBytes > t.PeakSecureBytes {
+			t.PeakSecureBytes = i8.SecureBytes
+		}
+		f32Lat := f32.Latency() / images
+		i8Lat := i8.Latency() / images
+		t.AddRow(dev.Name(), "f32", report.Bytes(f32.SecureBytes),
+			fmt.Sprintf("%.6f", f32Lat), report.Ratio(1), report.Pct(p.TBAcc))
+		t.AddRow(dev.Name(), "int8", report.Bytes(i8.SecureBytes),
+			fmt.Sprintf("%.6f", i8Lat), report.Ratio(f32Lat/i8Lat), report.Pct(i8Acc))
+	}
+	return t
+}
+
 // RunAll regenerates every artifact in paper order.
 func (l *Lab) RunAll(w io.Writer) {
 	l.Table1().Render(w)
@@ -282,6 +350,8 @@ func (l *Lab) RunAll(w io.Writer) {
 	l.Ablation().Render(w)
 	fmt.Fprintln(w)
 	l.TableHW().Render(w)
+	fmt.Fprintln(w)
+	l.TableQuant().Render(w)
 	fmt.Fprintln(w)
 	l.TableFleet().Render(w)
 	fmt.Fprintln(w)

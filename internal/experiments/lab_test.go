@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -142,9 +143,42 @@ func TestRunAllProducesAllArtifacts(t *testing.T) {
 	l.RunAll(&b)
 	out := b.String()
 	for _, want := range []string{"Table 1", "Fig. 2", "Table 2", "Fig. 3", "Table 3", "Fig. 4",
-		"Ablation", "HW table", "Fleet: routing policies"} {
+		"Ablation", "HW table", "Quant table", "Fleet: routing policies"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("RunAll output missing %q", want)
+		}
+	}
+}
+
+// TestTableQuantBeatsF32Everywhere: the quant table carries an f32 and an
+// int8 row per registered device, and every backend's int8 latency is
+// strictly below its f32 latency — the artifact-level echo of the
+// core-locked acceptance criterion.
+func TestTableQuantBeatsF32Everywhere(t *testing.T) {
+	skipShort(t)
+	l := microLab()
+	tab := l.TableQuant()
+	devs := tee.Devices()
+	if len(tab.Rows) != 2*len(devs) {
+		t.Fatalf("quant rows = %d, want two per registered device (%d)", len(tab.Rows), len(devs))
+	}
+	for i, dev := range devs {
+		f32Row, i8Row := tab.Rows[2*i], tab.Rows[2*i+1]
+		if f32Row[0] != dev.Name() || i8Row[0] != dev.Name() {
+			t.Fatalf("rows %d/%d name %q/%q, want %q", 2*i, 2*i+1, f32Row[0], i8Row[0], dev.Name())
+		}
+		if f32Row[1] != "f32" || i8Row[1] != "int8" {
+			t.Fatalf("%s precision cells %q/%q", dev.Name(), f32Row[1], i8Row[1])
+		}
+		var f32Lat, i8Lat float64
+		if _, err := fmt.Sscanf(f32Row[3], "%f", &f32Lat); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(i8Row[3], "%f", &i8Lat); err != nil {
+			t.Fatal(err)
+		}
+		if i8Lat >= f32Lat {
+			t.Fatalf("%s: int8 latency %g not below f32 %g", dev.Name(), i8Lat, f32Lat)
 		}
 	}
 }

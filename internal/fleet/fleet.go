@@ -1068,6 +1068,8 @@ type DeviceStats struct {
 type ModelStats struct {
 	// Name is the model's serving identity.
 	Name string `json:"name"`
+	// Precision is the model's numeric serving path ("f32" or "int8").
+	Precision string `json:"precision,omitempty"`
 	// Requests is the number of samples served successfully for this model,
 	// fleet-wide.
 	Requests int64 `json:"requests"`
@@ -1207,6 +1209,7 @@ func (f *Fleet) Stats() Stats {
 			if err != nil {
 				continue
 			}
+			ms.Precision = st.Precision
 			ms.Requests += st.Requests
 			ms.Errors += st.Errors
 			ms.Swaps += st.Swaps

@@ -77,6 +77,8 @@ type modelInfo struct {
 	Name string `json:"name"`
 	// Default marks the fleet's default model (never reaped).
 	Default bool `json:"default"`
+	// Precision is the model's numeric serving path ("f32" or "int8").
+	Precision string `json:"precision,omitempty"`
 	// SampleShape is the [N,C,H,W] shape the pool was planned for.
 	SampleShape []int `json:"sample_shape,omitempty"`
 	// Requests is the fleet-wide served-sample count.
@@ -103,6 +105,9 @@ type registryEntry struct {
 	Name string `json:"name"`
 	// Device is the backend the artifact was sized for.
 	Device string `json:"device"`
+	// Precision is the artifact's numeric serving path ("f32" or "int8";
+	// manifests from before quantized serving read back as "f32").
+	Precision string `json:"precision,omitempty"`
 	// SampleShape is the planned [N,C,H,W] shape.
 	SampleShape []int `json:"sample_shape"`
 	// SizeBytes is the artifact size on disk.
@@ -330,6 +335,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			info.SampleShape = shape
 		}
 		if ms, ok := perModel[name]; ok {
+			info.Precision = ms.Precision
 			info.Requests = ms.Requests
 			info.Swaps = ms.Swaps
 			info.P99Micros = ms.P99Micros
@@ -343,9 +349,14 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for _, e := range entries {
+			prec := e.Precision
+			if prec == "" {
+				prec = "f32"
+			}
 			resp.Registry = append(resp.Registry, registryEntry{
 				Name:        e.Name,
 				Device:      e.Device,
+				Precision:   prec,
 				SampleShape: e.SampleShape,
 				SizeBytes:   e.SizeBytes,
 			})

@@ -221,6 +221,13 @@ func (s *Server) writeMetrics(w io.Writer) error {
 	// Per-model breakdown, in hosting order.
 	for _, ms := range st.Models {
 		l := []string{"model", ms.Name}
+		bits := 32.0
+		if ms.Precision == "int8" {
+			bits = 8
+		}
+		pw.metric("tbnet_model_precision", "gauge",
+			"Weight width in bits of the model's numeric serving path (32=f32, 8=int8).",
+			bits, "model", ms.Name, "precision", ms.Precision)
 		pw.metric("tbnet_model_requests_total", "counter",
 			"Samples served successfully per hosted model.", float64(ms.Requests), l...)
 		pw.metric("tbnet_model_errors_total", "counter",

@@ -18,6 +18,13 @@ import (
 type Arena struct {
 	cols [][]float32
 	bufs map[arenaKey]*tensor.Tensor
+
+	// Int8-path scratch, one of each per pool worker: quantized input
+	// images, int8 im2row patches, and the int32 GEMM accumulator. Empty
+	// until a quantized layer runs, so float32 sessions pay nothing.
+	i8bufs [][]int8
+	i8cols [][]int8
+	i32buf [][]int32
 }
 
 // arenaKey identifies one activation buffer: the owning layer's tag plus the
@@ -31,9 +38,13 @@ type arenaKey struct {
 // NewArena creates an empty arena sized for the process's kernel worker
 // pool.
 func NewArena() *Arena {
+	w := tensor.Workers()
 	return &Arena{
-		cols: make([][]float32, tensor.Workers()),
-		bufs: make(map[arenaKey]*tensor.Tensor),
+		cols:   make([][]float32, w),
+		bufs:   make(map[arenaKey]*tensor.Tensor),
+		i8bufs: make([][]int8, w),
+		i8cols: make([][]int8, w),
+		i32buf: make([][]int32, w),
 	}
 }
 
@@ -44,6 +55,34 @@ func (a *Arena) ColScratch(w, n int) []float32 {
 		a.cols[w] = make([]float32, n)
 	}
 	return a.cols[w][:n]
+}
+
+// I8Buf returns worker w's quantized-input scratch grown to at least n
+// int8s. Contents are undefined; callers overwrite before reading.
+func (a *Arena) I8Buf(w, n int) []int8 {
+	if cap(a.i8bufs[w]) < n {
+		a.i8bufs[w] = make([]int8, n)
+	}
+	return a.i8bufs[w][:n]
+}
+
+// I8Cols returns worker w's int8 patch scratch (the Im2RowI8 destination)
+// grown to at least n int8s. Contents are undefined; callers overwrite
+// before reading.
+func (a *Arena) I8Cols(w, n int) []int8 {
+	if cap(a.i8cols[w]) < n {
+		a.i8cols[w] = make([]int8, n)
+	}
+	return a.i8cols[w][:n]
+}
+
+// I32Buf returns worker w's int32 accumulator scratch grown to at least n
+// elements. Contents are undefined; callers overwrite before reading.
+func (a *Arena) I32Buf(w, n int) []int32 {
+	if cap(a.i32buf[w]) < n {
+		a.i32buf[w] = make([]int32, n)
+	}
+	return a.i32buf[w][:n]
 }
 
 // Tensor4 returns the arena's [n,c,h,w] activation buffer registered under
@@ -82,6 +121,15 @@ func (a *Arena) Bytes() int64 {
 	}
 	for _, c := range a.cols {
 		total += int64(cap(c)) * 4
+	}
+	for _, b := range a.i8bufs {
+		total += int64(cap(b))
+	}
+	for _, b := range a.i8cols {
+		total += int64(cap(b))
+	}
+	for _, b := range a.i32buf {
+		total += int64(cap(b)) * 4
 	}
 	return total
 }

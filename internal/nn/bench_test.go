@@ -38,6 +38,34 @@ func BenchmarkConvForwardInto(b *testing.B) {
 	}
 }
 
+// BenchmarkConvForwardIntoInt8 is BenchmarkConvForwardInto on the int8
+// path: same geometry, quantized weights, dynamic activation quantization
+// included in the measured loop. The paired ns/op figures are the raw-kernel
+// half of the f32-vs-int8 record in BENCH_infer.json.
+func BenchmarkConvForwardIntoInt8(b *testing.B) {
+	conv := NewConv2D("c", 16, 32, 3, 1, 1, false, tensor.NewRNG(2))
+	qdata := make([]int8, 32*16*9)
+	qscales := make([]float32, 32)
+	wd := conv.W.Value.Data()
+	for r := 0; r < 32; r++ {
+		row := wd[r*16*9 : (r+1)*16*9]
+		qscales[r] = tensor.QuantScale(tensor.MaxAbs(row))
+		tensor.QuantizeI8(row, qscales[r], qdata[r*16*9:(r+1)*16*9])
+	}
+	if err := conv.SetInt8Weights(qdata, qscales); err != nil {
+		b.Fatal(err)
+	}
+	x := benchInput(8, 16, 16, 16)
+	dst := tensor.New(conv.OutShape(x.Shape())...)
+	a := NewArena()
+	conv.ForwardInto(dst, x, a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.ForwardInto(dst, x, a)
+	}
+}
+
 func BenchmarkConvBackward(b *testing.B) {
 	conv := NewConv2D("c", 16, 32, 3, 1, 1, false, tensor.NewRNG(3))
 	x := benchInput(8, 16, 16, 16)

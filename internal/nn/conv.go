@@ -21,6 +21,12 @@ type Conv2D struct {
 	lastInput      *tensor.Tensor
 	lastOH, lastOW int
 
+	// qw/qscale arm the int8 inference path (SetInt8Weights): the quantized
+	// [OutC, InC*KH*KW] weights and their per-output-channel scales. Both
+	// are immutable once attached, so clones share them.
+	qw     []int8
+	qscale []float32
+
 	// bwd is per-worker training scratch, lazily sized on the first
 	// Backward and reused across steps. It is never cloned: replicas and
 	// snapshots start with fresh scratch.
@@ -102,6 +108,13 @@ func (c *Conv2D) forwardInto(dst, x *tensor.Tensor, a *Arena) {
 	if dst.Dim(0) != n || dst.Dim(1) != c.OutC || dst.Size() != n*c.OutC*oh*ow {
 		panic(fmt.Sprintf("nn: %s destination %v for output [%d,%d,%d,%d]",
 			c.name, dst.Shape(), n, c.OutC, oh, ow))
+	}
+	if c.qw != nil {
+		if a == nil {
+			a = NewArena()
+		}
+		c.forwardIntoI8(dst, x, a)
+		return
 	}
 	colRows := c.InC * c.KH * c.KW
 	colLen := colRows * oh * ow

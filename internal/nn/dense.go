@@ -14,6 +14,12 @@ type Dense struct {
 	B         *Param // [Out]
 	name      string
 	lastInput *tensor.Tensor
+
+	// qw/qscale arm the int8 inference path (SetInt8Weights): the quantized
+	// weights in [Out, In] dot-product layout with per-output scales, shared
+	// by clones.
+	qw     []int8
+	qscale []float32
 }
 
 // NewDense creates a dense layer with He-normal weights and zero bias.
@@ -51,11 +57,19 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // ForwardInto is the eval-mode inference path: x@W + b written into dst
-// ([N,Out]). No state is retained and no scratch is needed, so the arena
-// may be nil.
-func (d *Dense) ForwardInto(dst, x *tensor.Tensor, _ *Arena) {
+// ([N,Out]). No state is retained; the float32 path needs no scratch, so
+// the arena may be nil, while the int8 path draws its quantization scratch
+// from the arena (creating a private one when nil).
+func (d *Dense) ForwardInto(dst, x *tensor.Tensor, a *Arena) {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: %s expects [N,%d] input, got %v", d.name, d.In, x.Shape()))
+	}
+	if d.qw != nil {
+		if a == nil {
+			a = NewArena()
+		}
+		d.forwardIntoI8(dst, x, a)
+		return
 	}
 	tensor.MatMulInto(dst, x, d.W.Value)
 	od, bd := dst.Data(), d.B.Value.Data()

@@ -19,6 +19,11 @@ type DepthwiseConv2D struct {
 	lastInput   *tensor.Tensor
 	lastOH      int
 	lastOW      int
+
+	// qw/qscale arm the int8 inference path (SetInt8Weights): the quantized
+	// [C, K*K] filter bank and per-channel scales, shared by clones.
+	qw     []int8
+	qscale []float32
 }
 
 // NewDepthwiseConv2D creates a depthwise convolution with He-normal weights.
@@ -60,9 +65,11 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // ForwardInto is the eval-mode inference path: the depthwise convolution of
-// x written into dst (shaped per OutShape). No state is retained and no
-// scratch is needed, so the arena may be nil.
-func (d *DepthwiseConv2D) ForwardInto(dst, x *tensor.Tensor, _ *Arena) {
+// x written into dst (shaped per OutShape). The float32 path retains no
+// state and needs no scratch, so the arena may be nil; the int8 path draws
+// its quantized-input scratch from the arena (creating a private one when
+// nil).
+func (d *DepthwiseConv2D) ForwardInto(dst, x *tensor.Tensor, a *Arena) {
 	if x.Dim(1) != d.C {
 		panic(fmt.Sprintf("nn: %s expects %d channels, got %d", d.name, d.C, x.Dim(1)))
 	}
@@ -72,6 +79,13 @@ func (d *DepthwiseConv2D) ForwardInto(dst, x *tensor.Tensor, _ *Arena) {
 	if dst.Dim(0) != n || dst.Size() != n*d.C*oh*ow {
 		panic(fmt.Sprintf("nn: %s destination %v for output [%d,%d,%d,%d]",
 			d.name, dst.Shape(), n, d.C, oh, ow))
+	}
+	if d.qw != nil {
+		if a == nil {
+			a = NewArena()
+		}
+		d.forwardIntoI8(dst, x, a)
+		return
 	}
 	xd, od, wd := x.Data(), dst.Data(), d.W.Value.Data()
 	kk := d.K * d.K
@@ -154,10 +168,12 @@ func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
-// CloneLayer returns a deep copy.
+// CloneLayer returns a deep copy (immutable int8 weights shared, not
+// copied).
 func (d *DepthwiseConv2D) CloneLayer() Layer {
 	return &DepthwiseConv2D{C: d.C, K: d.K, Stride: d.Stride, Pad: d.Pad,
-		W: newParam(d.W.Name, d.W.Value.Clone(), d.W.Decay), name: d.name}
+		W: newParam(d.W.Name, d.W.Value.Clone(), d.W.Decay), name: d.name,
+		qw: d.qw, qscale: d.qscale}
 }
 
 // PruneChannels keeps only the listed channels (the layer's input and output
@@ -170,6 +186,7 @@ func (d *DepthwiseConv2D) PruneChannels(keep []int) {
 	}
 	d.W = newParam(d.W.Name, nw, d.W.Decay)
 	d.C = len(keep)
+	d.qw, d.qscale = nil, nil // stale after surgery; re-quantize to re-arm
 }
 
 // Reinit re-randomizes the filters.

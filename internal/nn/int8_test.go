@@ -1,0 +1,277 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"tbnet/internal/tensor"
+)
+
+// quantizeRowsRef mirrors the offline weight quantizer (internal/quant):
+// symmetric per-row scales, round half away from zero. Duplicated here
+// because nn cannot import quant (quant imports nn).
+func quantizeRowsRef(w []float32, rows, cols int) ([]int8, []float32) {
+	data := make([]int8, rows*cols)
+	scales := make([]float32, rows)
+	for r := 0; r < rows; r++ {
+		row := w[r*cols : (r+1)*cols]
+		scales[r] = tensor.QuantScale(tensor.MaxAbs(row))
+		tensor.QuantizeI8(row, scales[r], data[r*cols:(r+1)*cols])
+	}
+	return data, scales
+}
+
+// quantErrorBound computes the per-output-element analytic error bound of
+// the int8 path: |Σ w·x − (Σ ŵ·x̂)·s_w·s_x| ≤ Σ(|Δw|·|x| + |ŵ·s_w|·|Δx|)
+// where Δw and Δx are the exact per-element quantization residuals.
+func quantErrorBound(wRow []float32, qRow []int8, sw float32, x []float32, qx []int8, sx float32) float64 {
+	var bound float64
+	for j := range wRow {
+		dw := math.Abs(float64(wRow[j]) - float64(qRow[j])*float64(sw))
+		dx := math.Abs(float64(x[j]) - float64(qx[j])*float64(sx))
+		bound += dw*math.Abs(float64(x[j])) + math.Abs(float64(qRow[j])*float64(sw))*dx
+	}
+	return bound
+}
+
+// TestConvInt8WithinQuantErrorBound locks the tentpole accuracy contract:
+// every output of the int8 convolution stays within the per-layer analytic
+// quantization error bound of the float32 reference.
+func TestConvInt8WithinQuantErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	for _, batch := range []int{1, 3} {
+		conv := NewConv2D("c", 3, 8, 3, 1, 1, true, rng)
+		rng.FillNormal(conv.B.Value, 0, 0.1)
+		x := tensor.New(batch, 3, 9, 9)
+		rng.FillNormal(x, 0, 1)
+		want := conv.Forward(x, false)
+
+		qdata, qscales := quantizeRowsRef(conv.W.Value.Data(), conv.OutC, conv.InC*9)
+		if err := conv.SetInt8Weights(qdata, qscales); err != nil {
+			t.Fatal(err)
+		}
+		got := tensor.New(want.Shape()...)
+		conv.ForwardInto(got, x, NewArena())
+
+		// Rebuild the quantized operands the layer used internally, to
+		// evaluate the bound per output element.
+		colRows := conv.InC * 9
+		oh, ow := 9, 9
+		hw := oh * ow
+		sampleIn := 3 * 9 * 9
+		for i := 0; i < batch; i++ {
+			sample := x.Data()[i*sampleIn : (i+1)*sampleIn]
+			sx := tensor.QuantScale(tensor.MaxAbs(sample))
+			qin := make([]int8, sampleIn)
+			tensor.QuantizeI8(sample, sx, qin)
+			colsF := make([]float32, colRows*hw)
+			tensor.Im2Col(sample, 3, 9, 9, 3, 3, 1, 1, colsF)
+			rows := make([]int8, hw*colRows)
+			tensor.Im2RowI8(qin, 3, 9, 9, 3, 3, 1, 1, rows)
+			for ch := 0; ch < conv.OutC; ch++ {
+				wRow := conv.W.Value.Data()[ch*colRows : (ch+1)*colRows]
+				qRow := qdata[ch*colRows : (ch+1)*colRows]
+				for p := 0; p < hw; p++ {
+					patchF := make([]float32, colRows)
+					for k := 0; k < colRows; k++ {
+						patchF[k] = colsF[k*hw+p]
+					}
+					patchQ := rows[p*colRows : (p+1)*colRows]
+					bound := quantErrorBound(wRow, qRow, qscales[ch], patchF, patchQ, sx)
+					idx := (i*conv.OutC+ch)*hw + p
+					diff := math.Abs(float64(got.Data()[idx]) - float64(want.Data()[idx]))
+					if diff > bound+1e-4 {
+						t.Fatalf("batch %d out[%d,%d,%d]: |%v - %v| = %v exceeds bound %v",
+							batch, i, ch, p, got.Data()[idx], want.Data()[idx], diff, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDenseInt8WithinQuantErrorBound is the dense-layer twin of the conv
+// bound test (per-row activation scales, transposed weight layout).
+func TestDenseInt8WithinQuantErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	d := NewDense("fc", 24, 7, rng)
+	rng.FillNormal(d.B.Value, 0, 0.1)
+	x := tensor.New(3, 24)
+	rng.FillNormal(x, 0, 1)
+	want := d.Forward(x, false)
+
+	wt := tensor.Transpose(d.W.Value) // [Out, In]
+	qdata, qscales := quantizeRowsRef(wt.Data(), d.Out, d.In)
+	if err := d.SetInt8Weights(qdata, qscales); err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.New(3, 7)
+	d.ForwardInto(got, x, NewArena())
+
+	for i := 0; i < 3; i++ {
+		row := x.Data()[i*d.In : (i+1)*d.In]
+		sx := tensor.QuantScale(tensor.MaxAbs(row))
+		qx := make([]int8, d.In)
+		tensor.QuantizeI8(row, sx, qx)
+		for o := 0; o < d.Out; o++ {
+			wRow := wt.Data()[o*d.In : (o+1)*d.In]
+			qRow := qdata[o*d.In : (o+1)*d.In]
+			bound := quantErrorBound(wRow, qRow, qscales[o], row, qx, sx)
+			diff := math.Abs(float64(got.Data()[i*d.Out+o]) - float64(want.Data()[i*d.Out+o]))
+			if diff > bound+1e-4 {
+				t.Fatalf("out[%d,%d]: |%v - %v| = %v exceeds bound %v",
+					i, o, got.Data()[i*d.Out+o], want.Data()[i*d.Out+o], diff, bound)
+			}
+		}
+	}
+}
+
+// TestDepthwiseInt8WithinQuantErrorBound covers the scalar int8 depthwise
+// path with the same analytic bound, padding included.
+func TestDepthwiseInt8WithinQuantErrorBound(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	d := NewDepthwiseConv2D("dw", 4, 3, 2, 1, rng)
+	x := tensor.New(2, 4, 7, 7)
+	rng.FillNormal(x, 0, 1)
+	want := d.Forward(x, false)
+
+	qdata, qscales := quantizeRowsRef(d.W.Value.Data(), d.C, 9)
+	if err := d.SetInt8Weights(qdata, qscales); err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.New(want.Shape()...)
+	d.ForwardInto(got, x, NewArena())
+
+	oh := tensor.ConvOutDim(7, 3, 2, 1)
+	ow := oh
+	sampleIn := 4 * 7 * 7
+	for i := 0; i < 2; i++ {
+		sample := x.Data()[i*sampleIn : (i+1)*sampleIn]
+		sx := tensor.QuantScale(tensor.MaxAbs(sample))
+		qin := make([]int8, sampleIn)
+		tensor.QuantizeI8(sample, sx, qin)
+		for ch := 0; ch < 4; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					// Gather this window's taps (in-bounds only) to evaluate
+					// the bound.
+					var wTaps, xTaps []float32
+					var qwTaps, qxTaps []int8
+					for ky := 0; ky < 3; ky++ {
+						iy := oy*2 + ky - 1
+						if iy < 0 || iy >= 7 {
+							continue
+						}
+						for kx := 0; kx < 3; kx++ {
+							ix := ox*2 + kx - 1
+							if ix < 0 || ix >= 7 {
+								continue
+							}
+							wTaps = append(wTaps, d.W.Value.Data()[ch*9+ky*3+kx])
+							qwTaps = append(qwTaps, qdata[ch*9+ky*3+kx])
+							xTaps = append(xTaps, sample[ch*49+iy*7+ix])
+							qxTaps = append(qxTaps, qin[ch*49+iy*7+ix])
+						}
+					}
+					bound := quantErrorBound(wTaps, qwTaps, qscales[ch], xTaps, qxTaps, sx)
+					idx := ((i*4+ch)*oh+oy)*ow + ox
+					diff := math.Abs(float64(got.Data()[idx]) - float64(want.Data()[idx]))
+					if diff > bound+1e-4 {
+						t.Fatalf("out[%d,%d,%d,%d]: diff %v exceeds bound %v", i, ch, oy, ox, diff, bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInt8CloneSharesQuantizedWeights: replicas serve int8 without
+// re-quantizing — CloneLayer must carry the armed weights across.
+func TestInt8CloneSharesQuantizedWeights(t *testing.T) {
+	rng := tensor.NewRNG(24)
+	conv := NewConv2D("c", 2, 4, 3, 1, 1, false, rng)
+	qdata, qscales := quantizeRowsRef(conv.W.Value.Data(), 4, 2*9)
+	if err := conv.SetInt8Weights(qdata, qscales); err != nil {
+		t.Fatal(err)
+	}
+	clone := conv.CloneLayer().(*Conv2D)
+	if !clone.Int8() {
+		t.Fatal("clone lost the int8 arming")
+	}
+	x := tensor.New(1, 2, 5, 5)
+	rng.FillNormal(x, 0, 1)
+	a, b := tensor.New(1, 4, 5, 5), tensor.New(1, 4, 5, 5)
+	conv.ForwardInto(a, x, NewArena())
+	clone.ForwardInto(b, x, NewArena())
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatalf("clone output differs at %d", i)
+		}
+	}
+}
+
+// TestSetInt8WeightsRejectsBadShapes: mis-sized quantized payloads must be
+// refused, not silently attached.
+func TestSetInt8WeightsRejectsBadShapes(t *testing.T) {
+	rng := tensor.NewRNG(25)
+	conv := NewConv2D("c", 2, 4, 3, 1, 1, false, rng)
+	if err := conv.SetInt8Weights(make([]int8, 7), make([]float32, 4)); err == nil {
+		t.Fatal("conv accepted mis-sized int8 weights")
+	}
+	d := NewDense("fc", 3, 2, rng)
+	if err := d.SetInt8Weights(make([]int8, 6), make([]float32, 3)); err == nil {
+		t.Fatal("dense accepted mis-sized scales")
+	}
+	dw := NewDepthwiseConv2D("dw", 2, 3, 1, 1, rng)
+	if err := dw.SetInt8Weights(make([]int8, 17), make([]float32, 2)); err == nil {
+		t.Fatal("depthwise accepted mis-sized int8 weights")
+	}
+}
+
+// TestPruneDropsInt8Weights: surgery invalidates the quantized form; the
+// layer must fall back to float32 instead of computing with stale int8 data.
+func TestPruneDropsInt8Weights(t *testing.T) {
+	rng := tensor.NewRNG(26)
+	conv := NewConv2D("c", 2, 4, 3, 1, 1, false, rng)
+	qdata, qscales := quantizeRowsRef(conv.W.Value.Data(), 4, 2*9)
+	if err := conv.SetInt8Weights(qdata, qscales); err != nil {
+		t.Fatal(err)
+	}
+	conv.PruneOutput([]int{0, 2})
+	if conv.Int8() {
+		t.Fatal("PruneOutput left stale int8 weights armed")
+	}
+}
+
+// TestConvInt8SteadyStateAllocs is the allocation gate: with a warm arena,
+// the int8 conv path must allocate no more than the float32 path, and the
+// single-sample path — which never touches the parallelFor dispatch closure
+// both precisions pay for batched input — must allocate nothing at all.
+func TestConvInt8SteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs AllocsPerRun")
+	}
+	rng := tensor.NewRNG(27)
+	convF := NewConv2D("f", 3, 8, 3, 1, 1, false, rng)
+	convQ := convF.CloneLayer().(*Conv2D)
+	qdata, qscales := quantizeRowsRef(convQ.W.Value.Data(), 8, 3*9)
+	if err := convQ.SetInt8Weights(qdata, qscales); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 4} {
+		x := tensor.New(batch, 3, 12, 12)
+		rng.FillNormal(x, 0, 1)
+		dst := tensor.New(batch, 8, 12, 12)
+		aF, aQ := NewArena(), NewArena()
+		convF.ForwardInto(dst, x, aF) // warm both arenas
+		convQ.ForwardInto(dst, x, aQ)
+		f32Allocs := testing.AllocsPerRun(20, func() { convF.ForwardInto(dst, x, aF) })
+		i8Allocs := testing.AllocsPerRun(20, func() { convQ.ForwardInto(dst, x, aQ) })
+		if i8Allocs > f32Allocs {
+			t.Fatalf("batch %d: int8 path allocates %v/run, float32 %v/run", batch, i8Allocs, f32Allocs)
+		}
+		if batch == 1 && i8Allocs != 0 {
+			t.Fatalf("single-sample int8 steady state allocates %v/run, want 0", i8Allocs)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package nn
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation perturbs allocation counts.
+const raceEnabled = false

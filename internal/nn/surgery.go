@@ -20,11 +20,13 @@ type Cloner interface {
 }
 
 // CloneLayer returns a deep copy of the convolution (weights copied, caches
-// dropped).
+// dropped). Quantized int8 weights are immutable once attached, so clones
+// share the underlying slices instead of copying them.
 func (c *Conv2D) CloneLayer() Layer {
 	out := &Conv2D{
 		InC: c.InC, OutC: c.OutC, KH: c.KH, KW: c.KW,
 		Stride: c.Stride, Pad: c.Pad, name: c.name,
+		qw: c.qw, qscale: c.qscale,
 	}
 	out.W = newParam(c.W.Name, c.W.Value.Clone(), c.W.Decay)
 	if c.B != nil {
@@ -57,12 +59,14 @@ func (p *GlobalAvgPool) CloneLayer() Layer { return NewGlobalAvgPool(p.name) }
 // CloneLayer returns a fresh flatten.
 func (f *Flatten) CloneLayer() Layer { return NewFlatten(f.name) }
 
-// CloneLayer returns a deep copy of the dense layer.
+// CloneLayer returns a deep copy of the dense layer (immutable int8 weights
+// shared, not copied).
 func (d *Dense) CloneLayer() Layer {
 	return &Dense{
 		In: d.In, Out: d.Out, name: d.name,
-		W: newParam(d.W.Name, d.W.Value.Clone(), d.W.Decay),
-		B: newParam(d.B.Name, d.B.Value.Clone(), d.B.Decay),
+		W:  newParam(d.W.Name, d.W.Value.Clone(), d.W.Decay),
+		B:  newParam(d.B.Name, d.B.Value.Clone(), d.B.Decay),
+		qw: d.qw, qscale: d.qscale,
 	}
 }
 
@@ -102,6 +106,7 @@ func (c *Conv2D) PruneOutput(keep []int) {
 		c.B = newParam(c.B.Name, nb, c.B.Decay)
 	}
 	c.OutC = len(keep)
+	c.qw, c.qscale = nil, nil // stale after surgery; re-quantize to re-arm
 }
 
 // PruneInput keeps only the listed input channels of the convolution.
@@ -118,6 +123,7 @@ func (c *Conv2D) PruneInput(keep []int) {
 	}
 	c.W = newParam(c.W.Name, nw, c.W.Decay)
 	c.InC = len(keep)
+	c.qw, c.qscale = nil, nil // stale after surgery; re-quantize to re-arm
 }
 
 // Prune keeps only the listed channels of the batch-norm layer.
@@ -151,6 +157,7 @@ func (d *Dense) PruneInput(keep []int, spatial int) {
 	}
 	d.W = newParam(d.W.Name, nw, d.W.Decay)
 	d.In = newIn
+	d.qw, d.qscale = nil, nil // stale after surgery; re-quantize to re-arm
 }
 
 // Reinit re-randomizes the convolution's weights (He-normal) and zeroes its

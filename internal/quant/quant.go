@@ -17,18 +17,28 @@ import (
 
 // QuantizedConv is one convolution's int8 weights with per-output scales.
 type QuantizedConv struct {
-	OutC, Cols int // weight matrix dimensions [OutC, Cols]
-	Data       []int8
-	Scales     []float32
-	Bias       []float32 // nil when absent (kept float32)
+	// OutC and Cols are the weight matrix dimensions [OutC, Cols].
+	OutC, Cols int
+	// Data is the row-major [OutC, Cols] int8 weight matrix.
+	Data []int8
+	// Scales holds one symmetric scale per output channel.
+	Scales []float32
+	// Bias is the float32 bias, nil when absent (never quantized).
+	Bias []float32
 }
 
 // QuantizedDense is a dense layer's int8 weights with per-column scales.
 type QuantizedDense struct {
+	// In and Out are the layer's input and output widths.
 	In, Out int
-	Data    []int8
-	Scales  []float32 // per output column
-	Bias    []float32
+	// Data is the row-major [Out, In] int8 weight matrix (transposed
+	// relative to the float32 [In, Out] storage so each output's weights
+	// form one contiguous dot-product row).
+	Data []int8
+	// Scales holds one symmetric scale per output column.
+	Scales []float32
+	// Bias is the float32 bias (never quantized).
+	Bias []float32
 }
 
 // QuantizedModel is a storage representation of a staged model with all

@@ -57,6 +57,9 @@ type Entry struct {
 	Device string `json:"device"`
 	// SampleShape is the [N,C,H,W] shape the deployment plan was sized for.
 	SampleShape []int `json:"sample_shape"`
+	// Precision is the artifact's numeric serving path ("f32" or "int8");
+	// manifests written before quantized serving existed read back as "".
+	Precision string `json:"precision,omitempty"`
 	// SHA256 is the hex content hash of the artifact file; Load refuses an
 	// artifact whose bytes hash differently.
 	SHA256 string `json:"sha256"`
@@ -123,10 +126,15 @@ func (s *Store) Save(name string, art *serial.Artifact) (Entry, error) {
 		return Entry{}, fmt.Errorf("registry: serializing %q: %w", name, err)
 	}
 	sum := sha256.Sum256(buf.Bytes())
+	prec := art.Precision
+	if prec == "" {
+		prec = "f32"
+	}
 	e := Entry{
 		Name:        name,
 		Device:      art.Device,
 		SampleShape: append([]int(nil), art.SampleShape...),
+		Precision:   prec,
 		SHA256:      hex.EncodeToString(sum[:]),
 		SizeBytes:   int64(buf.Len()),
 		SavedAt:     time.Now().UTC(),

@@ -105,7 +105,7 @@ func TestDeploymentRoundTripBitIdenticalOnEveryDevice(t *testing.T) {
 			want := make([]int, shape[0])
 			for trial := 0; trial < 8; trial++ {
 				x := tensor.New(shape...)
-				tensor.NewRNG(uint64(100 + trial)).FillNormal(x, 0, 1)
+				tensor.NewRNG(uint64(100+trial)).FillNormal(x, 0, 1)
 				wl, err := orig.InferInto(x, want)
 				if err != nil {
 					t.Fatal(err)
@@ -151,7 +151,7 @@ func TestDeploymentRoundTripPropertyRandomArchitectures(t *testing.T) {
 				t.Fatal(err)
 			}
 			x := tensor.New(shape...)
-			tensor.NewRNG(seed + 77).FillNormal(x, 0, 1)
+			tensor.NewRNG(seed+77).FillNormal(x, 0, 1)
 			want, err := orig.Infer(x)
 			if err != nil {
 				t.Fatal(err)
@@ -279,7 +279,7 @@ func TestV1FilesStillLoad(t *testing.T) {
 	mw := newWriter(&mbuf)
 	mw.u32(magicModel)
 	mw.u32(1)
-	saveModelBody(mw, tb.MR)
+	saveModelBody(mw, tb.MR, false)
 	if err := mw.flush(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,276 @@
+package serial
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"tbnet/internal/quant"
+)
+
+// Version-3 deployment artifacts: the int8 quantized serving form. The
+// float32 weight tensors are elided from the skeleton bodies (they are zero
+// by construction — quant.Quantize strips them) and the weights ship as raw
+// int8 payloads with per-channel float32 scales, shrinking the artifact
+// roughly 4× alongside the secure-memory win.
+
+const (
+	// precF32/precInt8 are the Artifact.Precision values.
+	precF32  = "f32"
+	precInt8 = "int8"
+	// precByteF32/precByteInt8 encode the precision in the v3 header.
+	precByteF32  = 0
+	precByteInt8 = 1
+	// maxQuantLayers bounds the conv/dense record counts a loader accepts.
+	maxQuantLayers = 4096
+)
+
+// i8s writes a length-prefixed int8 slice.
+func (w *writer) i8s(data []int8) {
+	w.u32(uint32(len(data)))
+	if w.err != nil {
+		return
+	}
+	w.err = binary.Write(w.w, binary.LittleEndian, data)
+}
+
+// i8s reads a length-prefixed int8 slice and requires exactly expect
+// elements (the count is always derivable from already-validated dims, so a
+// mismatch is corruption, not a negotiation).
+func (r *reader) i8s(expect int) []int8 {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n != expect {
+		r.err = fmt.Errorf("%w: int8 tensor size %d, expected %d", ErrBadFormat, n, expect)
+		return nil
+	}
+	buf := make([]int8, n)
+	if err := binary.Read(r.r, binary.LittleEndian, buf); err != nil {
+		r.err = fmt.Errorf("%w: truncated input: %v", ErrBadFormat, err)
+		return nil
+	}
+	return buf
+}
+
+// f32s writes a length-prefixed float32 slice (nil writes length 0).
+func (w *writer) f32s(data []float32) {
+	w.u32(uint32(len(data)))
+	if w.err != nil || len(data) == 0 {
+		return
+	}
+	w.err = binary.Write(w.w, binary.LittleEndian, data)
+}
+
+// f32s reads a length-prefixed float32 slice of exactly expect elements;
+// expect 0 accepts only an empty (nil) slice.
+func (r *reader) f32s(expect int) []float32 {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n != expect {
+		r.err = fmt.Errorf("%w: float32 vector size %d, expected %d", ErrBadFormat, n, expect)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	buf := make([]float32, n)
+	if err := binary.Read(r.r, binary.LittleEndian, buf); err != nil {
+		r.err = fmt.Errorf("%w: truncated input: %v", ErrBadFormat, err)
+		return nil
+	}
+	return buf
+}
+
+// saveQuantizedModel writes one quantized branch: the weight-elided skeleton
+// (architecture, BN parameters, biases) followed by the int8 weight records.
+func saveQuantizedModel(w *writer, qm *quant.QuantizedModel) {
+	saveModelBody(w, qm.Skeleton, true)
+	w.i32(len(qm.Convs))
+	for _, q := range qm.Convs {
+		w.i32(q.OutC)
+		w.i32(q.Cols)
+		w.i8s(q.Data)
+		w.f32s(q.Scales)
+		w.f32s(q.Bias)
+	}
+	w.i32(len(qm.Denses))
+	for _, q := range qm.Denses {
+		w.i32(q.In)
+		w.i32(q.Out)
+		w.i8s(q.Data)
+		w.f32s(q.Scales)
+		w.f32s(q.Bias)
+	}
+}
+
+// loadQuantizedModel reads one quantized branch written by
+// saveQuantizedModel, bounding every allocation before making it. Structural
+// consistency against the skeleton (record counts, per-layer dims) is
+// enforced by quant.Realize at deploy time.
+func loadQuantizedModel(r *reader) *quant.QuantizedModel {
+	skeleton := loadModelBody(r, true)
+	if r.err != nil {
+		return nil
+	}
+	qm := &quant.QuantizedModel{Skeleton: skeleton}
+	nc := r.i32()
+	if r.err != nil {
+		return nil
+	}
+	if nc < 0 || nc > maxQuantLayers {
+		r.err = fmt.Errorf("%w: quantized conv count %d", ErrBadFormat, nc)
+		return nil
+	}
+	for i := 0; i < nc; i++ {
+		outC, cols := r.i32(), r.i32()
+		if r.err != nil {
+			return nil
+		}
+		if outC <= 0 || cols <= 0 || int64(outC)*int64(cols) > maxTensorElems {
+			r.err = fmt.Errorf("%w: quantized conv dims %dx%d", ErrBadFormat, outC, cols)
+			return nil
+		}
+		q := quant.QuantizedConv{OutC: outC, Cols: cols}
+		q.Data = r.i8s(outC * cols)
+		q.Scales = r.f32s(outC)
+		// Bias length is self-describing: 0 (absent) or one per channel.
+		if n := r.u32(); r.err == nil && n != 0 {
+			if n != uint32(outC) {
+				r.err = fmt.Errorf("%w: quantized conv bias size %d for %d channels",
+					ErrBadFormat, n, outC)
+				return nil
+			}
+			q.Bias = make([]float32, n)
+			if err := binary.Read(r.r, binary.LittleEndian, q.Bias); err != nil {
+				r.err = fmt.Errorf("%w: truncated input: %v", ErrBadFormat, err)
+				return nil
+			}
+		}
+		if r.err != nil {
+			return nil
+		}
+		qm.Convs = append(qm.Convs, q)
+	}
+	nd := r.i32()
+	if r.err != nil {
+		return nil
+	}
+	if nd < 0 || nd > maxQuantLayers {
+		r.err = fmt.Errorf("%w: quantized dense count %d", ErrBadFormat, nd)
+		return nil
+	}
+	for i := 0; i < nd; i++ {
+		in, out := r.i32(), r.i32()
+		if r.err != nil {
+			return nil
+		}
+		if in <= 0 || out <= 0 || int64(in)*int64(out) > maxTensorElems {
+			r.err = fmt.Errorf("%w: quantized dense dims %dx%d", ErrBadFormat, in, out)
+			return nil
+		}
+		q := quant.QuantizedDense{In: in, Out: out}
+		q.Data = r.i8s(in * out)
+		q.Scales = r.f32s(out)
+		q.Bias = r.f32s(out)
+		if r.err != nil {
+			return nil
+		}
+		qm.Denses = append(qm.Denses, q)
+	}
+	return qm
+}
+
+// saveDeploymentInt8 writes a version-3 int8 deployment artifact; the caller
+// has validated the shape.
+func saveDeploymentInt8(out io.Writer, a *Artifact) error {
+	if a.QMR == nil || a.QMT == nil || a.QMR.Skeleton == nil || a.QMT.Skeleton == nil {
+		return fmt.Errorf("%w: int8 artifact without quantized branches", ErrBadFormat)
+	}
+	w := newWriter(out)
+	w.u32(magicDeploy)
+	w.u32(deployVersion)
+	w.beginChecksum()
+	w.str(a.Device)
+	w.i32(len(a.SampleShape))
+	for _, d := range a.SampleShape {
+		w.i32(d)
+	}
+	w.u8(precByteInt8)
+	saveQuantizedModel(w, a.QMR)
+	saveQuantizedModel(w, a.QMT)
+	w.i32(len(a.Align))
+	for _, al := range a.Align {
+		if al == nil {
+			w.i32(-1)
+			continue
+		}
+		w.i32(len(al))
+		for _, ch := range al {
+			w.i32(ch)
+		}
+	}
+	w.endChecksum()
+	return w.flush()
+}
+
+// loadDeploymentInt8 finishes loading a version-3 int8 artifact; device and
+// sample shape are already parsed into a.
+func loadDeploymentInt8(r *reader, a *Artifact) (*Artifact, error) {
+	a.Precision = precInt8
+	a.QMR = loadQuantizedModel(r)
+	a.QMT = loadQuantizedModel(r)
+	n := r.i32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	mr, mt := a.QMR.Skeleton, a.QMT.Skeleton
+	if n != len(mt.Stages) || len(mr.Stages) != len(mt.Stages) {
+		return nil, fmt.Errorf("%w: alignment count %d for %d stages", ErrBadFormat, n, len(mt.Stages))
+	}
+	a.Align = make([][]int, n)
+	for i := 0; i < n; i++ {
+		k := r.i32()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if k < 0 {
+			continue
+		}
+		if k > 1<<16 {
+			return nil, fmt.Errorf("%w: alignment length %d", ErrBadFormat, k)
+		}
+		a.Align[i] = make([]int, k)
+		for j := range a.Align[i] {
+			a.Align[i][j] = r.i32()
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		// Same invariant loadTwoBranchBody enforces: the selection must match
+		// the secure stage's width and address real MR channels, so corruption
+		// fails at load instead of at serve time.
+		mtC := mt.Stages[i].OutChannels()
+		mrC := mr.Stages[i].OutChannels()
+		if k != mtC {
+			return nil, fmt.Errorf("%w: alignment %d selects %d channels for a %d-channel stage",
+				ErrBadFormat, i, k, mtC)
+		}
+		for _, ch := range a.Align[i] {
+			if ch < 0 || ch >= mrC {
+				return nil, fmt.Errorf("%w: alignment %d index %d outside %d MR channels",
+					ErrBadFormat, i, ch, mrC)
+			}
+		}
+	}
+	if r.err == nil {
+		r.verifyChecksum()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return a, nil
+}

@@ -13,13 +13,19 @@
 //   - Version 2 appends a SHA-256 digest of the body as a trailer, so
 //     corruption of the payload — not just of the structure — is detected at
 //     load time instead of surfacing as silently wrong weights.
+//   - Version 3 (deployment artifacts only) adds a precision byte after the
+//     sample shape and, for int8 artifacts, replaces the float32 two-branch
+//     weights with the quantized storage form: weight-elided skeletons plus
+//     int8 tensors and per-channel scales (quantized.go).
 //
-// Writers emit version 2; every loader still reads version 1 files, so
-// artifacts saved by earlier releases keep loading. The deployment artifact
-// (SaveDeployment/LoadDeployment) exists only in version 2: it bundles the
-// finalized two-branch weights with the device placement metadata (backend
-// name and deployed sample shape) a serving host needs to bring the model
-// back up without out-of-band configuration.
+// Model and two-branch writers emit version 2; the deployment writer emits
+// version 2 for float32 artifacts — bit-identical to earlier releases — and
+// version 3 only when the artifact carries quantized weights. Every loader
+// still reads all earlier versions, so artifacts saved by earlier releases
+// keep loading. The deployment artifact (SaveDeployment/LoadDeployment)
+// bundles the weights with the device placement metadata (backend name and
+// deployed sample shape) a serving host needs to bring the model back up
+// without out-of-band configuration.
 package serial
 
 import (
@@ -34,6 +40,7 @@ import (
 
 	"tbnet/internal/core"
 	"tbnet/internal/nn"
+	"tbnet/internal/quant"
 	"tbnet/internal/tensor"
 	"tbnet/internal/zoo"
 )
@@ -43,9 +50,13 @@ const (
 	magicTwoBranch = 0x324e4254 // "TBN2"
 	magicDeploy    = 0x444e4254 // "TBND"
 
-	// version is the format written by the Save functions. Loaders accept
-	// every version in [1, version].
+	// version is the format written by SaveModel and SaveTwoBranch. Loaders
+	// accept every version in [1, version].
 	version = 2
+	// deployVersion is the newest deployment-artifact format; SaveDeployment
+	// emits it only for quantized artifacts (float32 artifacts stay at
+	// version 2, bit-identical to earlier releases).
+	deployVersion = 3
 	// minVersion is the oldest format the loaders still read.
 	minVersion = 1
 
@@ -70,6 +81,7 @@ const maxTensorElems = 1 << 26
 // recovers; the registry stores one Artifact per named model.
 type Artifact struct {
 	// TB is the finalized two-branch model (M_R, M_T, channel alignment).
+	// Nil for quantized artifacts, which carry QMR/QMT/Align instead.
 	TB *core.TwoBranch
 	// Device is the registered name of the hardware backend the deployment
 	// was sized against (e.g. "rpi3"); resolve it with tee.ByName or
@@ -78,6 +90,15 @@ type Artifact struct {
 	// SampleShape is the [N,C,H,W] input shape the deployment plan was sized
 	// for; N bounds the batch capacity of the restored session.
 	SampleShape []int
+	// Precision is the numeric serving path the artifact was saved for:
+	// "f32" (or empty, for artifacts from earlier releases) or "int8".
+	Precision string
+	// QMR/QMT are the quantized branches of an int8 artifact (nil on f32);
+	// re-deploy them with core.DeployQuantized.
+	QMR, QMT *quant.QuantizedModel
+	// Align is the channel-alignment map of an int8 artifact (f32 artifacts
+	// carry it inside TB).
+	Align [][]int
 }
 
 // writer serializes little-endian primitives through a buffered sink,
@@ -205,16 +226,17 @@ func (r *reader) verifyChecksum() {
 	}
 }
 
-// header checks the magic and returns the accepted format version.
-func (r *reader) header(magic uint32, kind string) uint32 {
+// header checks the magic and returns the accepted format version (at most
+// maxV — deployment artifacts reach deployVersion, everything else version).
+func (r *reader) header(magic uint32, kind string, maxV uint32) uint32 {
 	if got := r.u32(); r.err == nil && got != magic {
 		r.err = fmt.Errorf("%w: not a %s file", ErrBadFormat, kind)
 		return 0
 	}
 	v := r.u32()
-	if r.err == nil && (v < minVersion || v > version) {
+	if r.err == nil && (v < minVersion || v > maxV) {
 		r.err = fmt.Errorf("%w: unsupported version %d (this build reads %d..%d)",
-			ErrBadFormat, v, minVersion, version)
+			ErrBadFormat, v, minVersion, maxV)
 	}
 	return v
 }
@@ -277,20 +299,28 @@ func (r *reader) floatsInto(dst *tensor.Tensor) {
 	}
 }
 
-func (w *writer) conv(c *nn.Conv2D) {
+// conv writes a convolution; elide skips the float32 weight tensor (quantized
+// artifacts carry the weights as int8 payloads instead). Bias stays float32
+// in both forms.
+func (w *writer) conv(c *nn.Conv2D, elide bool) {
 	w.i32(c.InC)
 	w.i32(c.OutC)
 	w.i32(c.KH)
 	w.i32(c.Stride)
 	w.i32(c.Pad)
 	w.bool(c.B != nil)
-	w.floats(c.W.Value)
+	if !elide {
+		w.floats(c.W.Value)
+	}
 	if c.B != nil {
 		w.floats(c.B.Value)
 	}
 }
 
-func (r *reader) conv(name string) *nn.Conv2D {
+// conv reads a convolution written with the matching elide flag. An elided
+// weight tensor is explicitly zeroed: NewConv2D fills it with random draws,
+// and a quantized skeleton must carry zeros there, matching quant.Quantize.
+func (r *reader) conv(name string, elide bool) *nn.Conv2D {
 	inC, outC := r.i32(), r.i32()
 	k, stride, pad := r.i32(), r.i32(), r.i32()
 	hasBias := r.bool()
@@ -307,7 +337,11 @@ func (r *reader) conv(name string) *nn.Conv2D {
 		return nil
 	}
 	c := nn.NewConv2D(name, inC, outC, k, stride, pad, hasBias, tensor.NewRNG(0))
-	r.floatsInto(c.W.Value)
+	if elide {
+		c.W.Value.Zero()
+	} else {
+		r.floatsInto(c.W.Value)
+	}
 	if hasBias {
 		r.floatsInto(c.B.Value)
 	}
@@ -345,12 +379,15 @@ func SaveModel(out io.Writer, m *zoo.Model) error {
 	w.u32(magicModel)
 	w.u32(version)
 	w.beginChecksum()
-	saveModelBody(w, m)
+	saveModelBody(w, m, false)
 	w.endChecksum()
 	return w.flush()
 }
 
-func saveModelBody(w *writer, m *zoo.Model) {
+// saveModelBody writes a staged model; elide skips every float32 weight
+// tensor (conv, depthwise, head) for quantized skeletons, keeping biases and
+// batch-norm parameters.
+func saveModelBody(w *writer, m *zoo.Model, elide bool) {
 	w.str(m.Name)
 	w.str(m.Arch)
 	w.i32(m.InC)
@@ -367,7 +404,7 @@ func saveModelBody(w *writer, m *zoo.Model) {
 			}
 			w.i32(pool)
 			w.bool(b.OutFixed)
-			w.conv(b.Conv)
+			w.conv(b.Conv, elide)
 			w.bn(b.BN)
 		case *zoo.DWBlock:
 			w.u8(stageDWBlock)
@@ -376,21 +413,23 @@ func saveModelBody(w *writer, m *zoo.Model) {
 			w.i32(b.DW.K)
 			w.i32(b.DW.Stride)
 			w.i32(b.DW.Pad)
-			w.floats(b.DW.W.Value)
+			if !elide {
+				w.floats(b.DW.W.Value)
+			}
 			w.bn(b.BN1)
-			w.conv(b.PW)
+			w.conv(b.PW, elide)
 			w.bn(b.BN2)
 		case *zoo.ResBlock:
 			w.u8(stageResBlock)
 			w.str(b.Name())
 			w.bool(b.WithSkip)
 			w.bool(b.Down != nil)
-			w.conv(b.Conv1)
+			w.conv(b.Conv1, elide)
 			w.bn(b.BN1)
-			w.conv(b.Conv2)
+			w.conv(b.Conv2, elide)
 			w.bn(b.BN2)
 			if b.Down != nil {
-				w.conv(b.Down)
+				w.conv(b.Down, elide)
 				w.bn(b.DownBN)
 			}
 		default:
@@ -401,7 +440,9 @@ func saveModelBody(w *writer, m *zoo.Model) {
 	// Head.
 	w.i32(m.Head.FC.In)
 	w.i32(m.Head.FC.Out)
-	w.floats(m.Head.FC.W.Value)
+	if !elide {
+		w.floats(m.Head.FC.W.Value)
+	}
 	w.floats(m.Head.FC.B.Value)
 }
 
@@ -410,14 +451,14 @@ func saveModelBody(w *writer, m *zoo.Model) {
 // ErrBadFormat; LoadModel never panics.
 func LoadModel(in io.Reader) (*zoo.Model, error) {
 	r := newReader(in)
-	v := r.header(magicModel, "TBNet model")
+	v := r.header(magicModel, "TBNet model", version)
 	if r.err != nil {
 		return nil, r.err
 	}
 	if v >= 2 {
 		r.beginChecksum()
 	}
-	m := loadModelBody(r)
+	m := loadModelBody(r, false)
 	if r.err == nil {
 		r.verifyChecksum()
 	}
@@ -427,7 +468,10 @@ func LoadModel(in io.Reader) (*zoo.Model, error) {
 	return m, nil
 }
 
-func loadModelBody(r *reader) *zoo.Model {
+// loadModelBody reads a staged model written with the matching elide flag;
+// elided weight tensors come back zeroed (the builders fill them with random
+// draws, which a quantized skeleton must not carry).
+func loadModelBody(r *reader, elide bool) *zoo.Model {
 	m := &zoo.Model{}
 	m.Name = r.str()
 	m.Arch = r.str()
@@ -448,7 +492,7 @@ func loadModelBody(r *reader) *zoo.Model {
 			name := r.str()
 			pool := r.i32()
 			outFixed := r.bool()
-			conv := r.conv(name + ".conv")
+			conv := r.conv(name+".conv", elide)
 			bn := r.bn(name + ".bn")
 			if r.err != nil {
 				return nil
@@ -468,9 +512,13 @@ func loadModelBody(r *reader) *zoo.Model {
 				return nil
 			}
 			dw := nn.NewDepthwiseConv2D(name+".dw", c, k, stride, pad, rng)
-			r.floatsInto(dw.W.Value)
+			if elide {
+				dw.W.Value.Zero()
+			} else {
+				r.floatsInto(dw.W.Value)
+			}
 			bn1 := r.bn(name + ".bn1")
-			pw := r.conv(name + ".pw")
+			pw := r.conv(name+".pw", elide)
 			bn2 := r.bn(name + ".bn2")
 			if r.err != nil {
 				return nil
@@ -482,14 +530,14 @@ func loadModelBody(r *reader) *zoo.Model {
 			name := r.str()
 			withSkip := r.bool()
 			hasDown := r.bool()
-			conv1 := r.conv(name + ".conv1")
+			conv1 := r.conv(name+".conv1", elide)
 			bn1 := r.bn(name + ".bn1")
-			conv2 := r.conv(name + ".conv2")
+			conv2 := r.conv(name+".conv2", elide)
 			bn2 := r.bn(name + ".bn2")
 			var down *nn.Conv2D
 			var downBN *nn.BatchNorm2D
 			if hasDown {
-				down = r.conv(name + ".down")
+				down = r.conv(name+".down", elide)
 				downBN = r.bn(name + ".downbn")
 			}
 			if r.err != nil {
@@ -515,7 +563,11 @@ func loadModelBody(r *reader) *zoo.Model {
 		return nil
 	}
 	m.Head = zoo.NewHead(m.Name+".head", in, out, rng)
-	r.floatsInto(m.Head.FC.W.Value)
+	if elide {
+		m.Head.FC.W.Value.Zero()
+	} else {
+		r.floatsInto(m.Head.FC.W.Value)
+	}
 	r.floatsInto(m.Head.FC.B.Value)
 	return m
 }
@@ -534,8 +586,8 @@ func SaveTwoBranch(out io.Writer, tb *core.TwoBranch) error {
 
 func saveTwoBranchBody(w *writer, tb *core.TwoBranch) {
 	w.bool(tb.Finalized)
-	saveModelBody(w, tb.MR)
-	saveModelBody(w, tb.MT)
+	saveModelBody(w, tb.MR, false)
+	saveModelBody(w, tb.MT, false)
 	w.i32(len(tb.Align))
 	for _, a := range tb.Align {
 		if a == nil {
@@ -554,7 +606,7 @@ func saveTwoBranchBody(w *writer, tb *core.TwoBranch) {
 // wrapping ErrBadFormat; LoadTwoBranch never panics.
 func LoadTwoBranch(in io.Reader) (*core.TwoBranch, error) {
 	r := newReader(in)
-	v := r.header(magicTwoBranch, "TBNet two-branch")
+	v := r.header(magicTwoBranch, "TBNet two-branch", version)
 	if r.err != nil {
 		return nil, r.err
 	}
@@ -573,8 +625,8 @@ func LoadTwoBranch(in io.Reader) (*core.TwoBranch, error) {
 
 func loadTwoBranchBody(r *reader) *core.TwoBranch {
 	finalized := r.bool()
-	mr := loadModelBody(r)
-	mt := loadModelBody(r)
+	mr := loadModelBody(r, false)
+	mt := loadModelBody(r, false)
 	n := r.i32()
 	if r.err != nil {
 		return nil
@@ -633,17 +685,26 @@ func loadTwoBranchBody(r *reader) *core.TwoBranch {
 const maxShapeDim = 1 << 16
 
 // SaveDeployment writes a deployment artifact: the finalized two-branch
-// weights plus the placement metadata (device name, sample shape). It
-// requires a finalized model; the artifact payload is checksummed.
+// weights (or, for int8 artifacts, the quantized storage form) plus the
+// placement metadata (device name, sample shape). It requires a finalized
+// model; the artifact payload is checksummed. Float32 artifacts are written
+// as version 2, byte-identical to earlier releases; int8 artifacts use
+// version 3.
 func SaveDeployment(out io.Writer, a *Artifact) error {
-	if a == nil || a.TB == nil {
+	if a == nil {
+		return fmt.Errorf("%w: nil deployment artifact", ErrBadFormat)
+	}
+	if len(a.SampleShape) != 4 {
+		return fmt.Errorf("%w: sample shape %v is not [N,C,H,W]", ErrBadFormat, a.SampleShape)
+	}
+	if a.Precision == precInt8 {
+		return saveDeploymentInt8(out, a)
+	}
+	if a.TB == nil {
 		return fmt.Errorf("%w: nil deployment artifact", ErrBadFormat)
 	}
 	if !a.TB.Finalized {
 		return fmt.Errorf("%w: deployment artifact of an unfinalized model", ErrBadFormat)
-	}
-	if len(a.SampleShape) != 4 {
-		return fmt.Errorf("%w: sample shape %v is not [N,C,H,W]", ErrBadFormat, a.SampleShape)
 	}
 	w := newWriter(out)
 	w.u32(magicDeploy)
@@ -664,11 +725,12 @@ func SaveDeployment(out io.Writer, a *Artifact) error {
 // error wrapping ErrBadFormat; LoadDeployment never panics.
 func LoadDeployment(in io.Reader) (*Artifact, error) {
 	r := newReader(in)
-	if r.header(magicDeploy, "TBNet deployment"); r.err != nil {
+	v := r.header(magicDeploy, "TBNet deployment", deployVersion)
+	if r.err != nil {
 		return nil, r.err
 	}
 	r.beginChecksum()
-	a := &Artifact{Device: r.str()}
+	a := &Artifact{Device: r.str(), Precision: precF32}
 	n := r.i32()
 	if r.err != nil {
 		return nil, r.err
@@ -695,6 +757,16 @@ func LoadDeployment(in io.Reader) (*Artifact, error) {
 		if elems *= int64(d); elems > maxTensorElems {
 			return nil, fmt.Errorf("%w: sample shape %v requests over %d elements",
 				ErrBadFormat, a.SampleShape[:i+1], int64(maxTensorElems))
+		}
+	}
+	if v >= 3 {
+		switch p := r.u8(); {
+		case r.err != nil:
+			return nil, r.err
+		case p == precByteInt8:
+			return loadDeploymentInt8(r, a)
+		case p != precByteF32:
+			return nil, fmt.Errorf("%w: unknown precision code %d", ErrBadFormat, p)
 		}
 	}
 	a.TB = loadTwoBranchBody(r)

@@ -1095,6 +1095,9 @@ type Stats struct {
 	// Model is the hosted model the snapshot is scoped to ("" for a
 	// server-wide aggregate).
 	Model string `json:"model,omitempty"`
+	// Precision is the numeric serving path of the scoped model ("f32" or
+	// "int8"); a server-wide aggregate hosting both reports "mixed".
+	Precision string `json:"precision,omitempty"`
 	// Models is the number of models hosted at snapshot time.
 	Models int `json:"models"`
 	// Swaps is the number of completed hot swaps (scoped like the rest of
@@ -1293,7 +1296,23 @@ func (s *Server) Stats() Stats {
 	}
 	st := s.mergeStats(snaps)
 	st.Models = len(pools)
+	for i, p := range pools {
+		prec := p.precision()
+		if i == 0 {
+			st.Precision = prec
+		} else if st.Precision != prec {
+			st.Precision = "mixed"
+			break
+		}
+	}
 	return st
+}
+
+// precision reports the numeric serving path of the pool's current template.
+func (p *pool) precision() string {
+	p.swapMu.Lock()
+	defer p.swapMu.Unlock()
+	return string(p.template.Precision())
 }
 
 // ModelStats returns the snapshot scoped to one hosted model; unknown names
@@ -1307,6 +1326,7 @@ func (s *Server) ModelStats(model string) (Stats, error) {
 	st := s.mergeStats([]poolSnapshot{p.snapshot()})
 	st.Model = model
 	st.Models = 1
+	st.Precision = p.precision()
 	return st, nil
 }
 

@@ -98,6 +98,11 @@ type CostModel struct {
 	TransferRate float64
 	// SecureCapacity is the secure-memory capacity (bytes; 0 = unlimited).
 	SecureCapacity int64
+	// Int8Speed is the arithmetic-throughput ratio of the int8 serving path
+	// over float32 on this hardware (e.g. 4 where 8-bit dot products quadruple
+	// per-cycle multiply-accumulate width). 0 means unspecified and falls back
+	// to a conservative default of 2 (see Int8Speedup).
+	Int8Speed float64
 }
 
 // Name implements Device.
@@ -130,6 +135,41 @@ func (c CostModel) Latency(m *Meter) float64 {
 	return s
 }
 
+// Int8Speedup returns the int8-over-float32 throughput ratio, defaulting to
+// 2 when the model leaves Int8Speed unset — every modeled ISA at least halves
+// the bytes per multiply-accumulate, so 2 is the conservative floor.
+func (c CostModel) Int8Speedup() float64 {
+	if c.Int8Speed <= 0 {
+		return 2
+	}
+	return c.Int8Speed
+}
+
+// int8Speeder is implemented by cost models that declare an int8 throughput
+// ratio; CostModel provides it, and backends embedding CostModel inherit it.
+type int8Speeder interface{ Int8Speedup() float64 }
+
+// deviceUnwrapper is implemented by decorators (WithSecureMem, Unbounded)
+// so capability probes like Int8SpeedupOf can reach the wrapped backend.
+type deviceUnwrapper interface{ Unwrap() Device }
+
+// Int8SpeedupOf returns the device's int8-over-float32 throughput ratio,
+// unwrapping capacity decorators to find the underlying cost model; devices
+// that declare nothing get the conservative default of 2.
+func Int8SpeedupOf(d Device) float64 {
+	for d != nil {
+		if s, ok := d.(int8Speeder); ok {
+			return s.Int8Speedup()
+		}
+		u, ok := d.(deviceUnwrapper)
+		if !ok {
+			break
+		}
+		d = u.Unwrap()
+	}
+	return 2
+}
+
 // withSecureMem overrides a device's secure-memory capacity, delegating every
 // other parameter — including the Latency semantics — to the wrapped backend.
 type withSecureMem struct {
@@ -141,6 +181,10 @@ type withSecureMem struct {
 // including Name, so stats and reports stay attributable — is promoted from
 // the wrapped backend.
 func (d withSecureMem) SecureMemBytes() int64 { return d.capacity }
+
+// Unwrap exposes the wrapped backend so capability probes (Int8SpeedupOf)
+// can reach cost-model methods outside the Device interface.
+func (d withSecureMem) Unwrap() Device { return d.Device }
 
 // WithSecureMem returns d with its secure-memory capacity replaced by
 // capacity bytes (0 = unlimited), leaving all cost semantics untouched.

@@ -1,0 +1,54 @@
+package tee
+
+import "testing"
+
+func TestInt8SpeedupOfBuiltins(t *testing.T) {
+	want := map[string]float64{
+		"rpi3":        3,
+		"sgx-desktop": 4,
+		"sev-server":  4,
+		"jetson-tz":   2,
+	}
+	for _, d := range Devices() {
+		w, ok := want[d.Name()]
+		if !ok {
+			continue // user-registered devices from other tests
+		}
+		if got := Int8SpeedupOf(d); got != w {
+			t.Errorf("%s: Int8SpeedupOf = %v, want %v", d.Name(), got, w)
+		}
+	}
+}
+
+func TestInt8SpeedupDefaultsToTwo(t *testing.T) {
+	c := CostModel{DeviceName: "bare", REEFlops: 1, TEEFlops: 1, TransferRate: 1}
+	if got := Int8SpeedupOf(c); got != 2 {
+		t.Fatalf("unset Int8Speed: got %v, want default 2", got)
+	}
+	// A Device implementation with no cost model at all also gets the default.
+	if got := Int8SpeedupOf(opaqueDevice{}); got != 2 {
+		t.Fatalf("opaque device: got %v, want default 2", got)
+	}
+}
+
+func TestInt8SpeedupSurvivesDecorators(t *testing.T) {
+	d := SGXDesktop()
+	if got := Int8SpeedupOf(Unbounded(d)); got != 4 {
+		t.Fatalf("Unbounded(sgx-desktop): got %v, want 4", got)
+	}
+	if got := Int8SpeedupOf(WithSecureMem(WithSecureMem(d, 1<<20), 2<<20)); got != 4 {
+		t.Fatalf("double-wrapped sgx-desktop: got %v, want 4", got)
+	}
+}
+
+// opaqueDevice implements only the Device interface, with no embedded
+// CostModel and no Unwrap — the worst case for capability probing.
+type opaqueDevice struct{}
+
+func (opaqueDevice) Name() string                 { return "opaque" }
+func (opaqueDevice) SecureMemBytes() int64        { return 0 }
+func (opaqueDevice) REEFlopsPerSec() float64      { return 1 }
+func (opaqueDevice) TEEFlopsPerSec() float64      { return 1 }
+func (opaqueDevice) SwitchSeconds() float64       { return 0 }
+func (opaqueDevice) TransferBytesPerSec() float64 { return 1 }
+func (opaqueDevice) Latency(m *Meter) float64     { return 0 }

@@ -1,0 +1,94 @@
+package tensor
+
+// Int8 quantization primitives for the serving hot path. Weights are
+// quantized offline (internal/quant); activations are quantized dynamically
+// per tensor at layer boundaries with a symmetric scale. Both use the same
+// round-half-away-from-zero rule, so the runtime path and the storage format
+// agree bit-for-bit on every quantized value.
+
+// MaxAbs returns the largest absolute value in xs (0 for an empty slice).
+func MaxAbs(xs []float32) float32 {
+	var m float32
+	for _, v := range xs {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// QuantScale converts a tensor's max-absolute value into a symmetric int8
+// scale (maxAbs/127). An all-zero tensor yields scale 1, never 0, so
+// dequantize-by-multiplication and dequantize-by-division are both safe.
+func QuantScale(maxAbs float32) float32 {
+	s := maxAbs / 127
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// QuantizeI8 writes round(xs/scale) clamped to [-127, 127] into dst, rounding
+// half away from zero — the same rule the offline weight quantizer uses.
+func QuantizeI8(xs []float32, scale float32, dst []int8) {
+	inv := 1 / scale
+	for i, v := range xs {
+		q := v * inv
+		switch {
+		case q > 127:
+			q = 127
+		case q < -127:
+			q = -127
+		}
+		if q >= 0 {
+			dst[i] = int8(q + 0.5)
+		} else {
+			dst[i] = int8(q - 0.5)
+		}
+	}
+}
+
+// Im2RowI8 lowers one quantized CHW image into patch rows for the int8 GEMM.
+// src holds C*H*W int8 values; dst receives (oh*ow) x (C*kh*kw) values laid
+// out row-major — one contiguous patch per output pixel, with the in-patch
+// index ordered channel, then kernel row, then kernel column, matching the
+// conv weight layout [OutC, C*kh*kw]. Zero padding contributes quantized
+// zeros exactly. dst must have length C*kh*kw*oh*ow.
+func Im2RowI8(src []int8, c, h, w, kh, kw, stride, pad int, dst []int8) (oh, ow int) {
+	oh = (h+2*pad-kh)/stride + 1
+	ow = (w+2*pad-kw)/stride + 1
+	patch := c * kh * kw
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			row := dst[(oy*ow+ox)*patch:][:patch]
+			di := 0
+			for ch := 0; ch < c; ch++ {
+				plane := src[ch*h*w : (ch+1)*h*w]
+				for ky := 0; ky < kh; ky++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						for kx := 0; kx < kw; kx++ {
+							row[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := iy * w
+					for kx := 0; kx < kw; kx++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							row[di] = 0
+						} else {
+							row[di] = plane[rowBase+ix]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+	return oh, ow
+}

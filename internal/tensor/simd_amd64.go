@@ -17,6 +17,17 @@ package tensor
 //go:noescape
 func axpy4SIMD(c0, c1, c2, c3, b *float32, n int, a *[4]float32)
 
+// dot4I8SIMD computes four int8 dot products sharing one streamed patch row:
+//
+//	out[r] = Σ_j int32(wr[j]) * int32(x[j])  for r in 0..3, j in 0..k
+//
+// The AVX2 body sign-extends 16 bytes at a time (vpmovsxbw) and reduces them
+// with vpmaddwd — exact pairwise int16 multiplies into int32 lanes — so the
+// result is bit-identical to the scalar fallback for every input.
+//
+//go:noescape
+func dot4I8SIMD(w0, w1, w2, w3, x *int8, k int, out *[4]int32)
+
 //go:noescape
 func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 
@@ -26,6 +37,11 @@ func xgetbv0() (eax, edx uint32)
 // hasSIMD reports whether the AVX micro kernel is usable: the CPU must
 // support AVX and the OS must have enabled XMM+YMM state saving.
 var hasSIMD = detectAVX()
+
+// hasI8SIMD reports whether the AVX2 int8 micro kernel is usable: on top of
+// the hasSIMD requirements (OS-enabled YMM state), the integer instructions
+// it uses (vpmovsxbw/vpmaddwd/vpaddd on YMM) need AVX2.
+var hasI8SIMD = hasSIMD && detectAVX2()
 
 func detectAVX() bool {
 	const (
@@ -38,4 +54,10 @@ func detectAVX() bool {
 	}
 	eax, _ := xgetbv0()
 	return eax&0x6 == 0x6
+}
+
+func detectAVX2() bool {
+	const avx2 = 1 << 5 // CPUID.(EAX=7,ECX=0):EBX bit 5
+	_, b, _, _ := cpuidex(7, 0)
+	return b&avx2 != 0
 }

@@ -73,6 +73,111 @@ done:
 	VZEROUPPER
 	RET
 
+// func dot4I8SIMD(w0, w1, w2, w3, x *int8, k int, out *[4]int32)
+//
+// Four int8 dot products sharing one streamed x row — the integer analogue
+// of axpy4SIMD's 4x reuse. Sixteen bytes per step are sign-extended to int16
+// (VPMOVSXBW) and reduced with VPMADDWD: each int16*int16 product and the
+// pairwise add are exact in int32, so unlike a vpmaddubsw kernel nothing can
+// saturate, and the result is bit-identical to the scalar fallback. The
+// remainder runs as a GP-register scalar loop after the YMM accumulators
+// have been reduced.
+TEXT ·dot4I8SIMD(SB), NOSPLIT, $0-56
+	MOVQ w0+0(FP), DI
+	MOVQ w1+8(FP), SI
+	MOVQ w2+16(FP), DX
+	MOVQ w3+24(FP), CX
+	MOVQ x+32(FP), BX
+	MOVQ k+40(FP), AX
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	XORQ R9, R9
+	MOVQ AX, R10
+	SHRQ $4, R10
+	JZ   i8reduce
+
+i8loop16:
+	VPMOVSXBW (BX)(R9*1), Y8
+	VPMOVSXBW (DI)(R9*1), Y9
+	VPMADDWD  Y8, Y9, Y9
+	VPADDD    Y9, Y0, Y0
+	VPMOVSXBW (SI)(R9*1), Y9
+	VPMADDWD  Y8, Y9, Y9
+	VPADDD    Y9, Y1, Y1
+	VPMOVSXBW (DX)(R9*1), Y9
+	VPMADDWD  Y8, Y9, Y9
+	VPADDD    Y9, Y2, Y2
+	VPMOVSXBW (CX)(R9*1), Y9
+	VPMADDWD  Y8, Y9, Y9
+	VPADDD    Y9, Y3, Y3
+	ADDQ $16, R9
+	DECQ R10
+	JNZ  i8loop16
+
+i8reduce:
+	// Horizontal-sum each YMM accumulator into a GP register: fold the high
+	// lane onto the low, then the 64-bit halves, then the 32-bit pair.
+	VEXTRACTI128 $1, Y0, X8
+	VPADDD X8, X0, X0
+	VPSHUFD $0x4E, X0, X8
+	VPADDD X8, X0, X0
+	VPSHUFD $0xB1, X0, X8
+	VPADDD X8, X0, X0
+	MOVL   X0, R13
+	VEXTRACTI128 $1, Y1, X8
+	VPADDD X8, X1, X1
+	VPSHUFD $0x4E, X1, X8
+	VPADDD X8, X1, X1
+	VPSHUFD $0xB1, X1, X8
+	VPADDD X8, X1, X1
+	MOVL   X1, R14
+	VEXTRACTI128 $1, Y2, X8
+	VPADDD X8, X2, X2
+	VPSHUFD $0x4E, X2, X8
+	VPADDD X8, X2, X2
+	VPSHUFD $0xB1, X2, X8
+	VPADDD X8, X2, X2
+	MOVL   X2, R15
+	VEXTRACTI128 $1, Y3, X8
+	VPADDD X8, X3, X3
+	VPSHUFD $0x4E, X3, X8
+	VPADDD X8, X3, X3
+	VPSHUFD $0xB1, X3, X8
+	VPADDD X8, X3, X3
+	MOVL   X3, R8
+	VZEROUPPER
+
+	ANDQ $15, AX
+	JZ   i8store
+
+i8tail:
+	MOVBLSX (BX)(R9*1), R11
+	MOVBLSX (DI)(R9*1), R12
+	IMULL   R11, R12
+	ADDL    R12, R13
+	MOVBLSX (SI)(R9*1), R12
+	IMULL   R11, R12
+	ADDL    R12, R14
+	MOVBLSX (DX)(R9*1), R12
+	IMULL   R11, R12
+	ADDL    R12, R15
+	MOVBLSX (CX)(R9*1), R12
+	IMULL   R11, R12
+	ADDL    R12, R8
+	INCQ R9
+	DECQ AX
+	JNZ  i8tail
+
+i8store:
+	MOVQ out+48(FP), R11
+	MOVL R13, 0(R11)
+	MOVL R14, 4(R11)
+	MOVL R15, 8(R11)
+	MOVL R8, 12(R11)
+	RET
+
 // func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuidex(SB), NOSPLIT, $0-24
 	MOVL eaxIn+0(FP), AX

@@ -6,8 +6,18 @@ package tensor
 // matmul.go is used unconditionally.
 const hasSIMD = false
 
+// hasI8SIMD mirrors hasSIMD for the int8 kernel: no vector path off amd64,
+// the scalar quad kernel in gemm_i8.go runs unconditionally.
+const hasI8SIMD = false
+
 // axpy4SIMD is never called when hasSIMD is false; the stub keeps the
 // matmul kernel free of build tags.
 func axpy4SIMD(c0, c1, c2, c3, b *float32, n int, a *[4]float32) {
 	panic("tensor: axpy4SIMD called without SIMD support")
+}
+
+// dot4I8SIMD is never called when hasI8SIMD is false; the stub keeps the
+// int8 GEMM kernel free of build tags.
+func dot4I8SIMD(w0, w1, w2, w3, x *int8, k int, out *[4]int32) {
+	panic("tensor: dot4I8SIMD called without SIMD support")
 }

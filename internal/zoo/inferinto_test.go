@@ -30,7 +30,7 @@ func TestStageInferIntoMatchesForward(t *testing.T) {
 		a := nn.NewArena()
 		for _, batch := range []int{1, 3} {
 			x := tensor.New(batch, m.InC, 16, 16)
-			tensor.NewRNG(uint64(13 + batch)).FillNormal(x, 0, 1)
+			tensor.NewRNG(uint64(13+batch)).FillNormal(x, 0, 1)
 			cur := x
 			for si, s := range m.Stages {
 				want := s.Forward(cur, false)

@@ -13,19 +13,34 @@ import (
 // SaveDeployment writes a live deployment as a self-describing, checksummed
 // artifact: the finalized two-branch weights and channel alignment plus the
 // placement metadata (the device's registered name and the [N,C,H,W] sample
-// shape the session was sized for). LoadDeployment brings the artifact back
-// up bit-identically — a saved-then-loaded deployment produces exactly the
-// labels the original would.
+// shape the session was sized for). An int8 deployment is saved in the
+// quantized artifact format — int8 weights and per-channel scales instead of
+// the float32 tensors — and restores onto the int8 serving path. In both
+// cases LoadDeployment brings the artifact back up bit-identically — a
+// saved-then-loaded deployment produces exactly the labels the original
+// would.
 func SaveDeployment(w io.Writer, dep *Deployment) error {
 	if dep == nil {
 		return fmt.Errorf("%w: nil deployment", ErrBadOption)
 	}
+	return serial.SaveDeployment(w, artifactFor(dep))
+}
+
+// artifactFor snapshots a live deployment into its serialized form,
+// dispatching on the deployment's precision.
+func artifactFor(dep *Deployment) *serial.Artifact {
 	art := &serial.Artifact{
-		TB:          dep.Snapshot(),
+		Precision:   string(dep.Precision()),
 		Device:      dep.Device.Name(),
 		SampleShape: dep.SampleShape(),
 	}
-	return serial.SaveDeployment(w, art)
+	if dep.Precision() == core.PrecisionInt8 {
+		art.QMR, art.QMT = dep.Quantized()
+		art.Align = dep.Align()
+	} else {
+		art.TB = dep.Snapshot()
+	}
+	return art
 }
 
 // LoadDeployment reads an artifact written by SaveDeployment and re-deploys
@@ -60,7 +75,13 @@ func deployArtifact(art *serial.Artifact, device Device) (*Deployment, error) {
 		}
 		device = d
 	}
-	dep, err := core.Deploy(art.TB, device, art.SampleShape)
+	var dep *Deployment
+	var err error
+	if art.Precision == string(core.PrecisionInt8) {
+		dep, err = core.DeployQuantized(art.QMR, art.QMT, art.Align, device, art.SampleShape)
+	} else {
+		dep, err = core.Deploy(art.TB, device, art.SampleShape)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("tbnet: re-deploying artifact: %w", err)
 	}
@@ -100,11 +121,7 @@ func (r *Registry) Save(name string, dep *Deployment) (RegistryEntry, error) {
 	if dep == nil {
 		return RegistryEntry{}, fmt.Errorf("%w: nil deployment", ErrBadOption)
 	}
-	return r.store.Save(name, &serial.Artifact{
-		TB:          dep.Snapshot(),
-		Device:      dep.Device.Name(),
-		SampleShape: dep.SampleShape(),
-	})
+	return r.store.Save(name, artifactFor(dep))
 }
 
 // Load re-deploys the named entry on its saved device. The artifact bytes

@@ -266,6 +266,34 @@ func Deploy(tb *TwoBranch, device Device, sampleShape []int) (*Deployment, error
 	return core.Deploy(tb, device, sampleShape)
 }
 
+// Precision names a deployment's numeric serving path: float32 (the default)
+// or post-training-quantized int8.
+type Precision = core.Precision
+
+// The two serving precisions.
+const (
+	// PrecisionF32 is the float32 reference path.
+	PrecisionF32 = core.PrecisionF32
+	// PrecisionInt8 is the quantized path: int8 weights with per-channel
+	// scales, integer matmuls, float32 requantization at layer boundaries.
+	PrecisionInt8 = core.PrecisionInt8
+)
+
+// ParsePrecision resolves a user-facing precision name ("f32", "fp32",
+// "float32", "int8", "i8", or empty for the default) to a Precision; unknown
+// names fail with an error wrapping ErrShape.
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
+
+// DeployInt8 quantizes a finalized model (symmetric per-output-channel int8
+// weights) and places it onto a simulated device on the int8 serving path:
+// integer convolutions and matmuls priced at the backend's int8 throughput
+// ratio, with a secure-memory footprint computed from the quantized working
+// set. Accuracy typically tracks the f32 deployment within a label flip on
+// near-ties; latency is strictly lower on every built-in backend.
+func DeployInt8(tb *TwoBranch, device Device, sampleShape []int) (*Deployment, error) {
+	return core.DeployInt8(tb, device, sampleShape)
+}
+
 // AttackDirectUse evaluates a stolen M_R as a standalone classifier.
 func AttackDirectUse(stolen *Model, test *Dataset, batchSize int) float64 {
 	return attack.DirectUse(stolen, test, batchSize)
