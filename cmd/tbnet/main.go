@@ -738,8 +738,8 @@ func runExperimentCmd(args []string, stdout, stderr io.Writer) int {
 func knownExperiment(which string) bool {
 	switch which {
 	case "all", "table1", "table2", "table3", "fig2", "fig3", "fig4", "hw",
-		"quant", "fleet", "ablation", "ablation-ranking", "ablation-rollback",
-		"ablation-lambda", "ablation-quant":
+		"quant", "fleet", "secdefense", "ablation", "ablation-ranking",
+		"ablation-rollback", "ablation-lambda", "ablation-quant":
 		return true
 	}
 	return false
@@ -788,6 +788,8 @@ func renderExperiment(lab *experiments.Lab, which string, jsonOut bool, w, stder
 		return render(lab.TableQuant())
 	case "fleet":
 		return render(lab.TableFleet())
+	case "secdefense":
+		return render(lab.TableSecDefense())
 	case "fig4":
 		mr, mt := lab.Fig4()
 		if jsonOut {
@@ -836,8 +838,8 @@ func runInfoCmd(w io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|quant|fleet|ablation|
-                    ablation-ranking|ablation-rollback|ablation-lambda|ablation-quant>
+  tbnet experiment <all|table1|table2|table3|fig2|fig3|fig4|hw|quant|fleet|secdefense|
+                    ablation|ablation-ranking|ablation-rollback|ablation-lambda|ablation-quant>
                    [-scale micro|ci|full] [-seed N] [-device NAME] [-json] [-v]
   tbnet pipeline [-arch vgg|resnet|mobilenet|tiny-vgg|tiny-resnet]
                  [-dataset c10|c100] [-scale micro|ci|full] [-seed N]
@@ -861,6 +863,7 @@ func usage(w io.Writer) {
                  [-models NAME=FILE,... | -models NAME,... -registry DIR]
                  [-autoscale [-autoscale-min N] [-autoscale-max N] [-autoscale-interval D]]
                  [-pace S] [-precision f32|int8]
+                 [-attack] [-obfuscate SPEC]    # replay the arch-inference attack on live traces
                  [-sweep W,W,...]               # static-vs-autoscale comparison
                  [-target URL [-api-key KEY]]   # client mode: load-test a running tbnetd over HTTP
                  [-trace-out FILE]              # dump per-request span timelines after the run

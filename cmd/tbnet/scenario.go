@@ -11,10 +11,13 @@ import (
 	"strings"
 	"time"
 
+	"sort"
+
 	"tbnet"
 	"tbnet/internal/fleet"
 	"tbnet/internal/report"
 	"tbnet/internal/scenario"
+	"tbnet/internal/seceval"
 )
 
 // defaultSpec is the scenario the CLI runs when -spec is not given: a
@@ -189,6 +192,8 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	pace := fs.Float64("pace", 0, "pace workers at modeled-latency × this factor (0 = off)")
 	sweepList := fs.String("sweep", "", "also run the same workload at these static widths (comma-separated worker counts) and compare; implies -autoscale")
 	traceOut := fs.String("trace-out", "", "write per-request span timelines to this file after the run (local fleet only)")
+	attackRun := fs.Bool("attack", false, "capture attacker-visible traces during the run and replay the architecture-inference attack per tenant")
+	obfuscate := fs.String("obfuscate", "", "trace-obfuscation chain applied at capture, e.g. pad:4096,shuffle:8,dummy:0.25; implies -attack")
 	precision := fs.String("precision", "f32", "serving precision in pipeline mode: f32 or int8")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -226,6 +231,23 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	}
 	if *traceOut != "" && len(sweep) > 0 {
 		fmt.Fprintln(stderr, "-trace-out cannot attribute spans across the fleets of a -sweep comparison")
+		return 2
+	}
+	if *obfuscate != "" {
+		*attackRun = true
+	}
+	if *attackRun && *target != "" {
+		fmt.Fprintln(stderr, "-attack taps a local fleet's workers; a -target daemon captures with tbnetd -obfuscate")
+		return 2
+	}
+	if *attackRun && len(sweep) > 0 {
+		fmt.Fprintln(stderr, "-attack cannot attribute traces across the fleets of a -sweep comparison")
+		return 2
+	}
+	// The obfuscation chain parses before any model build, like the phase spec.
+	chain, err := seceval.ParseChain(*obfuscate)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -273,6 +295,17 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 	if *traceOut != "" {
 		tracer = tbnet.NewTracer(4096)
 		baseOpts = append(baseOpts, tbnet.WithTracing(tracer))
+	}
+	// The attack tap likewise outlives the fleet: captured views are replayed
+	// against each tenant after the run.
+	var tap *seceval.Tap
+	if *attackRun {
+		topts := []seceval.TapOption{seceval.WithSeed(int64(c.seed)), seceval.WithRunLimit(8192)}
+		if len(chain.Layers) > 0 {
+			topts = append(topts, seceval.WithObfuscation(chain))
+		}
+		tap = seceval.NewTap(topts...)
+		baseOpts = append(baseOpts, tbnet.WithFleetTap(tap))
 	}
 
 	// Parse the workload shape first — a typo in the spec or a missing trace
@@ -450,6 +483,13 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	var atk *attackReport
+	if tap != nil {
+		if atk, err = buildAttackReport(tap, deps, int64(c.seed)); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 
 	if c.jsonOut {
 		// One artifact object: the scenario's per-phase client-side figures
@@ -464,7 +504,8 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 			Scenario  *scenario.Result      `json:"scenario"`
 			Fleet     fleet.Stats           `json:"fleet"`
 			Autoscale *tbnet.AutoscaleStats `json:"autoscale,omitempty"`
-		}{res, st, ast}); err != nil {
+			Attack    *attackReport         `json:"attack,omitempty"`
+		}{res, st, ast, atk}); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
@@ -479,6 +520,12 @@ func runScenarioCmd(args []string, stdout, stderr io.Writer) int {
 		report.AutoscaleTable(ctl.Stats(), f.WorkerSeconds()).Render(stdout)
 		if evs := ctl.Events(); len(evs) > 0 {
 			report.AutoscaleEventTable(evs).Render(stdout)
+		}
+	}
+	if atk != nil {
+		report.AttackTable(atk.Tenants).Render(stdout)
+		if len(atk.Obfuscation) > 0 {
+			obfuscationTable(atk).Render(stdout)
 		}
 	}
 	fmt.Fprintf(stdout, "offered %d requests: %d served, %d shed, %d failed in %.2fs\n",
@@ -571,6 +618,79 @@ func runScenarioLeg(leg scenarioLeg, dep *tbnet.Deployment, spec scenario.Spec,
 		p.ScaleUps, p.ScaleDowns, p.Refused = st.ScaleUps, st.ScaleDowns, st.Refused
 	}
 	return p, nil
+}
+
+// attackReport is the -attack section of the scenario artifact: the
+// per-tenant attack outcomes and, with -obfuscate, the per-layer overhead
+// spend the tap charged the fleet.
+type attackReport struct {
+	Tenants         []report.AttackRow   `json:"tenants"`
+	Obfuscation     []seceval.LayerStats `json:"obfuscation,omitempty"`
+	OverheadSeconds float64              `json:"overhead_seconds"`
+}
+
+// buildAttackReport replays the architecture-inference attack against every
+// (node, model) tenant's captured runs, with the isolated single-session hit
+// rate on the same deployment as each tenant's baseline.
+func buildAttackReport(tap *seceval.Tap, deps []namedDep, seed int64) (*attackReport, error) {
+	subjects := map[string]seceval.Subject{tbnet.DefaultModel: seceval.SubjectFor(deps[0].dep)}
+	depFor := map[string]*tbnet.Deployment{tbnet.DefaultModel: deps[0].dep}
+	for _, m := range deps[1:] {
+		subjects[m.name] = seceval.SubjectFor(m.dep)
+		depFor[m.name] = m.dep
+	}
+	type tenant struct{ node, model string }
+	groups := map[tenant][]seceval.RunRecord{}
+	for _, r := range tap.Runs() {
+		k := tenant{r.Node, r.Model}
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]tenant, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].model < keys[j].model
+	})
+	rep := &attackReport{Obfuscation: tap.OverheadStats(), OverheadSeconds: tap.OverheadSeconds()}
+	isolated := map[string]float64{}
+	for _, k := range keys {
+		subj, ok := subjects[k.model]
+		if !ok {
+			continue
+		}
+		iso, ok := isolated[k.model]
+		if !ok {
+			views, _, err := seceval.CaptureIsolated(depFor[k.model], 3, seed)
+			if err != nil {
+				return nil, err
+			}
+			iso = seceval.AttackViews(views, subj).MeanHitRate
+			isolated[k.model] = iso
+		}
+		r := seceval.AttackRecords(groups[k], subj)
+		rep.Tenants = append(rep.Tenants, report.AttackRow{
+			Node: k.node, Model: k.model, Runs: r.Runs, MeanBatch: r.MeanBatch,
+			HitRate: r.MeanHitRate, IsolatedHitRate: iso,
+		})
+	}
+	return rep, nil
+}
+
+// obfuscationTable renders the tap's per-layer obfuscation spend.
+func obfuscationTable(atk *attackReport) *report.Table {
+	t := &report.Table{
+		Title:  fmt.Sprintf("Obfuscation overhead (total %.4fs modeled)", atk.OverheadSeconds),
+		Header: []string{"Layer", "Runs", "Injected Events", "Padded Bytes", "Overhead (s)"},
+	}
+	for _, s := range atk.Obfuscation {
+		t.AddRow(s.Layer, fmt.Sprintf("%d", s.Runs), fmt.Sprintf("%d", s.InjectedEvents),
+			report.Bytes(s.PaddedBytes), fmt.Sprintf("%.4f", s.OverheadSeconds))
+	}
+	return t
 }
 
 // sameShape reports whether two sample shapes match exactly.

@@ -19,6 +19,12 @@
 // the controller's counters are exported on /metrics
 // (tbnet_autoscale_*).
 //
+// With -obfuscate the daemon serves behind a trace-obfuscation chain
+// (internal/seceval): every worker run's attacker-visible event view is
+// rewritten — transfer sizes padded, event order shuffled, dummy operations
+// injected — and the chain's modeled latency cost is charged back into each
+// run, with the per-layer spend exported as tbnet_obfuscation_* counters.
+//
 // The daemon is observable end to end: every request records a span timeline
 // (ingress → queued → batched → ree/tee → pace → respond) into a bounded ring
 // sized by -trace-ring, readable as JSON on GET /debug/trace (?min_ms= filters
@@ -50,6 +56,7 @@ import (
 	"tbnet/internal/core"
 	"tbnet/internal/httpd"
 	"tbnet/internal/registry"
+	"tbnet/internal/seceval"
 	"tbnet/internal/tensor"
 	"tbnet/internal/zoo"
 )
@@ -166,6 +173,8 @@ func run(args []string, stderr io.Writer) int {
 	idleTTL := fs.Duration("idle-ttl", 0, "reap hosted models idle for this long (0 = never)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 answers")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+	obfuscate := fs.String("obfuscate", "",
+		"trace-obfuscation chain applied to every run's attacker view, e.g. pad:4096,dummy:0.25 (exports tbnet_obfuscation_* on /metrics)")
 	traceRing := fs.Int("trace-ring", 4096, "request span ring capacity for GET /debug/trace (0 disables tracing)")
 	slowLog := fs.Duration("slow-log", 250*time.Millisecond, "journal requests slower than this with their span breakdown (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (behind auth when -api-keys is set)")
@@ -213,6 +222,11 @@ func run(args []string, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	chain, err := seceval.ParseChain(*obfuscate)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
 
 	var names []string
 	var deps []*tbnet.Deployment
@@ -255,6 +269,20 @@ func run(args []string, stderr io.Writer) int {
 					"from", ev.From, "to", ev.To, "workers", ev.TotalWorkers, "reason", ev.Reason)
 			}))
 	}
+	// With -obfuscate, a tap on every worker run rewrites the attacker-visible
+	// trace through the chain and charges the modeled cost back into the run's
+	// latency, so pacing, percentiles, and autoscaling all price the defense.
+	// The daemon only needs the aggregate spend (for /metrics), not the
+	// rewritten views, so the record buffer is kept minimal.
+	var tap *seceval.Tap
+	if len(chain.Layers) > 0 {
+		tap = seceval.NewTap(
+			seceval.WithObfuscation(chain),
+			seceval.WithSeed(int64(*seed)),
+			seceval.WithRunLimit(1),
+		)
+		fleetOpts = append(fleetOpts, tbnet.WithFleetTap(tap))
+	}
 	for i, name := range names[1:] {
 		fleetOpts = append(fleetOpts, tbnet.WithModel(name, deps[i+1]))
 	}
@@ -283,6 +311,7 @@ func run(args []string, stderr io.Writer) int {
 		Tracer:        tracer,
 		SlowThreshold: *slowLog,
 		EnablePprof:   *pprofOn,
+		Tap:           tap,
 	})
 	if err != nil {
 		f.Close()

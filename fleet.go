@@ -208,6 +208,28 @@ func WithPace(scale float64) FleetOption {
 	}
 }
 
+// FleetRunTap observes every worker run across the fleet: which node,
+// device, and model pool executed it, how many coalesced samples it carried,
+// and the attacker-visible event view of exactly that run. The returned
+// overhead (modeled seconds, e.g. a trace-obfuscation layer's cost) is added
+// to the run's service latency, so stats, pacing, and autoscaling price it.
+// Implementations must be safe for concurrent use by every worker; the
+// seceval package provides the capture/obfuscation implementation.
+type FleetRunTap = fleet.RunTap
+
+// WithFleetTap installs a run tap on every node of the fleet — the
+// security-evaluation hook: each worker run's attacker-visible trace is
+// handed to the tap with its node, model, and coalesced batch size.
+func WithFleetTap(tap FleetRunTap) FleetOption {
+	return func(o *fleetOptions) error {
+		if tap == nil {
+			return fmt.Errorf("%w: nil fleet tap", ErrBadOption)
+		}
+		o.cfg.Tap = tap
+		return nil
+	}
+}
+
 // WithEWMARouting routes with the adaptive EWMA policy and installs the
 // online latency estimator it learns from: every served request folds its
 // realized per-sample service time into a per-(model, device) moving

@@ -1,0 +1,121 @@
+package attack
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+var fuzzShape = []int{1, 3, 16, 16}
+
+func fuzzModel() *zoo.Model {
+	return zoo.BuildVGG(zoo.TinyVGGConfig(4), tensor.NewRNG(77))
+}
+
+// checkGuess asserts the attack invariants that must survive any input: no
+// panic (implicit), a hit rate inside [0,1], and no more width guesses than
+// the stolen branch has stages.
+func checkGuess(t *testing.T, g ArchGuess, m *zoo.Model, tag string) {
+	t.Helper()
+	hr := g.HitRate(m)
+	if math.IsNaN(hr) || hr < 0 || hr > 1 {
+		t.Fatalf("%s: hit rate %v outside [0,1]", tag, hr)
+	}
+	if len(g.Widths) > len(m.Stages) {
+		t.Fatalf("%s: %d width guesses for a %d-stage branch", tag, len(g.Widths), len(m.Stages))
+	}
+}
+
+// TestInferArchitectureAdversarialViews feeds the attack event streams no
+// honest deployment produces — empty, truncated, shuffled, single-world,
+// zero- and absurd-sized payloads — and requires it to degrade gracefully.
+func TestInferArchitectureAdversarialViews(t *testing.T) {
+	m := fuzzModel()
+	realistic := []tee.Event{
+		{Kind: tee.EvSMC, Label: "input"},
+		{Kind: tee.EvTransfer, Label: "input", Bytes: 3 * 16 * 16 * 4},
+		{Kind: tee.EvREECompute, Bytes: 16 * 16 * 16 * 4},
+		{Kind: tee.EvSMC}, {Kind: tee.EvTransfer, Bytes: 16 * 16 * 16 * 4},
+		{Kind: tee.EvREECompute, Bytes: 32 * 8 * 8 * 4},
+		{Kind: tee.EvSMC}, {Kind: tee.EvTransfer, Bytes: 32 * 8 * 8 * 4},
+	}
+	shuffled := append([]tee.Event(nil), realistic...)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	views := map[string][]tee.Event{
+		"empty":     nil,
+		"input":     realistic[:2],
+		"truncated": realistic[:4],
+		"shuffled":  shuffled,
+		"single-world": {
+			{Kind: tee.EvREECompute, Bytes: 4096},
+			{Kind: tee.EvREECompute, Bytes: 4096},
+			{Kind: tee.EvREECompute, Bytes: 4096},
+		},
+		"zero-bytes": {
+			{Kind: tee.EvTransfer}, {Kind: tee.EvTransfer}, {Kind: tee.EvTransfer},
+		},
+		"negative-bytes": {
+			{Kind: tee.EvTransfer, Bytes: -8}, {Kind: tee.EvTransfer, Bytes: -1 << 40},
+		},
+		"huge-bytes": {
+			{Kind: tee.EvTransfer, Bytes: math.MaxInt64},
+			{Kind: tee.EvTransfer, Bytes: math.MaxInt64},
+			{Kind: tee.EvREECompute, Bytes: math.MaxInt64},
+		},
+		"tee-only": {
+			{Kind: tee.EvTEECompute}, {Kind: tee.EvResult},
+		},
+	}
+	spatial := StageSpatial(m, fuzzShape)
+	for name, view := range views {
+		checkGuess(t, InferArchitecture(view, m, fuzzShape), m, "arch/"+name)
+		for _, batch := range []int{-1, 0, 1, 7} {
+			checkGuess(t, InferFromExposure(view, spatial, batch, 3*16*16*4), m, "exposure/"+name)
+		}
+	}
+	// Degenerate attacker geometry: no spatial knowledge at all.
+	checkGuess(t, InferFromExposure(realistic, nil, 1, 0), m, "exposure/no-spatial")
+	checkGuess(t, InferFromExposure(realistic, [][2]int{{0, 0}}, 1, 0), m, "exposure/zero-spatial")
+}
+
+// FuzzInferArchitecture decodes arbitrary bytes into event streams and
+// requires both attack entry points to neither panic nor report a hit rate
+// outside [0,1]. Each 9-byte chunk becomes one event: kind from the first
+// byte, payload size (sign included) from the next eight.
+func FuzzInferArchitecture(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{
+		byte(tee.EvSMC), 0, 0, 0, 0, 0, 0, 0, 0,
+		byte(tee.EvTransfer), 0, 48, 0, 0, 0, 0, 0, 0,
+		byte(tee.EvREECompute), 0, 64, 0, 0, 0, 0, 0, 0,
+		byte(tee.EvTransfer), 255, 255, 255, 255, 255, 255, 255, 255,
+	})
+	m := fuzzModel()
+	spatial := StageSpatial(m, fuzzShape)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var view []tee.Event
+		for len(data) >= 9 {
+			view = append(view, tee.Event{
+				Kind:  tee.EventKind(data[0] % 8),
+				Bytes: int64(binary.LittleEndian.Uint64(data[1:9])),
+			})
+			data = data[9:]
+		}
+		g := InferArchitecture(view, m, fuzzShape)
+		if hr := g.HitRate(m); math.IsNaN(hr) || hr < 0 || hr > 1 {
+			t.Fatalf("InferArchitecture hit rate %v outside [0,1]", hr)
+		}
+		g = InferFromExposure(view, spatial, 1, 3*16*16*4)
+		if hr := g.HitRate(m); math.IsNaN(hr) || hr < 0 || hr > 1 {
+			t.Fatalf("InferFromExposure hit rate %v outside [0,1]", hr)
+		}
+	})
+}

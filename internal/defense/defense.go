@@ -36,6 +36,7 @@ type Placement struct {
 	// the REE-resident part.
 	ExposedArch bool
 	meter       *tee.Meter
+	trace       *tee.Trace
 	infer       func(x *tensor.Tensor, m *tee.Meter) []int
 }
 
@@ -47,6 +48,13 @@ func (p *Placement) Latency() float64 { return p.meter.Latency(p.Device) }
 
 // Meter exposes the placement's cost meter.
 func (p *Placement) Meter() *tee.Meter { return p.meter }
+
+// Trace exposes the placement's observation log: every Infer records the
+// same world-switch, staging, and per-world compute events its meter
+// charges, so the architecture-inference attack can be run against any
+// strategy's trace (tee.Trace.AttackerView filters it to the normal-world
+// view), not just against TBNet's deployment protocol.
+func (p *Placement) Trace() *tee.Trace { return p.trace }
 
 // Strategy places a victim model onto a device.
 type Strategy interface {
@@ -86,6 +94,7 @@ func (FullTEE) Place(victim *zoo.Model, device tee.Device, sampleShape []int) (*
 		return nil, fmt.Errorf("defense: full-TEE placement: %w", err)
 	}
 	m := victim.Clone()
+	tr := &tee.Trace{}
 	return &Placement{
 		Strategy:    "full-tee",
 		Device:      device,
@@ -94,10 +103,16 @@ func (FullTEE) Place(victim *zoo.Model, device tee.Device, sampleShape []int) (*
 			c := profile.Profile(m, x.Shape())
 			meter.AddSwitch()
 			meter.AddTransfer(int64(x.Size()) * 4)
+			tr.Record(tee.Event{Kind: tee.EvSMC, Label: "input"})
+			tr.Record(tee.Event{Kind: tee.EvTransfer, Label: "input", Bytes: int64(x.Size()) * 4})
 			meter.AddCompute(tee.TEE, c.TotalFlops())
-			return argmaxLabels(m.Forward(x, false))
+			tr.Record(tee.Event{Kind: tee.EvTEECompute, Label: "victim"})
+			out := argmaxLabels(m.Forward(x, false))
+			tr.Record(tee.Event{Kind: tee.EvResult, Label: "release"})
+			return out
 		},
 		meter: meterFor(secure),
+		trace: tr,
 	}, nil
 }
 
@@ -149,6 +164,7 @@ func (d DarkneTZ) Place(victim *zoo.Model, device tee.Device, sampleShape []int)
 	}
 	m := victim.Clone()
 	split := d.SplitAt
+	tr := &tee.Trace{}
 	return &Placement{
 		Strategy:          d.Name(),
 		Device:            device,
@@ -162,23 +178,34 @@ func (d DarkneTZ) Place(victim *zoo.Model, device tee.Device, sampleShape []int)
 				cur = s.Forward(cur, false)
 				if i < split {
 					meter.AddCompute(tee.REE, c.Stages[i].Flops)
+					tr.Record(tee.Event{Kind: tee.EvREEWeightAccess, Label: s.Name(), Bytes: c.Stages[i].ParamBytes})
+					tr.Record(tee.Event{Kind: tee.EvREECompute, Label: s.Name(), Bytes: int64(cur.Size()) * 4})
 				} else {
 					meter.AddCompute(tee.TEE, c.Stages[i].Flops)
+					tr.Record(tee.Event{Kind: tee.EvTEECompute, Label: s.Name()})
 				}
 				if i == split-1 {
 					// Boundary crossing into the TEE.
 					meter.AddSwitch()
 					meter.AddTransfer(int64(cur.Size()) * 4)
+					tr.Record(tee.Event{Kind: tee.EvSMC, Label: "boundary"})
+					tr.Record(tee.Event{Kind: tee.EvTransfer, Label: "boundary", Bytes: int64(cur.Size()) * 4})
 				}
 			}
 			if split == 0 {
 				meter.AddSwitch()
 				meter.AddTransfer(int64(x.Size()) * 4)
+				tr.Record(tee.Event{Kind: tee.EvSMC, Label: "input"})
+				tr.Record(tee.Event{Kind: tee.EvTransfer, Label: "input", Bytes: int64(x.Size()) * 4})
 			}
 			meter.AddCompute(tee.TEE, c.Head.Flops)
-			return argmaxLabels(m.Head.Forward(cur, false))
+			tr.Record(tee.Event{Kind: tee.EvTEECompute, Label: "head"})
+			out := argmaxLabels(m.Head.Forward(cur, false))
+			tr.Record(tee.Event{Kind: tee.EvResult, Label: "release"})
+			return out
 		},
 		meter: meterFor(secure),
+		trace: tr,
 	}, nil
 }
 
@@ -210,6 +237,7 @@ func (ShadowNet) Place(victim *zoo.Model, device tee.Device, sampleShape []int) 
 		return nil, fmt.Errorf("defense: shadownet placement: %w", err)
 	}
 	m := victim.Clone()
+	tr := &tee.Trace{}
 	return &Placement{
 		Strategy:          "shadownet",
 		Device:            device,
@@ -224,14 +252,23 @@ func (ShadowNet) Place(victim *zoo.Model, device tee.Device, sampleShape []int) 
 				// Convolution arithmetic happens in the REE on transformed
 				// weights; the enclave applies the linear restoration.
 				meter.AddCompute(tee.REE, c.Stages[i].Flops)
+				tr.Record(tee.Event{Kind: tee.EvREEWeightAccess, Label: s.Name(), Bytes: c.Stages[i].ParamBytes})
+				tr.Record(tee.Event{Kind: tee.EvREECompute, Label: s.Name(), Bytes: int64(cur.Size()) * 4})
 				meter.AddSwitch()
 				meter.AddTransfer(int64(cur.Size()) * 4)
+				tr.Record(tee.Event{Kind: tee.EvSMC, Label: s.Name()})
+				tr.Record(tee.Event{Kind: tee.EvTransfer, Label: s.Name(), Bytes: int64(cur.Size()) * 4})
 				meter.AddCompute(tee.TEE, float64(cur.Size())*2) // restore
+				tr.Record(tee.Event{Kind: tee.EvTEECompute, Label: s.Name() + "/restore"})
 			}
 			meter.AddCompute(tee.TEE, c.Head.Flops) // private classifier head
-			return argmaxLabels(m.Head.Forward(cur, false))
+			tr.Record(tee.Event{Kind: tee.EvTEECompute, Label: "head"})
+			out := argmaxLabels(m.Head.Forward(cur, false))
+			tr.Record(tee.Event{Kind: tee.EvResult, Label: "release"})
+			return out
 		},
 		meter: meterFor(secure),
+		trace: tr,
 	}, nil
 }
 
@@ -261,6 +298,7 @@ func (MirrorNet) Place(victim *zoo.Model, device tee.Device, sampleShape []int) 
 		return nil, fmt.Errorf("defense: mirrornet placement: %w", err)
 	}
 	m := victim.Clone()
+	tr := &tee.Trace{}
 	return &Placement{
 		Strategy:          "mirrornet",
 		Device:            device,
@@ -273,14 +311,23 @@ func (MirrorNet) Place(victim *zoo.Model, device tee.Device, sampleShape []int) 
 			for i, s := range m.Stages {
 				cur = s.Forward(cur, false)
 				meter.AddCompute(tee.REE, c.Stages[i].Flops)
+				tr.Record(tee.Event{Kind: tee.EvREEWeightAccess, Label: s.Name(), Bytes: c.Stages[i].ParamBytes})
+				tr.Record(tee.Event{Kind: tee.EvREECompute, Label: s.Name(), Bytes: int64(cur.Size()) * 4})
 				// One-way feature forwarding to the companion.
 				meter.AddSwitch()
 				meter.AddTransfer(int64(cur.Size()) * 4)
+				tr.Record(tee.Event{Kind: tee.EvSMC, Label: s.Name()})
+				tr.Record(tee.Event{Kind: tee.EvTransfer, Label: s.Name(), Bytes: int64(cur.Size()) * 4})
 				meter.AddCompute(tee.TEE, c.Stages[i].Flops/4)
+				tr.Record(tee.Event{Kind: tee.EvTEECompute, Label: s.Name() + "/companion"})
 			}
 			meter.AddCompute(tee.TEE, c.Head.Flops)
-			return argmaxLabels(m.Head.Forward(cur, false))
+			tr.Record(tee.Event{Kind: tee.EvTEECompute, Label: "head"})
+			out := argmaxLabels(m.Head.Forward(cur, false))
+			tr.Record(tee.Event{Kind: tee.EvResult, Label: "release"})
+			return out
 		},
 		meter: meterFor(secure),
+		trace: tr,
 	}, nil
 }

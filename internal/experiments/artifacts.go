@@ -355,6 +355,8 @@ func (l *Lab) RunAll(w io.Writer) {
 	fmt.Fprintln(w)
 	l.TableFleet().Render(w)
 	fmt.Fprintln(w)
+	l.TableSecDefense().Render(w)
+	fmt.Fprintln(w)
 	l.AblationPruneRanking().Render(w)
 	fmt.Fprintln(w)
 	l.AblationRollback().Render(w)

@@ -114,6 +114,37 @@ type Config struct {
 	// annotates each span with the node the request was routed to. Nil
 	// disables tracing.
 	Tracer *obs.Tracer
+	// Tap, when set, receives the attacker-visible trace view of every
+	// protocol run on every node — the security-evaluation capture point for
+	// multi-tenant fleet traces (see serve.Config.Tap). Each node's server
+	// calls it with the node name bound, so one tap observes the whole
+	// fleet's per-tenant event streams. The returned overhead per run (a
+	// trace-obfuscation layer's modeled cost) is charged to that run's
+	// recorded latency. Must be safe for concurrent use by every worker of
+	// every node.
+	Tap RunTap
+}
+
+// RunTap observes one protocol run's attacker-visible trace view fleet-wide:
+// serve.RunTap with the serving node's name prepended. Implementations must
+// be safe for concurrent use.
+type RunTap interface {
+	// TapRun receives one run's attacker view with the serving node bound;
+	// the returned overhead in modeled device seconds is folded into the
+	// run's latency.
+	TapRun(node string, device tee.Device, model string, batch int, view []tee.Event) (overheadSec float64)
+}
+
+// nodeTap adapts the fleet-wide RunTap to one node's serve.RunTap by binding
+// the node name.
+type nodeTap struct {
+	tap  RunTap
+	node string
+}
+
+// TapRun implements serve.RunTap.
+func (t nodeTap) TapRun(device tee.Device, model string, batch int, view []tee.Event) float64 {
+	return t.tap.TapRun(t.node, device, model, batch, view)
 }
 
 func (c Config) withDefaults() Config {
@@ -388,6 +419,9 @@ func (f *Fleet) buildNode(name string, device tee.Device, workers int, dep *core
 		QueueDepth: f.cfg.QueueDepth,
 		PaceScale:  f.cfg.PaceScale,
 		Tracer:     f.cfg.Tracer,
+	}
+	if tap := f.cfg.Tap; tap != nil {
+		scfg.Tap = nodeTap{tap: tap, node: name}
 	}
 	if est := f.est; est != nil {
 		scfg.Observer = func(model string, samples int, perSample time.Duration) {

@@ -46,6 +46,7 @@ import (
 	"tbnet/internal/fleet"
 	"tbnet/internal/obs"
 	"tbnet/internal/registry"
+	"tbnet/internal/seceval"
 )
 
 // ErrHTTPConfig reports an invalid daemon configuration.
@@ -110,6 +111,10 @@ type Config struct {
 	// keys are configured — profiles expose timing detail of the secure
 	// protocol, so they are never left open by accident.
 	EnablePprof bool
+	// Tap, when set, is the trace-obfuscation tap installed on the fleet
+	// (fleet.Config.Tap / tbnet.WithFleetTap): /metrics then exposes the
+	// tbnet_obfuscation_* counter families for its per-layer spend.
+	Tap *seceval.Tap
 }
 
 func (c Config) withDefaults() Config {

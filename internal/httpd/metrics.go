@@ -296,6 +296,26 @@ func (s *Server) writeMetrics(w io.Writer) error {
 			"Per-node worker ceiling the loop enforces.", float64(ast.Max))
 	}
 
+	// Trace-obfuscation spend, when a tap with an obfuscation chain is
+	// riding the fleet (tbnetd -obfuscate).
+	if s.cfg.Tap != nil {
+		pw.metric("tbnet_obfuscation_runs_total", "counter",
+			"Worker runs whose attacker-visible trace passed the obfuscation chain.",
+			float64(s.cfg.Tap.TotalRuns()))
+		pw.metric("tbnet_obfuscation_overhead_seconds_total", "counter",
+			"Total modeled latency spent on trace obfuscation, all layers.",
+			s.cfg.Tap.OverheadSeconds())
+		for _, ls := range s.cfg.Tap.OverheadStats() {
+			l := []string{"layer", ls.Layer}
+			pw.metric("tbnet_obfuscation_layer_overhead_seconds_total", "counter",
+				"Modeled latency spent per obfuscation layer.", ls.OverheadSeconds, l...)
+			pw.metric("tbnet_obfuscation_layer_padded_bytes_total", "counter",
+				"Padding bytes added to real transfer payloads per layer.", float64(ls.PaddedBytes), l...)
+			pw.metric("tbnet_obfuscation_layer_injected_events_total", "counter",
+				"Decoy events injected into attacker views per layer.", float64(ls.InjectedEvents), l...)
+		}
+	}
+
 	// Daemon-side HTTP counters.
 	codes, counts := s.metrics.statusCounts()
 	for i, c := range codes {

@@ -1,0 +1,138 @@
+package seceval
+
+import (
+	"fmt"
+
+	"tbnet/internal/attack"
+	"tbnet/internal/core"
+	"tbnet/internal/tee"
+	"tbnet/internal/tensor"
+	"tbnet/internal/zoo"
+)
+
+// Subject is what the attacker holds and targets: the stolen REE branch
+// (readable in plaintext), the query shape it probes with, and the true
+// secure branch the guesses are scored against.
+type Subject struct {
+	// StolenMR is the extracted normal-world branch.
+	StolenMR *zoo.Model
+	// MT is the ground-truth secure branch (scoring only — the attacker
+	// never sees it).
+	MT *zoo.Model
+	// InShape is the attacker's query shape [N,C,H,W]; the attacker chose
+	// the query, so it knows the shape.
+	InShape []int
+}
+
+// SubjectFor derives the attack subject from a live deployment: the
+// extracted M_R, the deployed M_T, and a single-sample probe shape.
+func SubjectFor(dep *core.Deployment) Subject {
+	shape := dep.SampleShape()
+	if len(shape) > 0 {
+		shape[0] = 1
+	}
+	return Subject{StolenMR: dep.ExtractedMR(), MT: dep.Snapshot().MT, InShape: shape}
+}
+
+// AttackResult summarizes replaying the architecture-inference attack over
+// a set of captured runs.
+type AttackResult struct {
+	// Runs is the number of attacked views.
+	Runs int
+	// MeanHitRate is the mean ArchGuess.HitRate across views.
+	MeanHitRate float64
+	// MaxHitRate is the worst single-view leak.
+	MaxHitRate float64
+	// MeanBatch is the average coalesced sample count per run (0 when
+	// unknown).
+	MeanBatch float64
+}
+
+// AttackViews runs attack.InferArchitecture over each captured view and
+// scores the guesses against the subject's secure branch.
+func AttackViews(views [][]tee.Event, s Subject) AttackResult {
+	var r AttackResult
+	for _, v := range views {
+		g := attack.InferArchitecture(v, s.StolenMR, s.InShape)
+		hr := g.HitRate(s.MT)
+		r.Runs++
+		r.MeanHitRate += hr
+		if hr > r.MaxHitRate {
+			r.MaxHitRate = hr
+		}
+	}
+	if r.Runs > 0 {
+		r.MeanHitRate /= float64(r.Runs)
+	}
+	return r
+}
+
+// AttackRecords is AttackViews over tap records, additionally reporting the
+// mean coalesced batch size of the attacked runs.
+func AttackRecords(recs []RunRecord, s Subject) AttackResult {
+	views := make([][]tee.Event, len(recs))
+	batch := 0
+	for i, rec := range recs {
+		views[i] = rec.Events
+		batch += rec.Batch
+	}
+	r := AttackViews(views, s)
+	if len(recs) > 0 {
+		r.MeanBatch = float64(batch) / float64(len(recs))
+	}
+	return r
+}
+
+// SegmentRuns splits a concatenated multi-run stream back into per-run
+// views at the deployment protocol's input-staging marker (the EvSMC
+// labeled "input" that opens every TBNet inference). A non-empty prefix
+// before the first marker — the tail of a run already in flight — becomes
+// its own segment.
+func SegmentRuns(view []tee.Event) [][]tee.Event {
+	var out [][]tee.Event
+	var cur []tee.Event
+	for _, e := range view {
+		if e.Kind == tee.EvSMC && e.Label == "input" {
+			if len(cur) > 0 {
+				out = append(out, cur)
+			}
+			cur = nil
+		}
+		cur = append(cur, e)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// CaptureIsolated replays the attacker's ideal conditions against a
+// deployment: a private single-session replica in measurement mode, one
+// probe per trace, no co-tenants, no batching. It returns the per-probe
+// attacker views and the mean per-run modeled latency (the baseline the
+// frontier prices overhead against).
+func CaptureIsolated(dep *core.Deployment, probes int, seed int64) (views [][]tee.Event, runSeconds float64, err error) {
+	if probes < 1 {
+		probes = 1
+	}
+	rep, err := dep.ReplicateOn(tee.Unbounded(dep.Device), 1, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("seceval: isolated capture: %w", err)
+	}
+	shape := rep.SampleShape()
+	trace := rep.Enclave.Trace()
+	rng := tensor.NewRNG(uint64(seed))
+	var latSum float64
+	for i := 0; i < probes; i++ {
+		trace.Reset()
+		x := tensor.New(shape...)
+		rng.FillNormal(x, 0, 1)
+		before := rep.Latency()
+		if _, err := rep.Infer(x); err != nil {
+			return nil, 0, fmt.Errorf("seceval: isolated probe %d: %w", i, err)
+		}
+		latSum += rep.Latency() - before
+		views = append(views, trace.AttackerView())
+	}
+	return views, latSum / float64(probes), nil
+}

@@ -100,6 +100,28 @@ type Config struct {
 	// state. Nil disables tracing (requests carrying a context span are
 	// still annotated).
 	Tracer *obs.Tracer
+	// Tap, when set, receives the attacker-visible observation-trace view of
+	// every successful protocol run — the event stream an adversary co-located
+	// in the normal world would see in shared memory. The worker resets its
+	// replica's trace before each run and hands the tap exactly that run's
+	// events, so tapped views are pre-segmented per protocol run. The
+	// returned overhead (a trace-obfuscation layer's modeled per-run cost, in
+	// device seconds) is added to the run's recorded latency, so percentiles,
+	// pacing, and stats all price the defense. The callback runs on the
+	// worker goroutine; nil disables tapping (and its per-run allocations).
+	Tap RunTap
+}
+
+// RunTap observes one protocol run's attacker-visible trace view. device is
+// the replica's hardware backend (for pricing obfuscation costs), model the
+// hosted model name (the tenant), batch the number of coalesced samples, and
+// view the run's events as tee.Trace.AttackerView returns them. The returned
+// overhead in modeled device seconds is folded into the run's latency.
+// Implementations must be safe for concurrent use by every worker.
+type RunTap interface {
+	// TapRun receives one run's attacker view and returns the modeled
+	// overhead to charge to the run.
+	TapRun(device tee.Device, model string, batch int, view []tee.Event) (overheadSec float64)
 }
 
 func (c Config) withDefaults() Config {
@@ -710,6 +732,7 @@ func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch [
 	if traced {
 		bd = &ws.bd
 	}
+	trace := p.tapReset(rep)
 	before := rep.Latency()
 	hostStart := time.Now()
 	labels, err := rep.InferIntoObserved(x, ws.labels, bd)
@@ -717,6 +740,9 @@ func (p *pool) runBatch(id int, rep *core.Deployment, ws *workerScratch, batch [
 	lat := rep.Latency() - before
 	if err == nil && len(labels) != len(live) {
 		err = fmt.Errorf("serve: %d labels for %d requests", len(labels), len(live))
+	}
+	if err == nil && trace != nil {
+		lat += p.srv.cfg.Tap.TapRun(rep.Device, p.name, len(live), trace.AttackerView())
 	}
 	if err != nil && len(live) > 1 {
 		// The coalesced protocol run failed as a whole, which would pin the
@@ -769,6 +795,21 @@ func (r *request) markStages(prep time.Duration, bd *obs.ExecBreakdown, paced ti
 	}
 }
 
+// tapReset prepares one protocol run for trace capture: with a tap
+// configured it clears the replica's private trace ring so the events
+// recorded during the run are exactly that run's, and returns the trace to
+// read afterwards. Without a tap it returns nil and costs nothing. The
+// replica (and so its trace) is owned exclusively by the calling worker, so
+// the reset cannot race with another run.
+func (p *pool) tapReset(rep *core.Deployment) *tee.Trace {
+	if p.srv.cfg.Tap == nil {
+		return nil
+	}
+	trace := rep.Enclave.Trace()
+	trace.Reset()
+	return trace
+}
+
 // pace sleeps the modeled batch latency scaled by Config.PaceScale, turning
 // the cost model into wall-clock service time; it returns the slept duration.
 // A zero scale is free.
@@ -806,6 +847,7 @@ func (p *pool) isolateBatch(id int, rep *core.Deployment, ws *workerScratch, bat
 		if r.span.Active() {
 			bd = &ws.bd
 		}
+		trace := p.tapReset(rep)
 		before := rep.Latency()
 		hostStart := time.Now()
 		labels, err := rep.InferIntoObserved(r.x, ws.labels, bd)
@@ -813,6 +855,9 @@ func (p *pool) isolateBatch(id int, rep *core.Deployment, ws *workerScratch, bat
 		lat := rep.Latency() - before
 		if err == nil && len(labels) != 1 {
 			err = fmt.Errorf("serve: %d labels for 1 request", len(labels))
+		}
+		if err == nil && trace != nil {
+			lat += p.srv.cfg.Tap.TapRun(rep.Device, p.name, 1, trace.AttackerView())
 		}
 		var paced time.Duration
 		if err != nil {
